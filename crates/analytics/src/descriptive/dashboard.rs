@@ -1,0 +1,166 @@
+//! Plain-text dashboard rendering.
+//!
+//! The visual half of descriptive ODA. Real deployments use Grafana; a
+//! library reproduction renders to monospace text so examples and
+//! experiment harnesses can show operators the same content — stat lines
+//! with units, Unicode sparklines, and aligned tables — without a display
+//! server.
+
+use std::fmt::Write as _;
+
+/// Sparkline glyphs from empty to full.
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a Unicode sparkline, scaling to the data range.
+/// Non-finite values render as spaces; constant data renders mid-height.
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(values.len());
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if hi - lo < 1e-12 {
+                SPARK[3]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                SPARK[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// A fixed-column text table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded, long rows truncated to the
+    /// header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        r.truncate(self.headers.len());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let pad = widths[i] - c.chars().count();
+                let _ = write!(out, "{}{}{}", c, " ".repeat(pad), if i + 1 < cols { "  " } else { "" });
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// A labelled stat with unit, for wallboard-style panels.
+pub fn stat_line(label: &str, value: f64, unit: &str) -> String {
+    format!("{label:<28} {value:>10.2} {unit}")
+}
+
+/// Renders a horizontal gauge `[####----] 42%` for a fraction in `0..=1`.
+pub fn gauge(fraction: f64, width: usize) -> String {
+    let f = fraction.clamp(0.0, 1.0);
+    let filled = (f * width as f64).round() as usize;
+    format!(
+        "[{}{}] {:>3.0}%",
+        "#".repeat(filled),
+        "-".repeat(width - filled),
+        f * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn sparkline_edge_cases() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▄▄▄");
+        let s = sparkline(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["pue", "1.23"]);
+        t.row(["a-very-long-sensor-name", "4"]);
+        t.row::<&str>([]); // empty row is padded
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5); // header + rule + 3 rows
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("1.23"));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn gauge_renders_bounds() {
+        assert_eq!(gauge(0.0, 4), "[----]   0%");
+        assert_eq!(gauge(1.0, 4), "[####] 100%");
+        assert_eq!(gauge(0.5, 4), "[##--]  50%");
+        // Clamped.
+        assert_eq!(gauge(3.0, 4), "[####] 100%");
+    }
+
+    #[test]
+    fn stat_line_formats() {
+        let s = stat_line("IT power", 123.456, "kW");
+        assert!(s.contains("123.46"));
+        assert!(s.ends_with("kW"));
+    }
+}

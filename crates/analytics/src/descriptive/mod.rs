@@ -1,0 +1,13 @@
+//! Descriptive analytics — *"what happened?"*.
+//!
+//! The paper defines this type as normalization, aggregation, outlier
+//! removal and dimensionality reduction feeding visualizations and alerts,
+//! with *no complex knowledge extraction*. These modules are the building
+//! blocks of every dashboard and KPI in the framework.
+
+pub mod dashboard;
+pub mod kpi;
+pub mod outlier;
+pub mod quantile;
+pub mod roofline;
+pub mod stats;

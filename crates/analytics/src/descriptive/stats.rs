@@ -1,0 +1,507 @@
+//! Streaming and windowed statistics.
+//!
+//! All estimators here are single-pass and allocation-free in steady state,
+//! suitable for per-sample ingest-path use (Welford's algorithm for
+//! mean/variance, EWMA smoothing, fixed-window rolling statistics) plus
+//! batch correlation helpers for multivariate diagnostics.
+
+use std::collections::VecDeque;
+
+/// Welford's online mean/variance estimator.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (0 for the empty estimator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (n−1 denominator; 0 for n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Exponentially-weighted moving average (and variance).
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    mean: Option<f64>,
+    var: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha ∈ (0, 1]` (higher =
+    /// faster to react).
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma {
+            alpha,
+            mean: None,
+            var: 0.0,
+        }
+    }
+
+    /// Feeds one sample and returns the updated mean.
+    pub fn push(&mut self, x: f64) -> f64 {
+        match self.mean {
+            None => {
+                self.mean = Some(x);
+                x
+            }
+            Some(m) => {
+                let d = x - m;
+                let new_m = m + self.alpha * d;
+                // EW variance of the residuals.
+                self.var = (1.0 - self.alpha) * (self.var + self.alpha * d * d);
+                self.mean = Some(new_m);
+                new_m
+            }
+        }
+    }
+
+    /// Current smoothed value (None before any sample).
+    pub fn mean(&self) -> Option<f64> {
+        self.mean
+    }
+
+    /// Exponentially-weighted standard deviation of the innovations.
+    pub fn std_dev(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+/// Fixed-length sliding-window statistics (mean/var/min/max).
+///
+/// Mean and variance are maintained incrementally; min/max scan the window
+/// on demand (windows are small — dashboards use tens to hundreds of
+/// samples).
+#[derive(Debug, Clone)]
+pub struct RollingStats {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl RollingStats {
+    /// Creates a window of `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        RollingStats {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Feeds one sample, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.window.len() == self.capacity {
+            let old = self.window.pop_front().unwrap();
+            self.sum -= old;
+            self.sum_sq -= old * old;
+        }
+        self.window.push_back(x);
+        self.sum += x;
+        self.sum_sq += x * x;
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// `true` when no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// `true` once the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.window.len() == self.capacity
+    }
+
+    /// Window mean (None when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (!self.window.is_empty()).then(|| self.sum / self.window.len() as f64)
+    }
+
+    /// Window population variance (clamped at 0 against rounding).
+    pub fn variance(&self) -> Option<f64> {
+        let n = self.window.len() as f64;
+        (!self.window.is_empty()).then(|| (self.sum_sq / n - (self.sum / n).powi(2)).max(0.0))
+    }
+
+    /// Window standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Window minimum.
+    pub fn min(&self) -> Option<f64> {
+        self.window.iter().copied().reduce(f64::min)
+    }
+
+    /// Window maximum.
+    pub fn max(&self) -> Option<f64> {
+        self.window.iter().copied().reduce(f64::max)
+    }
+
+    /// Z-score of `x` against the window (None if fewer than 2 samples or
+    /// zero variance).
+    pub fn z_score(&self, x: f64) -> Option<f64> {
+        if self.window.len() < 2 {
+            return None;
+        }
+        let sd = self.std_dev()?;
+        (sd > 1e-12).then(|| (x - self.mean().unwrap()) / sd)
+    }
+
+    /// Iterates over the window's contents, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.window.iter().copied()
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length slices.
+///
+/// Returns `None` when lengths differ, fewer than 2 points, or either series
+/// is constant. NaN pairs are skipped (aligned telemetry uses NaN for
+/// missing buckets).
+pub fn correlation(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let pairs: Vec<(f64, f64)> = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    if pairs.len() < 2 {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in pairs {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx <= 1e-300 || syy <= 1e-300 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Spearman rank correlation: Pearson on ranks (mean rank for ties).
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    correlation(&ranks(a), &ranks(b))
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut r = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            r[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Simple linear regression `y = a + b·x` over paired slices.
+/// Returns `(intercept, slope)`, or None for degenerate input.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx).powi(2)).sum();
+    if sxx <= 1e-300 {
+        return None;
+    }
+    let sxy: f64 = x.iter().zip(y).map(|(&a, &b)| (a - mx) * (b - my)).sum();
+    let slope = sxy / sxx;
+    Some((my - slope * mx, slope))
+}
+
+/// Fixed-bin histogram over a closed range; out-of-range samples clamp into
+/// the edge bins (dashboards want totals to add up).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && lo < hi, "invalid histogram shape");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let idx = ((t * bins as f64) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Normalised bin probabilities (empty histogram → all zeros).
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Shannon entropy of the bin distribution, in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        self.probabilities()
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.log2())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..100 {
+            e.push(5.0);
+        }
+        assert!((e.mean().unwrap() - 5.0).abs() < 1e-9);
+        assert!(e.std_dev() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_tracks_step_change() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..10 {
+            e.push(0.0);
+        }
+        for _ in 0..10 {
+            e.push(10.0);
+        }
+        assert!(e.mean().unwrap() > 9.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn rolling_stats_window_semantics() {
+        let mut r = RollingStats::new(3);
+        assert!(r.mean().is_none());
+        r.push(1.0);
+        r.push(2.0);
+        r.push(3.0);
+        assert!(r.is_full());
+        assert_eq!(r.mean(), Some(2.0));
+        r.push(10.0); // evicts 1.0 → window [2,3,10]
+        assert_eq!(r.mean(), Some(5.0));
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(10.0));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn rolling_z_score() {
+        let mut r = RollingStats::new(100);
+        for i in 0..100 {
+            r.push((i % 2) as f64); // mean 0.5, sd 0.5
+        }
+        let z = r.z_score(1.5).unwrap();
+        assert!((z - 2.0).abs() < 1e-9);
+        // Constant window → None.
+        let mut c = RollingStats::new(10);
+        for _ in 0..10 {
+            c.push(4.0);
+        }
+        assert!(c.z_score(5.0).is_none());
+    }
+
+    #[test]
+    fn correlation_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((correlation(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_handles_nan_and_constants() {
+        let a = [1.0, f64::NAN, 3.0, 4.0, 5.0];
+        let b = [2.0, 100.0, 6.0, 8.0, 10.0];
+        assert!((correlation(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let flat = [3.0, 3.0, 3.0];
+        assert!(correlation(&flat, &[1.0, 2.0, 3.0]).is_none());
+        assert!(correlation(&[1.0], &[1.0]).is_none());
+        assert!(correlation(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but non-linear: Pearson < 1, Spearman = 1.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!(correlation(&a, &b).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let (a, b) = linear_fit(&x, &y).unwrap();
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn histogram_bins_and_entropy() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert!(h.counts().iter().all(|&c| c == 1));
+        assert!((h.entropy_bits() - 10f64.log2()).abs() < 1e-9);
+        // Out-of-range clamps.
+        h.push(-5.0);
+        h.push(50.0);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.total(), 12);
+    }
+}

@@ -1,0 +1,357 @@
+//! Streaming anomaly detectors.
+//!
+//! Four detectors with one interface:
+//!
+//! * [`ZScoreDetector`] — rolling-window z-score; the workhorse for level
+//!   shifts in roughly stationary sensors.
+//! * [`IqrDetector`] — robust fences; immune to the outliers it flags.
+//! * [`EwmaControlChart`] — EWMA chart (Roberts); catches small sustained
+//!   drifts a z-score misses.
+//! * [`MultivariateVote`] — per-feature detectors voting on a shared
+//!   verdict; the simplest member of the multi-dimensional family the paper
+//!   cites for node-level anomaly detection (Tuncer et al., Borghesi
+//!   et al.).
+//!
+//! Detectors return a [`Score`]: `0.0` is nominal, `≥ 1.0` is anomalous,
+//! values between express suspicion. Mapping to a common scale is what lets
+//! the vote combinator and downstream root-cause ranking mix detector types.
+
+use crate::descriptive::stats::{Ewma, RollingStats};
+use std::collections::VecDeque;
+
+/// Anomaly score: 0 = nominal, ≥ 1 = anomalous.
+pub type Score = f64;
+
+/// A streaming anomaly detector over a single series.
+pub trait AnomalyDetector {
+    /// Feeds one observation, returning the anomaly score *for that
+    /// observation* (judged against history, excluding itself where the
+    /// detector can manage it).
+    fn observe(&mut self, x: f64) -> Score;
+
+    /// `true` once the detector has enough history to produce meaningful
+    /// scores.
+    fn warmed_up(&self) -> bool;
+
+    /// Resets all learned state.
+    fn reset(&mut self);
+}
+
+/// Rolling-window z-score detector: score = |z| / threshold.
+#[derive(Debug, Clone)]
+pub struct ZScoreDetector {
+    window: RollingStats,
+    capacity: usize,
+    threshold: f64,
+    min_samples: usize,
+}
+
+impl ZScoreDetector {
+    /// Creates a detector with a `window`-sample history and a z threshold
+    /// (a score of 1.0 corresponds to `|z| == threshold`).
+    pub fn new(window: usize, threshold: f64) -> Self {
+        ZScoreDetector {
+            window: RollingStats::new(window),
+            capacity: window,
+            threshold: threshold.max(1e-9),
+            min_samples: (window / 4).max(8),
+        }
+    }
+}
+
+impl AnomalyDetector for ZScoreDetector {
+    fn observe(&mut self, x: f64) -> Score {
+        let score = if self.window.len() >= self.min_samples {
+            self.window.z_score(x).map(|z| z.abs() / self.threshold).unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        self.window.push(x);
+        score
+    }
+
+    fn warmed_up(&self) -> bool {
+        self.window.len() >= self.min_samples
+    }
+
+    fn reset(&mut self) {
+        self.window = RollingStats::new(self.capacity);
+    }
+}
+
+/// Robust IQR-fence detector over a sliding window.
+#[derive(Debug, Clone)]
+pub struct IqrDetector {
+    window: VecDeque<f64>,
+    capacity: usize,
+    k: f64,
+    min_samples: usize,
+}
+
+impl IqrDetector {
+    /// Creates a detector with Tukey multiplier `k` (1.5 classic, 3.0
+    /// conservative).
+    pub fn new(window: usize, k: f64) -> Self {
+        IqrDetector {
+            window: VecDeque::with_capacity(window),
+            capacity: window.max(4),
+            k: k.max(0.1),
+            min_samples: (window / 4).max(8),
+        }
+    }
+}
+
+impl AnomalyDetector for IqrDetector {
+    fn observe(&mut self, x: f64) -> Score {
+        let score = if self.window.len() >= self.min_samples {
+            let data: Vec<f64> = self.window.iter().copied().collect();
+            match crate::descriptive::outlier::IqrFences::fit(&data, self.k) {
+                Some(f) if f.hi > f.lo => {
+                    if x > f.hi {
+                        // Distance beyond the fence in fence-widths.
+                        1.0 + (x - f.hi) / (f.hi - f.lo)
+                    } else if x < f.lo {
+                        1.0 + (f.lo - x) / (f.hi - f.lo)
+                    } else {
+                        0.0
+                    }
+                }
+                // Degenerate (constant) window: any different value is
+                // anomalous.
+                _ => {
+                    let m = self.window.front().copied().unwrap_or(0.0);
+                    if (x - m).abs() > 1e-9 {
+                        1.5
+                    } else {
+                        0.0
+                    }
+                }
+            }
+        } else {
+            0.0
+        };
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(x);
+        score
+    }
+
+    fn warmed_up(&self) -> bool {
+        self.window.len() >= self.min_samples
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// EWMA control chart: tracks a smoothed level and flags observations whose
+/// deviation from it exceeds `limit` × the smoothed innovation std-dev.
+#[derive(Debug, Clone)]
+pub struct EwmaControlChart {
+    ewma: Ewma,
+    limit: f64,
+    alpha: f64,
+    seen: usize,
+    min_samples: usize,
+}
+
+impl EwmaControlChart {
+    /// Creates a chart with smoothing `alpha` and control limit `limit`
+    /// (classically 3.0).
+    pub fn new(alpha: f64, limit: f64) -> Self {
+        EwmaControlChart {
+            ewma: Ewma::new(alpha),
+            limit: limit.max(1e-9),
+            alpha,
+            seen: 0,
+            min_samples: 16,
+        }
+    }
+}
+
+impl AnomalyDetector for EwmaControlChart {
+    fn observe(&mut self, x: f64) -> Score {
+        let score = match (self.ewma.mean(), self.seen >= self.min_samples) {
+            (Some(m), true) => {
+                let sd = self.ewma.std_dev().max(1e-9);
+                (x - m).abs() / (self.limit * sd)
+            }
+            _ => 0.0,
+        };
+        self.ewma.push(x);
+        self.seen += 1;
+        score
+    }
+
+    fn warmed_up(&self) -> bool {
+        self.seen >= self.min_samples
+    }
+
+    fn reset(&mut self) {
+        self.ewma = Ewma::new(self.alpha);
+        self.seen = 0;
+    }
+}
+
+/// Combines one detector per feature; the multivariate score is the
+/// fraction of features voting anomalous, scaled so that reaching `quorum`
+/// votes yields a score of exactly 1.0.
+pub struct MultivariateVote {
+    detectors: Vec<Box<dyn AnomalyDetector + Send>>,
+    quorum: usize,
+}
+
+impl MultivariateVote {
+    /// Creates a vote over `detectors` requiring `quorum` per-feature alarms
+    /// for a full-score verdict.
+    ///
+    /// # Panics
+    /// Panics if `detectors` is empty or `quorum` is zero or larger than the
+    /// detector count.
+    pub fn new(detectors: Vec<Box<dyn AnomalyDetector + Send>>, quorum: usize) -> Self {
+        assert!(!detectors.is_empty(), "need at least one detector");
+        assert!(
+            quorum >= 1 && quorum <= detectors.len(),
+            "quorum must be in 1..=detectors"
+        );
+        MultivariateVote { detectors, quorum }
+    }
+
+    /// Feeds one observation vector (must match the detector count) and
+    /// returns `(combined_score, per_feature_scores)`.
+    ///
+    /// # Panics
+    /// Panics if `xs.len()` differs from the detector count.
+    pub fn observe(&mut self, xs: &[f64]) -> (Score, Vec<Score>) {
+        assert_eq!(xs.len(), self.detectors.len(), "feature count mismatch");
+        let scores: Vec<Score> = self
+            .detectors
+            .iter_mut()
+            .zip(xs)
+            .map(|(d, &x)| d.observe(x))
+            .collect();
+        let votes = scores.iter().filter(|&&s| s >= 1.0).count();
+        ((votes as f64 / self.quorum as f64).min(2.0), scores)
+    }
+
+    /// `true` once every per-feature detector is warmed up.
+    pub fn warmed_up(&self) -> bool {
+        self.detectors.iter().all(|d| d.warmed_up())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed<D: AnomalyDetector>(d: &mut D, xs: &[f64]) -> Vec<Score> {
+        xs.iter().map(|&x| d.observe(x)).collect()
+    }
+
+    /// A noisy-but-stationary series followed by a level shift.
+    fn series_with_shift() -> Vec<f64> {
+        let mut v: Vec<f64> = (0..100)
+            .map(|i| 10.0 + ((i * 7) % 5) as f64 * 0.1)
+            .collect();
+        v.push(20.0);
+        v
+    }
+
+    #[test]
+    fn zscore_flags_level_shift() {
+        let mut d = ZScoreDetector::new(64, 4.0);
+        let scores = feed(&mut d, &series_with_shift());
+        assert!(scores[..100].iter().all(|&s| s < 1.0), "no false alarms");
+        assert!(scores[100] >= 1.0, "shift must alarm: {}", scores[100]);
+        assert!(d.warmed_up());
+    }
+
+    #[test]
+    fn zscore_is_quiet_before_warmup() {
+        let mut d = ZScoreDetector::new(64, 3.0);
+        assert_eq!(d.observe(1e9), 0.0);
+        assert!(!d.warmed_up());
+    }
+
+    #[test]
+    fn iqr_flags_spike_and_recovers() {
+        let mut d = IqrDetector::new(64, 1.5);
+        let mut xs: Vec<f64> = (0..80).map(|i| 50.0 + ((i * 3) % 7) as f64).collect();
+        xs.push(500.0);
+        xs.extend((0..10).map(|i| 50.0 + (i % 7) as f64));
+        let scores = feed(&mut d, &xs);
+        assert!(scores[80] > 1.0, "spike score {}", scores[80]);
+        // Normal values after the spike do not alarm (robustness).
+        assert!(scores[81..].iter().all(|&s| s < 1.0));
+    }
+
+    #[test]
+    fn iqr_constant_window_flags_any_change() {
+        let mut d = IqrDetector::new(32, 1.5);
+        for _ in 0..32 {
+            d.observe(5.0);
+        }
+        assert!(d.observe(6.0) >= 1.0);
+        assert_eq!(d.observe(5.0), 0.0);
+    }
+
+    #[test]
+    fn ewma_chart_catches_slow_drift() {
+        let mut d = EwmaControlChart::new(0.2, 3.0);
+        // Stationary noise.
+        for i in 0..100 {
+            d.observe(10.0 + ((i * 13) % 7) as f64 * 0.05);
+        }
+        // Sudden jump relative to smoothed band.
+        let s = d.observe(12.0);
+        assert!(s >= 1.0, "jump score {s}");
+    }
+
+    #[test]
+    fn detectors_reset_cleanly() {
+        let mut d = ZScoreDetector::new(32, 3.0);
+        for i in 0..40 {
+            d.observe(i as f64);
+        }
+        d.reset();
+        assert!(!d.warmed_up());
+        let mut e = EwmaControlChart::new(0.3, 3.0);
+        for _ in 0..20 {
+            e.observe(5.0);
+        }
+        e.reset();
+        assert!(!e.warmed_up());
+        assert_eq!(e.observe(1e6), 0.0);
+    }
+
+    #[test]
+    fn multivariate_vote_requires_quorum() {
+        let mk = || -> Box<dyn AnomalyDetector + Send> { Box::new(ZScoreDetector::new(64, 4.0)) };
+        let mut mv = MultivariateVote::new(vec![mk(), mk(), mk()], 2);
+        // Warm all three features on stationary data.
+        for i in 0..100 {
+            let base = 10.0 + ((i * 7) % 5) as f64 * 0.1;
+            mv.observe(&[base, base * 2.0, base * 3.0]);
+        }
+        assert!(mv.warmed_up());
+        // One deviant feature: below quorum.
+        let (s, per) = mv.observe(&[50.0, 20.6, 30.9]);
+        assert!(per[0] >= 1.0);
+        assert!(s < 1.0, "single vote must not reach quorum: {s}");
+        // Two deviant features: quorum reached.
+        let (s, _) = mv.observe(&[50.0, 100.0, 30.9]);
+        assert!(s >= 1.0, "two votes reach quorum: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn multivariate_rejects_wrong_arity() {
+        let mut mv = MultivariateVote::new(
+            vec![Box::new(ZScoreDetector::new(8, 3.0)) as Box<dyn AnomalyDetector + Send>],
+            1,
+        );
+        mv.observe(&[1.0, 2.0]);
+    }
+}

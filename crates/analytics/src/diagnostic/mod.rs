@@ -1,0 +1,13 @@
+//! Diagnostic analytics — *"why did it happen?"*.
+//!
+//! The paper defines this type as systematic extraction of non-obvious
+//! insight from multi-dimensional monitoring data: anomaly detection, root
+//! cause analysis, fingerprinting. Each module here is a canonical member of
+//! one cited technique family.
+
+pub mod detector;
+pub mod fingerprint;
+pub mod network_diag;
+pub mod noise;
+pub mod rootcause;
+pub mod smoothing;

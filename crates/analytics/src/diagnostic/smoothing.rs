@@ -1,0 +1,235 @@
+//! Correlation-wise smoothing (CS) feature extraction, after Netti et al.,
+//! *"Correlation-wise Smoothing: Lightweight Knowledge Extraction for HPC
+//! Monitoring Data"* (IPDPS 2021) — one of the node-level diagnostic works
+//! in the paper's survey.
+//!
+//! The idea: order a node's sensors so that correlated sensors are adjacent,
+//! then smooth *across the sensor dimension* at several block sizes,
+//! producing a compact image-like descriptor of the node state. Because the
+//! ordering groups redundant sensors, the smoothed blocks capture the
+//! node-wide signal at multiple granularities with a handful of values,
+//! which downstream classifiers/detectors consume instead of the raw
+//! high-dimensional vector.
+//!
+//! Implementation choices (faithful to the paper's spirit, simplified in
+//! detail):
+//!
+//! * sensors are standardized with their training-data statistics before
+//!   smoothing (the CS paper normalizes sensors for the same reason:
+//!   block means across unequal scales would be dominated by the
+//!   largest-magnitude channels);
+//! * the ordering is a greedy nearest-neighbour chain on |Pearson r|,
+//!   starting from the sensor with the highest total correlation;
+//! * the descriptor concatenates block means at power-of-two block counts
+//!   (1, 2, 4, … up to `levels`), i.e. a Haar-like multi-resolution pyramid
+//!   over the ordered sensor axis.
+
+use crate::descriptive::stats::correlation;
+
+/// A fitted CS model: the sensor ordering and per-sensor normalization
+/// learned from training data.
+#[derive(Debug, Clone)]
+pub struct CorrelationSmoothing {
+    order: Vec<usize>,
+    levels: usize,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl CorrelationSmoothing {
+    /// Learns the sensor ordering from training series.
+    ///
+    /// `series[s]` is the history of sensor `s`; all series should be
+    /// time-aligned and equal length. `levels` controls descriptor size:
+    /// the descriptor has `2^levels − 1 + ...` — precisely
+    /// `1 + 2 + 4 + … + 2^(levels−1)` values.
+    ///
+    /// # Panics
+    /// Panics if `series` is empty or `levels == 0`.
+    pub fn fit(series: &[Vec<f64>], levels: usize) -> Self {
+        assert!(!series.is_empty(), "need at least one sensor");
+        assert!(levels > 0, "need at least one level");
+        let n = series.len();
+        // Absolute correlation matrix (constant series correlate 0).
+        let mut corr = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let c = correlation(&series[i], &series[j]).unwrap_or(0.0).abs();
+                corr[i][j] = c;
+                corr[j][i] = c;
+            }
+        }
+        // Start from the most-connected sensor, then chain greedily.
+        let start = (0..n)
+            .max_by(|&a, &b| {
+                let sa: f64 = corr[a].iter().sum();
+                let sb: f64 = corr[b].iter().sum();
+                sa.partial_cmp(&sb).unwrap()
+            })
+            .unwrap();
+        let mut order = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        order.push(start);
+        used[start] = true;
+        while order.len() < n {
+            let last = *order.last().unwrap();
+            let next = (0..n)
+                .filter(|&i| !used[i])
+                .max_by(|&a, &b| corr[last][a].partial_cmp(&corr[last][b]).unwrap())
+                .unwrap();
+            order.push(next);
+            used[next] = true;
+        }
+        // Per-sensor normalization statistics.
+        let mean: Vec<f64> = series
+            .iter()
+            .map(|s| s.iter().sum::<f64>() / s.len().max(1) as f64)
+            .collect();
+        let std: Vec<f64> = series
+            .iter()
+            .zip(&mean)
+            .map(|(s, m)| {
+                (s.iter().map(|x| (x - m).powi(2)).sum::<f64>() / s.len().max(1) as f64)
+                    .sqrt()
+                    .max(1e-9)
+            })
+            .collect();
+        CorrelationSmoothing {
+            order,
+            levels,
+            mean,
+            std,
+        }
+    }
+
+    /// The learned sensor ordering (indices into the training layout).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Length of descriptors produced by [`Self::descriptor`].
+    pub fn descriptor_len(&self) -> usize {
+        (0..self.levels).map(|l| 1usize << l).sum()
+    }
+
+    /// Computes the multi-resolution descriptor of one time-instant sensor
+    /// vector `snapshot` (same layout as the training series).
+    ///
+    /// # Panics
+    /// Panics if `snapshot.len()` differs from the fitted sensor count.
+    pub fn descriptor(&self, snapshot: &[f64]) -> Vec<f64> {
+        assert_eq!(snapshot.len(), self.order.len(), "sensor count mismatch");
+        let ordered: Vec<f64> = self
+            .order
+            .iter()
+            .map(|&i| (snapshot[i] - self.mean[i]) / self.std[i])
+            .collect();
+        let mut out = Vec::with_capacity(self.descriptor_len());
+        let n = ordered.len();
+        for level in 0..self.levels {
+            let blocks = 1usize << level;
+            for b in 0..blocks {
+                let lo = b * n / blocks;
+                let hi = (b + 1) * n / blocks;
+                // With more blocks than sensors some blocks are empty: fall
+                // back to the nearest sensor so every slot carries signal.
+                let (lo, hi) = if lo < hi { (lo, hi) } else { (lo.min(n - 1), lo.min(n - 1) + 1) };
+                let slice = &ordered[lo..hi];
+                out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three correlated "power-like" sensors, two correlated "thermal"
+    /// sensors, one independent noise sensor.
+    fn training_data() -> Vec<Vec<f64>> {
+        let t: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let base: Vec<f64> = t.iter().map(|x| x.sin()).collect();
+        let thermal: Vec<f64> = t.iter().map(|x| (x * 0.3).cos()).collect();
+        vec![
+            base.clone(),
+            base.iter().map(|v| 2.0 * v + 0.1).collect(),
+            thermal.clone(),
+            base.iter().map(|v| -v).collect(),
+            thermal.iter().map(|v| 3.0 * v).collect(),
+            t.iter().map(|x| ((x * 7919.0).sin() * 43758.5453).fract()).collect(),
+        ]
+    }
+
+    #[test]
+    fn ordering_groups_correlated_sensors() {
+        let cs = CorrelationSmoothing::fit(&training_data(), 3);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (rank, &s) in cs.order().iter().enumerate() {
+                p[s] = rank;
+            }
+            p
+        };
+        // The three power-family sensors (0, 1, 3) must be mutually closer
+        // than they are to the noise sensor (5).
+        let fam = [pos[0], pos[1], pos[3]];
+        let spread = fam.iter().max().unwrap() - fam.iter().min().unwrap();
+        assert!(spread <= 2, "power family should be adjacent: {pos:?}");
+        // Thermal pair adjacent too.
+        assert!((pos[2] as i64 - pos[4] as i64).abs() <= 1, "{pos:?}");
+    }
+
+    #[test]
+    fn descriptor_has_pyramid_length() {
+        let data = training_data();
+        let cs = CorrelationSmoothing::fit(&data, 3);
+        assert_eq!(cs.descriptor_len(), 1 + 2 + 4);
+        let d = cs.descriptor(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(d.len(), 7);
+        // A snapshot at exactly the training means standardizes to all
+        // zeros — level 0 (the global mean) included.
+        let at_mean: Vec<f64> = data
+            .iter()
+            .map(|s| s.iter().sum::<f64>() / s.len() as f64)
+            .collect();
+        let d0 = cs.descriptor(&at_mean);
+        assert!(d0.iter().all(|v| v.abs() < 1e-9), "{d0:?}");
+    }
+
+    #[test]
+    fn descriptor_distinguishes_anomalous_snapshots() {
+        let data = training_data();
+        let cs = CorrelationSmoothing::fit(&data, 3);
+        let normal: Vec<f64> = data.iter().map(|s| s[100]).collect();
+        let mut anomalous = normal.clone();
+        anomalous[1] += 10.0; // one power sensor deviates strongly
+        let dn = cs.descriptor(&normal);
+        let da = cs.descriptor(&anomalous);
+        let dist: f64 = dn
+            .iter()
+            .zip(&da)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 1.0, "descriptors must separate: {dist}");
+    }
+
+    #[test]
+    fn single_sensor_degenerates_gracefully() {
+        let cs = CorrelationSmoothing::fit(&[vec![1.0, 2.0, 3.0]], 2);
+        let d = cs.descriptor(&[5.0]);
+        assert_eq!(d.len(), 3);
+        // Standardized value of 5 against mean 2, population σ = √(2/3).
+        let expected = (5.0 - 2.0) / (2.0f64 / 3.0).sqrt();
+        assert!(d.iter().all(|&v| (v - expected).abs() < 1e-9), "{d:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sensor count")]
+    fn descriptor_rejects_wrong_arity() {
+        let cs = CorrelationSmoothing::fit(&training_data(), 2);
+        cs.descriptor(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # oda-analytics — the four types of data analytics, from scratch
+//!
+//! The paper's second axis (after the four HPC pillars) is the staged
+//! "Four Types of Data Analytics" model. This crate implements a canonical
+//! algorithm for every technique *family* the paper's survey cites, grouped
+//! by type:
+//!
+//! * [`descriptive`] — *"what happened?"*: streaming statistics, quantiles,
+//!   histograms, correlation, KPIs (PUE, ITUE, slowdown, System Information
+//!   Entropy), the roofline model and text dashboards.
+//! * [`diagnostic`] — *"why did it happen?"*: anomaly detectors (z-score,
+//!   IQR, control charts, multivariate voting), correlation-wise-smoothing
+//!   feature extraction, k-NN / nearest-centroid classifiers for
+//!   application fingerprinting, root-cause ranking, network-contention
+//!   diagnosis and periodic-interference (OS noise) detection.
+//! * [`predictive`] — *"what will happen?"*: EWMA / Holt / Holt–Winters
+//!   forecasters, AR(p) models, ridge and logistic regression, k-NN job
+//!   duration prediction, and an FFT with spectral extrapolation for the
+//!   LLNL power-fluctuation use case.
+//! * [`prescriptive`] — *"what should we do?"*: PID control, golden-section
+//!   setpoint optimization, reactive/proactive DVFS governors, a
+//!   cooling-mode switcher, coordinate-descent/simulated-annealing
+//!   auto-tuning and a rule-based recommendation engine.
+//!
+//! Everything is implemented with the standard library plus the workspace's
+//! small approved dependency set — no external ML or linear-algebra crates —
+//! so the algorithms double as readable reference implementations.
+//!
+//! The crate is deliberately independent of the simulator: every algorithm
+//! operates on plain slices, readings, or feature vectors, so it can be
+//! applied to any telemetry source that speaks `oda-telemetry` types.
+
+pub mod descriptive;
+pub mod diagnostic;
+pub mod predictive;
+pub mod prescriptive;
+pub mod util;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::descriptive::kpi::{self, SystemInformationEntropy};
+    pub use crate::descriptive::quantile::P2Quantile;
+    pub use crate::descriptive::stats::{correlation, Ewma, RollingStats, Welford};
+    pub use crate::diagnostic::detector::{
+        AnomalyDetector, EwmaControlChart, IqrDetector, MultivariateVote, ZScoreDetector,
+    };
+    pub use crate::diagnostic::fingerprint::{JobFeatures, NearestCentroid};
+    pub use crate::predictive::forecast::{Forecaster, HoltWinters};
+    pub use crate::predictive::regression::RidgeRegression;
+    pub use crate::prescriptive::dvfs::{DvfsGovernor, GovernorMode};
+    pub use crate::prescriptive::pid::Pid;
+}

@@ -1,0 +1,165 @@
+//! Autoregressive AR(p) models fitted by ordinary least squares.
+//!
+//! AR models complement exponential smoothing for sensor forecasting: they
+//! capture short-range autocorrelation structure (thermal inertia, control
+//! loops) that smoothing flattens away. Fitting solves the normal equations
+//! of the lagged regression with the workspace's small dense solver.
+
+use crate::util::linalg::{solve, Matrix};
+
+/// A fitted AR(p) model `x_t = c + Σ φ_i · x_{t−i}`.
+#[derive(Debug, Clone)]
+pub struct ArModel {
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficients `φ_1..φ_p` (lag-1 first).
+    pub coefficients: Vec<f64>,
+    /// In-sample residual standard deviation.
+    pub residual_std: f64,
+}
+
+impl ArModel {
+    /// Fits AR(`order`) to `series` by least squares.
+    ///
+    /// Returns `None` when the series is too short (needs at least
+    /// `2·order + 2` samples) or the design matrix is singular (e.g. a
+    /// constant series).
+    pub fn fit(series: &[f64], order: usize) -> Option<Self> {
+        assert!(order >= 1, "order must be >= 1");
+        let n = series.len();
+        if n < 2 * order + 2 {
+            return None;
+        }
+        let rows = n - order;
+        let cols = order + 1; // intercept + lags
+        // Normal equations: (Xᵀ X) β = Xᵀ y, built directly.
+        let mut xtx = Matrix::zeros(cols, cols);
+        let mut xty = vec![0.0; cols];
+        for t in order..n {
+            let mut row = Vec::with_capacity(cols);
+            row.push(1.0);
+            for lag in 1..=order {
+                row.push(series[t - lag]);
+            }
+            let y = series[t];
+            for i in 0..cols {
+                xty[i] += row[i] * y;
+                for j in 0..cols {
+                    xtx[(i, j)] += row[i] * row[j];
+                }
+            }
+        }
+        let beta = solve(&xtx, &xty)?;
+        // Residuals.
+        let mut ss = 0.0;
+        for t in order..n {
+            let mut pred = beta[0];
+            for lag in 1..=order {
+                pred += beta[lag] * series[t - lag];
+            }
+            ss += (series[t] - pred).powi(2);
+        }
+        Some(ArModel {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+            residual_std: (ss / rows as f64).sqrt(),
+        })
+    }
+
+    /// Model order.
+    pub fn order(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// One-step prediction given the most recent values
+    /// (`recent\[0\]` = newest).
+    ///
+    /// # Panics
+    /// Panics if fewer than `order` recent values are supplied.
+    pub fn predict_next(&self, recent: &[f64]) -> f64 {
+        assert!(recent.len() >= self.order(), "need `order` recent values");
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(recent)
+                .map(|(c, x)| c * x)
+                .sum::<f64>()
+    }
+
+    /// Iterated multi-step forecast: feeds predictions back as inputs.
+    /// Returns `horizon` values, nearest first.
+    pub fn forecast(&self, recent: &[f64], horizon: usize) -> Vec<f64> {
+        let p = self.order();
+        let mut window: Vec<f64> = recent[..p].to_vec(); // newest first
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let next = self.predict_next(&window);
+            out.push(next);
+            window.rotate_right(1);
+            window[0] = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates an AR(2) process with known coefficients, deterministic
+    /// pseudo-noise.
+    fn ar2_series(n: usize, c: f64, phi1: f64, phi2: f64, noise: f64) -> Vec<f64> {
+        let mut xs = vec![c / (1.0 - phi1 - phi2); 2];
+        let mut seed = 12345u64;
+        for t in 2..n {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let e = (((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5) * 2.0 * noise;
+            xs.push(c + phi1 * xs[t - 1] + phi2 * xs[t - 2] + e);
+        }
+        xs
+    }
+
+    #[test]
+    fn recovers_ar2_coefficients() {
+        let xs = ar2_series(5_000, 1.0, 0.6, 0.3, 0.1);
+        let m = ArModel::fit(&xs, 2).unwrap();
+        assert!((m.coefficients[0] - 0.6).abs() < 0.05, "{:?}", m.coefficients);
+        assert!((m.coefficients[1] - 0.3).abs() < 0.05, "{:?}", m.coefficients);
+        assert!((m.intercept - 1.0).abs() < 0.6, "{}", m.intercept);
+        assert!(m.residual_std < 0.12);
+    }
+
+    #[test]
+    fn predict_next_matches_generator() {
+        let xs = ar2_series(2_000, 0.0, 0.5, 0.4, 0.01);
+        let m = ArModel::fit(&xs, 2).unwrap();
+        let newest_first = [xs[xs.len() - 1], xs[xs.len() - 2]];
+        let pred = m.predict_next(&newest_first);
+        let ideal = 0.5 * newest_first[0] + 0.4 * newest_first[1];
+        assert!((pred - ideal).abs() < 0.1, "{pred} vs {ideal}");
+    }
+
+    #[test]
+    fn forecast_converges_to_process_mean() {
+        // Stationary AR(1): long-horizon forecast → c / (1 − φ).
+        let xs = ar2_series(3_000, 2.0, 0.5, 0.0, 0.05);
+        let m = ArModel::fit(&xs, 1).unwrap();
+        let far = m.forecast(&[xs[xs.len() - 1]], 200);
+        let mean = 2.0 / (1.0 - 0.5);
+        assert!((far.last().unwrap() - mean).abs() < 0.3, "{:?}", far.last());
+    }
+
+    #[test]
+    fn short_and_constant_series_fail_gracefully() {
+        assert!(ArModel::fit(&[1.0, 2.0, 3.0], 2).is_none());
+        assert!(ArModel::fit(&[5.0; 100], 2).is_none(), "constant series is singular");
+    }
+
+    #[test]
+    fn forecast_length_matches_horizon() {
+        let xs = ar2_series(500, 1.0, 0.4, 0.2, 0.1);
+        let m = ArModel::fit(&xs, 2).unwrap();
+        assert_eq!(m.forecast(&[1.0, 1.0], 7).len(), 7);
+    }
+}

@@ -1,0 +1,338 @@
+//! Exponential-smoothing forecasters: EWMA (simple), Holt (trend) and
+//! Holt–Winters (trend + additive seasonality).
+//!
+//! These are the workhorses for sensor forecasting (PRACTISE, Xue et al.;
+//! Netti et al.) and cooling-demand prediction: cheap enough to run per
+//! sensor at ingest rate, and Holt–Winters captures the dominant structure
+//! of facility series — a daily season plus slow drift.
+
+/// A streaming forecaster: feed observations, ask for h-step-ahead
+/// forecasts.
+pub trait Forecaster {
+    /// Feeds the next observation.
+    fn update(&mut self, x: f64);
+
+    /// Forecast `h ≥ 1` steps ahead of the last observation. `None` until
+    /// the model has enough history.
+    fn forecast(&self, h: usize) -> Option<f64>;
+
+    /// Number of observations consumed.
+    fn observations(&self) -> usize;
+}
+
+/// Simple exponential smoothing: flat forecasts at the smoothed level.
+#[derive(Debug, Clone)]
+pub struct SimpleExp {
+    alpha: f64,
+    level: Option<f64>,
+    n: usize,
+}
+
+impl SimpleExp {
+    /// Creates the forecaster with smoothing `alpha ∈ (0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        SimpleExp {
+            alpha,
+            level: None,
+            n: 0,
+        }
+    }
+}
+
+impl Forecaster for SimpleExp {
+    fn update(&mut self, x: f64) {
+        self.n += 1;
+        self.level = Some(match self.level {
+            None => x,
+            Some(l) => l + self.alpha * (x - l),
+        });
+    }
+
+    fn forecast(&self, _h: usize) -> Option<f64> {
+        self.level
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Holt's linear method: level + trend.
+#[derive(Debug, Clone)]
+pub struct Holt {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend: f64,
+    n: usize,
+}
+
+impl Holt {
+    /// Creates the forecaster with level smoothing `alpha` and trend
+    /// smoothing `beta`, both in `(0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta in (0,1]");
+        Holt {
+            alpha,
+            beta,
+            level: 0.0,
+            trend: 0.0,
+            n: 0,
+        }
+    }
+}
+
+impl Forecaster for Holt {
+    fn update(&mut self, x: f64) {
+        match self.n {
+            0 => self.level = x,
+            1 => {
+                self.trend = x - self.level;
+                self.level = x;
+            }
+            _ => {
+                let prev_level = self.level;
+                self.level = self.alpha * x + (1.0 - self.alpha) * (self.level + self.trend);
+                self.trend =
+                    self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+            }
+        }
+        self.n += 1;
+    }
+
+    fn forecast(&self, h: usize) -> Option<f64> {
+        (self.n >= 2).then_some(self.level + h as f64 * self.trend)
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Holt–Winters additive seasonal method.
+///
+/// Initialisation: the first full season fixes the initial level (its mean)
+/// and the initial seasonal offsets; the second season starts trend
+/// updates. Forecasts require one complete season of history.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    history: Vec<f64>,
+    n: usize,
+}
+
+impl HoltWinters {
+    /// Creates the forecaster with seasonal `period` (samples per season)
+    /// and smoothing parameters in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters or `period < 2`.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta in (0,1]");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma in (0,1]");
+        assert!(period >= 2, "seasonal period must be >= 2");
+        HoltWinters {
+            alpha,
+            beta,
+            gamma,
+            period,
+            level: 0.0,
+            trend: 0.0,
+            seasonal: vec![0.0; period],
+            history: Vec::with_capacity(period),
+            n: 0,
+        }
+    }
+
+    /// The seasonal period.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn update(&mut self, x: f64) {
+        if self.n < self.period {
+            // Collect the first season.
+            self.history.push(x);
+            self.n += 1;
+            if self.n == self.period {
+                let mean = self.history.iter().sum::<f64>() / self.period as f64;
+                self.level = mean;
+                self.trend = 0.0;
+                for (s, &v) in self.seasonal.iter_mut().zip(self.history.iter()) {
+                    *s = v - mean;
+                }
+            }
+            return;
+        }
+        let idx = self.n % self.period;
+        let s_old = self.seasonal[idx];
+        let prev_level = self.level;
+        self.level = self.alpha * (x - s_old) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.seasonal[idx] = self.gamma * (x - self.level) + (1.0 - self.gamma) * s_old;
+        self.n += 1;
+    }
+
+    fn forecast(&self, h: usize) -> Option<f64> {
+        if self.n < self.period || h == 0 {
+            return (h == 0).then_some(self.level);
+        }
+        let idx = (self.n + h - 1) % self.period;
+        Some(self.level + h as f64 * self.trend + self.seasonal[idx])
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Rolling forecast-accuracy evaluation: feeds `series` one sample at a
+/// time, recording the absolute error of the `h`-step forecast made before
+/// seeing each sample. Returns `(mae, mape)`; `mape` is `None` if any true
+/// value is ~0.
+pub fn backtest<F: Forecaster>(f: &mut F, series: &[f64], h: usize) -> (f64, Option<f64>) {
+    assert!(h >= 1, "horizon must be >= 1");
+    let mut abs_err = Vec::new();
+    let mut rel_err = Vec::new();
+    let mut relative_ok = true;
+    // After every update, record the model's h-step forecast together with
+    // the index it targets; score each forecast when its target arrives.
+    let mut pending: std::collections::VecDeque<(usize, f64)> = std::collections::VecDeque::new();
+    for (i, &x) in series.iter().enumerate() {
+        while let Some(&(target, fc)) = pending.front() {
+            if target == i {
+                pending.pop_front();
+                abs_err.push((fc - x).abs());
+                if x.abs() > 1e-9 {
+                    rel_err.push(((fc - x) / x).abs());
+                } else {
+                    relative_ok = false;
+                }
+            } else {
+                break;
+            }
+        }
+        f.update(x);
+        if let Some(fc) = f.forecast(h) {
+            pending.push_back((i + h, fc));
+        }
+    }
+    let mae = if abs_err.is_empty() {
+        f64::NAN
+    } else {
+        abs_err.iter().sum::<f64>() / abs_err.len() as f64
+    };
+    let mape = (relative_ok && !rel_err.is_empty())
+        .then(|| rel_err.iter().sum::<f64>() / rel_err.len() as f64);
+    (mae, mape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_exp_flat_series() {
+        let mut f = SimpleExp::new(0.5);
+        assert!(f.forecast(1).is_none());
+        for _ in 0..50 {
+            f.update(7.0);
+        }
+        assert!((f.forecast(10).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn holt_extrapolates_linear_trend() {
+        let mut f = Holt::new(0.8, 0.8);
+        for i in 0..100 {
+            f.update(3.0 + 2.0 * i as f64);
+        }
+        // Next value should be ≈ 3 + 2·100.
+        let fc = f.forecast(1).unwrap();
+        assert!((fc - 203.0).abs() < 0.5, "forecast {fc}");
+        let fc5 = f.forecast(5).unwrap();
+        assert!((fc5 - 211.0).abs() < 1.0, "forecast {fc5}");
+    }
+
+    #[test]
+    fn holt_winters_learns_seasonality() {
+        // Period-24 sinusoid plus slope.
+        let period = 24;
+        let series: Vec<f64> = (0..period * 20)
+            .map(|i| {
+                10.0 + 0.01 * i as f64
+                    + 5.0 * (2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64).sin()
+            })
+            .collect();
+        let mut f = HoltWinters::new(0.3, 0.05, 0.3, period);
+        for &x in &series {
+            f.update(x);
+        }
+        // Forecast one full season and compare shape.
+        let n = series.len();
+        for h in 1..=period {
+            let truth = 10.0
+                + 0.01 * (n + h - 1) as f64
+                + 5.0 * (2.0 * std::f64::consts::PI * ((n + h - 1) % period) as f64 / period as f64)
+                    .sin();
+            let fc = f.forecast(h).unwrap();
+            assert!(
+                (fc - truth).abs() < 1.0,
+                "h={h}: forecast {fc} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn holt_winters_needs_one_season() {
+        let mut f = HoltWinters::new(0.3, 0.1, 0.3, 8);
+        for i in 0..7 {
+            f.update(i as f64);
+            assert!(f.forecast(1).is_none());
+        }
+        f.update(7.0);
+        assert!(f.forecast(1).is_some());
+    }
+
+    #[test]
+    fn backtest_scores_better_model_lower() {
+        let period = 12;
+        let series: Vec<f64> = (0..period * 30)
+            .map(|i| 50.0 + 20.0 * (2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64).cos())
+            .collect();
+        let (mae_hw, _) = backtest(&mut HoltWinters::new(0.3, 0.05, 0.4, period), &series, 1);
+        let (mae_se, _) = backtest(&mut SimpleExp::new(0.5), &series, 1);
+        assert!(
+            mae_hw < mae_se * 0.5,
+            "seasonal model must beat flat: {mae_hw} vs {mae_se}"
+        );
+    }
+
+    #[test]
+    fn backtest_handles_short_series() {
+        let (mae, mape) = backtest(&mut SimpleExp::new(0.5), &[1.0], 1);
+        assert!(mae.is_nan());
+        assert!(mape.is_none());
+    }
+
+    #[test]
+    fn mape_is_none_on_zero_values() {
+        // A zero appears as a forecast *target*, so relative error is
+        // undefined for that step and MAPE must be withheld.
+        let series = vec![1.0, 2.0, 0.0, 3.0, 4.0, 5.0];
+        let (mae, mape) = backtest(&mut SimpleExp::new(0.9), &series, 1);
+        assert!(mae.is_finite());
+        assert!(mape.is_none());
+    }
+}

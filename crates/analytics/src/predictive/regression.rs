@@ -1,0 +1,307 @@
+//! Ridge and logistic regression on engineered features.
+//!
+//! Ridge is the framework's general-purpose tabular predictor (job power
+//! models à la Sîrbu & Babaoglu, resource prediction à la Matsunaga &
+//! Fortes); logistic regression is the probabilistic scorer behind failure
+//! prediction. Both standardize features internally so callers can mix
+//! units freely.
+
+use crate::util::linalg::{solve, Matrix};
+
+/// Per-column standardization fitted on the training design matrix.
+#[derive(Debug, Clone)]
+struct ColumnScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl ColumnScaler {
+    fn fit(xs: &[Vec<f64>]) -> Self {
+        let d = xs.first().map(|r| r.len()).unwrap_or(0);
+        let n = xs.len().max(1) as f64;
+        let mut mean = vec![0.0; d];
+        for r in xs {
+            for (m, &v) in mean.iter_mut().zip(r) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; d];
+        for r in xs {
+            for (s, (&v, &m)) in std.iter_mut().zip(r.iter().zip(&mean)) {
+                *s += (v - m).powi(2) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-9);
+        }
+        ColumnScaler { mean, std }
+    }
+
+    fn apply(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+}
+
+/// Ridge regression `y ≈ w·x + b` with L2 penalty `lambda`.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    scaler: ColumnScaler,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl RidgeRegression {
+    /// Fits on rows `xs` (equal-length feature vectors) and targets `ys`.
+    ///
+    /// Returns `None` on degenerate input (empty, mismatched lengths after
+    /// debug assertions, or a singular regularised system — practically
+    /// impossible for `lambda > 0`).
+    ///
+    /// # Panics
+    /// Panics if `xs`/`ys` lengths differ or rows are ragged.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<Self> {
+        assert_eq!(xs.len(), ys.len(), "feature/target count mismatch");
+        if xs.is_empty() {
+            return None;
+        }
+        let d = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == d), "ragged feature rows");
+        if d == 0 {
+            return None;
+        }
+        let scaler = ColumnScaler::fit(xs);
+        let scaled: Vec<Vec<f64>> = xs.iter().map(|r| scaler.apply(r)).collect();
+        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        // Normal equations on centred targets (bias handled via y_mean).
+        let mut xtx = Matrix::zeros(d, d);
+        let mut xty = vec![0.0; d];
+        for (row, &y) in scaled.iter().zip(ys) {
+            let yc = y - y_mean;
+            for i in 0..d {
+                xty[i] += row[i] * yc;
+                for j in 0..d {
+                    xtx[(i, j)] += row[i] * row[j];
+                }
+            }
+        }
+        xtx.add_diagonal(lambda.max(1e-12));
+        let weights = solve(&xtx, &xty)?;
+        Some(RidgeRegression {
+            scaler,
+            weights,
+            bias: y_mean,
+        })
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from training.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "feature count mismatch");
+        let scaled = self.scaler.apply(row);
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(&scaled)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+    }
+
+    /// Learned weights in standardized space (for interpretability).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Coefficient of determination on a dataset.
+    pub fn r2(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let mean = ys.iter().sum::<f64>() / ys.len().max(1) as f64;
+        let ss_tot: f64 = ys.iter().map(|&y| (y - mean).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, &y)| (y - self.predict(x)).powi(2))
+            .sum();
+        if ss_tot <= 1e-300 {
+            return 0.0;
+        }
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// L2-regularised logistic regression trained by batch gradient descent.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    scaler: ColumnScaler,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Fits on rows `xs` with boolean labels `ys`.
+    ///
+    /// `epochs` full-batch gradient steps with learning rate `lr` and L2
+    /// penalty `lambda`. Returns `None` for empty input.
+    ///
+    /// # Panics
+    /// Panics on mismatched lengths or ragged rows.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], lr: f64, lambda: f64, epochs: usize) -> Option<Self> {
+        assert_eq!(xs.len(), ys.len(), "feature/label count mismatch");
+        if xs.is_empty() || xs[0].is_empty() {
+            return None;
+        }
+        let d = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == d), "ragged feature rows");
+        let scaler = ColumnScaler::fit(xs);
+        let scaled: Vec<Vec<f64>> = xs.iter().map(|r| scaler.apply(r)).collect();
+        let n = xs.len() as f64;
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        for _ in 0..epochs {
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (row, &y) in scaled.iter().zip(ys) {
+                let z: f64 = b + w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let p = sigmoid(z);
+                let err = p - if y { 1.0 } else { 0.0 };
+                for (g, &x) in gw.iter_mut().zip(row) {
+                    *g += err * x / n;
+                }
+                gb += err / n;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= lr * (g + lambda * *wi);
+            }
+            b -= lr * gb;
+        }
+        Some(LogisticRegression {
+            scaler,
+            weights: w,
+            bias: b,
+        })
+    }
+
+    /// Probability that the label is true.
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from training.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "feature count mismatch");
+        let scaled = self.scaler.apply(row);
+        sigmoid(
+            self.bias
+                + self
+                    .weights
+                    .iter()
+                    .zip(&scaled)
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>(),
+        )
+    }
+
+    /// Hard decision at threshold 0.5.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn ridge_recovers_linear_relationship() {
+        let mut rnd = lcg(1);
+        let xs: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rnd() * 10.0, rnd() * 5.0, rnd()])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5 + (rnd() - 0.5) * 0.1)
+            .collect();
+        let m = RidgeRegression::fit(&xs, &ys, 1e-6).unwrap();
+        let r2 = m.r2(&xs, &ys);
+        assert!(r2 > 0.999, "r² {r2}");
+        let pred = m.predict(&[2.0, 1.0, 0.5]);
+        assert!((pred - (6.0 - 2.0 + 0.5)).abs() < 0.1, "{pred}");
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_lambda() {
+        let mut rnd = lcg(2);
+        let xs: Vec<Vec<f64>> = (0..200).map(|_| vec![rnd()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 10.0 * r[0]).collect();
+        let loose = RidgeRegression::fit(&xs, &ys, 1e-9).unwrap();
+        let tight = RidgeRegression::fit(&xs, &ys, 1e6).unwrap();
+        assert!(tight.weights()[0].abs() < loose.weights()[0].abs() * 0.01);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        // Duplicate feature columns: plain OLS is singular, ridge is not.
+        let mut rnd = lcg(3);
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|_| {
+                let v = rnd();
+                vec![v, v]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 4.0 * r[0]).collect();
+        let m = RidgeRegression::fit(&xs, &ys, 0.1).unwrap();
+        assert!(m.r2(&xs, &ys) > 0.99);
+    }
+
+    #[test]
+    fn ridge_empty_input_is_none() {
+        assert!(RidgeRegression::fit(&[], &[], 1.0).is_none());
+    }
+
+    #[test]
+    fn logistic_separates_classes() {
+        let mut rnd = lcg(4);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..300 {
+            // Class true clusters at (2, 2); false at (-2, -2).
+            let y = rnd() > 0.5;
+            let c = if y { 2.0 } else { -2.0 };
+            xs.push(vec![c + rnd() - 0.5, c + rnd() - 0.5]);
+            ys.push(y);
+        }
+        let m = LogisticRegression::fit(&xs, &ys, 0.5, 1e-4, 500).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| m.predict(x) == y)
+            .count();
+        assert!(correct as f64 / xs.len() as f64 > 0.98);
+        assert!(m.predict_proba(&[3.0, 3.0]) > 0.9);
+        assert!(m.predict_proba(&[-3.0, -3.0]) < 0.1);
+    }
+
+    #[test]
+    fn logistic_probabilities_are_calibrated_ordering() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![false, false, true, true];
+        let m = LogisticRegression::fit(&xs, &ys, 0.5, 0.0, 2_000).unwrap();
+        let p: Vec<f64> = xs.iter().map(|x| m.predict_proba(x)).collect();
+        assert!(p[0] < p[1] && p[1] < p[2] && p[2] < p[3]);
+    }
+}

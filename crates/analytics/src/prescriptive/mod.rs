@@ -1,0 +1,13 @@
+//! Prescriptive analytics — *"what should we do?"*.
+//!
+//! Models that convert system state (and, in proactive mode, predictions)
+//! into knob settings: controllers, setpoint optimizers, DVFS governors,
+//! cooling-mode economics, application auto-tuning and an operator
+//! recommendation engine.
+
+pub mod autotune;
+pub mod cooling_mode;
+pub mod dvfs;
+pub mod pid;
+pub mod recommend;
+pub mod setpoint;

@@ -1,0 +1,149 @@
+//! A discrete PID controller with output clamping and anti-windup.
+//!
+//! The bread-and-butter prescriptive primitive: fan-speed control towards a
+//! temperature target, pump control towards a flow target. Integral
+//! clamping (conditional integration) prevents windup when the output
+//! saturates — the classic failure mode of naive PID in thermal loops.
+
+/// PID controller state.
+#[derive(Debug, Clone)]
+pub struct Pid {
+    kp: f64,
+    ki: f64,
+    kd: f64,
+    /// Output limits.
+    out_min: f64,
+    out_max: f64,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a controller with gains `(kp, ki, kd)` and output clamp
+    /// `[out_min, out_max]`.
+    ///
+    /// # Panics
+    /// Panics if `out_min >= out_max`.
+    pub fn new(kp: f64, ki: f64, kd: f64, out_min: f64, out_max: f64) -> Self {
+        assert!(out_min < out_max, "output range must be non-empty");
+        Pid {
+            kp,
+            ki,
+            kd,
+            out_min,
+            out_max,
+            integral: 0.0,
+            last_error: None,
+        }
+    }
+
+    /// Advances the controller: `setpoint` vs `measured` over `dt` seconds.
+    /// Returns the clamped control output.
+    ///
+    /// # Panics
+    /// Panics if `dt <= 0`.
+    pub fn update(&mut self, setpoint: f64, measured: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0, "dt must be positive");
+        let error = setpoint - measured;
+        let derivative = match self.last_error {
+            Some(prev) => (error - prev) / dt,
+            None => 0.0,
+        };
+        self.last_error = Some(error);
+        // Tentative integral; kept only if the output is unsaturated or the
+        // error drives it back towards the range (conditional integration).
+        let tentative_integral = self.integral + error * dt;
+        let unclamped =
+            self.kp * error + self.ki * tentative_integral + self.kd * derivative;
+        let output = unclamped.clamp(self.out_min, self.out_max);
+        let saturated_high = unclamped > self.out_max && error > 0.0;
+        let saturated_low = unclamped < self.out_min && error < 0.0;
+        if !(saturated_high || saturated_low) {
+            self.integral = tentative_integral;
+        }
+        output
+    }
+
+    /// Resets integral and derivative memory.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First-order plant: value moves towards `gain · input` with time
+    /// constant `tau`.
+    struct Plant {
+        value: f64,
+        gain: f64,
+        tau: f64,
+    }
+
+    impl Plant {
+        fn step(&mut self, input: f64, dt: f64) {
+            let target = self.gain * input;
+            self.value += (target - self.value) * (dt / self.tau).min(1.0);
+        }
+    }
+
+    #[test]
+    fn converges_to_setpoint_on_first_order_plant() {
+        let mut pid = Pid::new(0.8, 0.5, 0.05, 0.0, 10.0);
+        let mut plant = Plant {
+            value: 0.0,
+            gain: 5.0,
+            tau: 3.0,
+        };
+        for _ in 0..500 {
+            let u = pid.update(20.0, plant.value, 0.1);
+            plant.step(u, 0.1);
+        }
+        assert!((plant.value - 20.0).abs() < 0.2, "settled at {}", plant.value);
+    }
+
+    #[test]
+    fn output_respects_clamp() {
+        let mut pid = Pid::new(100.0, 0.0, 0.0, -1.0, 1.0);
+        assert_eq!(pid.update(1_000.0, 0.0, 1.0), 1.0);
+        assert_eq!(pid.update(-1_000.0, 0.0, 1.0), -1.0);
+    }
+
+    #[test]
+    fn anti_windup_prevents_overshoot_hangover() {
+        // Demand far above what the clamp allows for a while, then drop the
+        // setpoint: a wound-up integral would keep the output pinned high.
+        let mut pid = Pid::new(0.1, 1.0, 0.0, 0.0, 1.0);
+        for _ in 0..100 {
+            pid.update(1_000.0, 0.0, 1.0); // saturates high, integral frozen
+        }
+        // Now ask for zero with measured zero: output should fall promptly.
+        let mut out = 1.0;
+        for _ in 0..5 {
+            out = pid.update(0.0, 0.0, 1.0);
+        }
+        assert!(out < 0.6, "integral windup leaked: {out}");
+    }
+
+    #[test]
+    fn derivative_damps_error_changes() {
+        let mut p = Pid::new(1.0, 0.0, 2.0, -100.0, 100.0);
+        p.update(10.0, 0.0, 1.0); // error 10
+        let out = p.update(10.0, 8.0, 1.0); // error 2, derivative −8
+        // P alone would give 2; derivative pulls it strongly negative.
+        assert!(out < 2.0 - 10.0, "{out}");
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let mut p = Pid::new(1.0, 1.0, 1.0, -10.0, 10.0);
+        p.update(5.0, 0.0, 1.0);
+        p.reset();
+        // After reset, derivative term is zero again.
+        let out = p.update(1.0, 0.0, 1.0);
+        assert!((out - (1.0 + 1.0)).abs() < 1e-9); // P + I(1·1), no D
+    }
+}

@@ -1,0 +1,259 @@
+//! Minimal dense linear algebra: just enough to solve the small normal-
+//! equation systems that ridge regression and AR fitting produce.
+//!
+//! Systems here are tiny (tens of unknowns), so Gaussian elimination with
+//! partial pivoting is the right tool — no external linear-algebra crate is
+//! justified for this.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows × cols`.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from nested rows.
+    ///
+    /// # Panics
+    /// Panics on ragged input or an empty matrix.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty() && !rows[0].is_empty(), "empty matrix");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "shape mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// Adds `lambda` to every diagonal entry (ridge regularisation).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += lambda;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solves the square system `A·x = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` for singular (or numerically singular) systems.
+///
+/// # Panics
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "system matrix must be square");
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let n = a.rows();
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| m[(i, col)].abs().partial_cmp(&m[(j, col)].abs()).unwrap())?;
+        if m[(pivot_row, col)].abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot_row, j)];
+                m[(pivot_row, j)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = m[(row, col)] / m[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                m[(row, j)] -= f * m[(col, j)];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        for j in i + 1..n {
+            s -= m[(i, j)] * x[j];
+        }
+        x[i] = s / m[(i, i)];
+        if !x[i].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_system_is_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let x = solve(&Matrix::identity(3), &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let at = a.transpose();
+        assert_eq!(at[(0, 1)], 3.0);
+        let p = a.matmul(&at);
+        assert_eq!(p[(0, 0)], 5.0);
+        assert_eq!(p[(0, 1)], 11.0);
+        assert_eq!(p[(1, 1)], 25.0);
+    }
+
+    #[test]
+    fn matvec_and_ridge_diagonal() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        assert_eq!(a.matvec(&[3.0, 4.0]), vec![3.0, 8.0]);
+        a.add_diagonal(0.5);
+        assert_eq!(a[(0, 0)], 1.5);
+        assert_eq!(a[(1, 1)], 2.5);
+    }
+
+    #[test]
+    fn larger_random_system_round_trips() {
+        // Build a well-conditioned system A = M^T M + I and check A x = b.
+        let n = 8;
+        let mut m = Matrix::zeros(n, n);
+        let mut seed = 42u64;
+        for i in 0..n {
+            for j in 0..n {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                m[(i, j)] = ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            }
+        }
+        let mut a = m.transpose().matmul(&m);
+        a.add_diagonal(1.0);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let b = a.matvec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-9);
+        }
+    }
+}

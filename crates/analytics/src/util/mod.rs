@@ -1,0 +1,3 @@
+//! Shared numeric utilities.
+
+pub mod linalg;

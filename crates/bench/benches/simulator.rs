@@ -1,0 +1,77 @@
+//! B5/B6 — simulator and end-to-end framework benchmarks: simulation
+//! throughput at three site sizes, and the cost of one full 16-cell ODA
+//! evaluation pass over archived telemetry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oda_core::capability::CapabilityContext;
+use oda_core::cells;
+use oda_sim::prelude::*;
+use oda_telemetry::query::TimeRange;
+use oda_telemetry::reading::Timestamp;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("tiny_8n", DataCenterConfig::tiny()),
+        ("small_32n", DataCenterConfig::small()),
+        ("medium_128n", DataCenterConfig::medium()),
+    ] {
+        g.throughput(Throughput::Elements(3_600));
+        g.bench_with_input(BenchmarkId::new("ticks_1h", label), &cfg, |b, cfg| {
+            b.iter_with_setup(
+                || DataCenter::new(cfg.clone(), 1),
+                |mut dc| {
+                    dc.run_for_hours(1.0);
+                    black_box(dc.snapshot().it_power_kw)
+                },
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_framework_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framework");
+    g.sample_size(10);
+    // One pre-built 2-hour small-site trace; measure a full ODA pass.
+    let mut dc = DataCenter::new(DataCenterConfig::small(), 3);
+    dc.run_for_hours(2.0);
+    let store = Arc::clone(dc.store());
+    let registry = dc.registry().clone();
+    let now = dc.now();
+    g.bench_function("sixteen_cells_full_pass", |b| {
+        b.iter(|| {
+            let ctx = CapabilityContext::new(
+                Arc::clone(&store),
+                registry.clone(),
+                TimeRange::new(Timestamp::ZERO, now + 1),
+                now,
+            );
+            let mut total = 0usize;
+            for mut cap in cells::all_sixteen() {
+                total += cap.execute(&ctx).len();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("node_anomaly_detector_pass", |b| {
+        b.iter(|| {
+            let ctx = CapabilityContext::new(
+                Arc::clone(&store),
+                registry.clone(),
+                TimeRange::new(Timestamp::ZERO, now + 1),
+                now,
+            );
+            let mut cap = cells::diagnostic::NodeAnomalyDetector::new();
+            use oda_core::capability::Capability;
+            black_box(cap.execute(&ctx).len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput, bench_framework_pass);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E9 — prints the correlation-wise-smoothing vs raw-features ablation
+//! table across training-set sizes.
+
+use oda_bench::e9_cs_ablation::run_ablation;
+
+fn main() {
+    println!("E9 — CS descriptors vs raw sensor vectors (node-state classification)\n");
+    println!("64 sensors (24 informative in 3 correlated families, 40 noise channels);");
+    println!("nearest-centroid classifier; accuracy over 8 seeds × 120 held-out states\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>16}",
+        "labels per class", "CS accuracy", "raw accuracy", "feature lengths"
+    );
+    println!("{}", "-".repeat(62));
+    for train in [2usize, 3, 4, 6, 10, 16] {
+        let mut cs_t = 0.0;
+        let mut raw_t = 0.0;
+        let mut lens = (0, 0);
+        let seeds = 8u64;
+        for seed in 1..=seeds {
+            let (cs, raw) = run_ablation(train, 40, seed);
+            cs_t += cs.accuracy;
+            raw_t += raw.accuracy;
+            lens = (cs.feature_len, raw.feature_len);
+        }
+        println!(
+            "{:<18} {:>12.3} {:>12.3} {:>10} vs {:>3}",
+            train,
+            cs_t / seeds as f64,
+            raw_t / seeds as f64,
+            lens.0,
+            lens.1
+        );
+    }
+    println!("\nReading: with scarce labels the 15-value CS descriptor matches the");
+    println!("64-value raw vector (the CS paper's lightweight-extraction claim);");
+    println!("with ample labels, raw overtakes — compression discards information.");
+}

@@ -1,0 +1,28 @@
+//! Regenerates the paper's Fig. 2: the four types of data analytics as a
+//! value/difficulty staircase from hindsight to foresight.
+
+use oda_core::analytics_type::AnalyticsType;
+
+fn main() {
+    println!("FIGURE 2 — the four types of data analytics\n");
+    // The staircase: each type one step higher in value and difficulty.
+    let steps = AnalyticsType::ALL;
+    for (i, t) in steps.iter().enumerate().rev() {
+        let indent = "        ".repeat(i);
+        println!("{indent}┌────────────────────────┐");
+        println!("{indent}│ {:<22} │", t.name());
+        println!("{indent}│ {:<22} │", t.question());
+        println!(
+            "{indent}│ {:<22} │",
+            if t.is_foresight() { "(foresight)" } else { "(hindsight)" }
+        );
+        println!("{indent}└────────────────────────┘");
+    }
+    println!("\n   value and difficulty increase → ; no type is 'better' — they answer");
+    println!("   different operational questions and are usually implemented in stages.");
+    println!("\nStage semantics in this reproduction (executable):");
+    println!("  - `StagedPipeline` runs capabilities in exactly this order;");
+    println!("  - each stage receives every earlier stage's artifacts;");
+    println!("  - a prescriptive stage that finds Forecast artifacts upstream becomes");
+    println!("    *proactive* (experiment E5), otherwise it acts *reactively*.");
+}

@@ -1,0 +1,37 @@
+//! E6 — §V-B: single-pillar vs multi-pillar ODA on identical workloads.
+
+use oda_bench::control::{metrics_header, metrics_row, write_json_report};
+use oda_bench::e6_multipillar::{run_experiment, Config};
+
+fn main() {
+    let hours = 16.0;
+    let seeds = [11u64, 12, 13];
+    println!("E6 — single-pillar vs multi-pillar ODA (§V-B), {hours} h per run\n");
+    println!("{}", metrics_header());
+    println!("{}", "-".repeat(100));
+    let mut totals: Vec<(Config, f64)> = Config::ALL.iter().map(|&c| (c, 0.0)).collect();
+    let mut report = Vec::new();
+    for seed in seeds {
+        for (config, m) in run_experiment(hours, seed) {
+            println!("{}", metrics_row(&format!("{} (s{seed})", config.label()), &m));
+            totals.iter_mut().find(|(c, _)| *c == config).unwrap().1 += m.utility_energy_kwh;
+            report.push((config.label(), seed, m));
+        }
+        println!();
+    }
+    if let Some(path) = write_json_report("e6_multipillar", &report) {
+        println!("(report written to {})\n", path.display());
+    }
+    let base = totals[0].1;
+    println!("Aggregate utility energy over {} seeds:", seeds.len());
+    for (config, e) in &totals {
+        println!(
+            "  {:<16} {:>10.2} kWh  ({:+.2}% vs siloed)",
+            config.label(),
+            e,
+            (e / base - 1.0) * 100.0
+        );
+    }
+    println!("\nExpected shape (paper §V-B): crossing the infrastructure pillar's");
+    println!("boundary (cooling-aware placement) adds savings a siloed system cannot reach.");
+}

@@ -1,0 +1,175 @@
+//! E7 — §V-C: the LLNL power-fluctuation forecasting case.
+//!
+//! LLNL must notify its utility whenever site power moves by more than
+//! 750 kW within a 15-minute window; Fourier analysis of historical power
+//! data revealed periodic spike patterns that make those events
+//! forecastable (Abdulla et al., 2018).
+//!
+//! The reproduction builds a site power trace with the same structure —
+//! diurnal base load from the simulated site plus periodic operational
+//! spikes (scheduled maintenance/backup loads) — fits the spectral
+//! forecaster on the first part, extrapolates over the rest, and scores
+//! predicted notification events against the events in the actual trace.
+//! Thresholds are scaled to the simulated site: the paper's 750 kW on a
+//! ~45 MW site is ~1.7% of load; we use a swing threshold at a comparable
+//! fraction of the simulated site's mean power.
+
+use oda_analytics::predictive::fft::predicted_swings;
+use oda_analytics::predictive::harmonic::HarmonicModel;
+use oda_sim::prelude::*;
+
+/// Result of the forecasting experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlnlResult {
+    /// 15-minute mean power samples of the whole trace, kW.
+    pub trace_kw: Vec<f64>,
+    /// Index where the evaluation (forecast) region starts.
+    pub split: usize,
+    /// Swing threshold used, kW.
+    pub threshold_kw: f64,
+    /// Actual notification events in the evaluation region (bucket
+    /// offsets).
+    pub actual_events: Vec<usize>,
+    /// Predicted events (bucket offsets into the evaluation region).
+    pub predicted_events: Vec<usize>,
+    /// Fraction of actual events with a prediction within ±2 buckets.
+    pub recall: f64,
+    /// Fraction of predictions matching an actual event within ±2 buckets.
+    pub precision: f64,
+}
+
+/// Builds a site power trace: `days` of 15-minute samples from a simulated
+/// site plus deterministic periodic spike loads.
+pub fn build_trace(days: f64, seed: u64) -> Vec<f64> {
+    let mut dc = DataCenter::new(DataCenterConfig::small(), seed);
+    let bucket_s = 900u64;
+    let buckets = (days * 24.0 * 3_600.0 / bucket_s as f64) as usize;
+    let mut raw = Vec::with_capacity(buckets);
+    let ticks_per_bucket = bucket_s * 1_000 / dc.config().tick_ms;
+    for _ in 0..buckets {
+        let mut acc = 0.0;
+        for _ in 0..ticks_per_bucket {
+            dc.step();
+            acc += dc.snapshot().total_power_kw;
+        }
+        raw.push(acc / ticks_per_bucket as f64);
+    }
+    // The simulated site is tiny (32 nodes), so individual job starts swing
+    // its power by tens of percent — noise a 45 MW site like LLNL's never
+    // sees at that relative scale. Model the large-site aggregate with a
+    // centred moving average (the diurnal shape survives; single-job
+    // transients vanish), then superimpose the deterministic periodic
+    // operational loads whose patterns the LLNL analysis discovered:
+    // a nightly backup window (02:00–02:45) and a 6-hourly scrub pulse.
+    let half = 4usize;
+    (0..buckets)
+        .map(|b| {
+            let lo = b.saturating_sub(half);
+            let hi = (b + half + 1).min(buckets);
+            let base = raw[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            let hour_of_day = (b as f64 * 0.25) % 24.0;
+            let mut spike = 0.0;
+            if (2.0..2.75).contains(&hour_of_day) {
+                spike += base * 0.5;
+            }
+            if (b % 24) < 2 {
+                spike += base * 0.2;
+            }
+            base + spike
+        })
+        .collect()
+}
+
+/// Actual notification events: buckets where power moves by more than
+/// `threshold` within `window` buckets.
+pub fn actual_swings(trace: &[f64], threshold: f64, window: usize) -> Vec<usize> {
+    predicted_swings(trace, threshold, window)
+}
+
+/// Runs the experiment: fit on `1 - eval_fraction` of the trace, forecast
+/// and score on the rest.
+pub fn run_experiment(days: f64, seed: u64) -> LlnlResult {
+    let trace = build_trace(days, seed);
+    let split = (trace.len() as f64 * 0.7) as usize;
+    let (history, future) = trace.split_at(split);
+    // Threshold: 12% of mean power within two 15-min buckets — the scaled
+    // analogue of LLNL's 750 kW / 15 min rule (~1.7% of a 45 MW site; our
+    // spikes are proportionally larger, so the threshold sits between the
+    // diurnal drift and the spike amplitudes).
+    let mean_kw = trace.iter().sum::<f64>() / trace.len() as f64;
+    let threshold_kw = mean_kw * 0.12;
+    let swing_window = 2;
+
+    // Fourier fit at the known daily fundamental (96 × 15-min samples):
+    // enough harmonics to resolve the 45-minute backup pulse. A pure
+    // power-of-two FFT window cannot hold an integer number of days, so
+    // harmonic least squares is the correct Fourier tool here.
+    let forecaster = HarmonicModel::fit(history, 96.0, 40).expect("enough history");
+    let forecast = forecaster.forecast(future.len());
+    let predicted = predicted_swings(&forecast, threshold_kw, swing_window);
+    let actual = actual_swings(future, threshold_kw, swing_window);
+
+    let tolerance = 2usize;
+    let matched_actual = actual
+        .iter()
+        .filter(|&&a| predicted.iter().any(|&p| p.abs_diff(a) <= tolerance))
+        .count();
+    let matched_pred = predicted
+        .iter()
+        .filter(|&&p| actual.iter().any(|&a| p.abs_diff(a) <= tolerance))
+        .count();
+    LlnlResult {
+        recall: if actual.is_empty() {
+            1.0
+        } else {
+            matched_actual as f64 / actual.len() as f64
+        },
+        precision: if predicted.is_empty() {
+            0.0
+        } else {
+            matched_pred as f64 / predicted.len() as f64
+        },
+        trace_kw: trace,
+        split,
+        threshold_kw,
+        actual_events: actual,
+        predicted_events: predicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_periodic_spikes() {
+        let trace = build_trace(3.0, 5);
+        assert_eq!(trace.len(), 288);
+        // The 02:00 backup bucket is visibly above its neighbours.
+        let backup = trace[8]; // 02:00 on day 1
+        let before = trace[6];
+        assert!(backup > before * 1.2, "backup {backup} vs {before}");
+    }
+
+    #[test]
+    fn forecaster_predicts_most_notification_events() {
+        let r = run_experiment(8.0, 6);
+        assert!(
+            !r.actual_events.is_empty(),
+            "the trace must contain notification events"
+        );
+        assert!(
+            r.recall >= 0.6,
+            "recall {:.2} with {} actual / {} predicted events",
+            r.recall,
+            r.actual_events.len(),
+            r.predicted_events.len()
+        );
+        assert!(
+            r.precision >= 0.5,
+            "precision {:.2} ({} predictions)",
+            r.precision,
+            r.predicted_events.len()
+        );
+    }
+}

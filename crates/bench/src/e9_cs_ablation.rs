@@ -1,0 +1,267 @@
+//! E9 — ablation: correlation-wise-smoothing descriptors vs raw sensor
+//! vectors for node-state classification (the design choice behind the
+//! CS paper the survey cites, Netti et al. IPDPS'21).
+//!
+//! Setup: node states are high-dimensional sensor snapshots. A classifier
+//! must label them (healthy / fan-failure / memory-leak) from few labelled
+//! examples — the regime HPC sites live in, where labelled anomalies are
+//! scarce. CS compresses the snapshot into a short multi-resolution
+//! descriptor over correlation-ordered sensors; the ablation measures
+//! held-out accuracy and descriptor size for CS vs the raw vector, using
+//! the same nearest-centroid classifier.
+//!
+//! The synthetic node model: 64 sensors — three correlated informative
+//! families (power-like, thermal-like, memory-like) and 40 independent
+//! high-variance noise channels, the composition of real node telemetry.
+//! Faults shift one family.
+//!
+//! **Finding** (asserted by the tests, reported in EXPERIMENTS.md): with
+//! very few labelled examples per class, the 15-value CS descriptor
+//! matches the 64-value raw vector's accuracy — a >4× compression at
+//! parity, which is the CS paper's lightweight-extraction pitch. With
+//! ample labels the raw vector pulls ahead (compression discards some
+//! class information), so CS is the right choice exactly where HPC sites
+//! sit: scarce labels, high sensor counts, tight compute budgets.
+
+use oda_analytics::diagnostic::smoothing::CorrelationSmoothing;
+
+/// Node-state classes in the ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeState {
+    /// Nominal operation.
+    Healthy,
+    /// Thermal family elevated (fan failure signature).
+    FanFailure,
+    /// Memory family elevated (leak signature).
+    MemoryLeak,
+}
+
+/// Result of one ablation arm.
+#[derive(Debug, Clone, Copy)]
+pub struct ArmResult {
+    /// Held-out classification accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Feature-vector length the classifier consumed.
+    pub feature_len: usize,
+}
+
+/// Deterministic pseudo-noise in `[-1, 1)`.
+fn noise(seed: u64, i: u64) -> f64 {
+    let mut s = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(i.wrapping_mul(1442695040888963407) | 1);
+    s ^= s >> 33;
+    s = s.wrapping_mul(0xff51afd7ed558ccd);
+    s ^= s >> 33;
+    (s >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+const SENSORS: usize = 64;
+
+/// Generates a snapshot of the synthetic node.
+fn snapshot(state: NodeState, seed: u64, t: u64) -> Vec<f64> {
+    // Shared family drivers with per-sensor gains.
+    let power_driver = 0.6 + 0.4 * ((t as f64) * 0.37).sin();
+    let thermal_driver = 50.0 + 8.0 * ((t as f64) * 0.11).cos();
+    let memory_driver = 60.0 + 20.0 * ((t as f64) * 0.23).sin();
+    let (thermal_shift, memory_shift) = match state {
+        NodeState::Healthy => (0.0, 0.0),
+        NodeState::FanFailure => (14.0, 0.0),
+        NodeState::MemoryLeak => (0.0, 55.0),
+    };
+    (0..SENSORS)
+        .map(|i| {
+            let jitter = noise(seed, (t * SENSORS as u64 + i as u64) | 1);
+            match i {
+                // 10 power sensors.
+                0..=9 => 100.0 + 200.0 * power_driver * (1.0 + 0.05 * i as f64) + 4.0 * jitter,
+                // 8 thermal sensors — carry the fan-failure signature.
+                10..=17 => {
+                    (thermal_driver + thermal_shift) * (1.0 + 0.03 * (i - 10) as f64)
+                        + 1.5 * jitter
+                }
+                // 6 memory sensors — carry the leak signature.
+                18..=23 => {
+                    (memory_driver + memory_shift) * (1.0 + 0.04 * (i - 18) as f64) + 2.0 * jitter
+                }
+                // 40 independent noisy channels (interrupt counts, context
+                // switches, per-core residency states, ...): large variance,
+                // no class information. Production node telemetry is mostly
+                // this — the regime CS was designed for.
+                _ => 500.0 * (1.0 + jitter),
+            }
+        })
+        .collect()
+}
+
+/// Nearest-centroid classifier over arbitrary-length standardized vectors
+/// (the fingerprint module's classifier is fixed at 4 features, so the
+/// ablation carries its own minimal version).
+struct Centroids {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    classes: Vec<(NodeState, Vec<f64>)>,
+}
+
+impl Centroids {
+    fn fit(examples: &[(NodeState, Vec<f64>)]) -> Self {
+        let d = examples[0].1.len();
+        let n = examples.len() as f64;
+        let mut mean = vec![0.0; d];
+        for (_, x) in examples {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; d];
+        for (_, x) in examples {
+            for (s, (v, m)) in std.iter_mut().zip(x.iter().zip(&mean)) {
+                *s += (v - m).powi(2) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-9);
+        }
+        let scale = |x: &[f64]| -> Vec<f64> {
+            x.iter()
+                .zip(mean.iter().zip(&std))
+                .map(|(v, (m, s))| (v - m) / s)
+                .collect()
+        };
+        let mut sums: Vec<(NodeState, Vec<f64>, usize)> = Vec::new();
+        for (label, x) in examples {
+            let sx = scale(x);
+            match sums.iter_mut().find(|(l, _, _)| l == label) {
+                Some((_, acc, c)) => {
+                    for (a, v) in acc.iter_mut().zip(&sx) {
+                        *a += v;
+                    }
+                    *c += 1;
+                }
+                None => sums.push((*label, sx, 1)),
+            }
+        }
+        Centroids {
+            classes: sums
+                .into_iter()
+                .map(|(l, acc, c)| (l, acc.iter().map(|a| a / c as f64).collect()))
+                .collect(),
+            mean,
+            std,
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> NodeState {
+        let sx: Vec<f64> = x
+            .iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect();
+        self.classes
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                let da: f64 = a.iter().zip(&sx).map(|(p, q)| (p - q).powi(2)).sum();
+                let db: f64 = b.iter().zip(&sx).map(|(p, q)| (p - q).powi(2)).sum();
+                da.partial_cmp(&db).unwrap()
+            })
+            .map(|(l, _)| *l)
+            .unwrap()
+    }
+}
+
+/// Runs the ablation: `train_per_class` labelled examples per class,
+/// evaluated on `test_per_class` held-out snapshots. Returns
+/// `(cs_result, raw_result)`.
+pub fn run_ablation(train_per_class: usize, test_per_class: usize, seed: u64) -> (ArmResult, ArmResult) {
+    let states = [NodeState::Healthy, NodeState::FanFailure, NodeState::MemoryLeak];
+    // Unlabelled history for learning the CS ordering (healthy operation —
+    // ordering needs no labels, one of CS's selling points).
+    let history: Vec<Vec<f64>> = (0..256u64)
+        .map(|t| snapshot(NodeState::Healthy, seed, t))
+        .collect();
+    // Transpose to per-sensor series for fitting.
+    let series: Vec<Vec<f64>> = (0..SENSORS)
+        .map(|s| history.iter().map(|row| row[s]).collect())
+        .collect();
+    let cs = CorrelationSmoothing::fit(&series, 4);
+
+    let make_set = |offset: u64, per_class: usize| -> Vec<(NodeState, Vec<f64>)> {
+        let mut set = Vec::new();
+        for (ci, &state) in states.iter().enumerate() {
+            for k in 0..per_class {
+                let t = offset + (ci * per_class + k) as u64 * 7 + 1_000;
+                set.push((state, snapshot(state, seed ^ 0xABCD, t)));
+            }
+        }
+        set
+    };
+    let train = make_set(0, train_per_class);
+    let test = make_set(90_000, test_per_class);
+
+    let eval = |project: &dyn Fn(&[f64]) -> Vec<f64>| -> ArmResult {
+        let train_p: Vec<(NodeState, Vec<f64>)> =
+            train.iter().map(|(l, x)| (*l, project(x))).collect();
+        let model = Centroids::fit(&train_p);
+        let correct = test
+            .iter()
+            .filter(|(l, x)| model.predict(&project(x)) == *l)
+            .count();
+        ArmResult {
+            accuracy: correct as f64 / test.len() as f64,
+            feature_len: train_p[0].1.len(),
+        }
+    };
+    let cs_result = eval(&|x: &[f64]| cs.descriptor(x));
+    let raw_result = eval(&|x: &[f64]| x.to_vec());
+    (cs_result, raw_result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cs_descriptor_is_much_smaller() {
+        let (cs, raw) = run_ablation(6, 40, 1);
+        assert_eq!(raw.feature_len, SENSORS);
+        assert!(cs.feature_len < SENSORS / 2, "cs {} features", cs.feature_len);
+    }
+
+    #[test]
+    fn cs_matches_raw_at_a_quarter_of_the_features_when_labels_are_scarce() {
+        // Three labelled examples per class — the realistic regime.
+        let mut cs_total = 0.0;
+        let mut raw_total = 0.0;
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        for &seed in &seeds {
+            let (cs, raw) = run_ablation(3, 40, seed);
+            cs_total += cs.accuracy;
+            raw_total += raw.accuracy;
+            assert!(cs.feature_len * 4 < raw.feature_len, "compression");
+        }
+        let n = seeds.len() as f64;
+        let (cs_mean, raw_mean) = (cs_total / n, raw_total / n);
+        assert!(cs_mean > 0.7, "cs accuracy {cs_mean}");
+        assert!(
+            cs_mean >= raw_mean - 0.02,
+            "cs {cs_mean} must match raw {raw_mean} at >4x compression"
+        );
+    }
+
+    #[test]
+    fn raw_overtakes_with_ample_labels() {
+        // The compression trade-off is real: CS discards some class
+        // information, so with many labels the raw vector wins.
+        let mut cs_total = 0.0;
+        let mut raw_total = 0.0;
+        for seed in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+            let (cs, raw) = run_ablation(10, 40, seed);
+            cs_total += cs.accuracy;
+            raw_total += raw.accuracy;
+        }
+        assert!(
+            raw_total > cs_total,
+            "raw ({raw_total}) should lead cs ({cs_total}) when labels abound"
+        );
+    }
+}

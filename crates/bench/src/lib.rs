@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # oda-bench — experiment harnesses and benchmarks
+//!
+//! This crate regenerates every table and figure of the paper plus the
+//! quantitative demonstration experiments defined in `DESIGN.md`:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table I (survey classification) + corpus statistics |
+//! | `figure3` | Fig. 3 (complex ODA systems on the grid) |
+//! | `cells` | E8 — all sixteen reference capabilities on one trace |
+//! | `proactive` | E5 — §V-A reactive vs proactive control |
+//! | `multipillar` | E6 — §V-B single- vs multi-pillar ODA |
+//! | `llnl` | E7 — §V-C Fourier power-fluctuation forecasting |
+//!
+//! (Fig. 1 and Fig. 2 are conceptual diagrams; `examples/framework_tour`
+//! prints them.) The `benches/` directory holds Criterion micro/meso
+//! benchmarks for the substrates and the ablations listed in `DESIGN.md`.
+//!
+//! The experiment logic lives in this library so the binaries stay thin
+//! and the integration tests can assert the experiments' *directional*
+//! claims (who wins) without parsing stdout.
+
+pub mod control;
+pub mod e5_proactive;
+pub mod e6_multipillar;
+pub mod e7_llnl;
+pub mod e8_cells;
+pub mod e9_cs_ablation;

@@ -1,0 +1,269 @@
+//! Staged pipelines: the hindsight→foresight staircase, executable.
+//!
+//! Fig. 2 of the paper orders the four analytics types by increasing value
+//! and difficulty; §V-A argues that combining types is what makes ODA
+//! powerful — a prescriptive component fed by predictive output acts
+//! *proactively* instead of *reactively*. The pipeline implements exactly
+//! that wiring: stages run in staged order, and every capability sees the
+//! artifacts produced by the stages before it (`ctx.upstream`).
+//!
+//! The same mechanism expresses §V-B's multi-pillar orchestration: a
+//! cooling-aware scheduler is simply a prescriptive System-Software
+//! capability that reads Building-Infrastructure artifacts from upstream.
+
+use crate::analytics_type::AnalyticsType;
+use crate::capability::{Artifact, Capability, CapabilityContext};
+
+/// Execution trace of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Per-stage results: `(stage, capability name, artifacts)`.
+    pub stages: Vec<(AnalyticsType, String, Vec<Artifact>)>,
+}
+
+impl PipelineRun {
+    /// All artifacts in production order.
+    pub fn artifacts(&self) -> Vec<&Artifact> {
+        self.stages.iter().flat_map(|(_, _, a)| a.iter()).collect()
+    }
+
+    /// Artifacts produced by a given stage.
+    pub fn stage_artifacts(&self, stage: AnalyticsType) -> Vec<&Artifact> {
+        self.stages
+            .iter()
+            .filter(|(s, _, _)| *s == stage)
+            .flat_map(|(_, _, a)| a.iter())
+            .collect()
+    }
+}
+
+/// A pipeline of capabilities organised by analytics type.
+///
+/// Within one stage, capabilities run in insertion order and do *not* see
+/// each other's artifacts (they are peers); across stages, later stages see
+/// everything earlier stages produced.
+#[derive(Default)]
+pub struct StagedPipeline {
+    stages: Vec<(AnalyticsType, Box<dyn Capability>)>,
+}
+
+impl StagedPipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a capability at a stage. Builder-style.
+    #[must_use]
+    pub fn with_stage(mut self, stage: AnalyticsType, capability: Box<dyn Capability>) -> Self {
+        self.add_stage(stage, capability);
+        self
+    }
+
+    /// Adds a capability at a stage.
+    pub fn add_stage(&mut self, stage: AnalyticsType, capability: Box<dyn Capability>) {
+        self.stages.push((stage, capability));
+    }
+
+    /// Number of capabilities in the pipeline.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` when the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Runs the pipeline over `ctx` (whose `upstream` is used as the
+    /// initial blackboard, normally empty).
+    pub fn run(&mut self, mut ctx: CapabilityContext) -> PipelineRun {
+        let mut run = PipelineRun { stages: Vec::new() };
+        for stage_type in AnalyticsType::ALL {
+            // Peers within a stage see the same upstream snapshot.
+            let snapshot = ctx.upstream.clone();
+            let mut produced_this_stage: Vec<Artifact> = Vec::new();
+            for (stage, capability) in self
+                .stages
+                .iter_mut()
+                .filter(|(s, _)| *s == stage_type)
+            {
+                let peer_ctx = CapabilityContext {
+                    store: std::sync::Arc::clone(&ctx.store),
+                    registry: ctx.registry.clone(),
+                    window: ctx.window,
+                    now: ctx.now,
+                    upstream: snapshot.clone(),
+                };
+                let artifacts = capability.execute(&peer_ctx);
+                produced_this_stage.extend(artifacts.iter().cloned());
+                run.stages.push((*stage, capability.name().to_owned(), artifacts));
+            }
+            ctx.upstream.extend(produced_this_stage);
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{GridCell, GridFootprint};
+    use crate::pillar::Pillar;
+    use oda_telemetry::query::TimeRange;
+    use oda_telemetry::reading::Timestamp;
+    use oda_telemetry::sensor::SensorRegistry;
+    use oda_telemetry::store::TimeSeriesStore;
+    use std::sync::Arc;
+
+    fn ctx() -> CapabilityContext {
+        CapabilityContext::new(
+            Arc::new(TimeSeriesStore::with_capacity(8)),
+            SensorRegistry::new(),
+            TimeRange::all(),
+            Timestamp::ZERO,
+        )
+    }
+
+    /// Emits a forecast.
+    struct Predictor;
+    impl Capability for Predictor {
+        fn name(&self) -> &str {
+            "predictor"
+        }
+        fn description(&self) -> &str {
+            "emits a power forecast"
+        }
+        fn footprint(&self) -> GridFootprint {
+            GridFootprint::single(GridCell::new(
+                AnalyticsType::Predictive,
+                Pillar::SystemHardware,
+            ))
+        }
+        fn execute(&mut self, _ctx: &CapabilityContext) -> Vec<Artifact> {
+            vec![Artifact::Forecast {
+                quantity: "it_power".into(),
+                horizon_s: 60.0,
+                value: 123.0,
+            }]
+        }
+    }
+
+    /// Prescribes based on upstream forecasts if present (proactive), else
+    /// reactively.
+    struct Governor {
+        saw_forecast: bool,
+    }
+    impl Capability for Governor {
+        fn name(&self) -> &str {
+            "governor"
+        }
+        fn description(&self) -> &str {
+            "acts on forecasts when available"
+        }
+        fn footprint(&self) -> GridFootprint {
+            GridFootprint::single(GridCell::new(
+                AnalyticsType::Prescriptive,
+                Pillar::SystemHardware,
+            ))
+        }
+        fn execute(&mut self, ctx: &CapabilityContext) -> Vec<Artifact> {
+            let forecasts = ctx.upstream_forecasts("it_power");
+            self.saw_forecast = !forecasts.is_empty();
+            vec![Artifact::Prescription {
+                action: "dvfs".into(),
+                setting: if self.saw_forecast { "proactive" } else { "reactive" }.into(),
+                expected_impact: String::new(),
+                automatable: true,
+            }]
+        }
+    }
+
+    #[test]
+    fn later_stages_see_earlier_artifacts() {
+        let mut p = StagedPipeline::new()
+            .with_stage(AnalyticsType::Prescriptive, Box::new(Governor { saw_forecast: false }))
+            .with_stage(AnalyticsType::Predictive, Box::new(Predictor));
+        // Insertion order deliberately reversed: the pipeline must order by
+        // stage, not insertion.
+        let run = p.run(ctx());
+        let presc = run.stage_artifacts(AnalyticsType::Prescriptive);
+        assert_eq!(presc.len(), 1);
+        match presc[0] {
+            Artifact::Prescription { setting, .. } => assert_eq!(setting, "proactive"),
+            other => panic!("unexpected artifact {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prescriptive_without_predictor_is_reactive() {
+        let mut p = StagedPipeline::new()
+            .with_stage(AnalyticsType::Prescriptive, Box::new(Governor { saw_forecast: false }));
+        let run = p.run(ctx());
+        match run.stage_artifacts(AnalyticsType::Prescriptive)[0] {
+            Artifact::Prescription { setting, .. } => assert_eq!(setting, "reactive"),
+            other => panic!("unexpected artifact {other:?}"),
+        }
+    }
+
+    /// Peers in the same stage must not see each other.
+    struct Peer {
+        name: &'static str,
+    }
+    impl Capability for Peer {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn description(&self) -> &str {
+            "peer"
+        }
+        fn footprint(&self) -> GridFootprint {
+            GridFootprint::single(GridCell::new(
+                AnalyticsType::Descriptive,
+                Pillar::Applications,
+            ))
+        }
+        fn execute(&mut self, ctx: &CapabilityContext) -> Vec<Artifact> {
+            vec![Artifact::Kpi {
+                name: format!("{}:saw_{}", self.name, ctx.upstream.len()),
+                value: 0.0,
+            }]
+        }
+    }
+
+    #[test]
+    fn peers_do_not_see_each_other() {
+        let mut p = StagedPipeline::new()
+            .with_stage(AnalyticsType::Descriptive, Box::new(Peer { name: "a" }))
+            .with_stage(AnalyticsType::Descriptive, Box::new(Peer { name: "b" }));
+        let run = p.run(ctx());
+        let kpis: Vec<String> = run
+            .artifacts()
+            .iter()
+            .filter_map(|a| match a {
+                Artifact::Kpi { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kpis, vec!["a:saw_0", "b:saw_0"]);
+    }
+
+    #[test]
+    fn run_trace_is_ordered_by_stage() {
+        let mut p = StagedPipeline::new()
+            .with_stage(AnalyticsType::Prescriptive, Box::new(Governor { saw_forecast: false }))
+            .with_stage(AnalyticsType::Predictive, Box::new(Predictor))
+            .with_stage(AnalyticsType::Descriptive, Box::new(Peer { name: "p" }));
+        let run = p.run(ctx());
+        let order: Vec<AnalyticsType> = run.stages.iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(
+            order,
+            vec![
+                AnalyticsType::Descriptive,
+                AnalyticsType::Predictive,
+                AnalyticsType::Prescriptive
+            ]
+        );
+        assert_eq!(run.artifacts().len(), 3);
+    }
+}

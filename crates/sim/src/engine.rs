@@ -1,0 +1,228 @@
+//! Simulation clock and deterministic randomness.
+//!
+//! The data center advances in fixed ticks (default 1 simulated second of
+//! model integration, with telemetry sampled on a coarser interval). A
+//! fixed-timestep loop — rather than a pure event queue — fits the plant
+//! models, which are continuous dynamics (thermal RC networks, job progress
+//! integrals) punctuated by discrete events (arrivals, completions) that are
+//! naturally quantised to a tick.
+
+use oda_telemetry::reading::Timestamp;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The simulation clock: current time plus tick bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    now: Timestamp,
+    tick_ms: u64,
+    ticks: u64,
+}
+
+impl SimClock {
+    /// Creates a clock at t=0 advancing `tick_ms` per tick.
+    ///
+    /// # Panics
+    /// Panics if `tick_ms == 0`.
+    pub fn new(tick_ms: u64) -> Self {
+        assert!(tick_ms > 0, "tick must be positive");
+        SimClock {
+            now: Timestamp::ZERO,
+            tick_ms,
+            ticks: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Tick width in milliseconds.
+    #[inline]
+    pub fn tick_ms(&self) -> u64 {
+        self.tick_ms
+    }
+
+    /// Tick width in seconds (for integrating continuous models).
+    #[inline]
+    pub fn tick_secs(&self) -> f64 {
+        self.tick_ms as f64 / 1_000.0
+    }
+
+    /// Number of ticks elapsed.
+    #[inline]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Advances one tick and returns the new time.
+    #[inline]
+    pub fn advance(&mut self) -> Timestamp {
+        self.now = self.now + self.tick_ms;
+        self.ticks += 1;
+        self.now
+    }
+}
+
+/// Deterministic PRNG wrapper used by every stochastic model in the sim.
+///
+/// Thin façade over `SmallRng` adding the distributions the models need;
+/// keeping them here means model code never touches rand traits directly.
+pub struct SimRng {
+    rng: SmallRng,
+}
+
+impl SimRng {
+    /// Seeds the generator. The same seed yields the same run.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator (used to give subsystems
+    /// their own streams so adding draws in one does not perturb another).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.rng.gen::<u64>())
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if lo >= hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Exponential with the given mean (inter-arrival sampling).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Log-normal parameterised by the mean/σ of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Picks an index according to non-negative `weights` (must not all be
+    /// zero).
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut x = self.rng.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_by_tick() {
+        let mut c = SimClock::new(250);
+        assert_eq!(c.now(), Timestamp::ZERO);
+        c.advance();
+        c.advance();
+        assert_eq!(c.now().as_millis(), 500);
+        assert_eq!(c.ticks(), 2);
+        assert!((c.tick_secs() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn normal_matches_moments_roughly() {
+        let mut rng = SimRng::new(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_is_positive_with_right_mean() {
+        let mut rng = SimRng::new(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.exponential(5.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.25, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::new(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2);
+    }
+
+    #[test]
+    fn degenerate_uniform_bounds() {
+        let mut rng = SimRng::new(6);
+        assert_eq!(rng.uniform(2.0, 2.0), 2.0);
+        assert_eq!(rng.uniform_usize(3, 3), 3);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = SimRng::new(9);
+        let mut child = parent.fork();
+        // Child draws must not equal parent draws systematically.
+        let overlaps = (0..32)
+            .filter(|_| parent.uniform(0.0, 1.0) == child.uniform(0.0, 1.0))
+            .count();
+        assert!(overlaps < 4);
+    }
+}

@@ -1,0 +1,6 @@
+//! Building-infrastructure pillar of the simulated site: weather, the
+//! cooling plant, and the power-distribution tree.
+
+pub mod cooling;
+pub mod power;
+pub mod weather;

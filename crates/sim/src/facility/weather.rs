@@ -1,0 +1,131 @@
+//! Outside-air temperature model.
+//!
+//! A deterministic diurnal + seasonal sinusoid with autocorrelated noise —
+//! enough structure for cooling economics (free cooling is viable at night
+//! and in winter) and for forecasting experiments (Holt–Winters should find
+//! the daily period).
+
+use crate::engine::SimRng;
+use oda_telemetry::reading::Timestamp;
+
+/// Parameters of the synthetic climate.
+#[derive(Debug, Clone)]
+pub struct WeatherConfig {
+    /// Annual mean outside temperature, °C.
+    pub mean_c: f64,
+    /// Half peak-to-peak amplitude of the daily cycle, °C.
+    pub diurnal_amplitude_c: f64,
+    /// Half peak-to-peak amplitude of the seasonal cycle, °C.
+    pub seasonal_amplitude_c: f64,
+    /// Standard deviation of the AR(1) noise component, °C.
+    pub noise_std_c: f64,
+    /// AR(1) coefficient of the noise (0 = white, →1 = slow drift).
+    pub noise_persistence: f64,
+}
+
+impl Default for WeatherConfig {
+    fn default() -> Self {
+        WeatherConfig {
+            mean_c: 12.0,
+            diurnal_amplitude_c: 6.0,
+            seasonal_amplitude_c: 10.0,
+            noise_std_c: 0.8,
+            noise_persistence: 0.95,
+        }
+    }
+}
+
+/// Stateful weather generator.
+pub struct Weather {
+    config: WeatherConfig,
+    noise: f64,
+    current_c: f64,
+}
+
+impl Weather {
+    /// Hours in a simulated day.
+    pub const DAY_HOURS: f64 = 24.0;
+    /// Hours in a simulated year.
+    pub const YEAR_HOURS: f64 = 24.0 * 365.0;
+
+    /// Creates the generator.
+    pub fn new(config: WeatherConfig) -> Self {
+        let current_c = config.mean_c;
+        Weather {
+            config,
+            noise: 0.0,
+            current_c,
+        }
+    }
+
+    /// The deterministic (noise-free) component at time `t`.
+    pub fn deterministic_c(&self, t: Timestamp) -> f64 {
+        let h = t.as_hours_f64();
+        let diurnal = self.config.diurnal_amplitude_c
+            * (2.0 * std::f64::consts::PI * (h - 15.0) / Self::DAY_HOURS).cos();
+        let seasonal = self.config.seasonal_amplitude_c
+            * (2.0 * std::f64::consts::PI * (h - Self::YEAR_HOURS / 2.0) / Self::YEAR_HOURS).cos();
+        self.config.mean_c + diurnal + seasonal
+    }
+
+    /// Advances the noise state and returns the temperature at `t`.
+    pub fn step(&mut self, t: Timestamp, rng: &mut SimRng) -> f64 {
+        let p = self.config.noise_persistence.clamp(0.0, 0.999);
+        // Innovation variance chosen so the stationary std is `noise_std_c`.
+        let innov = self.config.noise_std_c * (1.0 - p * p).sqrt();
+        self.noise = p * self.noise + rng.normal(0.0, innov);
+        self.current_c = self.deterministic_c(t) + self.noise;
+        self.current_c
+    }
+
+    /// Most recently generated temperature.
+    pub fn current_c(&self) -> f64 {
+        self.current_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_component_has_daily_cycle() {
+        let w = Weather::new(WeatherConfig {
+            seasonal_amplitude_c: 0.0,
+            ..WeatherConfig::default()
+        });
+        let afternoon = w.deterministic_c(Timestamp::from_hours(15));
+        let night = w.deterministic_c(Timestamp::from_hours(3));
+        assert!(afternoon > night, "{afternoon} vs {night}");
+        assert!((afternoon - (12.0 + 6.0)).abs() < 1e-9);
+        assert!((night - (12.0 - 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_bounded_in_distribution() {
+        let mut w = Weather::new(WeatherConfig::default());
+        let mut rng = SimRng::new(1);
+        let mut max_dev: f64 = 0.0;
+        for h in 0..5_000u64 {
+            let t = Timestamp::from_hours(h);
+            let v = w.step(t, &mut rng);
+            max_dev = max_dev.max((v - w.deterministic_c(t)).abs());
+        }
+        // 5σ bound for a stationary AR(1) with σ = 0.8.
+        assert!(max_dev < 5.0 * 0.8, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_series() {
+        let cfg = WeatherConfig::default();
+        let run = |seed| {
+            let mut w = Weather::new(cfg.clone());
+            let mut rng = SimRng::new(seed);
+            (0..100u64)
+                .map(|h| w.step(Timestamp::from_hours(h), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

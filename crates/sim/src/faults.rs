@@ -1,0 +1,226 @@
+//! Fault and anomaly injection — the ground truth for diagnostic ODA.
+//!
+//! Every diagnostic experiment needs labelled anomalies: the injector
+//! activates a fault at its start time, the simulation's models express its
+//! symptoms in ordinary telemetry (a fan failure shows up as rising
+//! temperature and throttling, never as a "fault bit"), and the detector
+//! under test is scored against the injection schedule. Fault kinds cover
+//! all four pillars, matching the anomaly families in the surveyed
+//! diagnostic works (Tuncer et al.'s performance variations, Borghesi
+//! et al.'s node anomalies, NREL's AI-ops infrastructure faults).
+
+use crate::hardware::node::NodeId;
+use crate::hardware::rack::RackId;
+use oda_telemetry::reading::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A node's fan fails: thermal resistance spikes, node heats and
+    /// throttles under load. (System Hardware)
+    FanFailure {
+        /// Affected node.
+        node: NodeId,
+    },
+    /// Gradual thermal degradation (dust, degraded TIM): `factor` ≥ 1
+    /// multiplies the node's thermal resistance. (System Hardware)
+    ThermalDegradation {
+        /// Affected node.
+        node: NodeId,
+        /// Thermal-resistance multiplier, ≥ 1.
+        factor: f64,
+    },
+    /// A memory leak on a node: memory use grows linearly until it saturates
+    /// the node, degrading job progress (swap thrash). (System Software)
+    MemoryLeak {
+        /// Affected node.
+        node: NodeId,
+        /// Leak rate, GiB per minute.
+        gib_per_min: f64,
+    },
+    /// An orphaned/rogue process steals CPU: the victim node loses
+    /// `severity` of its compute speed and shows inflated utilization.
+    /// (System Software)
+    CpuContention {
+        /// Affected node.
+        node: NodeId,
+        /// Fraction of compute stolen, 0..=1.
+        severity: f64,
+    },
+    /// External traffic floods a rack uplink. (System Hardware / network)
+    NetworkHog {
+        /// Rack whose uplink is flooded.
+        rack: RackId,
+        /// Injected demand, GB/s.
+        demand_gbps: f64,
+    },
+    /// Cooling-plant degradation (fouled heat exchanger, failing pump):
+    /// plant power multiplied by `factor`. (Building Infrastructure)
+    CoolingDegradation {
+        /// Plant power multiplier, ≥ 1.
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::FanFailure { .. } => "fan-failure",
+            FaultKind::ThermalDegradation { .. } => "thermal-degradation",
+            FaultKind::MemoryLeak { .. } => "memory-leak",
+            FaultKind::CpuContention { .. } => "cpu-contention",
+            FaultKind::NetworkHog { .. } => "network-hog",
+            FaultKind::CoolingDegradation { .. } => "cooling-degradation",
+        }
+    }
+
+    /// The node the fault affects, if it is node-scoped.
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            FaultKind::FanFailure { node }
+            | FaultKind::ThermalDegradation { node, .. }
+            | FaultKind::MemoryLeak { node, .. }
+            | FaultKind::CpuContention { node, .. } => Some(node),
+            _ => None,
+        }
+    }
+}
+
+/// A scheduled fault: active during `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// What happens.
+    pub kind: FaultKind,
+    /// Activation time.
+    pub start: Timestamp,
+    /// Deactivation time (exclusive).
+    pub end: Timestamp,
+}
+
+impl Fault {
+    /// Creates a fault active during `[start, end)`.
+    pub fn new(kind: FaultKind, start: Timestamp, end: Timestamp) -> Self {
+        Fault { kind, start, end }
+    }
+
+    /// Whether the fault is active at `t`.
+    #[inline]
+    pub fn active_at(&self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Holds the fault schedule and reports activations/deactivations.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    schedule: Vec<Fault>,
+    active: Vec<bool>,
+}
+
+impl FaultInjector {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault to the schedule.
+    pub fn inject(&mut self, fault: Fault) {
+        self.schedule.push(fault);
+        self.active.push(false);
+    }
+
+    /// The full schedule (ground truth for scoring detectors).
+    pub fn schedule(&self) -> &[Fault] {
+        &self.schedule
+    }
+
+    /// Faults active at `t`.
+    pub fn active_at(&self, t: Timestamp) -> Vec<Fault> {
+        self.schedule.iter().copied().filter(|f| f.active_at(t)).collect()
+    }
+
+    /// Advances to time `t`; returns `(newly_activated, newly_deactivated)`.
+    pub fn step(&mut self, t: Timestamp) -> (Vec<Fault>, Vec<Fault>) {
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for (i, f) in self.schedule.iter().enumerate() {
+            let now_active = f.active_at(t);
+            if now_active && !self.active[i] {
+                on.push(*f);
+            } else if !now_active && self.active[i] {
+                off.push(*f);
+            }
+            self.active[i] = now_active;
+        }
+        (on, off)
+    }
+
+    /// Whether any fault affecting `node` is active at `t` (ground-truth
+    /// label used when scoring node-level detectors).
+    pub fn node_is_faulty(&self, node: NodeId, t: Timestamp) -> bool {
+        self.schedule
+            .iter()
+            .any(|f| f.active_at(t) && f.kind.node() == Some(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(start_s: u64, end_s: u64) -> Fault {
+        Fault::new(
+            FaultKind::FanFailure { node: NodeId(3) },
+            Timestamp::from_secs(start_s),
+            Timestamp::from_secs(end_s),
+        )
+    }
+
+    #[test]
+    fn active_window_is_half_open() {
+        let f = fault(10, 20);
+        assert!(!f.active_at(Timestamp::from_secs(9)));
+        assert!(f.active_at(Timestamp::from_secs(10)));
+        assert!(f.active_at(Timestamp::from_secs(19)));
+        assert!(!f.active_at(Timestamp::from_secs(20)));
+    }
+
+    #[test]
+    fn step_reports_transitions_once() {
+        let mut inj = FaultInjector::new();
+        inj.inject(fault(10, 20));
+        let (on, off) = inj.step(Timestamp::from_secs(5));
+        assert!(on.is_empty() && off.is_empty());
+        let (on, off) = inj.step(Timestamp::from_secs(10));
+        assert_eq!(on.len(), 1);
+        assert!(off.is_empty());
+        let (on, off) = inj.step(Timestamp::from_secs(15));
+        assert!(on.is_empty() && off.is_empty());
+        let (on, off) = inj.step(Timestamp::from_secs(25));
+        assert!(on.is_empty());
+        assert_eq!(off.len(), 1);
+    }
+
+    #[test]
+    fn node_fault_labels() {
+        let mut inj = FaultInjector::new();
+        inj.inject(fault(0, 100));
+        assert!(inj.node_is_faulty(NodeId(3), Timestamp::from_secs(50)));
+        assert!(!inj.node_is_faulty(NodeId(4), Timestamp::from_secs(50)));
+        assert!(!inj.node_is_faulty(NodeId(3), Timestamp::from_secs(150)));
+    }
+
+    #[test]
+    fn kind_metadata() {
+        let k = FaultKind::CoolingDegradation { factor: 1.4 };
+        assert_eq!(k.label(), "cooling-degradation");
+        assert_eq!(k.node(), None);
+        let k = FaultKind::MemoryLeak {
+            node: NodeId(1),
+            gib_per_min: 2.0,
+        };
+        assert_eq!(k.node(), Some(NodeId(1)));
+    }
+}

@@ -1,0 +1,6 @@
+//! System-hardware pillar of the simulated site: compute nodes organised in
+//! racks, and the interconnect.
+
+pub mod network;
+pub mod node;
+pub mod rack;

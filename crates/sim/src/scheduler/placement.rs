@@ -1,0 +1,255 @@
+//! Pluggable node-selection policies.
+//!
+//! Placement is the actuation point of prescriptive System-Software ODA:
+//! the surveyed works (Verma et al.'s power-aware placement, Bash & Forman's
+//! "cool job allocation") differ from a vanilla scheduler exactly here, in
+//! *which* free nodes a job receives. The [`PlacementPolicy`] trait lets the
+//! framework swap policies at runtime — and the multi-pillar experiment
+//! (E6) swaps in [`CoolingAware`], which reads Building-Infrastructure
+//! telemetry to make a System-Software decision, crossing pillar boundaries
+//! exactly as §V-B describes.
+
+use super::job::Job;
+use crate::hardware::node::NodeId;
+use crate::hardware::rack::rack_of;
+
+/// Read-only node/rack state offered to policies at scheduling time.
+///
+/// The context is a *copy* of the relevant telemetry, not a live reference:
+/// real ODA-driven schedulers consume monitoring snapshots, and the copy
+/// keeps the scheduler decoupled from the hardware model's ownership.
+#[derive(Debug, Clone)]
+pub struct PlacementContext {
+    /// Current temperature of every node, °C, indexed by node id.
+    pub node_temps_c: Vec<f64>,
+    /// Current power of every node, W, indexed by node id.
+    pub node_power_w: Vec<f64>,
+    /// Inlet temperature offset of each rack, °C.
+    pub rack_inlet_offsets_c: Vec<f64>,
+    /// Nodes per rack (rack-major dense numbering).
+    pub nodes_per_rack: usize,
+}
+
+impl PlacementContext {
+    /// The rack-layout cooling penalty of a node, °C.
+    pub fn node_cooling_penalty(&self, n: NodeId) -> f64 {
+        let r = rack_of(n, self.nodes_per_rack);
+        self.rack_inlet_offsets_c
+            .get(r.index())
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+/// A node-selection policy.
+pub trait PlacementPolicy: Send {
+    /// Stable policy name (telemetry label).
+    fn name(&self) -> &'static str;
+
+    /// Chooses exactly `job.nodes_requested` nodes from `free`, or `None` if
+    /// the policy declines (insufficient nodes). Implementations must only
+    /// return ids drawn from `free`.
+    fn select(&self, job: &Job, free: &[NodeId], ctx: &PlacementContext) -> Option<Vec<NodeId>>;
+}
+
+/// Takes the lowest-numbered free nodes. The baseline every experiment
+/// compares against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn select(&self, job: &Job, free: &[NodeId], _ctx: &PlacementContext) -> Option<Vec<NodeId>> {
+        let need = job.nodes_requested as usize;
+        (free.len() >= need).then(|| free[..need].to_vec())
+    }
+}
+
+/// Prefers the *coolest* eligible nodes: sorts free nodes by current
+/// temperature plus their rack's layout penalty. Placing heat where cooling
+/// is cheap reduces leakage and fan power — the cross-pillar policy of E6.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoolingAware;
+
+impl PlacementPolicy for CoolingAware {
+    fn name(&self) -> &'static str {
+        "cooling-aware"
+    }
+
+    fn select(&self, job: &Job, free: &[NodeId], ctx: &PlacementContext) -> Option<Vec<NodeId>> {
+        let need = job.nodes_requested as usize;
+        if free.len() < need {
+            return None;
+        }
+        let mut scored: Vec<(f64, NodeId)> = free
+            .iter()
+            .map(|&n| {
+                let temp = ctx.node_temps_c.get(n.index()).copied().unwrap_or(0.0);
+                (temp + 2.0 * ctx.node_cooling_penalty(n), n)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        Some(scored.into_iter().take(need).map(|(_, n)| n).collect())
+    }
+}
+
+/// Packs jobs into as few racks as possible (minimising inter-rack traffic
+/// and keeping whole racks idle for power management). Ties broken towards
+/// fuller racks, then lower ids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PackRacks;
+
+impl PlacementPolicy for PackRacks {
+    fn name(&self) -> &'static str {
+        "pack-racks"
+    }
+
+    fn select(&self, job: &Job, free: &[NodeId], ctx: &PlacementContext) -> Option<Vec<NodeId>> {
+        let need = job.nodes_requested as usize;
+        if free.len() < need {
+            return None;
+        }
+        // Group free nodes per rack, sort racks by descending free count so
+        // the job spans as few racks as possible while preferring racks that
+        // can be filled.
+        let mut per_rack: std::collections::BTreeMap<u32, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for &n in free {
+            per_rack
+                .entry(rack_of(n, ctx.nodes_per_rack).0)
+                .or_default()
+                .push(n);
+        }
+        let mut racks: Vec<(u32, Vec<NodeId>)> = per_rack.into_iter().collect();
+        racks.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        let mut picked = Vec::with_capacity(need);
+        for (_, nodes) in racks {
+            for n in nodes {
+                if picked.len() == need {
+                    break;
+                }
+                picked.push(n);
+            }
+            if picked.len() == need {
+                break;
+            }
+        }
+        Some(picked)
+    }
+}
+
+/// Prefers nodes whose current power draw is lowest — a proxy for "place
+/// work where headroom under a power cap is largest" (Verma et al.).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerAware;
+
+impl PlacementPolicy for PowerAware {
+    fn name(&self) -> &'static str {
+        "power-aware"
+    }
+
+    fn select(&self, job: &Job, free: &[NodeId], ctx: &PlacementContext) -> Option<Vec<NodeId>> {
+        let need = job.nodes_requested as usize;
+        if free.len() < need {
+            return None;
+        }
+        let mut scored: Vec<(f64, NodeId)> = free
+            .iter()
+            .map(|&n| (ctx.node_power_w.get(n.index()).copied().unwrap_or(0.0), n))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        Some(scored.into_iter().take(need).map(|(_, n)| n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::job::{JobClass, JobId};
+    use oda_telemetry::reading::Timestamp;
+
+    fn job(nodes: u32) -> Job {
+        Job::new(
+            JobId(1),
+            0,
+            JobClass::Balanced,
+            nodes,
+            100.0,
+            600.0,
+            Timestamp::ZERO,
+        )
+    }
+
+    fn ctx() -> PlacementContext {
+        PlacementContext {
+            // 4 nodes, 2 racks of 2. Node temps: node1 hottest.
+            node_temps_c: vec![40.0, 70.0, 45.0, 42.0],
+            node_power_w: vec![300.0, 120.0, 250.0, 180.0],
+            rack_inlet_offsets_c: vec![0.0, 3.0],
+            nodes_per_rack: 2,
+        }
+    }
+
+    fn free_all() -> Vec<NodeId> {
+        (0..4).map(NodeId).collect()
+    }
+
+    #[test]
+    fn first_fit_takes_prefix() {
+        let p = FirstFit;
+        let got = p.select(&job(2), &free_all(), &ctx()).unwrap();
+        assert_eq!(got, vec![NodeId(0), NodeId(1)]);
+        assert!(p.select(&job(5), &free_all(), &ctx()).is_none());
+    }
+
+    #[test]
+    fn cooling_aware_picks_coolest_adjusted_nodes() {
+        let p = CoolingAware;
+        // Scores: n0=40, n1=70, n2=45+6=51, n3=42+6=48 → pick n0 then n3.
+        let got = p.select(&job(2), &free_all(), &ctx()).unwrap();
+        assert_eq!(got, vec![NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn power_aware_picks_lowest_draw() {
+        let p = PowerAware;
+        let got = p.select(&job(2), &free_all(), &ctx()).unwrap();
+        assert_eq!(got, vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn pack_racks_minimises_span() {
+        let p = PackRacks;
+        // Free: n0 (rack0), n2, n3 (rack1). A 2-node job should land fully
+        // in rack 1 (2 free nodes) rather than span racks.
+        let free = vec![NodeId(0), NodeId(2), NodeId(3)];
+        let got = p.select(&job(2), &free, &ctx()).unwrap();
+        assert_eq!(got, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn all_policies_return_exact_count_from_free() {
+        let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(FirstFit),
+            Box::new(CoolingAware),
+            Box::new(PackRacks),
+            Box::new(PowerAware),
+        ];
+        let free = free_all();
+        for p in &policies {
+            let got = p.select(&job(3), &free, &ctx()).unwrap();
+            assert_eq!(got.len(), 3, "{}", p.name());
+            for n in &got {
+                assert!(free.contains(n), "{} returned non-free node", p.name());
+            }
+            // No duplicates.
+            let mut uniq = got.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3);
+        }
+    }
+}

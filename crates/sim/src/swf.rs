@@ -1,0 +1,327 @@
+//! Standard Workload Format (SWF) import/export.
+//!
+//! SWF is the Parallel Workloads Archive's exchange format (Feitelson et
+//! al.) and the lingua franca of the scheduler-simulation community the
+//! paper's survey cites (AccaSim, Batsim, Alea all consume it). Support
+//! for it makes the simulated site replayable against published traces
+//! and makes its accounting exportable to the standard tooling.
+//!
+//! Each non-comment line holds 18 whitespace-separated fields; `-1` marks
+//! unknown values. The fields this implementation reads/writes:
+//!
+//! | # | field | mapping here |
+//! |---|---|---|
+//! | 1 | job number | [`crate::scheduler::job::JobId`] |
+//! | 2 | submit time (s) | submit timestamp |
+//! | 3 | wait time (s) | derived on export |
+//! | 4 | run time (s) | actual runtime on export; sizes work on import |
+//! | 5 | allocated processors | node count |
+//! | 7 | used memory (KB/proc) | mean per-node memory on export |
+//! | 8 | requested processors | node count on import |
+//! | 9 | requested time (s) | walltime |
+//! | 11 | status | 1 = completed, 0 = killed/failed |
+//! | 12 | user id | user |
+//! | 14 | executable number | selects the job class on import |
+//!
+//! Remaining fields are written as `-1` and ignored on import.
+//!
+//! ```
+//! use oda_sim::prelude::*;
+//! use oda_sim::swf;
+//!
+//! let trace = swf::parse_swf(
+//!     "1 30 -1 120 2 -1 -1 2 600 -1 1 7 -1 0 -1 -1 -1 -1\n",
+//! );
+//! assert_eq!(trace.len(), 1);
+//! let mut dc = DataCenter::new(DataCenterConfig::tiny(), 1);
+//! let submitted = swf::replay(&mut dc, &trace, 0.2);
+//! assert_eq!(submitted, 1);
+//! ```
+
+use crate::datacenter::{DataCenter, JobRecord};
+use crate::scheduler::job::{Job, JobClass, JobId, JobState};
+use oda_telemetry::reading::Timestamp;
+
+/// Exports finished-job records as SWF text (with a header comment).
+pub fn export_swf(records: &[JobRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("; SWF export from hpc-oda simulated site\n");
+    out.push_str("; UnixStartTime: 0\n");
+    for r in records {
+        let submit_s = r.submit.as_secs();
+        let wait_s = match r.start {
+            Some(s) => s.millis_since(r.submit) / 1_000,
+            None => 0,
+        };
+        let run_s = r.runtime_s().map(|x| x.round() as i64).unwrap_or(-1);
+        let status = match r.state {
+            JobState::Completed => 1,
+            _ => 0,
+        };
+        let mem_kb_per_proc = (r.mean_mem_gib * 1024.0 * 1024.0).round() as i64;
+        out.push_str(&format!(
+            "{} {} {} {} {} -1 {} {} {} -1 {} {} -1 -1 -1 -1 -1 -1\n",
+            r.id.0,
+            submit_s,
+            wait_s,
+            run_s,
+            r.nodes,
+            mem_kb_per_proc,
+            r.nodes,
+            r.requested_walltime_s.round() as i64,
+            status,
+            r.user,
+        ));
+    }
+    out
+}
+
+/// A parsed SWF job ready for replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfJob {
+    /// Job number from the trace.
+    pub id: u64,
+    /// Submit time, seconds from trace start.
+    pub submit_s: u64,
+    /// Run time, seconds (used to size the work).
+    pub run_s: f64,
+    /// Processors/nodes requested.
+    pub nodes: u32,
+    /// Requested walltime, seconds.
+    pub requested_s: f64,
+    /// User id.
+    pub user: u32,
+    /// Behavioural class assigned from the executable number.
+    pub class: JobClass,
+}
+
+/// Parses SWF text. Comment lines (`;`) and malformed lines are skipped;
+/// jobs with unknown (≤0) runtime or processor counts are dropped, as the
+/// scheduler simulators do.
+pub fn parse_swf(text: &str) -> Vec<SwfJob> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() < 12 {
+            continue;
+        }
+        let get = |i: usize| -> f64 { f.get(i).and_then(|s| s.parse().ok()).unwrap_or(-1.0) };
+        let id = get(0);
+        let submit = get(1);
+        let run = get(3);
+        let alloc = get(4);
+        let req_procs = get(7);
+        let req_time = get(8);
+        let user = get(11);
+        let exec = get(13);
+        let nodes = if req_procs > 0.0 { req_procs } else { alloc };
+        if id < 0.0 || submit < 0.0 || run <= 0.0 || nodes <= 0.0 {
+            continue;
+        }
+        // Class from the executable number: the trace does not carry
+        // behaviour, so executables map deterministically onto the class
+        // vocabulary (stable across runs, varied across applications).
+        // The cryptominer class is excluded — published traces are benign.
+        let benign = [
+            JobClass::ComputeBound,
+            JobClass::MemoryBound,
+            JobClass::IoBound,
+            JobClass::Balanced,
+        ];
+        let class = benign[(exec.max(0.0) as usize) % benign.len()];
+        out.push(SwfJob {
+            id: id as u64,
+            submit_s: submit as u64,
+            run_s: run,
+            nodes: nodes as u32,
+            requested_s: if req_time > 0.0 { req_time } else { run * 1.5 },
+            user: if user >= 0.0 { user as u32 } else { 0 },
+            class,
+        });
+    }
+    out.sort_by_key(|j| j.submit_s);
+    out
+}
+
+/// Replays a parsed trace on a site: steps the simulation, submitting each
+/// job when its submit time arrives, until `hours` have elapsed. Jobs are
+/// sized so a full-speed machine reproduces the trace's runtimes. Returns
+/// how many jobs were submitted.
+///
+/// One-shot: the whole window is simulated in one call. To interleave
+/// replay with control actions (runtime passes, knob changes), use
+/// [`Replayer`], which keeps its position in the trace across calls.
+pub fn replay(dc: &mut DataCenter, trace: &[SwfJob], hours: f64) -> usize {
+    let mut r = Replayer::new(trace.to_vec());
+    r.advance(dc, hours)
+}
+
+/// Stateful trace replayer: remembers which jobs were already submitted,
+/// so simulation can be advanced in slices with control logic in between.
+#[derive(Debug, Clone)]
+pub struct Replayer {
+    trace: Vec<SwfJob>,
+    idx: usize,
+}
+
+impl Replayer {
+    /// Creates a replayer over `trace` (sorted by submit time internally).
+    pub fn new(mut trace: Vec<SwfJob>) -> Self {
+        trace.sort_by_key(|j| j.submit_s);
+        Replayer { trace, idx: 0 }
+    }
+
+    /// Jobs not yet submitted.
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.idx
+    }
+
+    /// Advances the site by `hours`, submitting trace jobs as their submit
+    /// times arrive. Returns how many jobs were submitted this call.
+    pub fn advance(&mut self, dc: &mut DataCenter, hours: f64) -> usize {
+        let tick_ms = dc.config().tick_ms;
+        let ticks = (hours * 3_600_000.0 / tick_ms as f64).ceil() as u64;
+        let mut submitted = 0usize;
+        for _ in 0..ticks {
+            dc.step();
+            let now_s = dc.now().as_secs();
+            while self.idx < self.trace.len() && self.trace[self.idx].submit_s <= now_s {
+                let t = &self.trace[self.idx];
+                let job = Job::new(
+                    JobId(0), // remapped on submission
+                    t.user,
+                    t.class,
+                    t.nodes,
+                    t.run_s * t.nodes as f64,
+                    t.requested_s,
+                    Timestamp::ZERO, // stamped on submission
+                );
+                dc.submit_job(job);
+                submitted += 1;
+                self.idx += 1;
+            }
+        }
+        submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::DataCenterConfig;
+    use crate::workload::WorkloadConfig;
+
+    fn quiet_site(seed: u64) -> DataCenter {
+        DataCenter::new(
+            DataCenterConfig {
+                workload: WorkloadConfig {
+                    mean_interarrival_s: 1e9, // replay only
+                    ..WorkloadConfig::default()
+                },
+                ..DataCenterConfig::tiny()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn export_then_parse_round_trips_the_essentials() {
+        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 61);
+        dc.run_for_hours(4.0);
+        let records = dc.finished_jobs().to_vec();
+        assert!(records.len() > 10);
+        let text = export_swf(&records);
+        assert!(text.starts_with("; SWF"));
+        let parsed = parse_swf(&text);
+        // Completed jobs with positive runtime survive the round trip.
+        let expected = records
+            .iter()
+            .filter(|r| r.runtime_s().map(|x| x.round() > 0.0).unwrap_or(false))
+            .count();
+        assert_eq!(parsed.len(), expected);
+        // Field-level spot check against the first exported record.
+        let rec = records
+            .iter()
+            .find(|r| r.runtime_s().map(|x| x.round() > 0.0).unwrap_or(false))
+            .unwrap();
+        let job = parsed.iter().find(|j| j.id == rec.id.0).unwrap();
+        assert_eq!(job.nodes, rec.nodes);
+        assert_eq!(job.user, rec.user);
+        assert_eq!(job.submit_s, rec.submit.as_secs());
+        assert!((job.requested_s - rec.requested_walltime_s.round()).abs() < 1.0);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_garbage() {
+        let text = "\
+; header comment
+1 0 5 100 2 -1 -1 2 200 -1 1 7 -1 0 -1 -1 -1 -1
+not a job line at all
+2 50 0 -1 4 -1 -1 4 100 -1 0 3 -1 1 -1 -1 -1 -1
+; trailing comment
+3 10 0 60 -1 -1 -1 1 90 -1 1 2 -1 2 -1 -1 -1 -1
+";
+        let jobs = parse_swf(text);
+        // Job 2 has unknown runtime → dropped; jobs sorted by submit time.
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, 1);
+        assert_eq!(jobs[1].id, 3);
+        assert_eq!(jobs[0].nodes, 2);
+        assert_eq!(jobs[1].requested_s, 90.0);
+        assert_eq!(jobs[0].user, 7);
+    }
+
+    #[test]
+    fn executable_number_maps_to_benign_classes() {
+        let text = "\
+1 0 0 100 1 -1 -1 1 200 -1 1 0 -1 0 -1 -1 -1 -1
+2 0 0 100 1 -1 -1 1 200 -1 1 0 -1 1 -1 -1 -1 -1
+3 0 0 100 1 -1 -1 1 200 -1 1 0 -1 2 -1 -1 -1 -1
+4 0 0 100 1 -1 -1 1 200 -1 1 0 -1 3 -1 -1 -1 -1
+5 0 0 100 1 -1 -1 1 200 -1 1 0 -1 4 -1 -1 -1 -1
+";
+        let jobs = parse_swf(text);
+        assert_eq!(jobs[0].class, JobClass::ComputeBound);
+        assert_eq!(jobs[1].class, JobClass::MemoryBound);
+        assert_eq!(jobs[2].class, JobClass::IoBound);
+        assert_eq!(jobs[3].class, JobClass::Balanced);
+        assert_eq!(jobs[4].class, JobClass::ComputeBound, "wraps, never a miner");
+    }
+
+    #[test]
+    fn replay_runs_the_trace_with_faithful_runtimes() {
+        let text = "\
+1 60 0 300 2 -1 -1 2 600 -1 1 1 -1 0 -1 -1 -1 -1
+2 120 0 200 1 -1 -1 1 400 -1 1 2 -1 0 -1 -1 -1 -1
+";
+        let trace = parse_swf(text);
+        let mut dc = quiet_site(62);
+        let submitted = replay(&mut dc, &trace, 1.0);
+        assert_eq!(submitted, 2);
+        let finished = dc.finished_jobs();
+        assert_eq!(finished.len(), 2);
+        for r in finished {
+            assert_eq!(r.state, JobState::Completed);
+        }
+        // The 2-node 300 s compute-bound job runs ≈ 300 s at full clock.
+        let big = finished.iter().find(|r| r.nodes == 2).unwrap();
+        let rt = big.runtime_s().unwrap();
+        assert!((rt - 300.0).abs() < 30.0, "runtime {rt}");
+    }
+
+    #[test]
+    fn replayed_accounting_can_be_reexported() {
+        let text = "1 10 0 120 1 -1 -1 1 240 -1 1 5 -1 0 -1 -1 -1 -1\n";
+        let mut dc = quiet_site(63);
+        replay(&mut dc, &parse_swf(text), 0.5);
+        let exported = export_swf(dc.finished_jobs());
+        let reparsed = parse_swf(&exported);
+        assert_eq!(reparsed.len(), 1);
+        assert_eq!(reparsed[0].nodes, 1);
+        assert_eq!(reparsed[0].user, 5);
+    }
+}

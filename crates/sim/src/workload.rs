@@ -1,0 +1,251 @@
+//! Synthetic workload generation: job arrivals with realistic structure.
+//!
+//! The generator produces the Applications-pillar ground truth: a stream of
+//! jobs with class-correlated sizes, log-normal work distributions,
+//! user-specific behaviour and diurnally-modulated Poisson arrivals. The
+//! structure matters because the predictive Applications cells learn from
+//! it — job-duration predictors exploit the fact that the same user tends
+//! to submit similar jobs (the assumption behind Naghshnejad & Singhal,
+//! Emeras et al.), and workload forecasters exploit the diurnal arrival
+//! pattern.
+
+use crate::engine::SimRng;
+use crate::scheduler::job::{Job, JobClass, JobId};
+use oda_telemetry::reading::Timestamp;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Mean inter-arrival time at the daily peak, seconds.
+    pub mean_interarrival_s: f64,
+    /// Ratio of the night-time arrival rate to the peak rate (0..=1).
+    pub night_rate_ratio: f64,
+    /// Mixture weights over [compute, memory, io, balanced, miner].
+    pub class_weights: [f64; 5],
+    /// Number of distinct users.
+    pub users: u32,
+    /// Mean of ln(work in node-seconds).
+    pub work_log_mean: f64,
+    /// Std dev of ln(work).
+    pub work_log_std: f64,
+    /// Maximum nodes a job may request (rounded to powers of two).
+    pub max_nodes: u32,
+    /// Walltime request = true estimate × U(1+ε, this factor).
+    pub walltime_overestimate_max: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mean_interarrival_s: 120.0,
+            night_rate_ratio: 0.35,
+            class_weights: [0.3, 0.25, 0.2, 0.24, 0.01],
+            users: 24,
+            work_log_mean: 7.6, // e^7.6 ≈ 2000 node-seconds
+            work_log_std: 1.0,
+            max_nodes: 8,
+            walltime_overestimate_max: 3.0,
+        }
+    }
+}
+
+/// Per-user habit: users resubmit similar work, which is what makes
+/// submission metadata predictive of duration.
+#[derive(Debug, Clone, Copy)]
+struct UserHabit {
+    class: JobClass,
+    work_log_mean: f64,
+    size_bias: u32,
+}
+
+/// Stateful arrival generator.
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    habits: Vec<UserHabit>,
+    next_id: u64,
+    next_arrival: Timestamp,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator; user habits are drawn deterministically from
+    /// `rng`.
+    pub fn new(config: WorkloadConfig, rng: &mut SimRng) -> Self {
+        let habits = (0..config.users)
+            .map(|_| {
+                let class = JobClass::ALL[rng.weighted_index(&config.class_weights)];
+                UserHabit {
+                    class,
+                    work_log_mean: config.work_log_mean + rng.normal(0.0, 0.5),
+                    size_bias: 1 << rng.uniform_usize(0, (config.max_nodes as f64).log2() as usize),
+                }
+            })
+            .collect();
+        // The first arrival is itself exponentially distributed — a Poisson
+        // process has no guaranteed event at t = 0.
+        let first_gap_s = rng.exponential(config.mean_interarrival_s);
+        WorkloadGenerator {
+            next_arrival: Timestamp::ZERO + (first_gap_s * 1_000.0).max(1.0) as u64,
+            config,
+            habits,
+            next_id: 1,
+        }
+    }
+
+    /// Diurnal arrival-rate multiplier at time `t` (1.0 at the 14:00 peak,
+    /// `night_rate_ratio` in the middle of the night).
+    pub fn diurnal_factor(&self, t: Timestamp) -> f64 {
+        let h = t.as_hours_f64() % 24.0;
+        let phase = (2.0 * std::f64::consts::PI * (h - 14.0) / 24.0).cos();
+        let lo = self.config.night_rate_ratio;
+        lo + (1.0 - lo) * (phase + 1.0) / 2.0
+    }
+
+    /// Returns all jobs arriving in `(prev, now]`.
+    pub fn arrivals(&mut self, now: Timestamp, rng: &mut SimRng) -> Vec<Job> {
+        let mut out = Vec::new();
+        while self.next_arrival <= now {
+            let t = self.next_arrival;
+            out.push(self.make_job(t, rng));
+            // Thin the Poisson process by the diurnal factor: a lower factor
+            // stretches the inter-arrival gap.
+            let factor = self.diurnal_factor(t).max(1e-3);
+            let gap_s = rng.exponential(self.config.mean_interarrival_s / factor);
+            self.next_arrival = t + (gap_s * 1_000.0).max(1.0) as u64;
+        }
+        out
+    }
+
+    fn make_job(&mut self, submit: Timestamp, rng: &mut SimRng) -> Job {
+        let user = rng.uniform_usize(0, self.habits.len() - 1) as u32;
+        let habit = self.habits[user as usize];
+        // Mostly the user's habitual class, occasionally something else.
+        let class = if rng.chance(0.8) {
+            habit.class
+        } else {
+            JobClass::ALL[rng.weighted_index(&self.config.class_weights)]
+        };
+        // Size: the user's habitual size, occasionally scaled, capped.
+        let mut nodes = habit.size_bias;
+        if rng.chance(0.3) {
+            nodes = (nodes * 2).min(self.config.max_nodes);
+        }
+        let work = rng.log_normal(habit.work_log_mean, self.config.work_log_std);
+        // True runtime estimate at nominal speed.
+        let est_runtime_s = work / nodes as f64;
+        let walltime =
+            est_runtime_s * rng.uniform(1.15, self.config.walltime_overestimate_max.max(1.2));
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        Job::new(id, user, class, nodes, work, walltime, submit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_with_seed(seed: u64) -> (WorkloadGenerator, SimRng) {
+        let mut rng = SimRng::new(seed);
+        let g = WorkloadGenerator::new(WorkloadConfig::default(), &mut rng);
+        (g, rng)
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_unique_ids() {
+        let (mut g, mut rng) = gen_with_seed(1);
+        let jobs = g.arrivals(Timestamp::from_hours(12), &mut rng);
+        assert!(jobs.len() > 50, "12h at ~2min spacing should yield many jobs");
+        for w in jobs.windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    fn incremental_and_bulk_arrivals_agree() {
+        let (mut a, mut rng_a) = gen_with_seed(2);
+        let bulk = a.arrivals(Timestamp::from_hours(6), &mut rng_a);
+        let (mut b, mut rng_b) = gen_with_seed(2);
+        let mut inc = Vec::new();
+        for h in 1..=6 {
+            inc.extend(b.arrivals(Timestamp::from_hours(h), &mut rng_b));
+        }
+        assert_eq!(bulk.len(), inc.len());
+        for (x, y) in bulk.iter().zip(&inc) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.submit, y.submit);
+        }
+    }
+
+    #[test]
+    fn diurnal_factor_peaks_in_afternoon() {
+        let (g, _) = gen_with_seed(3);
+        let peak = g.diurnal_factor(Timestamp::from_hours(14));
+        let night = g.diurnal_factor(Timestamp::from_hours(2));
+        assert!((peak - 1.0).abs() < 1e-9);
+        assert!(night < 0.4);
+    }
+
+    #[test]
+    fn day_arrivals_outnumber_night_arrivals() {
+        let (mut g, mut rng) = gen_with_seed(4);
+        // Generate 4 full days and compare 10:00-18:00 vs 22:00-06:00 counts.
+        let jobs = g.arrivals(Timestamp::from_hours(24 * 4), &mut rng);
+        let (mut day, mut night) = (0, 0);
+        for j in &jobs {
+            let h = j.submit.as_hours_f64() % 24.0;
+            if (10.0..18.0).contains(&h) {
+                day += 1;
+            } else if !(6.0..22.0).contains(&h) {
+                night += 1;
+            }
+        }
+        assert!(day > night, "day {day} vs night {night}");
+    }
+
+    #[test]
+    fn sizes_are_powers_of_two_within_cap() {
+        let (mut g, mut rng) = gen_with_seed(5);
+        let jobs = g.arrivals(Timestamp::from_hours(24), &mut rng);
+        for j in &jobs {
+            assert!(j.nodes_requested.is_power_of_two());
+            assert!(j.nodes_requested <= 8);
+        }
+    }
+
+    #[test]
+    fn walltimes_overestimate_nominal_runtime() {
+        let (mut g, mut rng) = gen_with_seed(6);
+        let jobs = g.arrivals(Timestamp::from_hours(24), &mut rng);
+        for j in &jobs {
+            let nominal = j.work_node_seconds / j.nodes_requested as f64;
+            assert!(
+                j.requested_walltime_s >= nominal * 1.1,
+                "walltime {} vs nominal {nominal}",
+                j.requested_walltime_s
+            );
+        }
+    }
+
+    #[test]
+    fn miners_are_rare_but_present_in_expectation() {
+        let (mut g, mut rng) = gen_with_seed(7);
+        let jobs = g.arrivals(Timestamp::from_hours(24 * 14), &mut rng);
+        let miners = jobs.iter().filter(|j| j.class == JobClass::Cryptominer).count();
+        let frac = miners as f64 / jobs.len() as f64;
+        assert!(frac < 0.15, "miner fraction {frac}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_workload() {
+        let (mut a, mut ra) = gen_with_seed(8);
+        let (mut b, mut rb) = gen_with_seed(8);
+        let ja = a.arrivals(Timestamp::from_hours(10), &mut ra);
+        let jb = b.arrivals(Timestamp::from_hours(10), &mut rb);
+        assert_eq!(ja.len(), jb.len());
+        for (x, y) in ja.iter().zip(&jb) {
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.work_node_seconds, y.work_node_seconds);
+        }
+    }
+}

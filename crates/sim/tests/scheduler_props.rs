@@ -1,0 +1,193 @@
+//! Property-based tests of the scheduler's allocation invariants under
+//! randomized workloads and policies.
+
+use oda_sim::hardware::node::NodeId;
+use oda_sim::scheduler::job::{Job, JobClass, JobId, JobState};
+use oda_sim::scheduler::placement::{
+    CoolingAware, FirstFit, PackRacks, PlacementContext, PlacementPolicy, PowerAware,
+};
+use oda_sim::scheduler::Scheduler;
+use oda_telemetry::reading::Timestamp;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+struct JobSpec {
+    nodes: u32,
+    walltime_s: u16,
+    work_factor: u8, // percent of walltime the work actually takes
+    submit_gap_s: u16,
+    class: usize,
+}
+
+fn arb_jobs(max: usize) -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (1u32..=8, 10u16..2_000, 10u8..150, 0u16..600, 0usize..5).prop_map(
+            |(nodes, walltime_s, work_factor, submit_gap_s, class)| JobSpec {
+                nodes,
+                walltime_s,
+                work_factor,
+                submit_gap_s,
+                class,
+            },
+        ),
+        1..max,
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = usize> {
+    0usize..4
+}
+
+fn make_policy(i: usize) -> Box<dyn PlacementPolicy> {
+    match i {
+        0 => Box::new(FirstFit),
+        1 => Box::new(CoolingAware),
+        2 => Box::new(PackRacks),
+        _ => Box::new(PowerAware),
+    }
+}
+
+fn ctx(nodes: usize) -> PlacementContext {
+    PlacementContext {
+        node_temps_c: (0..nodes).map(|i| 40.0 + (i % 7) as f64).collect(),
+        node_power_w: (0..nodes).map(|i| 100.0 + (i % 5) as f64 * 30.0).collect(),
+        rack_inlet_offsets_c: vec![0.0, 1.5, 3.0, 4.5],
+        nodes_per_rack: nodes.div_ceil(4).max(1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the workload and policy: nodes are never double-allocated,
+    /// the free pool plus running allocations always equals the machine,
+    /// and every job eventually reaches a terminal state.
+    #[test]
+    fn allocation_invariants_hold(specs in arb_jobs(40), policy in arb_policy()) {
+        let node_count = 16usize;
+        let mut s = Scheduler::new(node_count, make_policy(policy));
+        // Build the arrival sequence; jobs are handed to the scheduler only
+        // once simulated time reaches their submit instant (submit() means
+        // "the job has arrived").
+        let mut submit_ts = 0u64;
+        let mut arrivals: Vec<Job> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            submit_ts += spec.submit_gap_s as u64 * 1_000;
+            let class = JobClass::ALL[spec.class];
+            let walltime = spec.walltime_s as f64;
+            let work = (walltime * spec.work_factor as f64 / 100.0).max(1.0)
+                * spec.nodes as f64;
+            arrivals.push(Job::new(
+                JobId(i as u64 + 1),
+                0,
+                class,
+                spec.nodes,
+                work,
+                walltime,
+                Timestamp::from_millis(submit_ts),
+            ));
+        }
+        let ids: Vec<JobId> = arrivals.iter().map(|j| j.id).collect();
+        let mut pending = std::collections::VecDeque::from(arrivals);
+        // Drive time forward in 10 s steps; progress running jobs at
+        // nominal rate.
+        let mut now = Timestamp::ZERO;
+        for _ in 0..6_000 {
+            now = now + 10_000;
+            while pending.front().map(|j| j.submit <= now).unwrap_or(false) {
+                s.submit(pending.pop_front().unwrap());
+            }
+            s.reap(now);
+            let context = ctx(node_count);
+            s.schedule(now, &context);
+            // Invariant: running jobs' allocations are disjoint and fit.
+            let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+            let mut allocated = 0usize;
+            for id in s.running_ids() {
+                let job = s.job(id).unwrap();
+                prop_assert_eq!(job.state, JobState::Running);
+                prop_assert_eq!(job.assigned.len(), job.nodes_requested as usize);
+                for n in &job.assigned {
+                    prop_assert!(seen.insert(*n), "node {n:?} double-allocated");
+                    prop_assert!(n.index() < node_count);
+                    allocated += 1;
+                }
+            }
+            prop_assert!(allocated <= node_count);
+            prop_assert!(
+                (s.utilization(node_count) - allocated as f64 / node_count as f64).abs() < 1e-9
+            );
+            // Progress work.
+            for id in s.running_ids() {
+                if let Some(j) = s.job_mut(id) {
+                    let nodes = j.assigned.len() as f64;
+                    j.progress_node_seconds += 10.0 * nodes;
+                }
+            }
+            if s.queue_len() == 0 && s.running_len() == 0 && pending.is_empty() {
+                break;
+            }
+        }
+        prop_assert!(pending.is_empty(), "all jobs must have arrived");
+        // Everything terminal, and the books balance.
+        prop_assert_eq!(s.queue_len(), 0, "queue must drain");
+        prop_assert_eq!(s.running_len(), 0, "all jobs must finish");
+        let stats = s.stats();
+        prop_assert_eq!(stats.completed + stats.killed, ids.len() as u64);
+        for id in ids {
+            let j = s.job(id).unwrap();
+            prop_assert!(matches!(j.state, JobState::Completed | JobState::Killed));
+            prop_assert!(j.start.is_some() && j.end.is_some());
+            prop_assert!(j.start.unwrap() >= j.submit);
+            prop_assert!(j.end.unwrap() >= j.start.unwrap());
+            // Walltime enforcement: runtime never exceeds the request by
+            // more than one scheduling step.
+            let runtime = j.runtime_s().unwrap();
+            prop_assert!(
+                runtime <= j.requested_walltime_s + 10.0 + 1e-9,
+                "runtime {} vs walltime {}",
+                runtime,
+                j.requested_walltime_s
+            );
+        }
+    }
+
+    /// All placement policies fill exactly the requested node count from
+    /// the free set, for any free-set shape.
+    #[test]
+    fn policies_return_valid_allocations(
+        free_mask in prop::collection::vec(any::<bool>(), 16),
+        need in 1u32..=8,
+        policy in arb_policy(),
+    ) {
+        let free: Vec<NodeId> = free_mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let job = Job::new(
+            JobId(1),
+            0,
+            JobClass::Balanced,
+            need,
+            100.0,
+            600.0,
+            Timestamp::ZERO,
+        );
+        let p = make_policy(policy);
+        match p.select(&job, &free, &ctx(16)) {
+            Some(picked) => {
+                prop_assert!(free.len() >= need as usize);
+                prop_assert_eq!(picked.len(), need as usize);
+                let set: BTreeSet<NodeId> = picked.iter().copied().collect();
+                prop_assert_eq!(set.len(), picked.len(), "duplicates");
+                for n in &picked {
+                    prop_assert!(free.contains(n));
+                }
+            }
+            None => prop_assert!(free.len() < need as usize),
+        }
+    }
+}

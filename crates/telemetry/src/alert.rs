@@ -1,0 +1,286 @@
+//! Threshold alerting.
+//!
+//! The paper places "automated alerts upon exceeding human-defined thresholds
+//! of monitored sensors" inside *descriptive* analytics: no knowledge
+//! extraction, just visibility. The alert engine evaluates level conditions
+//! against incoming readings with hysteresis (an alert fires once when a
+//! sensor enters the bad region and clears once when it leaves), so flapping
+//! sensors do not spam operators.
+
+use crate::reading::Reading;
+use crate::sensor::SensorId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Operator severity of an alert rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AlertSeverity {
+    /// Informational — shown on dashboards.
+    Info,
+    /// Needs operator attention soon.
+    Warning,
+    /// Needs immediate operator attention.
+    Critical,
+}
+
+/// Level condition on a sensor value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// Fires while `value > threshold`.
+    Above(f64),
+    /// Fires while `value < threshold`.
+    Below(f64),
+    /// Fires while `value` is outside `[lo, hi]`.
+    Outside {
+        /// Lower acceptable bound.
+        lo: f64,
+        /// Upper acceptable bound.
+        hi: f64,
+    },
+}
+
+impl Condition {
+    /// Whether `value` violates the condition.
+    pub fn violated_by(&self, value: f64) -> bool {
+        match *self {
+            Condition::Above(t) => value > t,
+            Condition::Below(t) => value < t,
+            Condition::Outside { lo, hi } => value < lo || value > hi,
+        }
+    }
+}
+
+/// A configured alert rule on one sensor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// Sensor the rule watches.
+    pub sensor: SensorId,
+    /// The level condition.
+    pub condition: Condition,
+    /// Severity attached to fired events.
+    pub severity: AlertSeverity,
+    /// Human-readable rule name shown in events.
+    pub name: String,
+    /// Number of consecutive violating readings required before firing
+    /// (debounce). `1` fires immediately.
+    pub debounce: u32,
+}
+
+impl AlertRule {
+    /// Convenience constructor with `debounce = 1`.
+    pub fn new(
+        name: impl Into<String>,
+        sensor: SensorId,
+        condition: Condition,
+        severity: AlertSeverity,
+    ) -> Self {
+        AlertRule {
+            sensor,
+            condition,
+            severity,
+            name: name.into(),
+            debounce: 1,
+        }
+    }
+
+    /// Builder-style debounce setter.
+    pub fn with_debounce(mut self, n: u32) -> Self {
+        self.debounce = n.max(1);
+        self
+    }
+}
+
+/// Raised/cleared alert notification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertEvent {
+    /// Name of the rule that produced the event.
+    pub rule: String,
+    /// Sensor the event concerns.
+    pub sensor: SensorId,
+    /// Severity copied from the rule.
+    pub severity: AlertSeverity,
+    /// The reading that triggered the transition.
+    pub reading: Reading,
+    /// `true` when the alert fires, `false` when it clears.
+    pub active: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct RuleState {
+    active: bool,
+    consecutive_violations: u32,
+}
+
+/// Stateful evaluator of a set of alert rules.
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    state: Vec<RuleState>,
+    by_sensor: HashMap<SensorId, Vec<usize>>,
+    fired_total: u64,
+}
+
+impl AlertEngine {
+    /// Creates an engine over `rules`.
+    pub fn new(rules: Vec<AlertRule>) -> Self {
+        let mut by_sensor: HashMap<SensorId, Vec<usize>> = HashMap::new();
+        for (i, r) in rules.iter().enumerate() {
+            by_sensor.entry(r.sensor).or_default().push(i);
+        }
+        let state = vec![RuleState::default(); rules.len()];
+        AlertEngine {
+            rules,
+            state,
+            by_sensor,
+            fired_total: 0,
+        }
+    }
+
+    /// Number of configured rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Total fire events (not clears) since creation.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Rules currently in the active (firing) state.
+    pub fn active_rules(&self) -> Vec<&AlertRule> {
+        self.rules
+            .iter()
+            .zip(&self.state)
+            .filter_map(|(r, s)| s.active.then_some(r))
+            .collect()
+    }
+
+    /// Feeds one reading; returns any raise/clear transitions it caused.
+    pub fn observe(&mut self, sensor: SensorId, reading: Reading) -> Vec<AlertEvent> {
+        let mut events = Vec::new();
+        let Some(rule_idxs) = self.by_sensor.get(&sensor) else {
+            return events;
+        };
+        for &i in rule_idxs {
+            let rule = &self.rules[i];
+            let st = &mut self.state[i];
+            if rule.condition.violated_by(reading.value) {
+                st.consecutive_violations = st.consecutive_violations.saturating_add(1);
+                if !st.active && st.consecutive_violations >= rule.debounce {
+                    st.active = true;
+                    self.fired_total += 1;
+                    events.push(AlertEvent {
+                        rule: rule.name.clone(),
+                        sensor,
+                        severity: rule.severity,
+                        reading,
+                        active: true,
+                    });
+                }
+            } else {
+                st.consecutive_violations = 0;
+                if st.active {
+                    st.active = false;
+                    events.push(AlertEvent {
+                        rule: rule.name.clone(),
+                        sensor,
+                        severity: rule.severity,
+                        reading,
+                        active: false,
+                    });
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::Timestamp;
+
+    fn rd(v: f64) -> Reading {
+        Reading::new(Timestamp::ZERO, v)
+    }
+
+    #[test]
+    fn above_fires_once_and_clears_once() {
+        let s = SensorId(0);
+        let mut eng = AlertEngine::new(vec![AlertRule::new(
+            "hot",
+            s,
+            Condition::Above(80.0),
+            AlertSeverity::Critical,
+        )]);
+        assert!(eng.observe(s, rd(70.0)).is_empty());
+        let ev = eng.observe(s, rd(85.0));
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].active);
+        // Still violating: no duplicate event.
+        assert!(eng.observe(s, rd(90.0)).is_empty());
+        let ev = eng.observe(s, rd(75.0));
+        assert_eq!(ev.len(), 1);
+        assert!(!ev[0].active);
+        assert_eq!(eng.fired_total(), 1);
+    }
+
+    #[test]
+    fn debounce_requires_consecutive_violations() {
+        let s = SensorId(0);
+        let mut eng = AlertEngine::new(vec![AlertRule::new(
+            "flappy",
+            s,
+            Condition::Above(10.0),
+            AlertSeverity::Warning,
+        )
+        .with_debounce(3)]);
+        assert!(eng.observe(s, rd(11.0)).is_empty());
+        assert!(eng.observe(s, rd(11.0)).is_empty());
+        // A good reading resets the count.
+        assert!(eng.observe(s, rd(5.0)).is_empty());
+        assert!(eng.observe(s, rd(11.0)).is_empty());
+        assert!(eng.observe(s, rd(11.0)).is_empty());
+        let ev = eng.observe(s, rd(11.0));
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].active);
+    }
+
+    #[test]
+    fn below_and_outside_conditions() {
+        assert!(Condition::Below(1.0).violated_by(0.5));
+        assert!(!Condition::Below(1.0).violated_by(1.0));
+        let c = Condition::Outside { lo: 10.0, hi: 20.0 };
+        assert!(c.violated_by(9.9));
+        assert!(c.violated_by(20.1));
+        assert!(!c.violated_by(15.0));
+        assert!(!c.violated_by(10.0));
+        assert!(!c.violated_by(20.0));
+    }
+
+    #[test]
+    fn unrelated_sensors_are_ignored() {
+        let mut eng = AlertEngine::new(vec![AlertRule::new(
+            "r",
+            SensorId(0),
+            Condition::Above(0.0),
+            AlertSeverity::Info,
+        )]);
+        assert!(eng.observe(SensorId(1), rd(100.0)).is_empty());
+    }
+
+    #[test]
+    fn multiple_rules_on_one_sensor() {
+        let s = SensorId(0);
+        let mut eng = AlertEngine::new(vec![
+            AlertRule::new("warn", s, Condition::Above(50.0), AlertSeverity::Warning),
+            AlertRule::new("crit", s, Condition::Above(80.0), AlertSeverity::Critical),
+        ]);
+        let ev = eng.observe(s, rd(60.0));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].severity, AlertSeverity::Warning);
+        let ev = eng.observe(s, rd(90.0));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].severity, AlertSeverity::Critical);
+        assert_eq!(eng.active_rules().len(), 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! The telemetry ingest bus.
+//!
+//! Producers (the simulator's telemetry taps, or any collector) publish
+//! [`ReadingBatch`]es; consumers subscribe with a [`SensorPattern`] plus a
+//! resolved list of sensor ids and receive matching batches over a bounded
+//! crossbeam channel. The bus also (optionally) writes every published batch
+//! straight into a [`TimeSeriesStore`], which is how the archive stays
+//! current without every consumer re-implementing persistence.
+//!
+//! Delivery semantics are *at-most-once per subscriber with back-pressure
+//! shedding*: if a subscriber's channel is full the batch is dropped for that
+//! subscriber and a drop counter is incremented. Monitoring pipelines prefer
+//! losing samples over stalling the collection path — a slow analysis job
+//! must never be able to freeze ingest.
+
+use crate::pattern::SensorPattern;
+use crate::reading::ReadingBatch;
+use crate::sensor::{SensorId, SensorRegistry};
+use crate::store::TimeSeriesStore;
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Subscriber {
+    id: u64,
+    sensors: HashSet<SensorId>,
+    pattern: SensorPattern,
+    tx: Sender<ReadingBatch>,
+    dropped: Arc<AtomicU64>,
+}
+
+/// Receiving side of a bus subscription.
+pub struct Subscription {
+    id: u64,
+    /// Channel on which matching batches arrive.
+    pub rx: Receiver<ReadingBatch>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl Subscription {
+    /// Number of batches dropped for this subscriber because its channel was
+    /// full when the bus tried to deliver.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Opaque subscription id, used to unsubscribe.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Fan-out pub/sub bus for telemetry, optionally archiving into a store.
+pub struct TelemetryBus {
+    registry: SensorRegistry,
+    store: Option<Arc<TimeSeriesStore>>,
+    subscribers: RwLock<Vec<Subscriber>>,
+    next_id: Mutex<u64>,
+    published: AtomicU64,
+}
+
+impl TelemetryBus {
+    /// Creates a bus that only fans out to subscribers (no archiving).
+    pub fn new(registry: SensorRegistry) -> Self {
+        TelemetryBus {
+            registry,
+            store: None,
+            subscribers: RwLock::new(Vec::new()),
+            next_id: Mutex::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a bus that also archives every published batch into `store`.
+    pub fn with_store(registry: SensorRegistry, store: Arc<TimeSeriesStore>) -> Self {
+        TelemetryBus {
+            store: Some(store),
+            ..Self::new(registry)
+        }
+    }
+
+    /// The registry this bus resolves patterns against.
+    pub fn registry(&self) -> &SensorRegistry {
+        &self.registry
+    }
+
+    /// The attached archive store, if any.
+    pub fn store(&self) -> Option<&Arc<TimeSeriesStore>> {
+        self.store.as_ref()
+    }
+
+    /// Total batches published since creation.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Subscribes to all sensors matching `pattern`, with a bounded buffer of
+    /// `buffer` batches.
+    ///
+    /// The pattern is resolved against the registry *at subscription time and
+    /// on every publish of a not-yet-seen sensor*: sensors registered after
+    /// the subscription that match the pattern are picked up automatically.
+    pub fn subscribe(&self, pattern: SensorPattern, buffer: usize) -> Subscription {
+        let (tx, rx) = bounded(buffer.max(1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let id = {
+            let mut next = self.next_id.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let sensors = self.registry.matching(&pattern).into_iter().collect();
+        self.subscribers.write().push(Subscriber {
+            id,
+            sensors,
+            pattern,
+            tx,
+            dropped: Arc::clone(&dropped),
+        });
+        Subscription { id, rx, dropped }
+    }
+
+    /// Removes a subscription. Idempotent.
+    pub fn unsubscribe(&self, id: u64) {
+        self.subscribers.write().retain(|s| s.id != id);
+    }
+
+    /// Publishes a batch: archives it (if a store is attached) and delivers
+    /// it to every matching subscriber. Returns the number of subscribers it
+    /// was delivered to.
+    pub fn publish(&self, batch: ReadingBatch) -> usize {
+        self.published.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store.insert_batch(batch.sensor, &batch.readings);
+        }
+        // Fast path: read lock, check membership; lazily re-resolve the
+        // pattern for sensors the subscriber has not seen yet.
+        let mut delivered = 0;
+        let mut need_resolve = false;
+        {
+            let subs = self.subscribers.read();
+            for sub in subs.iter() {
+                if sub.sensors.contains(&batch.sensor) {
+                    delivered += Self::deliver(sub, &batch);
+                } else {
+                    need_resolve = true;
+                }
+            }
+        }
+        if need_resolve {
+            if let Some(name) = self.registry.name(batch.sensor) {
+                let mut subs = self.subscribers.write();
+                for sub in subs.iter_mut() {
+                    if !sub.sensors.contains(&batch.sensor) && sub.pattern.matches(&name) {
+                        sub.sensors.insert(batch.sensor);
+                        delivered += Self::deliver(sub, &batch);
+                    }
+                }
+            }
+        }
+        delivered
+    }
+
+    fn deliver(sub: &Subscriber, batch: &ReadingBatch) -> usize {
+        match sub.tx.try_send(batch.clone()) {
+            Ok(()) => 1,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                sub.dropped.fetch_add(1, Ordering::Relaxed);
+                0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::{Reading, Timestamp};
+    use crate::sensor::{SensorKind, Unit};
+
+    fn setup() -> (SensorRegistry, TelemetryBus, SensorId, SensorId) {
+        let reg = SensorRegistry::new();
+        let a = reg.register("/hw/node0/power", SensorKind::Power, Unit::Watts);
+        let b = reg.register("/facility/pdu0/power", SensorKind::Power, Unit::Kilowatts);
+        let bus = TelemetryBus::new(reg.clone());
+        (reg, bus, a, b)
+    }
+
+    fn batch(s: SensorId, v: f64) -> ReadingBatch {
+        ReadingBatch::single(s, Reading::new(Timestamp::ZERO, v))
+    }
+
+    #[test]
+    fn subscribers_receive_matching_batches_only() {
+        let (_reg, bus, a, b) = setup();
+        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 8);
+        assert_eq!(bus.publish(batch(a, 1.0)), 1);
+        assert_eq!(bus.publish(batch(b, 2.0)), 0);
+        let got = sub.rx.try_recv().unwrap();
+        assert_eq!(got.sensor, a);
+        assert!(sub.rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn late_registered_sensors_are_picked_up() {
+        let (reg, bus, _a, _b) = setup();
+        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 8);
+        let c = reg.register("/hw/node1/temp", SensorKind::Temperature, Unit::Celsius);
+        assert_eq!(bus.publish(batch(c, 55.0)), 1);
+        assert_eq!(sub.rx.try_recv().unwrap().sensor, c);
+    }
+
+    #[test]
+    fn full_subscriber_sheds_and_counts_drops() {
+        let (_reg, bus, a, _b) = setup();
+        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 2);
+        for _ in 0..5 {
+            bus.publish(batch(a, 1.0));
+        }
+        assert_eq!(sub.dropped(), 3);
+        assert_eq!(sub.rx.len(), 2);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let (_reg, bus, a, _b) = setup();
+        let sub = bus.subscribe(SensorPattern::new("/**"), 8);
+        bus.publish(batch(a, 1.0));
+        bus.unsubscribe(sub.id());
+        bus.publish(batch(a, 2.0));
+        assert_eq!(sub.rx.len(), 1);
+    }
+
+    #[test]
+    fn store_attached_bus_archives_everything() {
+        let reg = SensorRegistry::new();
+        let a = reg.register("/hw/node0/power", SensorKind::Power, Unit::Watts);
+        let store = Arc::new(TimeSeriesStore::with_capacity(16));
+        let bus = TelemetryBus::with_store(reg, Arc::clone(&store));
+        bus.publish(ReadingBatch {
+            sensor: a,
+            readings: vec![
+                Reading::new(Timestamp::from_millis(0), 100.0),
+                Reading::new(Timestamp::from_millis(10), 110.0),
+            ],
+        });
+        assert_eq!(store.series_len(a), 2);
+        assert_eq!(bus.published(), 1);
+    }
+
+    #[test]
+    fn multiple_subscribers_fan_out() {
+        let (_reg, bus, a, _b) = setup();
+        let s1 = bus.subscribe(SensorPattern::new("/hw/**"), 4);
+        let s2 = bus.subscribe(SensorPattern::new("/hw/node0/*"), 4);
+        let s3 = bus.subscribe(SensorPattern::new("/facility/**"), 4);
+        assert_eq!(bus.publish(batch(a, 1.0)), 2);
+        assert_eq!(s1.rx.len(), 1);
+        assert_eq!(s2.rx.len(), 1);
+        assert_eq!(s3.rx.len(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Telemetry export: CSV serialisation of archived series.
+//!
+//! Production ODA feeds dashboards and offline analysis from its archive;
+//! the portable lowest common denominator is CSV. Two shapes are
+//! supported:
+//!
+//! * **long** — `timestamp_ms,sensor,value`, one row per reading; robust
+//!   to ragged sampling, the shape ingestion tools prefer;
+//! * **wide** — one row per aligned time bucket with one column per
+//!   sensor, the shape spreadsheet/plotting users prefer (missing buckets
+//!   are empty cells).
+
+use crate::query::{QueryEngine, TimeRange};
+use crate::sensor::{SensorId, SensorRegistry};
+use crate::store::TimeSeriesStore;
+use std::fmt::Write as _;
+
+/// Escapes a CSV field (quotes it when needed).
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Exports the given sensors over `range` in long form.
+pub fn to_csv_long(
+    store: &TimeSeriesStore,
+    registry: &SensorRegistry,
+    sensors: &[SensorId],
+    range: TimeRange,
+) -> String {
+    let q = QueryEngine::new(store);
+    let mut out = String::from("timestamp_ms,sensor,value\n");
+    for &s in sensors {
+        let name = registry
+            .name(s)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| format!("#{}", s.0));
+        for r in q.range(s, range) {
+            let _ = writeln!(out, "{},{},{}", r.ts.as_millis(), field(&name), r.value);
+        }
+    }
+    out
+}
+
+/// Exports the given sensors over `range` in wide form, aligned to
+/// `bucket_ms` buckets (bucket means). Missing values are empty cells.
+///
+/// # Panics
+/// Panics if `bucket_ms == 0`.
+pub fn to_csv_wide(
+    store: &TimeSeriesStore,
+    registry: &SensorRegistry,
+    sensors: &[SensorId],
+    range: TimeRange,
+    bucket_ms: u64,
+) -> String {
+    let q = QueryEngine::new(store);
+    let (grid, matrix) = q.align(sensors, range, bucket_ms);
+    let mut out = String::from("timestamp_ms");
+    for &s in sensors {
+        let name = registry
+            .name(s)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| format!("#{}", s.0));
+        out.push(',');
+        out.push_str(&field(&name));
+    }
+    out.push('\n');
+    for (bi, t) in grid.iter().enumerate() {
+        let _ = write!(out, "{}", t.as_millis());
+        for row in &matrix {
+            if row[bi].is_nan() {
+                out.push(',');
+            } else {
+                let _ = write!(out, ",{}", row[bi]);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::{Reading, Timestamp};
+    use crate::sensor::{SensorKind, Unit};
+
+    fn setup() -> (TimeSeriesStore, SensorRegistry, Vec<SensorId>) {
+        let reg = SensorRegistry::new();
+        let a = reg.register("/hw/node0/power_w", SensorKind::Power, Unit::Watts);
+        let b = reg.register("/facility/pue", SensorKind::Indicator, Unit::Dimensionless);
+        let store = TimeSeriesStore::with_capacity(64);
+        for t in 0..4u64 {
+            store.insert(a, Reading::new(Timestamp::from_secs(t), 100.0 + t as f64));
+        }
+        store.insert(b, Reading::new(Timestamp::from_secs(1), 1.5));
+        (store, reg, vec![a, b])
+    }
+
+    #[test]
+    fn long_form_lists_every_reading() {
+        let (store, reg, sensors) = setup();
+        let csv = to_csv_long(&store, &reg, &sensors, TimeRange::all());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "timestamp_ms,sensor,value");
+        assert_eq!(lines.len(), 1 + 5);
+        assert!(lines[1].starts_with("0,/hw/node0/power_w,100"));
+        assert!(lines.last().unwrap().contains("/facility/pue,1.5"));
+    }
+
+    #[test]
+    fn wide_form_aligns_with_empty_cells() {
+        let (store, reg, sensors) = setup();
+        let csv = to_csv_wide(&store, &reg, &sensors, TimeRange::all(), 1_000);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "timestamp_ms,/hw/node0/power_w,/facility/pue");
+        // 4 buckets (0..4 s); PUE present only in bucket 1.
+        assert_eq!(lines.len(), 1 + 4);
+        assert_eq!(lines[1], "0,100,");
+        assert_eq!(lines[2], "1000,101,1.5");
+        assert!(lines[3].starts_with("2000,102"));
+    }
+
+    #[test]
+    fn csv_fields_are_escaped() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn range_filtering_applies() {
+        let (store, reg, sensors) = setup();
+        let csv = to_csv_long(
+            &store,
+            &reg,
+            &sensors[..1],
+            TimeRange::new(Timestamp::from_secs(1), Timestamp::from_secs(3)),
+        );
+        assert_eq!(csv.lines().count(), 1 + 2);
+    }
+}

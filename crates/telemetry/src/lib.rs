@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # oda-telemetry — monitoring substrate for HPC Operational Data Analytics
+//!
+//! This crate provides the data-collection layer that every ODA capability in
+//! the framework consumes: the paper (Netti et al., CLUSTER 2021) defines ODA
+//! as *"continuous monitoring, archiving, and analysis of near real-time
+//! performance data"*, and this crate is the monitoring-and-archiving half of
+//! that definition. It plays the role that production stacks such as DCDB,
+//! LDMS or Examon play at real HPC sites.
+//!
+//! The crate is organised as a pipeline:
+//!
+//! 1. [`sensor`] — sensors are registered under hierarchical slash-separated
+//!    names (e.g. `/facility/chiller0/power`) and referred to everywhere else
+//!    by a cheap interned [`sensor::SensorId`].
+//! 2. [`bus`] — producers publish [`reading::Reading`]s onto the
+//!    [`bus::TelemetryBus`]; consumers subscribe by name pattern.
+//! 3. [`store`] — the [`store::TimeSeriesStore`] archives readings in
+//!    per-sensor ring buffers behind sharded locks.
+//! 4. [`query`] — the [`query::QueryEngine`] evaluates range queries,
+//!    aggregations, downsampling and series alignment over the store,
+//!    optionally fanning out across sensors in parallel.
+//! 5. [`alert`] — threshold alert rules provide the "automated alerts upon
+//!    exceeding human-defined thresholds" that the paper lists as part of
+//!    descriptive ODA.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use oda_telemetry::prelude::*;
+//!
+//! let registry = SensorRegistry::new();
+//! let temp = registry.register("/hw/node0/cpu_temp", SensorKind::Temperature, Unit::Celsius);
+//! let store = TimeSeriesStore::with_capacity(1024);
+//! for t in 0..10 {
+//!     store.insert(temp, Reading::new(Timestamp::from_secs(t), 40.0 + t as f64));
+//! }
+//! let engine = QueryEngine::new(&store);
+//! let avg = engine.aggregate(temp, TimeRange::all(), Aggregation::Mean).unwrap();
+//! assert!((avg - 44.5).abs() < 1e-9);
+//! ```
+
+pub mod alert;
+pub mod bus;
+pub mod export;
+pub mod pattern;
+pub mod query;
+pub mod reading;
+pub mod sensor;
+pub mod store;
+
+/// Convenient re-exports of the types used by nearly every consumer.
+pub mod prelude {
+    pub use crate::alert::{AlertEngine, AlertEvent, AlertRule, AlertSeverity, Condition};
+    pub use crate::bus::{Subscription, TelemetryBus};
+    pub use crate::pattern::SensorPattern;
+    pub use crate::query::{Aggregation, QueryEngine, TimeRange};
+    pub use crate::reading::{Reading, Timestamp};
+    pub use crate::sensor::{SensorId, SensorKind, SensorMeta, SensorRegistry, Unit};
+    pub use crate::store::TimeSeriesStore;
+}

@@ -1,0 +1,142 @@
+//! Glob-like patterns over hierarchical sensor names.
+//!
+//! Patterns support two wildcards, matching the conventions of production
+//! monitoring stacks:
+//!
+//! * `*` matches exactly one path component (`/hw/*/power` matches
+//!   `/hw/node0/power` but not `/hw/rack0/node0/power`);
+//! * `**` matches zero or more trailing or interior components
+//!   (`/hw/**` matches everything under `/hw`).
+//!
+//! Matching is component-wise; no partial-component wildcards are supported
+//! (sensor leaves are short fixed vocabularies, so `cpu*` style matching is
+//! not needed and keeping the grammar small keeps matching allocation-free).
+
+use serde::{Deserialize, Serialize};
+
+/// A compiled sensor-name pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensorPattern {
+    components: Vec<Component>,
+    source: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum Component {
+    Literal(String),
+    AnyOne,
+    AnyDeep,
+}
+
+impl SensorPattern {
+    /// Compiles a pattern.
+    ///
+    /// # Panics
+    /// Panics if the pattern is not an absolute path (must start with `/`).
+    pub fn new(pattern: &str) -> Self {
+        assert!(
+            pattern.starts_with('/'),
+            "sensor patterns must be absolute, got {pattern:?}"
+        );
+        let components = pattern
+            .trim_start_matches('/')
+            .split('/')
+            .filter(|c| !c.is_empty())
+            .map(|c| match c {
+                "*" => Component::AnyOne,
+                "**" => Component::AnyDeep,
+                lit => Component::Literal(lit.to_owned()),
+            })
+            .collect();
+        SensorPattern {
+            components,
+            source: pattern.to_owned(),
+        }
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Tests `name` against the pattern.
+    pub fn matches(&self, name: &str) -> bool {
+        let parts: Vec<&str> = name
+            .trim_start_matches('/')
+            .split('/')
+            .filter(|c| !c.is_empty())
+            .collect();
+        Self::match_components(&self.components, &parts)
+    }
+
+    fn match_components(pat: &[Component], parts: &[&str]) -> bool {
+        match pat.split_first() {
+            None => parts.is_empty(),
+            Some((Component::Literal(lit), rest)) => parts
+                .split_first()
+                .is_some_and(|(head, tail)| head == lit && Self::match_components(rest, tail)),
+            Some((Component::AnyOne, rest)) => parts
+                .split_first()
+                .is_some_and(|(_, tail)| Self::match_components(rest, tail)),
+            Some((Component::AnyDeep, rest)) => {
+                // `**` may consume 0..=len components.
+                (0..=parts.len()).any(|k| Self::match_components(rest, &parts[k..]))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_patterns_match_exactly() {
+        let p = SensorPattern::new("/hw/node0/power");
+        assert!(p.matches("/hw/node0/power"));
+        assert!(!p.matches("/hw/node0/temp"));
+        assert!(!p.matches("/hw/node0"));
+        assert!(!p.matches("/hw/node0/power/extra"));
+    }
+
+    #[test]
+    fn star_matches_exactly_one_component() {
+        let p = SensorPattern::new("/hw/*/power");
+        assert!(p.matches("/hw/node0/power"));
+        assert!(p.matches("/hw/node99/power"));
+        assert!(!p.matches("/hw/power"));
+        assert!(!p.matches("/hw/rack0/node0/power"));
+    }
+
+    #[test]
+    fn double_star_matches_any_depth() {
+        let p = SensorPattern::new("/hw/**");
+        assert!(p.matches("/hw/node0/power"));
+        assert!(p.matches("/hw/rack0/node0/cpu0/temp"));
+        assert!(p.matches("/hw")); // zero components
+        assert!(!p.matches("/facility/pdu0/power"));
+    }
+
+    #[test]
+    fn interior_double_star() {
+        let p = SensorPattern::new("/hw/**/temp");
+        assert!(p.matches("/hw/temp"));
+        assert!(p.matches("/hw/node0/temp"));
+        assert!(p.matches("/hw/rack0/node0/cpu1/temp"));
+        assert!(!p.matches("/hw/node0/power"));
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        let p = SensorPattern::new("/*/node0/**");
+        assert!(p.matches("/hw/node0/power"));
+        assert!(p.matches("/sw/node0/load/avg"));
+        assert!(!p.matches("/hw/node1/power"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be absolute")]
+    fn relative_pattern_panics() {
+        SensorPattern::new("hw/*");
+    }
+}

@@ -1,0 +1,405 @@
+//! Analytical read path over the time-series store.
+//!
+//! The query engine provides the primitives every analytics type builds on:
+//! range scans, scalar aggregations, fixed-width-bucket downsampling, rate
+//! derivation for cumulative counters, and timestamp alignment of multiple
+//! series (the multi-dimensional input the paper's diagnostic techniques
+//! ingest). Multi-sensor scans fan out across a Rayon thread pool because
+//! fleet-wide queries (thousands of node sensors) dominate read volume.
+
+use crate::reading::{Reading, Timestamp};
+use crate::sensor::SensorId;
+use crate::store::TimeSeriesStore;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Half-open query interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Exclusive end.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// The full axis.
+    pub fn all() -> Self {
+        TimeRange {
+            start: Timestamp::ZERO,
+            end: Timestamp::MAX,
+        }
+    }
+
+    /// `[start, end)`; callers must ensure `start <= end` (an inverted range
+    /// is simply empty).
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        TimeRange { start, end }
+    }
+
+    /// The trailing window of `window_ms` ending at `now` (exclusive of
+    /// `now` itself plus one, i.e. `[now - window, now]` behaves as expected
+    /// for sampled data).
+    pub fn trailing(now: Timestamp, window_ms: u64) -> Self {
+        TimeRange {
+            start: now - window_ms,
+            end: now + 1,
+        }
+    }
+
+    /// Width in milliseconds (saturating).
+    pub fn width_ms(&self) -> u64 {
+        self.end.millis_since(self.start)
+    }
+}
+
+/// Scalar aggregation functions over a range of readings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Arithmetic mean of values.
+    Mean,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Sum of values.
+    Sum,
+    /// Number of readings, as f64.
+    Count,
+    /// Population standard deviation.
+    StdDev,
+    /// Last value in the range.
+    Last,
+    /// First value in the range.
+    First,
+    /// Exact quantile `q` in `0..=1` (sorts the window; fine for the window
+    /// sizes dashboards use — streaming quantiles live in `oda-analytics`).
+    Quantile(f64),
+    /// Time-weighted mean: each value weighted by the duration until the next
+    /// sample. The natural aggregate for irregularly-sampled power/temp data.
+    TimeWeightedMean,
+}
+
+/// One downsampled bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Bucket start (aligned to the bucket width).
+    pub start: Timestamp,
+    /// Aggregated value of the readings falling in the bucket.
+    pub value: f64,
+    /// Number of raw readings aggregated.
+    pub count: usize,
+}
+
+/// Read-side engine over a [`TimeSeriesStore`].
+pub struct QueryEngine<'a> {
+    store: &'a TimeSeriesStore,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine borrowing `store`.
+    pub fn new(store: &'a TimeSeriesStore) -> Self {
+        QueryEngine { store }
+    }
+
+    /// Raw readings in `range`, chronological.
+    pub fn range(&self, sensor: SensorId, range: TimeRange) -> Vec<Reading> {
+        self.store.range(sensor, range.start, range.end)
+    }
+
+    /// Applies `agg` to the readings of `sensor` within `range`.
+    ///
+    /// Returns `None` when the range holds no readings (aggregates of empty
+    /// sets are undefined rather than silently zero).
+    pub fn aggregate(&self, sensor: SensorId, range: TimeRange, agg: Aggregation) -> Option<f64> {
+        let readings = self.range(sensor, range);
+        aggregate_readings(&readings, agg)
+    }
+
+    /// Aggregates many sensors in parallel; output order matches input order.
+    pub fn aggregate_many(
+        &self,
+        sensors: &[SensorId],
+        range: TimeRange,
+        agg: Aggregation,
+    ) -> Vec<Option<f64>> {
+        sensors
+            .par_iter()
+            .map(|&s| self.aggregate(s, range, agg))
+            .collect()
+    }
+
+    /// Downsamples `sensor` over `range` into fixed `bucket_ms`-wide buckets,
+    /// aggregating each bucket with `agg`. Empty buckets are omitted.
+    ///
+    /// # Panics
+    /// Panics if `bucket_ms == 0`.
+    pub fn downsample(
+        &self,
+        sensor: SensorId,
+        range: TimeRange,
+        bucket_ms: u64,
+        agg: Aggregation,
+    ) -> Vec<Bucket> {
+        assert!(bucket_ms > 0, "bucket width must be positive");
+        let readings = self.range(sensor, range);
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < readings.len() {
+            let bstart = readings[i].ts.bucket(bucket_ms);
+            let bend = bstart + bucket_ms;
+            let mut j = i;
+            while j < readings.len() && readings[j].ts < bend {
+                j += 1;
+            }
+            let slice = &readings[i..j];
+            if let Some(value) = aggregate_readings(slice, agg) {
+                out.push(Bucket {
+                    start: bstart,
+                    value,
+                    count: slice.len(),
+                });
+            }
+            i = j;
+        }
+        out
+    }
+
+    /// Converts a cumulative counter (e.g. energy in joules) to a rate series
+    /// (watts): each output reading is `(vᵢ₊₁ - vᵢ) / Δt_seconds`, stamped at
+    /// the later timestamp. Counter resets (negative deltas) yield no sample.
+    pub fn rate(&self, sensor: SensorId, range: TimeRange) -> Vec<Reading> {
+        let readings = self.range(sensor, range);
+        readings
+            .windows(2)
+            .filter_map(|w| {
+                let dt = w[1].ts.millis_since(w[0].ts) as f64 / 1_000.0;
+                let dv = w[1].value - w[0].value;
+                (dt > 0.0 && dv >= 0.0).then(|| Reading::new(w[1].ts, dv / dt))
+            })
+            .collect()
+    }
+
+    /// Aligns several sensors onto a common bucket grid.
+    ///
+    /// Returns `(bucket_starts, matrix)` where `matrix[s][b]` is the mean of
+    /// sensor `s` in bucket `b`, or `f64::NAN` when that sensor has no sample
+    /// in the bucket. The grid spans the union of non-empty buckets. This is
+    /// the standard preprocessing step for multivariate diagnostics.
+    pub fn align(
+        &self,
+        sensors: &[SensorId],
+        range: TimeRange,
+        bucket_ms: u64,
+    ) -> (Vec<Timestamp>, Vec<Vec<f64>>) {
+        assert!(bucket_ms > 0, "bucket width must be positive");
+        let per_sensor: Vec<Vec<Bucket>> = sensors
+            .par_iter()
+            .map(|&s| self.downsample(s, range, bucket_ms, Aggregation::Mean))
+            .collect();
+        let mut grid: Vec<Timestamp> = per_sensor
+            .iter()
+            .flat_map(|bs| bs.iter().map(|b| b.start))
+            .collect();
+        grid.sort_unstable();
+        grid.dedup();
+        let matrix = per_sensor
+            .par_iter()
+            .map(|buckets| {
+                let mut row = vec![f64::NAN; grid.len()];
+                for b in buckets {
+                    if let Ok(idx) = grid.binary_search(&b.start) {
+                        row[idx] = b.value;
+                    }
+                }
+                row
+            })
+            .collect();
+        (grid, matrix)
+    }
+}
+
+/// Applies `agg` to an already-materialised chronological slice.
+///
+/// Exposed so analytics code can aggregate windows it has already fetched.
+pub fn aggregate_readings(readings: &[Reading], agg: Aggregation) -> Option<f64> {
+    if readings.is_empty() {
+        return None;
+    }
+    let n = readings.len() as f64;
+    Some(match agg {
+        Aggregation::Mean => readings.iter().map(|r| r.value).sum::<f64>() / n,
+        Aggregation::Min => readings.iter().map(|r| r.value).fold(f64::INFINITY, f64::min),
+        Aggregation::Max => readings
+            .iter()
+            .map(|r| r.value)
+            .fold(f64::NEG_INFINITY, f64::max),
+        Aggregation::Sum => readings.iter().map(|r| r.value).sum(),
+        Aggregation::Count => n,
+        Aggregation::StdDev => {
+            let mean = readings.iter().map(|r| r.value).sum::<f64>() / n;
+            (readings.iter().map(|r| (r.value - mean).powi(2)).sum::<f64>() / n).sqrt()
+        }
+        Aggregation::Last => readings.last().unwrap().value,
+        Aggregation::First => readings.first().unwrap().value,
+        Aggregation::Quantile(q) => {
+            let q = q.clamp(0.0, 1.0);
+            let mut vals: Vec<f64> = readings.iter().map(|r| r.value).collect();
+            vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            // Linear interpolation between closest ranks.
+            let pos = q * (vals.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                vals[lo]
+            } else {
+                vals[lo] + (pos - lo as f64) * (vals[hi] - vals[lo])
+            }
+        }
+        Aggregation::TimeWeightedMean => {
+            if readings.len() == 1 {
+                readings[0].value
+            } else {
+                let mut weighted = 0.0;
+                let mut total_w = 0.0;
+                for w in readings.windows(2) {
+                    let dt = w[1].ts.millis_since(w[0].ts) as f64;
+                    weighted += w[0].value * dt;
+                    total_w += dt;
+                }
+                if total_w == 0.0 {
+                    readings.iter().map(|r| r.value).sum::<f64>() / n
+                } else {
+                    weighted / total_w
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(series: &[(u64, f64)]) -> (TimeSeriesStore, SensorId) {
+        let store = TimeSeriesStore::with_capacity(1024);
+        let s = SensorId(0);
+        for &(t, v) in series {
+            store.insert(s, Reading::new(Timestamp::from_millis(t), v));
+        }
+        (store, s)
+    }
+
+    #[test]
+    fn scalar_aggregations() {
+        let (store, s) = store_with(&[(0, 1.0), (10, 2.0), (20, 3.0), (30, 4.0)]);
+        let q = QueryEngine::new(&store);
+        let all = TimeRange::all();
+        assert_eq!(q.aggregate(s, all, Aggregation::Mean), Some(2.5));
+        assert_eq!(q.aggregate(s, all, Aggregation::Min), Some(1.0));
+        assert_eq!(q.aggregate(s, all, Aggregation::Max), Some(4.0));
+        assert_eq!(q.aggregate(s, all, Aggregation::Sum), Some(10.0));
+        assert_eq!(q.aggregate(s, all, Aggregation::Count), Some(4.0));
+        assert_eq!(q.aggregate(s, all, Aggregation::First), Some(1.0));
+        assert_eq!(q.aggregate(s, all, Aggregation::Last), Some(4.0));
+        let sd = q.aggregate(s, all, Aggregation::StdDev).unwrap();
+        assert!((sd - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_range_aggregates_to_none() {
+        let (store, s) = store_with(&[(0, 1.0)]);
+        let q = QueryEngine::new(&store);
+        let r = TimeRange::new(Timestamp::from_millis(100), Timestamp::from_millis(200));
+        assert_eq!(q.aggregate(s, r, Aggregation::Mean), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let (store, s) = store_with(&[(0, 10.0), (1, 20.0), (2, 30.0), (3, 40.0)]);
+        let q = QueryEngine::new(&store);
+        let all = TimeRange::all();
+        assert_eq!(q.aggregate(s, all, Aggregation::Quantile(0.0)), Some(10.0));
+        assert_eq!(q.aggregate(s, all, Aggregation::Quantile(1.0)), Some(40.0));
+        assert_eq!(q.aggregate(s, all, Aggregation::Quantile(0.5)), Some(25.0));
+        // Out-of-range q is clamped.
+        assert_eq!(q.aggregate(s, all, Aggregation::Quantile(2.0)), Some(40.0));
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_holding_time() {
+        // Value 0 held for 90ms, value 10 held for 10ms (last sample has no
+        // holding time and is excluded as weight).
+        let (store, s) = store_with(&[(0, 0.0), (90, 10.0), (100, 10.0)]);
+        let q = QueryEngine::new(&store);
+        let twm = q
+            .aggregate(s, TimeRange::all(), Aggregation::TimeWeightedMean)
+            .unwrap();
+        assert!((twm - 1.0).abs() < 1e-12, "got {twm}");
+    }
+
+    #[test]
+    fn downsample_means_per_bucket_and_skips_gaps() {
+        let (store, s) = store_with(&[(0, 1.0), (500, 3.0), (1_000, 5.0), (3_000, 7.0)]);
+        let q = QueryEngine::new(&store);
+        let buckets = q.downsample(s, TimeRange::all(), 1_000, Aggregation::Mean);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].start, Timestamp::ZERO);
+        assert_eq!(buckets[0].value, 2.0);
+        assert_eq!(buckets[0].count, 2);
+        assert_eq!(buckets[1].value, 5.0);
+        assert_eq!(buckets[2].start, Timestamp::from_millis(3_000));
+    }
+
+    #[test]
+    fn rate_derives_watts_from_joules() {
+        // 100 J at t=0s, 300 J at t=2s → 100 W; reset to 0 → skipped.
+        let (store, s) = store_with(&[(0, 100.0), (2_000, 300.0), (3_000, 0.0), (4_000, 50.0)]);
+        let q = QueryEngine::new(&store);
+        let rates = q.rate(s, TimeRange::all());
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0].value - 100.0).abs() < 1e-12);
+        assert!((rates[1].value - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn align_produces_common_grid_with_nans() {
+        let store = TimeSeriesStore::with_capacity(64);
+        let a = SensorId(0);
+        let b = SensorId(1);
+        store.insert(a, Reading::new(Timestamp::from_millis(0), 1.0));
+        store.insert(a, Reading::new(Timestamp::from_millis(1_000), 2.0));
+        store.insert(b, Reading::new(Timestamp::from_millis(1_000), 10.0));
+        store.insert(b, Reading::new(Timestamp::from_millis(2_000), 20.0));
+        let q = QueryEngine::new(&store);
+        let (grid, m) = q.align(&[a, b], TimeRange::all(), 1_000);
+        assert_eq!(grid.len(), 3);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0][0], 1.0);
+        assert_eq!(m[0][1], 2.0);
+        assert!(m[0][2].is_nan());
+        assert!(m[1][0].is_nan());
+        assert_eq!(m[1][1], 10.0);
+        assert_eq!(m[1][2], 20.0);
+    }
+
+    #[test]
+    fn aggregate_many_preserves_order() {
+        let store = TimeSeriesStore::with_capacity(8);
+        for i in 0..4u32 {
+            store.insert(SensorId(i), Reading::new(Timestamp::ZERO, i as f64));
+        }
+        let q = QueryEngine::new(&store);
+        let sensors: Vec<SensorId> = (0..4).map(SensorId).collect();
+        let out = q.aggregate_many(&sensors, TimeRange::all(), Aggregation::Last);
+        assert_eq!(out, vec![Some(0.0), Some(1.0), Some(2.0), Some(3.0)]);
+    }
+
+    #[test]
+    fn trailing_range_includes_now() {
+        let (store, s) = store_with(&[(900, 1.0), (1_000, 2.0)]);
+        let q = QueryEngine::new(&store);
+        let r = TimeRange::trailing(Timestamp::from_millis(1_000), 50);
+        assert_eq!(q.aggregate(s, r, Aggregation::Count), Some(1.0));
+    }
+}

@@ -1,0 +1,338 @@
+//! Sensor identity, metadata, and the interning registry.
+//!
+//! Sensors are named hierarchically with slash-separated components mirroring
+//! the physical/logical topology of the data center, e.g.
+//!
+//! ```text
+//! /facility/chiller0/power
+//! /hw/rack3/node12/cpu0/temperature
+//! /sw/scheduler/queue_length
+//! /app/job1234/flops
+//! ```
+//!
+//! The first component identifies the *pillar domain* the sensor belongs to
+//! (`facility`, `hw`, `sw`, `app`), which lets the framework layer route
+//! sensors to pillar-scoped capabilities without any extra bookkeeping.
+//!
+//! Names are interned once at registration into a dense [`SensorId`] (a
+//! `u32`), which every other component uses as a key. Interning keeps hot
+//! paths (ingest, query) free of string hashing and keeps per-reading memory
+//! at 16 bytes.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense interned identifier of a registered sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SensorId(pub u32);
+
+impl SensorId {
+    /// The raw index. Valid indices are `0..registry.len()`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Physical kind of the monitored quantity.
+///
+/// The kind is advisory metadata used by dashboards and by analytics that
+/// select their inputs semantically (e.g. a thermal model asks for all
+/// `Temperature` sensors under a node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// Electrical power draw.
+    Power,
+    /// Cumulative energy.
+    Energy,
+    /// A temperature.
+    Temperature,
+    /// Utilization fraction of a resource (0..=1).
+    Utilization,
+    /// A frequency (CPU clock, fan speed).
+    Frequency,
+    /// Volumetric or mass flow (cooling loops).
+    Flow,
+    /// A dimensionless count (queue lengths, error counters).
+    Count,
+    /// A rate of events or bytes per second.
+    Rate,
+    /// A ratio or derived efficiency indicator (PUE, ITUE, slowdown).
+    Indicator,
+}
+
+/// Unit of measure for a sensor's values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Watts.
+    Watts,
+    /// Kilowatts.
+    Kilowatts,
+    /// Joules.
+    Joules,
+    /// Degrees Celsius.
+    Celsius,
+    /// Fraction in `0..=1`.
+    Fraction,
+    /// Percent in `0..=100`.
+    Percent,
+    /// Hertz.
+    Hertz,
+    /// Megahertz.
+    Megahertz,
+    /// Litres per second.
+    LitresPerSecond,
+    /// Bytes per second.
+    BytesPerSecond,
+    /// Operations (or events) per second.
+    OpsPerSecond,
+    /// Plain count, no unit.
+    Dimensionless,
+    /// Seconds.
+    Seconds,
+}
+
+impl Unit {
+    /// Short human-readable suffix used by dashboards.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Unit::Watts => "W",
+            Unit::Kilowatts => "kW",
+            Unit::Joules => "J",
+            Unit::Celsius => "°C",
+            Unit::Fraction => "",
+            Unit::Percent => "%",
+            Unit::Hertz => "Hz",
+            Unit::Megahertz => "MHz",
+            Unit::LitresPerSecond => "L/s",
+            Unit::BytesPerSecond => "B/s",
+            Unit::OpsPerSecond => "op/s",
+            Unit::Dimensionless => "",
+            Unit::Seconds => "s",
+        }
+    }
+}
+
+/// Immutable metadata describing a registered sensor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorMeta {
+    /// The interned identifier.
+    pub id: SensorId,
+    /// Full hierarchical name, e.g. `/hw/node3/cpu_power`.
+    pub name: Arc<str>,
+    /// What physical quantity this sensor reports.
+    pub kind: SensorKind,
+    /// Unit of the reported values.
+    pub unit: Unit,
+}
+
+impl SensorMeta {
+    /// The top-level domain component of the name (`facility`, `hw`, ...),
+    /// or an empty string for degenerate names.
+    pub fn domain(&self) -> &str {
+        self.name
+            .trim_start_matches('/')
+            .split('/')
+            .next()
+            .unwrap_or("")
+    }
+
+    /// The final component of the name (the metric leaf, e.g. `cpu_power`).
+    pub fn leaf(&self) -> &str {
+        self.name.rsplit('/').next().unwrap_or("")
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    metas: Vec<SensorMeta>,
+    by_name: HashMap<Arc<str>, SensorId>,
+}
+
+/// Thread-safe interning registry of all sensors in a deployment.
+///
+/// Registration is idempotent: registering the same name twice returns the
+/// existing id (kind/unit of the first registration win). The registry is
+/// cheap to clone — clones share the same underlying map.
+#[derive(Clone, Default)]
+pub struct SensorRegistry {
+    inner: Arc<RwLock<RegistryInner>>,
+}
+
+impl SensorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name` (idempotently) and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `name` is empty or does not start with `/`: sensor names
+    /// are required to be absolute hierarchical paths.
+    pub fn register(&self, name: &str, kind: SensorKind, unit: Unit) -> SensorId {
+        assert!(
+            name.starts_with('/') && name.len() > 1,
+            "sensor names must be absolute hierarchical paths, got {name:?}"
+        );
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(name) {
+            return id;
+        }
+        let id = SensorId(inner.metas.len() as u32);
+        let name: Arc<str> = Arc::from(name);
+        inner.metas.push(SensorMeta {
+            id,
+            name: Arc::clone(&name),
+            kind,
+            unit,
+        });
+        inner.by_name.insert(name, id);
+        id
+    }
+
+    /// Looks up a sensor by exact name.
+    pub fn lookup(&self, name: &str) -> Option<SensorId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Returns the metadata for `id`, if registered.
+    pub fn meta(&self, id: SensorId) -> Option<SensorMeta> {
+        self.inner.read().metas.get(id.index()).cloned()
+    }
+
+    /// Returns the full name for `id`, if registered.
+    pub fn name(&self, id: SensorId) -> Option<Arc<str>> {
+        self.inner
+            .read()
+            .metas
+            .get(id.index())
+            .map(|m| Arc::clone(&m.name))
+    }
+
+    /// Number of registered sensors.
+    pub fn len(&self) -> usize {
+        self.inner.read().metas.len()
+    }
+
+    /// `true` if no sensors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all sensor metadata, ordered by id.
+    pub fn all(&self) -> Vec<SensorMeta> {
+        self.inner.read().metas.clone()
+    }
+
+    /// Ids of all sensors whose name matches `pattern`.
+    pub fn matching(&self, pattern: &crate::pattern::SensorPattern) -> Vec<SensorId> {
+        self.inner
+            .read()
+            .metas
+            .iter()
+            .filter(|m| pattern.matches(&m.name))
+            .map(|m| m.id)
+            .collect()
+    }
+
+    /// Ids of all sensors in a given top-level domain (e.g. `"hw"`).
+    pub fn in_domain(&self, domain: &str) -> Vec<SensorId> {
+        self.inner
+            .read()
+            .metas
+            .iter()
+            .filter(|m| m.domain() == domain)
+            .map(|m| m.id)
+            .collect()
+    }
+
+    /// Ids of all sensors of a given kind.
+    pub fn of_kind(&self, kind: SensorKind) -> Vec<SensorId> {
+        self.inner
+            .read()
+            .metas
+            .iter()
+            .filter(|m| m.kind == kind)
+            .map(|m| m.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::SensorPattern;
+
+    #[test]
+    fn register_is_idempotent_and_dense() {
+        let reg = SensorRegistry::new();
+        let a = reg.register("/hw/node0/power", SensorKind::Power, Unit::Watts);
+        let b = reg.register("/hw/node1/power", SensorKind::Power, Unit::Watts);
+        let a2 = reg.register("/hw/node0/power", SensorKind::Power, Unit::Watts);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute hierarchical paths")]
+    fn relative_names_are_rejected() {
+        SensorRegistry::new().register("power", SensorKind::Power, Unit::Watts);
+    }
+
+    #[test]
+    fn lookup_and_meta_round_trip() {
+        let reg = SensorRegistry::new();
+        let id = reg.register("/facility/chiller0/power", SensorKind::Power, Unit::Kilowatts);
+        assert_eq!(reg.lookup("/facility/chiller0/power"), Some(id));
+        assert_eq!(reg.lookup("/facility/chiller1/power"), None);
+        let meta = reg.meta(id).unwrap();
+        assert_eq!(meta.domain(), "facility");
+        assert_eq!(meta.leaf(), "power");
+        assert_eq!(meta.unit, Unit::Kilowatts);
+    }
+
+    #[test]
+    fn domain_and_kind_filters() {
+        let reg = SensorRegistry::new();
+        reg.register("/hw/node0/power", SensorKind::Power, Unit::Watts);
+        reg.register("/hw/node0/temp", SensorKind::Temperature, Unit::Celsius);
+        reg.register("/facility/pdu0/power", SensorKind::Power, Unit::Kilowatts);
+        assert_eq!(reg.in_domain("hw").len(), 2);
+        assert_eq!(reg.in_domain("facility").len(), 1);
+        assert_eq!(reg.of_kind(SensorKind::Power).len(), 2);
+        assert_eq!(reg.of_kind(SensorKind::Flow).len(), 0);
+    }
+
+    #[test]
+    fn pattern_matching_selects_subtrees() {
+        let reg = SensorRegistry::new();
+        reg.register("/hw/node0/power", SensorKind::Power, Unit::Watts);
+        reg.register("/hw/node1/power", SensorKind::Power, Unit::Watts);
+        reg.register("/hw/node1/temp", SensorKind::Temperature, Unit::Celsius);
+        let pat = SensorPattern::new("/hw/*/power");
+        assert_eq!(reg.matching(&pat).len(), 2);
+        let pat = SensorPattern::new("/hw/node1/**");
+        assert_eq!(reg.matching(&pat).len(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = SensorRegistry::new();
+        let clone = reg.clone();
+        let id = reg.register("/hw/node0/power", SensorKind::Power, Unit::Watts);
+        assert_eq!(clone.lookup("/hw/node0/power"), Some(id));
+    }
+}

@@ -1,0 +1,463 @@
+//! The in-memory time-series archive.
+//!
+//! Production ODA stacks archive near-real-time data in a write-optimised
+//! store and serve analytical reads from it. This module provides an
+//! in-memory equivalent with the same access pattern:
+//!
+//! * **writes** are appends of monotonically-timestamped readings to one
+//!   sensor's series;
+//! * **reads** are contiguous time-range scans of one or more series.
+//!
+//! Each sensor owns a fixed-capacity **ring buffer**: once full, the oldest
+//! readings are overwritten. This matches the "retain the recent operational
+//! window, downsample/export for long-term archival" policy of real
+//! deployments and gives O(1) ingest with zero steady-state allocation.
+//!
+//! The store is sharded: sensor ids map round-robin onto `N` shards, each
+//! behind its own `parking_lot::RwLock`, so concurrent collectors writing
+//! disjoint sensors rarely contend. The shard count is fixed at construction.
+
+use crate::reading::{Reading, Timestamp};
+use crate::sensor::SensorId;
+use parking_lot::RwLock;
+
+/// Fixed-capacity ring buffer of readings with monotonic timestamps.
+///
+/// Kept public so analytics code can be tested directly against a buffer
+/// without constructing a full store.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: Vec<Reading>,
+    head: usize,
+    len: usize,
+    capacity: usize,
+    /// Count of readings ever evicted by wrap-around.
+    evicted: u64,
+}
+
+impl RingBuffer {
+    /// Creates a buffer holding at most `capacity` readings.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBuffer {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Number of readings currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no readings are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Count of readings evicted by wrap-around since creation.
+    #[inline]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Appends a reading.
+    ///
+    /// Returns `false` (and stores nothing) if the reading is non-finite or
+    /// older than the newest stored reading — out-of-order data is dropped
+    /// rather than silently corrupting the series, mirroring the behaviour
+    /// of production collectors. Equal timestamps are accepted, replacing
+    /// nothing (multiple same-ts readings are legal and preserved in arrival
+    /// order).
+    pub fn push(&mut self, r: Reading) -> bool {
+        if !r.is_finite() {
+            return false;
+        }
+        if let Some(last) = self.newest() {
+            if r.ts < last.ts {
+                return false;
+            }
+        }
+        if self.len < self.capacity {
+            // Still filling the initial allocation.
+            let pos = (self.head + self.len) % self.capacity;
+            if pos == self.buf.len() {
+                self.buf.push(r);
+            } else {
+                self.buf[pos] = r;
+            }
+            self.len += 1;
+        } else {
+            // Overwrite the oldest slot.
+            self.buf[self.head] = r;
+            self.head = (self.head + 1) % self.capacity;
+            self.evicted += 1;
+        }
+        true
+    }
+
+    /// The oldest stored reading.
+    #[inline]
+    pub fn oldest(&self) -> Option<Reading> {
+        (self.len > 0).then(|| self.buf[self.head])
+    }
+
+    /// The newest stored reading.
+    #[inline]
+    pub fn newest(&self) -> Option<Reading> {
+        (self.len > 0).then(|| self.buf[(self.head + self.len - 1) % self.capacity])
+    }
+
+    /// Reading at logical position `i` (0 = oldest).
+    #[inline]
+    fn get(&self, i: usize) -> Reading {
+        debug_assert!(i < self.len);
+        self.buf[(self.head + i) % self.capacity]
+    }
+
+    /// Copies all readings with `start <= ts < end` into `out`, in order.
+    ///
+    /// Uses binary search over the logically-ordered buffer, so cost is
+    /// O(log n + k) for k results.
+    pub fn range_into(&self, start: Timestamp, end: Timestamp, out: &mut Vec<Reading>) {
+        if self.len == 0 || start >= end {
+            return;
+        }
+        let lo = self.partition_point(|r| r.ts < start);
+        let hi = self.partition_point(|r| r.ts < end);
+        out.reserve(hi - lo);
+        for i in lo..hi {
+            out.push(self.get(i));
+        }
+    }
+
+    /// All readings in chronological order (mostly for tests and snapshots).
+    pub fn to_vec(&self) -> Vec<Reading> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// First logical index for which `pred` is false (series is sorted by ts).
+    fn partition_point(&self, pred: impl Fn(&Reading) -> bool) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if pred(&self.get(mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The most recent `n` readings, oldest-first.
+    pub fn last_n(&self, n: usize) -> Vec<Reading> {
+        let take = n.min(self.len);
+        (self.len - take..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+struct Shard {
+    /// Indexed by `sensor.index() / num_shards`.
+    series: Vec<Option<RingBuffer>>,
+}
+
+/// Sharded, thread-safe archive of per-sensor time series.
+pub struct TimeSeriesStore {
+    shards: Vec<RwLock<Shard>>,
+    per_sensor_capacity: usize,
+}
+
+impl TimeSeriesStore {
+    /// Default number of lock shards.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Creates a store where each sensor retains up to `per_sensor_capacity`
+    /// readings, with the default shard count.
+    pub fn with_capacity(per_sensor_capacity: usize) -> Self {
+        Self::with_capacity_and_shards(per_sensor_capacity, Self::DEFAULT_SHARDS)
+    }
+
+    /// Creates a store with an explicit shard count (ablation benches compare
+    /// shard counts; `1` degenerates to a single global lock).
+    pub fn with_capacity_and_shards(per_sensor_capacity: usize, shards: usize) -> Self {
+        assert!(per_sensor_capacity > 0, "per-sensor capacity must be positive");
+        assert!(shards > 0, "shard count must be positive");
+        TimeSeriesStore {
+            shards: (0..shards)
+                .map(|_| RwLock::new(Shard { series: Vec::new() }))
+                .collect(),
+            per_sensor_capacity,
+        }
+    }
+
+    #[inline]
+    fn locate(&self, sensor: SensorId) -> (usize, usize) {
+        let n = self.shards.len();
+        (sensor.index() % n, sensor.index() / n)
+    }
+
+    /// Retention capacity per sensor.
+    pub fn per_sensor_capacity(&self) -> usize {
+        self.per_sensor_capacity
+    }
+
+    /// Appends one reading. Returns `false` if it was rejected (non-finite
+    /// value or out-of-order timestamp).
+    pub fn insert(&self, sensor: SensorId, reading: Reading) -> bool {
+        let (s, slot) = self.locate(sensor);
+        let mut shard = self.shards[s].write();
+        if shard.series.len() <= slot {
+            shard.series.resize_with(slot + 1, || None);
+        }
+        shard.series[slot]
+            .get_or_insert_with(|| RingBuffer::new(self.per_sensor_capacity))
+            .push(reading)
+    }
+
+    /// Appends a batch of readings for one sensor; returns how many were
+    /// accepted.
+    pub fn insert_batch(&self, sensor: SensorId, readings: &[Reading]) -> usize {
+        let (s, slot) = self.locate(sensor);
+        let mut shard = self.shards[s].write();
+        if shard.series.len() <= slot {
+            shard.series.resize_with(slot + 1, || None);
+        }
+        let buf = shard.series[slot].get_or_insert_with(|| RingBuffer::new(self.per_sensor_capacity));
+        readings.iter().filter(|r| buf.push(**r)).count()
+    }
+
+    /// Readings for `sensor` with `start <= ts < end`, chronological.
+    pub fn range(&self, sensor: SensorId, start: Timestamp, end: Timestamp) -> Vec<Reading> {
+        let mut out = Vec::new();
+        self.range_into(sensor, start, end, &mut out);
+        out
+    }
+
+    /// As [`Self::range`], appending into a caller-provided buffer to allow
+    /// reuse across queries.
+    pub fn range_into(
+        &self,
+        sensor: SensorId,
+        start: Timestamp,
+        end: Timestamp,
+        out: &mut Vec<Reading>,
+    ) {
+        let (s, slot) = self.locate(sensor);
+        let shard = self.shards[s].read();
+        if let Some(Some(buf)) = shard.series.get(slot) {
+            buf.range_into(start, end, out);
+        }
+    }
+
+    /// The newest reading for `sensor`, if any.
+    pub fn latest(&self, sensor: SensorId) -> Option<Reading> {
+        let (s, slot) = self.locate(sensor);
+        let shard = self.shards[s].read();
+        shard.series.get(slot).and_then(|b| b.as_ref()).and_then(|b| b.newest())
+    }
+
+    /// The most recent `n` readings for `sensor`, oldest-first.
+    pub fn last_n(&self, sensor: SensorId, n: usize) -> Vec<Reading> {
+        let (s, slot) = self.locate(sensor);
+        let shard = self.shards[s].read();
+        shard
+            .series
+            .get(slot)
+            .and_then(|b| b.as_ref())
+            .map(|b| b.last_n(n))
+            .unwrap_or_default()
+    }
+
+    /// Number of readings currently retained for `sensor`.
+    pub fn series_len(&self, sensor: SensorId) -> usize {
+        let (s, slot) = self.locate(sensor);
+        let shard = self.shards[s].read();
+        shard
+            .series
+            .get(slot)
+            .and_then(|b| b.as_ref())
+            .map(|b| b.len())
+            .unwrap_or(0)
+    }
+
+    /// Total readings retained across all sensors (diagnostic).
+    pub fn total_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .series
+                    .iter()
+                    .flatten()
+                    .map(|b| b.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ts: u64, v: f64) -> Reading {
+        Reading::new(Timestamp::from_millis(ts), v)
+    }
+
+    #[test]
+    fn ring_buffer_fills_then_wraps() {
+        let mut b = RingBuffer::new(3);
+        assert!(b.push(r(0, 0.0)));
+        assert!(b.push(r(1, 1.0)));
+        assert!(b.push(r(2, 2.0)));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.evicted(), 0);
+        assert!(b.push(r(3, 3.0)));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.evicted(), 1);
+        assert_eq!(b.oldest().unwrap().value, 1.0);
+        assert_eq!(b.newest().unwrap().value, 3.0);
+        assert_eq!(
+            b.to_vec().iter().map(|x| x.value).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn ring_buffer_rejects_out_of_order_and_nan() {
+        let mut b = RingBuffer::new(4);
+        assert!(b.push(r(10, 1.0)));
+        assert!(!b.push(r(5, 2.0)), "older timestamp must be rejected");
+        assert!(b.push(r(10, 3.0)), "equal timestamp is allowed");
+        assert!(!b.push(r(11, f64::NAN)));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn ring_buffer_range_binary_search() {
+        let mut b = RingBuffer::new(8);
+        for t in 0..8 {
+            b.push(r(t * 10, t as f64));
+        }
+        let mut out = Vec::new();
+        b.range_into(Timestamp::from_millis(20), Timestamp::from_millis(50), &mut out);
+        assert_eq!(out.iter().map(|x| x.value).collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+
+        // Range across the wrap point.
+        for t in 8..12 {
+            b.push(r(t * 10, t as f64));
+        }
+        out.clear();
+        b.range_into(Timestamp::from_millis(0), Timestamp::MAX, &mut out);
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[0].value, 4.0);
+        assert_eq!(out[7].value, 11.0);
+    }
+
+    #[test]
+    fn ring_buffer_empty_and_inverted_ranges() {
+        let b = RingBuffer::new(4);
+        let mut out = Vec::new();
+        b.range_into(Timestamp::ZERO, Timestamp::MAX, &mut out);
+        assert!(out.is_empty());
+
+        let mut b = RingBuffer::new(4);
+        b.push(r(0, 1.0));
+        b.range_into(Timestamp::from_millis(5), Timestamp::from_millis(5), &mut out);
+        assert!(out.is_empty());
+        b.range_into(Timestamp::from_millis(9), Timestamp::from_millis(3), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_last_n() {
+        let mut b = RingBuffer::new(4);
+        for t in 0..6 {
+            b.push(r(t, t as f64));
+        }
+        assert_eq!(b.last_n(2).iter().map(|x| x.value).collect::<Vec<_>>(), vec![4.0, 5.0]);
+        assert_eq!(b.last_n(10).len(), 4);
+    }
+
+    #[test]
+    fn store_basic_insert_query() {
+        let store = TimeSeriesStore::with_capacity(16);
+        let a = SensorId(0);
+        let b = SensorId(17); // lands in shard 1 with 16 shards
+        for t in 0..10u64 {
+            assert!(store.insert(a, r(t * 100, t as f64)));
+            assert!(store.insert(b, r(t * 100, -(t as f64))));
+        }
+        assert_eq!(store.series_len(a), 10);
+        assert_eq!(store.latest(b).unwrap().value, -9.0);
+        let ra = store.range(a, Timestamp::from_millis(200), Timestamp::from_millis(500));
+        assert_eq!(ra.len(), 3);
+        assert_eq!(store.total_len(), 20);
+    }
+
+    #[test]
+    fn store_batch_insert_counts_accepted() {
+        let store = TimeSeriesStore::with_capacity(16);
+        let s = SensorId(3);
+        let batch = vec![r(0, 1.0), r(10, 2.0), r(5, 3.0), r(20, f64::NAN), r(30, 4.0)];
+        // r(5,..) is out of order, NaN is rejected.
+        assert_eq!(store.insert_batch(s, &batch), 3);
+        assert_eq!(store.series_len(s), 3);
+    }
+
+    #[test]
+    fn store_unknown_sensor_is_empty() {
+        let store = TimeSeriesStore::with_capacity(4);
+        assert!(store.latest(SensorId(99)).is_none());
+        assert!(store.range(SensorId(99), Timestamp::ZERO, Timestamp::MAX).is_empty());
+        assert_eq!(store.series_len(SensorId(99)), 0);
+    }
+
+    #[test]
+    fn store_single_shard_still_works() {
+        let store = TimeSeriesStore::with_capacity_and_shards(8, 1);
+        for i in 0..5u32 {
+            store.insert(SensorId(i), r(0, i as f64));
+        }
+        for i in 0..5u32 {
+            assert_eq!(store.latest(SensorId(i)).unwrap().value, i as f64);
+        }
+    }
+
+    #[test]
+    fn store_concurrent_writers_disjoint_sensors() {
+        use std::sync::Arc;
+        let store = Arc::new(TimeSeriesStore::with_capacity(1024));
+        let mut handles = Vec::new();
+        for w in 0..8u32 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let s = SensorId(w);
+                for t in 0..1000u64 {
+                    store.insert(s, r(t, t as f64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for w in 0..8u32 {
+            assert_eq!(store.series_len(SensorId(w)), 1000);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # hpc-oda — facade crate
+//!
+//! Re-exports the whole workspace behind a single dependency so examples and
+//! downstream users can write `use hpc_oda::...`. See the individual crates:
+//!
+//! * [`core`] ([`oda_core`]) — the 4×4 ODA framework (pillars × analytics
+//!   types), capability registry, staged pipelines, and the Table I survey.
+//! * [`telemetry`] ([`oda_telemetry`]) — monitoring substrate.
+//! * [`sim`] ([`oda_sim`]) — simulated HPC data center.
+//! * [`analytics`] ([`oda_analytics`]) — descriptive / diagnostic /
+//!   predictive / prescriptive algorithm library.
+
+pub use oda_analytics as analytics;
+pub use oda_core as core;
+pub use oda_sim as sim;
+pub use oda_telemetry as telemetry;

@@ -1,0 +1,99 @@
+//! Integration test of the streaming alert path: simulator → telemetry
+//! bus → subscription → alert engine, with no store in the loop — the
+//! "automated alerts" half of descriptive ODA running the way a live
+//! deployment runs it.
+
+use hpc_oda::sim::prelude::*;
+use hpc_oda::telemetry::alert::{AlertEngine, AlertRule, AlertSeverity, Condition};
+use hpc_oda::telemetry::pattern::SensorPattern;
+use hpc_oda::telemetry::reading::Timestamp;
+
+#[test]
+fn live_bus_subscription_drives_alerts_through_a_fault() {
+    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 33);
+    // Subscribe to node temperatures *before* anything happens.
+    let sub = dc
+        .bus()
+        .subscribe(SensorPattern::new("/hw/*/temp_c"), 100_000);
+
+    // Rules: critical above 85 °C on every node temperature sensor, with
+    // debounce so sampling noise cannot flap.
+    let rules: Vec<AlertRule> = (0..dc.node_count())
+        .map(|i| {
+            AlertRule::new(
+                format!("node{i}-hot"),
+                dc.registry()
+                    .lookup(&format!("/hw/node{i}/temp_c"))
+                    .unwrap(),
+                Condition::Above(85.0),
+                AlertSeverity::Critical,
+            )
+            .with_debounce(2)
+        })
+        .collect();
+    let mut engine = AlertEngine::new(rules);
+
+    // A fan fails on node 2 while the fleet is under stress load.
+    dc.inject_fault(Fault::new(
+        FaultKind::FanFailure { node: NodeId(2) },
+        Timestamp::from_mins(10),
+        Timestamp::from_mins(40),
+    ));
+    dc.submit_stress_test(dc.node_count() as u32, 3_600.0);
+    dc.run_for_hours(1.5);
+
+    // Drain the subscription into the engine, tracking transitions.
+    let mut raised_at = None;
+    let mut cleared_at = None;
+    while let Ok(batch) = sub.rx.try_recv() {
+        for r in &batch.readings {
+            for ev in engine.observe(batch.sensor, *r) {
+                if ev.rule == "node2-hot" {
+                    if ev.active && raised_at.is_none() {
+                        raised_at = Some(r.ts);
+                    }
+                    if !ev.active && raised_at.is_some() {
+                        cleared_at = Some(r.ts);
+                    }
+                }
+            }
+        }
+    }
+    let raised = raised_at.expect("the failing node must raise its alert");
+    assert!(
+        raised >= Timestamp::from_mins(10),
+        "alert before the fault began: {raised}"
+    );
+    let cleared = cleared_at.expect("alert must clear once the fan recovers");
+    assert!(cleared > Timestamp::from_mins(40), "cleared at {cleared}");
+    // Nothing was dropped on the generously-sized subscription.
+    assert_eq!(sub.dropped(), 0);
+}
+
+#[test]
+fn healthy_run_raises_no_critical_alerts() {
+    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 34);
+    let sub = dc
+        .bus()
+        .subscribe(SensorPattern::new("/hw/*/temp_c"), 100_000);
+    let rules: Vec<AlertRule> = (0..dc.node_count())
+        .map(|i| {
+            AlertRule::new(
+                format!("node{i}-hot"),
+                dc.registry()
+                    .lookup(&format!("/hw/node{i}/temp_c"))
+                    .unwrap(),
+                Condition::Above(85.0),
+                AlertSeverity::Critical,
+            )
+        })
+        .collect();
+    let mut engine = AlertEngine::new(rules);
+    dc.run_for_hours(1.0);
+    while let Ok(batch) = sub.rx.try_recv() {
+        for r in &batch.readings {
+            engine.observe(batch.sensor, *r);
+        }
+    }
+    assert_eq!(engine.fired_total(), 0);
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the analytics algorithms: streaming estimators
+//! against exact references, transform round-trips, and controller/
+//! optimizer invariants.
+
+use hpc_oda::analytics::descriptive::outlier::{quantile, trim_iqr};
+use hpc_oda::analytics::descriptive::quantile::P2Quantile;
+use hpc_oda::analytics::descriptive::stats::{correlation, Welford};
+use hpc_oda::analytics::predictive::fft::{fft, ifft, Complex};
+use hpc_oda::analytics::predictive::forecast::{Forecaster, Holt, SimpleExp};
+use hpc_oda::analytics::prescriptive::pid::Pid;
+use hpc_oda::analytics::prescriptive::setpoint::golden_section_min;
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford matches the naive two-pass computation to high precision.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e4f64..1e4, 1..500)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// P² stays within the sample range and lands near the exact quantile
+    /// on larger samples.
+    #[test]
+    fn p2_is_bounded_and_close(xs in prop::collection::vec(-1e3f64..1e3, 50..400)) {
+        let mut p = P2Quantile::new(0.5);
+        for &x in &xs {
+            p.push(x);
+        }
+        let est = p.value().unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= lo && est <= hi);
+        let exact = quantile(&xs, 0.5).unwrap();
+        let spread = (hi - lo).max(1e-9);
+        prop_assert!(
+            (est - exact).abs() <= 0.25 * spread,
+            "p2 {est} vs exact {exact} (spread {spread})"
+        );
+    }
+
+    /// FFT∘IFFT is the identity (up to float error) for any signal.
+    #[test]
+    fn fft_round_trip(xs in prop::collection::vec(-1e3f64..1e3, 1..=64)) {
+        // Pad to the next power of two.
+        let n = xs.len().next_power_of_two();
+        let mut buf: Vec<Complex> = xs.iter().map(|&x| (x, 0.0)).collect();
+        buf.resize(n, (0.0, 0.0));
+        let orig = buf.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in orig.iter().zip(&buf) {
+            prop_assert!((a.0 - b.0).abs() < 1e-6 * (1.0 + a.0.abs()));
+            prop_assert!(b.1.abs() < 1e-6);
+        }
+    }
+
+    /// Parseval: signal energy is conserved by the FFT.
+    #[test]
+    fn fft_parseval(xs in prop::collection::vec(-100f64..100.0, 1..=32)) {
+        let n = xs.len().next_power_of_two();
+        let mut buf: Vec<Complex> = xs.iter().map(|&x| (x, 0.0)).collect();
+        buf.resize(n, (0.0, 0.0));
+        let time_energy: f64 = buf.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        fft(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / n as f64;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+    }
+
+    /// IQR trimming never removes more than it keeps on unimodal-ish data
+    /// and is idempotent-ish: trimming the trimmed data removes nothing
+    /// that the fences of the trimmed set accept... we assert the simpler
+    /// invariants: output ⊆ input, order preserved.
+    #[test]
+    fn trim_iqr_is_a_subsequence(xs in prop::collection::vec(-1e3f64..1e3, 4..200)) {
+        let out = trim_iqr(&xs, 1.5);
+        prop_assert!(out.len() <= xs.len());
+        // Subsequence check.
+        let mut it = xs.iter();
+        for v in &out {
+            prop_assert!(it.any(|x| x == v));
+        }
+    }
+
+    /// Forecasters stay within the data's convex hull on constant-ish
+    /// series and never panic on any input.
+    #[test]
+    fn forecasters_are_total(xs in prop::collection::vec(-1e6f64..1e6, 0..200), h in 1usize..20) {
+        let mut se = SimpleExp::new(0.4);
+        let mut holt = Holt::new(0.5, 0.3);
+        for &x in &xs {
+            se.update(x);
+            holt.update(x);
+        }
+        if let Some(f) = se.forecast(h) {
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(f >= lo - 1e-9 && f <= hi + 1e-9, "SES is an average");
+        }
+        let _ = holt.forecast(h); // must not panic; value may extrapolate
+    }
+
+    /// PID output always respects its clamp, whatever the gains and
+    /// inputs.
+    #[test]
+    fn pid_respects_clamp(
+        kp in -10f64..10.0,
+        ki in -10f64..10.0,
+        kd in -10f64..10.0,
+        inputs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..100),
+    ) {
+        let mut pid = Pid::new(kp, ki, kd, -5.0, 5.0);
+        for (sp, m) in inputs {
+            let out = pid.update(sp, m, 0.5);
+            prop_assert!((-5.0..=5.0).contains(&out));
+        }
+    }
+
+    /// Golden-section finds the minimum of a random parabola within
+    /// tolerance.
+    #[test]
+    fn golden_section_finds_parabola_min(center in -50f64..50.0, scale in 0.1f64..10.0) {
+        let opt = golden_section_min(-100.0, 100.0, 1e-4, 200, |x| scale * (x - center).powi(2));
+        prop_assert!((opt.knob - center).abs() < 1e-2, "knob {} vs {}", opt.knob, center);
+    }
+
+    /// Correlation is symmetric, bounded, and exactly ±1 for affine
+    /// relations.
+    #[test]
+    fn correlation_properties(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..100),
+        a in prop::sample::select(vec![-2.5f64, -1.0, 0.5, 3.0]),
+        b in -10f64..10.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
+        if let Some(r) = correlation(&xs, &ys) {
+            prop_assert!((r.abs() - 1.0).abs() < 1e-9, "affine → |r|=1, got {r}");
+            prop_assert_eq!(r.signum(), a.signum());
+            let r2 = correlation(&ys, &xs).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+}

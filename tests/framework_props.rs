@@ -1,0 +1,128 @@
+//! Property-based tests of the framework's core data structures: grid
+//! cells, footprints, and the survey corpus invariants.
+
+use hpc_oda::core::analytics_type::AnalyticsType;
+use hpc_oda::core::grid::{GridCell, GridFootprint};
+use hpc_oda::core::pillar::Pillar;
+use hpc_oda::core::survey;
+use proptest::prelude::*;
+
+fn arb_cell() -> impl Strategy<Value = GridCell> {
+    (0usize..16).prop_map(GridCell::from_index)
+}
+
+fn arb_footprint() -> impl Strategy<Value = GridFootprint> {
+    any::<u16>().prop_map(GridFootprint)
+}
+
+proptest! {
+    #[test]
+    fn cell_index_round_trips(cell in arb_cell()) {
+        prop_assert_eq!(GridCell::from_index(cell.index()), cell);
+        prop_assert!(cell.index() < 16);
+    }
+
+    #[test]
+    fn footprint_with_covers(fp in arb_footprint(), cell in arb_cell()) {
+        let with = fp.with(cell);
+        prop_assert!(with.covers(cell));
+        prop_assert!(with.count() >= fp.count());
+        // Adding twice is idempotent.
+        prop_assert_eq!(with.with(cell), with);
+    }
+
+    #[test]
+    fn union_and_intersection_laws(a in arb_footprint(), b in arb_footprint()) {
+        let u = a.union(b);
+        let i = a.intersection(b);
+        prop_assert_eq!(u, b.union(a));
+        prop_assert_eq!(i, b.intersection(a));
+        prop_assert!(u.count() >= a.count().max(b.count()));
+        prop_assert!(i.count() <= a.count().min(b.count()));
+        // |A∪B| + |A∩B| = |A| + |B|.
+        prop_assert_eq!(u.count() + i.count(), a.count() + b.count());
+        // Every covered cell of the union comes from a or b.
+        for cell in u.cells() {
+            prop_assert!(a.covers(cell) || b.covers(cell));
+        }
+    }
+
+    #[test]
+    fn jaccard_is_a_similarity(a in arb_footprint(), b in arb_footprint()) {
+        let j = a.jaccard(b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((a.jaccard(b) - b.jaccard(a)).abs() < 1e-15);
+        prop_assert!((a.jaccard(a) - 1.0).abs() < 1e-15);
+        if a.intersection(b).count() == 0 && a.count() + b.count() > 0 {
+            prop_assert_eq!(j, 0.0);
+        }
+    }
+
+    #[test]
+    fn footprint_cells_round_trip(fp in arb_footprint()) {
+        let rebuilt = GridFootprint::from_cells(&fp.cells());
+        prop_assert_eq!(rebuilt, fp);
+        prop_assert_eq!(fp.cells().len() as u32, fp.count());
+    }
+
+    #[test]
+    fn pillar_and_type_views_are_consistent(fp in arb_footprint()) {
+        // A footprint covers a pillar iff one of its cells is in it.
+        for p in Pillar::ALL {
+            let in_view = fp.pillars().contains(&p);
+            let has_cell = fp.cells().iter().any(|c| c.pillar == p);
+            prop_assert_eq!(in_view, has_cell);
+        }
+        for t in AnalyticsType::ALL {
+            let in_view = fp.types().contains(&t);
+            let has_cell = fp.cells().iter().any(|c| c.analytics == t);
+            prop_assert_eq!(in_view, has_cell);
+        }
+        prop_assert_eq!(fp.is_multi_pillar(), fp.pillars().len() > 1);
+    }
+}
+
+#[test]
+fn survey_corpus_is_internally_consistent() {
+    let corpus = survey::corpus();
+    // Every entry has at least one citation; citations are in the paper's
+    // reference range.
+    for e in &corpus {
+        assert!(!e.citations.is_empty(), "{} has no citations", e.use_case);
+        for &c in e.citations {
+            assert!((1..=72).contains(&c), "{} cites [{}]", e.use_case, c);
+        }
+    }
+    // Footprints derived from the corpus must cover exactly the cells the
+    // entries claim.
+    let fps = survey::citation_footprints();
+    for e in &corpus {
+        for &c in e.citations {
+            assert!(
+                fps[&c].covers(e.cell),
+                "[{}]'s footprint must cover {}",
+                c,
+                e.cell
+            );
+        }
+    }
+    // Stats add up.
+    let stats = survey::pillar_stats();
+    assert_eq!(stats.total, fps.len());
+    assert_eq!(
+        stats.multi_pillar,
+        fps.values().filter(|f| f.is_multi_pillar()).count()
+    );
+}
+
+#[test]
+fn table1_grid_matches_corpus() {
+    let grid = survey::table1();
+    let total: usize = grid.iter().map(|(_, v)| v.len()).sum();
+    assert_eq!(total, survey::corpus().len());
+    for (cell, entries) in grid.iter() {
+        for e in entries {
+            assert_eq!(e.cell, cell);
+        }
+    }
+}

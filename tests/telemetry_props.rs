@@ -1,0 +1,159 @@
+//! Property-based tests of the telemetry substrate: the ring-buffer store
+//! against a reference model, and query-layer invariants.
+
+use hpc_oda::telemetry::query::{aggregate_readings, Aggregation, QueryEngine, TimeRange};
+use hpc_oda::telemetry::reading::{Reading, Timestamp};
+use hpc_oda::telemetry::sensor::SensorId;
+use hpc_oda::telemetry::store::{RingBuffer, TimeSeriesStore};
+use proptest::prelude::*;
+
+/// Arbitrary valid (monotone-timestamp, finite) reading sequences.
+fn arb_series(max_len: usize) -> impl Strategy<Value = Vec<Reading>> {
+    prop::collection::vec((0u64..1_000, -1e6f64..1e6), 0..max_len).prop_map(|steps| {
+        let mut ts = 0u64;
+        steps
+            .into_iter()
+            .map(|(dt, v)| {
+                ts += dt;
+                Reading::new(Timestamp::from_millis(ts), v)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The ring buffer behaves exactly like "a Vec that keeps the last N".
+    #[test]
+    fn ring_buffer_matches_vec_model(series in arb_series(200), cap in 1usize..64) {
+        let mut buf = RingBuffer::new(cap);
+        let mut model: Vec<Reading> = Vec::new();
+        for r in &series {
+            let accepted = buf.push(*r);
+            prop_assert!(accepted); // series is valid by construction
+            model.push(*r);
+            if model.len() > cap {
+                model.remove(0);
+            }
+        }
+        prop_assert_eq!(buf.to_vec(), model.clone());
+        prop_assert_eq!(buf.len(), model.len());
+        prop_assert_eq!(buf.oldest(), model.first().copied());
+        prop_assert_eq!(buf.newest(), model.last().copied());
+    }
+
+    /// Range queries return exactly the model's filtered slice.
+    #[test]
+    fn range_query_matches_model(
+        series in arb_series(120),
+        cap in 8usize..128,
+        start in 0u64..60_000,
+        width in 0u64..60_000,
+    ) {
+        let mut buf = RingBuffer::new(cap);
+        let mut model: Vec<Reading> = Vec::new();
+        for r in &series {
+            buf.push(*r);
+            model.push(*r);
+            if model.len() > cap {
+                model.remove(0);
+            }
+        }
+        let (s, e) = (Timestamp::from_millis(start), Timestamp::from_millis(start + width));
+        let mut got = Vec::new();
+        buf.range_into(s, e, &mut got);
+        let expected: Vec<Reading> = model
+            .iter()
+            .copied()
+            .filter(|r| r.ts >= s && r.ts < e)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Out-of-order and non-finite data never lands in the store.
+    #[test]
+    fn store_rejects_garbage(vals in prop::collection::vec((0u64..100, -10f64..10.0), 1..50)) {
+        let store = TimeSeriesStore::with_capacity(128);
+        let s = SensorId(0);
+        let mut last_ts = None;
+        for (ts, v) in vals {
+            let accepted = store.insert(s, Reading::new(Timestamp::from_millis(ts), v));
+            match last_ts {
+                Some(prev) if ts < prev => prop_assert!(!accepted),
+                _ => {
+                    prop_assert!(accepted);
+                    last_ts = Some(ts);
+                }
+            }
+        }
+        // NaN is always rejected.
+        prop_assert!(!store.insert(s, Reading::new(Timestamp::from_millis(10_000), f64::NAN)));
+    }
+
+    /// Aggregation invariants: min ≤ mean ≤ max, quantile monotone,
+    /// count exact.
+    #[test]
+    fn aggregation_invariants(series in arb_series(100)) {
+        prop_assume!(!series.is_empty());
+        let store = TimeSeriesStore::with_capacity(256);
+        let s = SensorId(3);
+        for r in &series {
+            store.insert(s, *r);
+        }
+        let q = QueryEngine::new(&store);
+        let all = TimeRange::all();
+        let mean = q.aggregate(s, all, Aggregation::Mean).unwrap();
+        let min = q.aggregate(s, all, Aggregation::Min).unwrap();
+        let max = q.aggregate(s, all, Aggregation::Max).unwrap();
+        prop_assert!(min <= mean + 1e-9 && mean <= max + 1e-9);
+        prop_assert_eq!(
+            q.aggregate(s, all, Aggregation::Count).unwrap() as usize,
+            series.len()
+        );
+        let q25 = q.aggregate(s, all, Aggregation::Quantile(0.25)).unwrap();
+        let q75 = q.aggregate(s, all, Aggregation::Quantile(0.75)).unwrap();
+        prop_assert!(q25 <= q75);
+        prop_assert!(min <= q25 && q75 <= max);
+        // Time-weighted mean also sits within [min, max].
+        let twm = q.aggregate(s, all, Aggregation::TimeWeightedMean).unwrap();
+        prop_assert!(min - 1e-9 <= twm && twm <= max + 1e-9);
+    }
+
+    /// Downsampling conserves the reading count and respects bucket bounds.
+    #[test]
+    fn downsample_conserves_counts(series in arb_series(150), bucket in 1u64..20_000) {
+        prop_assume!(!series.is_empty());
+        let store = TimeSeriesStore::with_capacity(256);
+        let s = SensorId(0);
+        for r in &series {
+            store.insert(s, *r);
+        }
+        let q = QueryEngine::new(&store);
+        let buckets = q.downsample(s, TimeRange::all(), bucket, Aggregation::Mean);
+        let total: usize = buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, series.len());
+        for w in buckets.windows(2) {
+            prop_assert!(w[0].start < w[1].start);
+        }
+        for b in &buckets {
+            prop_assert_eq!(b.start.as_millis() % bucket, 0);
+        }
+    }
+
+    /// `aggregate_readings` agrees between the slice helper and the engine.
+    #[test]
+    fn engine_and_slice_aggregation_agree(series in arb_series(80)) {
+        prop_assume!(!series.is_empty());
+        let store = TimeSeriesStore::with_capacity(128);
+        let s = SensorId(0);
+        for r in &series {
+            store.insert(s, *r);
+        }
+        let q = QueryEngine::new(&store);
+        let fetched = q.range(s, TimeRange::all());
+        for agg in [Aggregation::Mean, Aggregation::Sum, Aggregation::StdDev] {
+            let a = q.aggregate(s, TimeRange::all(), agg).unwrap();
+            let b = aggregate_readings(&fetched, agg).unwrap();
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
