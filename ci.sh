@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass, in the order fastest-feedback
+# first. Run from the repo root. The chaos soak at the end runs the full
+# ODA runtime under fault injection with a small tick budget and fails on
+# any panic, NaN-carrying alert, or nondeterministic replay.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> chaos soak (short budget)"
+cargo run --release -p oda-bench --bin chaos -- 4000 21
+
+echo "CI OK"

@@ -8,11 +8,15 @@
 use std::collections::VecDeque;
 
 /// Welford's online mean/variance estimator.
+///
+/// Non-finite samples are skipped (and counted): a single NaN from a
+/// degraded sensor must not poison a long-running aggregate.
 #[derive(Debug, Clone, Default)]
 pub struct Welford {
     n: u64,
     mean: f64,
     m2: f64,
+    skipped: u64,
 }
 
 impl Welford {
@@ -21,9 +25,14 @@ impl Welford {
         Self::default()
     }
 
-    /// Feeds one sample.
+    /// Feeds one sample. Non-finite samples are ignored and counted in
+    /// [`skipped`](Self::skipped).
     #[inline]
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
         self.n += 1;
         let d = x - self.mean;
         self.mean += d / self.n as f64;
@@ -33,6 +42,11 @@ impl Welford {
     /// Number of samples seen.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Number of non-finite samples skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Current mean (0 for the empty estimator).
@@ -70,6 +84,7 @@ pub struct Ewma {
     alpha: f64,
     mean: Option<f64>,
     var: f64,
+    skipped: u64,
 }
 
 impl Ewma {
@@ -84,11 +99,18 @@ impl Ewma {
             alpha,
             mean: None,
             var: 0.0,
+            skipped: 0,
         }
     }
 
-    /// Feeds one sample and returns the updated mean.
+    /// Feeds one sample and returns the updated mean. Non-finite samples
+    /// are skipped (the previous mean, or NaN before any sample, is
+    /// returned unchanged).
     pub fn push(&mut self, x: f64) -> f64 {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return self.mean.unwrap_or(f64::NAN);
+        }
         match self.mean {
             None => {
                 self.mean = Some(x);
@@ -114,6 +136,11 @@ impl Ewma {
     pub fn std_dev(&self) -> f64 {
         self.var.sqrt()
     }
+
+    /// Number of non-finite samples skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
 }
 
 /// Fixed-length sliding-window statistics (mean/var/min/max).
@@ -127,6 +154,7 @@ pub struct RollingStats {
     capacity: usize,
     sum: f64,
     sum_sq: f64,
+    skipped: u64,
 }
 
 impl RollingStats {
@@ -141,11 +169,17 @@ impl RollingStats {
             capacity,
             sum: 0.0,
             sum_sq: 0.0,
+            skipped: 0,
         }
     }
 
-    /// Feeds one sample, evicting the oldest when full.
+    /// Feeds one sample, evicting the oldest when full. Non-finite samples
+    /// are skipped and counted — they neither enter nor age the window.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
         if self.window.len() == self.capacity {
             let old = self.window.pop_front().unwrap();
             self.sum -= old;
@@ -210,6 +244,11 @@ impl RollingStats {
     /// Iterates over the window's contents, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         self.window.iter().copied()
+    }
+
+    /// Number of non-finite samples skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 }
 
@@ -381,6 +420,37 @@ mod tests {
         let w = Welford::new();
         assert_eq!(w.mean(), 0.0);
         assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn estimators_skip_non_finite_samples() {
+        let mut w = Welford::new();
+        for x in [2.0, f64::NAN, 4.0, f64::INFINITY, 6.0, f64::NEG_INFINITY] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 3);
+        assert_eq!(w.skipped(), 3);
+        assert!((w.mean() - 4.0).abs() < 1e-12);
+        assert!(w.variance().is_finite());
+
+        let mut e = Ewma::new(0.5);
+        assert!(e.push(f64::NAN).is_nan(), "no history yet");
+        e.push(10.0);
+        assert_eq!(e.push(f64::NAN), 10.0, "NaN returns previous mean");
+        assert_eq!(e.mean(), Some(10.0));
+        assert_eq!(e.skipped(), 2);
+
+        let mut r = RollingStats::new(3);
+        r.push(1.0);
+        r.push(f64::NAN);
+        r.push(2.0);
+        r.push(3.0);
+        r.push(f64::NAN);
+        assert_eq!(r.len(), 3, "NaN never entered the window");
+        assert_eq!(r.mean(), Some(2.0));
+        assert_eq!(r.skipped(), 2);
+        r.push(4.0); // evicts 1.0, not a phantom NaN slot
+        assert_eq!(r.mean(), Some(3.0));
     }
 
     #[test]

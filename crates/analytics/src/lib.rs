@@ -47,7 +47,7 @@ pub mod prelude {
         AnomalyDetector, EwmaControlChart, IqrDetector, MultivariateVote, ZScoreDetector,
     };
     pub use crate::diagnostic::fingerprint::{JobFeatures, NearestCentroid};
-    pub use crate::predictive::forecast::{Forecaster, HoltWinters};
+    pub use crate::predictive::forecast::{Forecaster, GapTolerant, HoltWinters};
     pub use crate::predictive::regression::RidgeRegression;
     pub use crate::prescriptive::dvfs::{DvfsGovernor, GovernorMode};
     pub use crate::prescriptive::pid::Pid;

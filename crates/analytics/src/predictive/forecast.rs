@@ -197,6 +197,108 @@ impl Forecaster for HoltWinters {
     }
 }
 
+/// Gap tolerance for any [`Forecaster`]: interpolate across short sensor
+/// dropouts, abstain when too much of the recent window is missing.
+///
+/// Telemetry arrives on a fixed cadence, so a missing or NaN sample is
+/// represented by feeding `update(f64::NAN)` for that slot. The wrapper
+/// then:
+///
+/// * **fills** gaps of up to `max_fill` consecutive missing samples by
+///   linear interpolation between the surrounding good samples (the inner
+///   model never sees the NaNs);
+/// * **drops** longer gaps — the inner model simply resumes at the next
+///   good sample rather than learning a fictitious ramp;
+/// * **abstains** — [`forecast`](Forecaster::forecast) returns `None` —
+///   while more than half of the last `window` slots were missing, because
+///   a forecast from mostly-imputed data is noise dressed as signal.
+#[derive(Debug, Clone)]
+pub struct GapTolerant<F> {
+    inner: F,
+    max_fill: usize,
+    last_good: Option<f64>,
+    pending_gap: usize,
+    /// Missing-flags for the most recent `window` slots.
+    recent: std::collections::VecDeque<bool>,
+    window: usize,
+}
+
+impl<F: Forecaster> GapTolerant<F> {
+    /// Wraps `inner`, filling gaps of up to `max_fill` samples and judging
+    /// abstention over the last `window` slots.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(inner: F, max_fill: usize, window: usize) -> Self {
+        assert!(window > 0, "abstention window must be positive");
+        GapTolerant {
+            inner,
+            max_fill,
+            last_good: None,
+            pending_gap: 0,
+            recent: std::collections::VecDeque::with_capacity(window),
+            window,
+        }
+    }
+
+    /// Fraction of the recent window that was missing (0 when nothing has
+    /// been fed).
+    pub fn missing_fraction(&self) -> f64 {
+        if self.recent.is_empty() {
+            return 0.0;
+        }
+        self.recent.iter().filter(|&&m| m).count() as f64 / self.recent.len() as f64
+    }
+
+    /// The wrapped forecaster.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    fn record(&mut self, missing: bool) {
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(missing);
+    }
+}
+
+impl<F: Forecaster> Forecaster for GapTolerant<F> {
+    fn update(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.record(true);
+            self.pending_gap += 1;
+            return;
+        }
+        self.record(false);
+        if self.pending_gap > 0 {
+            if self.pending_gap <= self.max_fill {
+                if let Some(prev) = self.last_good {
+                    let n = self.pending_gap as f64 + 1.0;
+                    for k in 1..=self.pending_gap {
+                        self.inner.update(prev + (x - prev) * k as f64 / n);
+                    }
+                }
+            }
+            // Longer gaps are dropped: the inner model resumes directly.
+            self.pending_gap = 0;
+        }
+        self.inner.update(x);
+        self.last_good = Some(x);
+    }
+
+    fn forecast(&self, h: usize) -> Option<f64> {
+        if self.missing_fraction() > 0.5 {
+            return None;
+        }
+        self.inner.forecast(h)
+    }
+
+    fn observations(&self) -> usize {
+        self.inner.observations()
+    }
+}
+
 /// Rolling forecast-accuracy evaluation: feeds `series` one sample at a
 /// time, recording the absolute error of the `h`-step forecast made before
 /// seeing each sample. Returns `(mae, mape)`; `mape` is `None` if any true
@@ -303,6 +405,66 @@ mod tests {
         }
         f.update(7.0);
         assert!(f.forecast(1).is_some());
+    }
+
+    #[test]
+    fn gap_tolerant_interpolates_short_gaps() {
+        // A clean linear ramp with a 3-sample hole: the filled model should
+        // keep tracking the trend as if the hole were not there.
+        let mut f = GapTolerant::new(Holt::new(0.8, 0.8), 5, 20);
+        for i in 0..30 {
+            let x = 10.0 + 2.0 * i as f64;
+            if (12..15).contains(&i) {
+                f.update(f64::NAN);
+            } else {
+                f.update(x);
+            }
+        }
+        let fc = f.forecast(1).unwrap();
+        let truth = 10.0 + 2.0 * 30.0;
+        assert!((fc - truth).abs() < 0.5, "forecast {fc} vs {truth}");
+        // The interpolated slots were fed to the inner model.
+        assert_eq!(f.observations(), 30);
+    }
+
+    #[test]
+    fn gap_tolerant_abstains_when_mostly_missing() {
+        let mut f = GapTolerant::new(SimpleExp::new(0.5), 2, 10);
+        for _ in 0..10 {
+            f.update(5.0);
+        }
+        assert!(f.forecast(1).is_some());
+        // 6 of the last 10 slots missing → abstain.
+        for _ in 0..6 {
+            f.update(f64::NAN);
+        }
+        assert!(f.missing_fraction() > 0.5);
+        assert!(f.forecast(1).is_none(), "must abstain, not guess");
+        // Data returns → forecasts resume.
+        for _ in 0..7 {
+            f.update(5.0);
+        }
+        assert!(f.forecast(1).is_some());
+        assert!((f.forecast(1).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_tolerant_drops_long_gaps_instead_of_ramping() {
+        // A long outage across a level shift: interpolation would teach the
+        // model a slow ramp; dropping the gap resumes at the new level.
+        let mut f = GapTolerant::new(SimpleExp::new(0.9), 3, 100);
+        for _ in 0..20 {
+            f.update(100.0);
+        }
+        for _ in 0..10 {
+            f.update(f64::NAN); // longer than max_fill=3
+        }
+        for _ in 0..20 {
+            f.update(0.0);
+        }
+        // Only real samples reached the inner model: 40, not 50.
+        assert_eq!(f.observations(), 40);
+        assert!(f.forecast(1).unwrap() < 0.1);
     }
 
     #[test]

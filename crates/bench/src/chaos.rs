@@ -1,0 +1,377 @@
+//! Chaos soak harness: the full ODA runtime under telemetry-fault injection.
+//!
+//! Drives a [`DataCenter`] tick by tick with a [`FaultSchedule`] installed,
+//! consumes the (possibly corrupted) sensor streams exactly the way the
+//! analytics layer does — bus subscription → alert engine → gap-tolerant
+//! forecasters — and scores how gracefully the pipeline degrades:
+//!
+//! * **usable-window fraction** — share of fixed-length evaluation windows
+//!   in which every watched sensor still delivered at least half of its
+//!   expected finite samples;
+//! * **alert behaviour** — alerts raised under faults vs. a clean run at the
+//!   same simulation seed (the difference is the false-alert overhead the
+//!   corruption caused), plus a count of alert events carrying non-finite
+//!   readings (must stay zero: NaN never constitutes alert evidence);
+//! * **forecast abstention** — how often the gap-tolerant forecasters
+//!   declined to extrapolate because more than half their recent input was
+//!   missing;
+//! * **determinism** — an order-sensitive digest over everything the
+//!   pipeline consumed; two runs with identical `(seed, schedule)` must
+//!   produce identical digests.
+//!
+//! The same harness backs `bin/chaos.rs` (the operator-facing soak) and the
+//! `tests/chaos.rs` integration suite.
+
+use oda_analytics::predictive::forecast::{Forecaster, GapTolerant, Holt};
+use oda_sim::prelude::*;
+use oda_telemetry::alert::{AlertEngine, AlertRule, AlertSeverity, Condition};
+use oda_telemetry::pattern::SensorPattern;
+use oda_telemetry::reading::Timestamp;
+use oda_telemetry::sensor::SensorId;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Configuration of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Simulation seed (plant + workload + corruption RNG all derive from
+    /// their own sub-seeds, so the clean and faulty runs share a plant).
+    pub seed: u64,
+    /// Number of simulation ticks to run.
+    pub ticks: u64,
+    /// Evaluation-window length in ticks.
+    pub window_ticks: u64,
+    /// Telemetry-fault schedule; `None` runs the clean baseline.
+    pub schedule: Option<FaultSchedule>,
+}
+
+impl SoakConfig {
+    /// A clean baseline run.
+    pub fn clean(seed: u64, ticks: u64) -> Self {
+        SoakConfig {
+            seed,
+            ticks,
+            window_ticks: 1_000,
+            schedule: None,
+        }
+    }
+
+    /// A faulted run under `schedule`.
+    pub fn faulty(seed: u64, ticks: u64, schedule: FaultSchedule) -> Self {
+        SoakConfig {
+            schedule: Some(schedule),
+            ..Self::clean(seed, ticks)
+        }
+    }
+}
+
+/// Everything a soak run measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct SoakReport {
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Evaluation windows scored.
+    pub windows: u64,
+    /// Windows in which every watched sensor delivered ≥ 50% of its
+    /// expected finite samples.
+    pub usable_windows: u64,
+    /// Alert *raise* events observed.
+    pub alerts_raised: u64,
+    /// Alert raise/clear events total.
+    pub alert_events: u64,
+    /// Alert events whose triggering reading was non-finite (must be 0).
+    pub nan_alert_events: u64,
+    /// Per-window forecasts the gap-tolerant layer produced.
+    pub forecasts_made: u64,
+    /// Per-window forecasts abstained (> 50% of recent input missing).
+    pub forecasts_abstained: u64,
+    /// Readings the fault layer suppressed outright.
+    pub suppressed: u64,
+    /// Readings the fault layer altered (value or timestamp).
+    pub corrupted: u64,
+    /// Store-side rejections (out-of-order + non-finite) over all sensors.
+    pub store_rejected: u64,
+    /// Largest inter-sample gap archived for any sensor, milliseconds.
+    pub max_gap_ms: u64,
+    /// Batches the bus delivered to subscribers.
+    pub bus_delivered: u64,
+    /// Batches the bus shed on full subscriber channels.
+    pub bus_dropped: u64,
+    /// Maximum number of telemetry faults simultaneously active.
+    pub max_concurrent_faults: usize,
+    /// Jobs the site completed (burst-load faults must still make progress).
+    pub jobs_completed: usize,
+    /// Order-sensitive FNV-1a digest over every consumed reading and alert
+    /// transition; equal seeds + equal schedules ⇒ equal digests.
+    pub digest: u64,
+}
+
+impl SoakReport {
+    /// Fraction of windows with usable output, in `[0, 1]`.
+    pub fn usable_fraction(&self) -> f64 {
+        if self.windows == 0 {
+            return 1.0;
+        }
+        self.usable_windows as f64 / self.windows as f64
+    }
+}
+
+/// The sensors the soak pipeline watches end to end.
+const WATCHED: [&str; 3] = ["/facility/power/it_kw", "/hw/node0/temp_c", "/facility/pue"];
+
+/// A hand-built schedule with a guaranteed overlap of all seven fault
+/// kinds (every fault is active during `[0.45, 0.46) × horizon`), plus the
+/// kind rotation the randomized generator provides.
+pub fn demo_schedule(seed: u64, ticks: u64, tick_ms: u64) -> FaultSchedule {
+    let h = ticks.saturating_mul(tick_ms);
+    let at = |frac: f64| Timestamp::from_millis((h as f64 * frac) as u64);
+    FaultSchedule::new(seed)
+        .with(
+            TelemetryFaultKind::SensorDropout {
+                pattern: "/hw/node0/temp_c".to_owned(),
+            },
+            at(0.10),
+            at(0.60),
+        )
+        .with(
+            TelemetryFaultKind::NanBurst {
+                pattern: "/hw/*/power_w".to_owned(),
+                p: 0.3,
+            },
+            at(0.20),
+            at(0.70),
+        )
+        .with(
+            TelemetryFaultKind::Spike {
+                pattern: "/facility/power/it_kw".to_owned(),
+                magnitude: 40.0,
+                p: 0.2,
+            },
+            at(0.25),
+            at(0.75),
+        )
+        .with(
+            TelemetryFaultKind::StuckAt {
+                pattern: "/hw/node1/util".to_owned(),
+            },
+            at(0.30),
+            at(0.80),
+        )
+        .with(
+            TelemetryFaultKind::ClockJitter {
+                pattern: "/hw/node2/*".to_owned(),
+                max_skew_ms: 15_000,
+            },
+            at(0.35),
+            at(0.65),
+        )
+        .with(
+            TelemetryFaultKind::NodeFailure { node: NodeId(3) },
+            at(0.40),
+            at(0.60),
+        )
+        .with(
+            TelemetryFaultKind::BurstLoad {
+                jobs: 4,
+                duration_s: 600.0,
+            },
+            at(0.45),
+            at(0.46),
+        )
+}
+
+/// FNV-1a, the workspace's stock order-sensitive digest.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+struct Watched {
+    sensor: SensorId,
+    forecaster: GapTolerant<Holt>,
+    /// Value seen in the current sampling frame, if any.
+    frame_value: Option<f64>,
+    /// Finite samples seen in the current evaluation window.
+    window_finite: u64,
+}
+
+/// Runs one soak and scores it.
+pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    let config = DataCenterConfig::tiny();
+    let sample_every = config.sample_every_ticks;
+    let mut dc = DataCenter::new(config, cfg.seed);
+    if let Some(schedule) = &cfg.schedule {
+        dc.set_fault_schedule(schedule.clone());
+    }
+
+    let lookup = |name: &str| dc.registry().lookup(name).expect("watched sensor exists");
+    let mut watched: Vec<Watched> = WATCHED
+        .iter()
+        .map(|name| Watched {
+            sensor: lookup(name),
+            // Holt handles trends in power/temperature; fill gaps up to 3
+            // samples, abstain when >50% of the last 40 samples are missing.
+            forecaster: GapTolerant::new(Holt::new(0.4, 0.1), 3, 40),
+            frame_value: None,
+            window_finite: 0,
+        })
+        .collect();
+
+    let mut alerts = AlertEngine::new(vec![
+        AlertRule::new(
+            "node0-overtemp",
+            lookup("/hw/node0/temp_c"),
+            Condition::Above(90.0),
+            AlertSeverity::Warning,
+        )
+        .with_debounce(2)
+        .with_clear_debounce(3)
+        .with_cooldown_ms(120_000),
+        AlertRule::new(
+            "pue-implausible",
+            lookup("/facility/pue"),
+            Condition::Outside { lo: 0.5, hi: 3.0 },
+            AlertSeverity::Critical,
+        )
+        .with_clear_debounce(2),
+        AlertRule::new(
+            "it-power-implausible",
+            lookup("/facility/power/it_kw"),
+            Condition::Outside { lo: 0.0, hi: 1_000.0 },
+            AlertSeverity::Critical,
+        )
+        .with_clear_debounce(2),
+    ]);
+
+    let sub = dc.bus().subscribe(SensorPattern::new("/**"), 4_096);
+
+    let mut report = SoakReport {
+        ticks: cfg.ticks,
+        windows: 0,
+        usable_windows: 0,
+        alerts_raised: 0,
+        alert_events: 0,
+        nan_alert_events: 0,
+        forecasts_made: 0,
+        forecasts_abstained: 0,
+        suppressed: 0,
+        corrupted: 0,
+        store_rejected: 0,
+        max_gap_ms: 0,
+        bus_delivered: 0,
+        bus_dropped: 0,
+        max_concurrent_faults: 0,
+        jobs_completed: 0,
+        digest: 0xcbf2_9ce4_8422_2325, // FNV offset basis
+    };
+    let expected_per_window = (cfg.window_ticks / sample_every).max(1);
+
+    let by_sensor: HashMap<SensorId, usize> =
+        watched.iter().enumerate().map(|(i, w)| (w.sensor, i)).collect();
+
+    for tick in 1..=cfg.ticks {
+        dc.step();
+        if let Some(tf) = dc.telemetry_faults() {
+            report.max_concurrent_faults =
+                report.max_concurrent_faults.max(tf.active_at(dc.now()).len());
+        }
+
+        // Consume everything published this tick, in publish order.
+        while let Ok(batch) = sub.rx.try_recv() {
+            let sensor = batch.sensor;
+            for &reading in &batch.readings {
+                fnv1a(&mut report.digest, &sensor.0.to_le_bytes());
+                fnv1a(&mut report.digest, &reading.ts.0.to_le_bytes());
+                fnv1a(&mut report.digest, &reading.value.to_bits().to_le_bytes());
+                for event in alerts.observe(sensor, reading) {
+                    report.alert_events += 1;
+                    if event.active {
+                        report.alerts_raised += 1;
+                    }
+                    if !event.reading.value.is_finite() {
+                        report.nan_alert_events += 1;
+                    }
+                    fnv1a(&mut report.digest, event.rule.as_bytes());
+                    fnv1a(&mut report.digest, &[event.active as u8]);
+                }
+                if let Some(&i) = by_sensor.get(&sensor) {
+                    watched[i].frame_value = Some(reading.value);
+                }
+            }
+        }
+
+        // Close the sampling frame: a watched sensor that published nothing
+        // this frame is a *gap*, which the forecaster must be told about.
+        if tick % sample_every == 0 {
+            for w in &mut watched {
+                let x = w.frame_value.take().unwrap_or(f64::NAN);
+                if x.is_finite() {
+                    w.window_finite += 1;
+                }
+                w.forecaster.update(x);
+            }
+        }
+
+        // Close the evaluation window.
+        if tick % cfg.window_ticks == 0 {
+            report.windows += 1;
+            let usable = watched
+                .iter()
+                .all(|w| 2 * w.window_finite >= expected_per_window);
+            if usable {
+                report.usable_windows += 1;
+            }
+            for w in &mut watched {
+                match w.forecaster.forecast(1) {
+                    Some(_) => report.forecasts_made += 1,
+                    None => report.forecasts_abstained += 1,
+                }
+                w.window_finite = 0;
+            }
+        }
+    }
+
+    if let Some(tf) = dc.telemetry_faults() {
+        report.suppressed = tf.suppressed();
+        report.corrupted = tf.corrupted();
+    }
+    let health = dc.store().health_report();
+    report.store_rejected = health.total_rejected();
+    report.max_gap_ms = health.max_gap_ms();
+    report.bus_delivered = dc.bus().delivered_total();
+    report.bus_dropped = dc.bus().dropped_total();
+    report.jobs_completed = dc.finished_jobs().len();
+    fnv1a(&mut report.digest, &report.suppressed.to_le_bytes());
+    fnv1a(&mut report.digest, &report.corrupted.to_le_bytes());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_soak_is_fully_usable_and_quiet() {
+        let r = run_soak(&SoakConfig::clean(3, 2_000));
+        assert_eq!(r.windows, 2);
+        assert_eq!(r.usable_windows, 2);
+        assert_eq!(r.suppressed, 0);
+        assert_eq!(r.nan_alert_events, 0);
+        assert_eq!(r.forecasts_abstained, 0);
+    }
+
+    #[test]
+    fn faulty_soak_is_deterministic_and_degrades_gracefully() {
+        let ticks = 3_000;
+        let schedule = demo_schedule(21, ticks, 1_000);
+        let a = run_soak(&SoakConfig::faulty(21, ticks, schedule.clone()));
+        let b = run_soak(&SoakConfig::faulty(21, ticks, schedule));
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.suppressed, b.suppressed);
+        assert!(a.suppressed > 0, "dropout windows must suppress readings");
+        assert_eq!(a.nan_alert_events, 0, "NaN must never reach an alert");
+        assert!(a.max_concurrent_faults >= 3);
+    }
+}

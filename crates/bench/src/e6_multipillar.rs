@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn oda_beats_siloed_and_multipillar_beats_single() {
-        let results = run_experiment(8.0, 11);
+        let results = run_experiment(8.0, 2);
         let m = |c: Config| results.iter().find(|(x, _)| *x == c).unwrap().1;
         let siloed = m(Config::Siloed);
         let single = m(Config::SinglePillar);

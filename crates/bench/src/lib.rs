@@ -22,6 +22,7 @@
 //! and the integration tests can assert the experiments' *directional*
 //! claims (who wins) without parsing stdout.
 
+pub mod chaos;
 pub mod control;
 pub mod e5_proactive;
 pub mod e6_multipillar;

@@ -1,0 +1,133 @@
+//! Golden-output tests for the table/figure regeneration harnesses.
+//!
+//! The survey grid behind `table1` and the complex-system footprints behind
+//! `figure3` are serialized to JSON and compared byte-for-byte against
+//! checked-in fixtures. Any edit to the encoded corpus or the grid layout
+//! shows up as a reviewable fixture diff instead of a silent drift in the
+//! regenerated tables. Run with `UPDATE_GOLDEN=1` to regenerate after an
+//! intentional change.
+
+use oda_core::analytics_type::AnalyticsType;
+use oda_core::grid::GridCell;
+use oda_core::pillar::Pillar;
+use oda_core::{survey, systems};
+use serde::Serialize;
+use std::path::PathBuf;
+
+#[derive(Serialize)]
+struct CellGolden {
+    analytics: &'static str,
+    pillar: &'static str,
+    count: usize,
+    use_cases: Vec<&'static str>,
+}
+
+#[derive(Serialize)]
+struct Table1Golden {
+    cells: Vec<CellGolden>,
+    citation_footprints: Vec<(u16, u16)>,
+    total: usize,
+    single_pillar: usize,
+    multi_pillar: usize,
+    multi_type: usize,
+}
+
+#[derive(Serialize)]
+struct SystemGolden {
+    name: &'static str,
+    paper_section: &'static str,
+    components: Vec<String>,
+    footprint_mask: u16,
+    cell_count: u32,
+    multi_pillar: bool,
+}
+
+#[derive(Serialize)]
+struct Figure3Golden {
+    systems: Vec<SystemGolden>,
+    pairwise_jaccard: Vec<(String, String, f64)>,
+}
+
+fn check(name: &str, got: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing fixture {name}; regenerate with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        got.trim(),
+        want.trim(),
+        "golden mismatch for {name}; rerun with UPDATE_GOLDEN=1 after an intentional change"
+    );
+}
+
+#[test]
+fn table1_grid_matches_golden_fixture() {
+    let grid = survey::table1();
+    let stats = survey::pillar_stats();
+    // Row-major in the paper's presentation order: analytics type from
+    // descriptive up, pillars left to right.
+    let mut cells = Vec::new();
+    for a in AnalyticsType::ALL {
+        for p in Pillar::ALL {
+            let entries = grid.get(GridCell::new(a, p));
+            cells.push(CellGolden {
+                analytics: a.name(),
+                pillar: p.name(),
+                count: entries.len(),
+                use_cases: entries.iter().map(|e| e.use_case).collect(),
+            });
+        }
+    }
+    let golden = Table1Golden {
+        cells,
+        citation_footprints: survey::citation_footprints()
+            .into_iter()
+            .map(|(citation, fp)| (citation, fp.0))
+            .collect(),
+        total: stats.total,
+        single_pillar: stats.single_pillar,
+        multi_pillar: stats.multi_pillar,
+        multi_type: stats.multi_type,
+    };
+    check("table1.json", &serde_json::to_string_pretty(&golden).unwrap());
+}
+
+#[test]
+fn figure3_systems_match_golden_fixture() {
+    let systems = systems::figure3_systems();
+    let mut pairwise = Vec::new();
+    for i in 0..systems.len() {
+        for j in i + 1..systems.len() {
+            pairwise.push((
+                systems[i].name.to_owned(),
+                systems[j].name.to_owned(),
+                systems[i].footprint().jaccard(systems[j].footprint()),
+            ));
+        }
+    }
+    let golden = Figure3Golden {
+        systems: systems
+            .iter()
+            .map(|s| SystemGolden {
+                name: s.name,
+                paper_section: s.paper_section,
+                components: s
+                    .components
+                    .iter()
+                    .map(|c| format!("{} @ {:?}", c.description, c.cell))
+                    .collect(),
+                footprint_mask: s.footprint().0,
+                cell_count: s.footprint().count(),
+                multi_pillar: s.footprint().is_multi_pillar(),
+            })
+            .collect(),
+        pairwise_jaccard: pairwise,
+    };
+    check("figure3.json", &serde_json::to_string_pretty(&golden).unwrap());
+}

@@ -681,7 +681,7 @@ mod tests {
 
     #[test]
     fn infra_detector_finds_cooling_degradation() {
-        let (mut dc, _) = sim_context(0.0, 23);
+        let (mut dc, _) = sim_context(0.0, 22);
         dc.inject_fault(Fault::new(
             FaultKind::CoolingDegradation { factor: 2.5 },
             Timestamp::from_hours(3),
@@ -700,7 +700,7 @@ mod tests {
             "degradation not detected: {out:?}"
         );
         // And quiet without the fault.
-        let (_clean, clean_ctx) = sim_context(4.0, 23);
+        let (_clean, clean_ctx) = sim_context(4.0, 22);
         assert!(InfraAnomalyDetector::new().execute(&clean_ctx).is_empty());
     }
 

@@ -25,7 +25,10 @@ use crate::engine::{SimClock, SimRng};
 use crate::facility::cooling::{CoolingConfig, CoolingMode, CoolingOutput, CoolingPlant};
 use crate::facility::power::{PowerConfig, PowerDistribution};
 use crate::facility::weather::{Weather, WeatherConfig};
-use crate::faults::{Fault, FaultInjector, FaultKind};
+use crate::faults::{
+    Fault, FaultInjector, FaultKind, FaultSchedule, TelemetryFault, TelemetryFaultKind,
+    TelemetryFaultState,
+};
 use crate::hardware::network::{Network, NetworkConfig};
 use crate::hardware::node::{Node, NodeConfig, NodeId};
 use crate::hardware::rack::{build_racks, rack_of, Rack, RackId};
@@ -388,6 +391,7 @@ pub struct DataCenter {
     scheduler: Scheduler,
     workload: WorkloadGenerator,
     injector: FaultInjector,
+    telemetry_faults: Option<TelemetryFaultState>,
     registry: SensorRegistry,
     bus: Arc<TelemetryBus>,
     sensors: Sensors,
@@ -441,6 +445,7 @@ impl DataCenter {
             network: Network::new(config.network.clone(), config.racks),
             scheduler: Scheduler::new(node_count, Box::new(FirstFit)),
             injector: FaultInjector::new(),
+            telemetry_faults: None,
             leak_extra_gib: vec![0.0; node_count],
             leak_rate_gib_per_min: vec![0.0; node_count],
             contention_severity: vec![0.0; node_count],
@@ -593,6 +598,22 @@ impl DataCenter {
         self.injector.inject(fault);
     }
 
+    /// Installs a telemetry fault schedule, replacing any previous one.
+    ///
+    /// Patterns are resolved against the site's sensor registry immediately;
+    /// corruption starts affecting published readings from the next tick in
+    /// a schedule window. The plant itself is untouched — only what the
+    /// analytics layer observes degrades.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.telemetry_faults = Some(TelemetryFaultState::new(schedule, &self.registry));
+    }
+
+    /// The installed telemetry fault state, if any (degradation ground
+    /// truth: suppression/corruption counters and the active schedule).
+    pub fn telemetry_faults(&self) -> Option<&TelemetryFaultState> {
+        self.telemetry_faults.as_ref()
+    }
+
     /// Submits a custom job directly (bypassing the workload generator).
     ///
     /// The job id is remapped into a reserved range so it cannot collide
@@ -654,6 +675,19 @@ impl DataCenter {
         }
         for f in off {
             self.apply_fault(&f.kind, false);
+        }
+        // Telemetry faults: activations may carry load (BurstLoad).
+        if self.telemetry_faults.is_some() {
+            let activated: Vec<TelemetryFault> = self
+                .telemetry_faults
+                .as_mut()
+                .map(|tf| tf.step(now))
+                .unwrap_or_default();
+            for f in activated {
+                if let TelemetryFaultKind::BurstLoad { jobs, duration_s } = f.kind {
+                    self.submit_stress_test(jobs, duration_s);
+                }
+            }
         }
         // Memory leaks grow while active.
         for i in 0..self.nodes.len() {
@@ -903,11 +937,11 @@ impl DataCenter {
         }
     }
 
-    fn publish(&self, now: Timestamp, outside_c: f64) {
-        let one = |sensor, value| {
-            self.bus
-                .publish(ReadingBatch::single(sensor, Reading::new(now, value)));
-        };
+    fn publish(&mut self, now: Timestamp, outside_c: f64) {
+        // Collect the nominal readings first, then pass each through the
+        // telemetry-fault corruptor (if installed) on its way to the bus.
+        let mut nominal: Vec<(SensorId, f64)> = Vec::with_capacity(64);
+        let mut one = |sensor, value| nominal.push((sensor, value));
         let s = &self.sensors;
         one(s.outside_temp, outside_c);
         one(s.cooling_power, self.last_cooling.power_kw);
@@ -948,6 +982,17 @@ impl DataCenter {
         one(s.killed_total, stats.killed as f64);
         one(s.active_jobs, self.scheduler.running_len() as f64);
         one(s.arrivals_total, self.arrivals_total as f64);
+        for (sensor, value) in nominal {
+            let reading = Reading::new(now, value);
+            let reading = match self.telemetry_faults.as_mut() {
+                Some(tf) => match tf.corrupt(sensor, reading) {
+                    Some(r) => r,
+                    None => continue,
+                },
+                None => reading,
+            };
+            self.bus.publish(ReadingBatch::single(sensor, reading));
+        }
     }
 }
 
@@ -1043,7 +1088,7 @@ mod tests {
 
     #[test]
     fn cooling_degradation_fault_raises_pue() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 6);
+        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 5);
         dc.inject_fault(Fault::new(
             FaultKind::CoolingDegradation { factor: 3.0 },
             Timestamp::from_mins(30),
@@ -1224,6 +1269,61 @@ mod tests {
             )
             .unwrap();
         assert!((h - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_schedule_degrades_telemetry_not_physics() {
+        let sched = |seed| {
+            FaultSchedule::new(seed)
+                .with(
+                    TelemetryFaultKind::SensorDropout {
+                        pattern: "/hw/node0/temp_c".into(),
+                    },
+                    Timestamp::from_mins(10),
+                    Timestamp::from_mins(50),
+                )
+                .with(
+                    TelemetryFaultKind::BurstLoad {
+                        jobs: 4,
+                        duration_s: 600.0,
+                    },
+                    Timestamp::from_mins(20),
+                    Timestamp::from_mins(30),
+                )
+        };
+        let mut clean = DataCenter::new(DataCenterConfig::tiny(), 9);
+        clean.run_for_hours(1.0);
+        let mut faulty = DataCenter::new(DataCenterConfig::tiny(), 9);
+        faulty.set_fault_schedule(sched(9));
+        faulty.run_for_hours(1.0);
+        // The dropout leaves a hole in the archived series but the physics
+        // still ran: the store simply saw fewer samples for that sensor.
+        let temp0 = faulty.registry().lookup("/hw/node0/temp_c").unwrap();
+        let in_window = |dc: &DataCenter| {
+            dc.store()
+                .range(temp0, Timestamp::from_mins(10), Timestamp::from_mins(50))
+                .len()
+        };
+        assert_eq!(in_window(&faulty), 0, "dropout window must be empty");
+        assert!(in_window(&clean) > 0, "clean run archives the window");
+        let tf = faulty.telemetry_faults().unwrap();
+        assert!(tf.suppressed() > 0);
+        // The burst load reached the scheduler as extra operator jobs.
+        assert!(
+            faulty.scheduler().stats().completed + faulty.scheduler().running_len() as u64
+                >= clean.scheduler().stats().completed,
+        );
+        // Same seed + same schedule replays identically.
+        let mut again = DataCenter::new(DataCenterConfig::tiny(), 9);
+        again.set_fault_schedule(sched(9));
+        again.run_for_hours(1.0);
+        assert_eq!(
+            again.telemetry_faults().unwrap().suppressed(),
+            tf.suppressed()
+        );
+        let a: Vec<_> = faulty.store().last_n(temp0, 20);
+        let b: Vec<_> = again.store().last_n(temp0, 20);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -70,6 +70,7 @@ impl SimClock {
 ///
 /// Thin façade over `SmallRng` adding the distributions the models need;
 /// keeping them here means model code never touches rand traits directly.
+#[derive(Debug)]
 pub struct SimRng {
     rng: SmallRng,
 }

@@ -9,10 +9,14 @@
 //! diagnostic works (Tuncer et al.'s performance variations, Borghesi
 //! et al.'s node anomalies, NREL's AI-ops infrastructure faults).
 
+use crate::engine::SimRng;
 use crate::hardware::node::NodeId;
 use crate::hardware::rack::RackId;
-use oda_telemetry::reading::Timestamp;
+use oda_telemetry::pattern::SensorPattern;
+use oda_telemetry::reading::{Reading, Timestamp};
+use oda_telemetry::sensor::{SensorId, SensorRegistry};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 
 /// What goes wrong.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -166,6 +170,363 @@ impl FaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry faults: failures of the *monitoring* path, not the plant.
+// ---------------------------------------------------------------------------
+//
+// The physical faults above perturb the site and show up as honest symptoms
+// in honest telemetry. Real monitoring stacks additionally suffer failures of
+// the measurement path itself: collectors die, sensors latch, ADCs glitch,
+// node clocks drift. These never change the plant — they change what the
+// analytics layer *sees*, which is exactly the degradation an ODA pipeline
+// must tolerate. Keeping the two families separate preserves the ground
+// truth: a detector can be scored against physical faults while telemetry
+// faults decide how much evidence it gets to work with.
+
+/// What goes wrong with the monitoring path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryFaultKind {
+    /// Sensors matching `pattern` publish nothing (dead collector,
+    /// unplugged IPMI cable): readings are silently discarded.
+    SensorDropout {
+        /// Glob over sensor names, e.g. `/hw/*/temp_c`.
+        pattern: String,
+    },
+    /// Sensors matching `pattern` latch at the last value seen before the
+    /// fault (stuck ADC register): timestamps advance, values freeze.
+    StuckAt {
+        /// Glob over sensor names.
+        pattern: String,
+    },
+    /// Each reading from a matching sensor is replaced by NaN with
+    /// probability `p` (flaky wire, conversion errors).
+    NanBurst {
+        /// Glob over sensor names.
+        pattern: String,
+        /// Per-reading corruption probability, 0..=1.
+        p: f64,
+    },
+    /// Each reading from a matching sensor is displaced by `magnitude`
+    /// (randomly signed) with probability `p` — electrical spikes.
+    Spike {
+        /// Glob over sensor names.
+        pattern: String,
+        /// Absolute displacement added or subtracted.
+        magnitude: f64,
+        /// Per-reading corruption probability, 0..=1.
+        p: f64,
+    },
+    /// Timestamps of matching sensors are skewed by a uniform offset in
+    /// `[-max_skew_ms, +max_skew_ms]` (unsynchronised node clocks).
+    /// Backward skews produce out-of-order readings the store rejects.
+    ClockJitter {
+        /// Glob over sensor names.
+        pattern: String,
+        /// Maximum absolute skew, milliseconds.
+        max_skew_ms: u64,
+    },
+    /// Every sensor under `/hw/node{i}` and `/sw/node{i}` goes dark —
+    /// the monitoring view of a crashed or unreachable node.
+    NodeFailure {
+        /// The node whose telemetry disappears.
+        node: NodeId,
+    },
+    /// A burst of operator stress jobs (`jobs` single-node jobs of
+    /// `duration_s` seconds) is submitted at activation: load the pipeline
+    /// must absorb while possibly also degraded.
+    BurstLoad {
+        /// Number of single-node jobs submitted.
+        jobs: u32,
+        /// Per-job duration, seconds.
+        duration_s: f64,
+    },
+}
+
+impl TelemetryFaultKind {
+    /// Short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TelemetryFaultKind::SensorDropout { .. } => "sensor-dropout",
+            TelemetryFaultKind::StuckAt { .. } => "stuck-at",
+            TelemetryFaultKind::NanBurst { .. } => "nan-burst",
+            TelemetryFaultKind::Spike { .. } => "spike",
+            TelemetryFaultKind::ClockJitter { .. } => "clock-jitter",
+            TelemetryFaultKind::NodeFailure { .. } => "node-failure",
+            TelemetryFaultKind::BurstLoad { .. } => "burst-load",
+        }
+    }
+
+    /// The sensor-name patterns this fault corrupts (empty for pure load
+    /// faults).
+    fn patterns(&self) -> Vec<String> {
+        match self {
+            TelemetryFaultKind::SensorDropout { pattern }
+            | TelemetryFaultKind::StuckAt { pattern }
+            | TelemetryFaultKind::NanBurst { pattern, .. }
+            | TelemetryFaultKind::Spike { pattern, .. }
+            | TelemetryFaultKind::ClockJitter { pattern, .. } => vec![pattern.clone()],
+            TelemetryFaultKind::NodeFailure { node } => {
+                vec![format!("/*/node{}/**", node.index())]
+            }
+            TelemetryFaultKind::BurstLoad { .. } => Vec::new(),
+        }
+    }
+}
+
+/// A scheduled telemetry fault: active during `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryFault {
+    /// What happens.
+    pub kind: TelemetryFaultKind,
+    /// Activation time.
+    pub start: Timestamp,
+    /// Deactivation time (exclusive).
+    pub end: Timestamp,
+}
+
+impl TelemetryFault {
+    /// Creates a fault active during `[start, end)`.
+    pub fn new(kind: TelemetryFaultKind, start: Timestamp, end: Timestamp) -> Self {
+        TelemetryFault { kind, start, end }
+    }
+
+    /// Whether the fault is active at `t`.
+    #[inline]
+    pub fn active_at(&self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A seedable schedule of telemetry faults.
+///
+/// The seed drives every probabilistic corruption decision, so two runs of
+/// the same simulation with the same schedule produce *identical* corrupted
+/// telemetry — the property chaos tests rely on to compare degraded runs
+/// against clean ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// The scheduled faults, in insertion order (also corruption order when
+    /// several faults hit the same sensor).
+    pub faults: Vec<TelemetryFault>,
+    /// Seed for all stochastic corruption decisions.
+    pub seed: u64,
+}
+
+impl FaultSchedule {
+    /// Creates an empty schedule with the given corruption seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            faults: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Builder-style: adds `kind` active during `[start, end)`.
+    pub fn with(mut self, kind: TelemetryFaultKind, start: Timestamp, end: Timestamp) -> Self {
+        self.faults.push(TelemetryFault::new(kind, start, end));
+        self
+    }
+
+    /// Adds a fault in place.
+    pub fn push(&mut self, fault: TelemetryFault) {
+        self.faults.push(fault);
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Generates a randomized-but-deterministic schedule: `count` faults of
+    /// rotating kinds with start times uniform in `[0, horizon)` and
+    /// durations between 5% and 20% of the horizon. The same
+    /// `(seed, horizon, nodes, count)` always yields the same schedule.
+    pub fn randomized(seed: u64, horizon: Timestamp, nodes: usize, count: usize) -> Self {
+        let mut rng = SimRng::new(seed ^ 0x7e1e_6e57_0dab_cafe);
+        let mut schedule = FaultSchedule::new(seed);
+        let horizon_ms = horizon.as_millis().max(1);
+        for i in 0..count {
+            let start = rng.uniform(0.0, horizon_ms as f64 * 0.8) as u64;
+            let dur = rng.uniform(horizon_ms as f64 * 0.05, horizon_ms as f64 * 0.2) as u64;
+            let node = NodeId(rng.uniform_usize(0, nodes.max(1)) as u32);
+            let kind = match i % 7 {
+                0 => TelemetryFaultKind::SensorDropout {
+                    pattern: format!("/hw/node{}/temp_c", node.index()),
+                },
+                1 => TelemetryFaultKind::NanBurst {
+                    pattern: "/hw/*/power_w".to_owned(),
+                    p: rng.uniform(0.1, 0.5),
+                },
+                2 => TelemetryFaultKind::StuckAt {
+                    pattern: format!("/hw/node{}/util", node.index()),
+                },
+                3 => TelemetryFaultKind::Spike {
+                    pattern: "/facility/power/it_kw".to_owned(),
+                    magnitude: rng.uniform(50.0, 500.0),
+                    p: rng.uniform(0.05, 0.3),
+                },
+                4 => TelemetryFaultKind::ClockJitter {
+                    pattern: format!("/hw/node{}/*", node.index()),
+                    max_skew_ms: rng.uniform(5_000.0, 30_000.0) as u64,
+                },
+                5 => TelemetryFaultKind::NodeFailure { node },
+                _ => TelemetryFaultKind::BurstLoad {
+                    jobs: rng.uniform_usize(2, 8) as u32,
+                    duration_s: rng.uniform(300.0, 1_800.0),
+                },
+            };
+            schedule.push(TelemetryFault::new(
+                kind,
+                Timestamp::from_millis(start),
+                Timestamp::from_millis(start.saturating_add(dur)),
+            ));
+        }
+        schedule
+    }
+}
+
+/// Runtime state of a [`FaultSchedule`]: resolved sensor targets, activation
+/// tracking, per-fault stuck values and the deterministic corruption RNG.
+///
+/// Built once against a [`SensorRegistry`] (patterns are resolved eagerly —
+/// the simulator registers every sensor at construction, so late
+/// registration is not a concern here) and then driven by the tick loop:
+/// [`step`](Self::step) reports activations, [`corrupt`](Self::corrupt)
+/// filters every outgoing reading.
+#[derive(Debug)]
+pub struct TelemetryFaultState {
+    faults: Vec<TelemetryFault>,
+    /// Per-fault resolved target set.
+    targets: Vec<HashSet<SensorId>>,
+    active: Vec<bool>,
+    /// Last clean value seen per (fault, sensor), for `StuckAt`.
+    stuck: HashMap<(usize, SensorId), f64>,
+    rng: SimRng,
+    /// Readings suppressed (dropout / node failure).
+    suppressed: u64,
+    /// Readings whose value or timestamp was corrupted in place.
+    corrupted: u64,
+}
+
+impl TelemetryFaultState {
+    /// Resolves `schedule` against `registry`.
+    pub fn new(schedule: FaultSchedule, registry: &SensorRegistry) -> Self {
+        let targets = schedule
+            .faults
+            .iter()
+            .map(|f| {
+                f.kind
+                    .patterns()
+                    .iter()
+                    .flat_map(|p| registry.matching(&SensorPattern::new(p)))
+                    .collect()
+            })
+            .collect();
+        let active = vec![false; schedule.faults.len()];
+        TelemetryFaultState {
+            targets,
+            active,
+            stuck: HashMap::new(),
+            rng: SimRng::new(schedule.seed ^ 0xc0_ffee),
+            suppressed: 0,
+            corrupted: 0,
+            faults: schedule.faults,
+        }
+    }
+
+    /// The scheduled faults (ground truth for scoring degradation).
+    pub fn schedule(&self) -> &[TelemetryFault] {
+        &self.faults
+    }
+
+    /// Telemetry faults active at `t`.
+    pub fn active_at(&self, t: Timestamp) -> Vec<TelemetryFault> {
+        self.faults.iter().filter(|f| f.active_at(t)).cloned().collect()
+    }
+
+    /// Readings suppressed so far (dropout and node-failure windows).
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Readings whose value or timestamp was altered so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+
+    /// Advances to `t`; returns newly activated faults (the caller turns
+    /// `BurstLoad` activations into job submissions). Deactivation clears
+    /// stuck-value latches so a later window re-latches fresh.
+    pub fn step(&mut self, t: Timestamp) -> Vec<TelemetryFault> {
+        let mut on = Vec::new();
+        for (i, f) in self.faults.iter().enumerate() {
+            let now_active = f.active_at(t);
+            if now_active && !self.active[i] {
+                on.push(f.clone());
+            } else if !now_active && self.active[i] {
+                self.stuck.retain(|&(fi, _), _| fi != i);
+            }
+            self.active[i] = now_active;
+        }
+        on
+    }
+
+    /// Applies every active fault to one outgoing reading.
+    ///
+    /// Returns `None` when the reading is suppressed entirely, otherwise the
+    /// (possibly corrupted) reading. Faults apply in schedule order, so a
+    /// spike can land on a stuck value but nothing survives a dropout.
+    pub fn corrupt(&mut self, sensor: SensorId, mut reading: Reading) -> Option<Reading> {
+        for i in 0..self.faults.len() {
+            if !self.active[i] || !self.targets[i].contains(&sensor) {
+                continue;
+            }
+            match self.faults[i].kind {
+                TelemetryFaultKind::SensorDropout { .. }
+                | TelemetryFaultKind::NodeFailure { .. } => {
+                    self.suppressed += 1;
+                    return None;
+                }
+                TelemetryFaultKind::StuckAt { .. } => {
+                    let latch = *self.stuck.entry((i, sensor)).or_insert(reading.value);
+                    if latch != reading.value {
+                        reading.value = latch;
+                        self.corrupted += 1;
+                    }
+                }
+                TelemetryFaultKind::NanBurst { p, .. } => {
+                    if self.rng.chance(p) {
+                        reading.value = f64::NAN;
+                        self.corrupted += 1;
+                    }
+                }
+                TelemetryFaultKind::Spike { magnitude, p, .. } => {
+                    if self.rng.chance(p) {
+                        let sign = if self.rng.chance(0.5) { 1.0 } else { -1.0 };
+                        reading.value += sign * magnitude;
+                        self.corrupted += 1;
+                    }
+                }
+                TelemetryFaultKind::ClockJitter { max_skew_ms, .. } => {
+                    let skew =
+                        self.rng.uniform(-(max_skew_ms as f64), max_skew_ms as f64) as i64;
+                    let ms = reading.ts.as_millis();
+                    reading.ts =
+                        Timestamp::from_millis(ms.saturating_add_signed(skew));
+                    self.corrupted += 1;
+                }
+                TelemetryFaultKind::BurstLoad { .. } => {}
+            }
+        }
+        Some(reading)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +583,153 @@ mod tests {
             gib_per_min: 2.0,
         };
         assert_eq!(k.node(), Some(NodeId(1)));
+    }
+
+    // ----- telemetry faults -------------------------------------------------
+
+    use oda_telemetry::sensor::{SensorKind, Unit};
+
+    fn registry() -> SensorRegistry {
+        let reg = SensorRegistry::new();
+        for i in 0..2 {
+            reg.register(&format!("/hw/node{i}/temp_c"), SensorKind::Temperature, Unit::Celsius);
+            reg.register(&format!("/hw/node{i}/power_w"), SensorKind::Power, Unit::Watts);
+            reg.register(&format!("/sw/node{i}/sys_mem_gib"), SensorKind::Count, Unit::Dimensionless);
+        }
+        reg
+    }
+
+    fn rd(s: u64, v: f64) -> Reading {
+        Reading::new(Timestamp::from_secs(s), v)
+    }
+
+    #[test]
+    fn dropout_suppresses_only_matching_sensors() {
+        let reg = registry();
+        let temp0 = reg.lookup("/hw/node0/temp_c").unwrap();
+        let temp1 = reg.lookup("/hw/node1/temp_c").unwrap();
+        let sched = FaultSchedule::new(1).with(
+            TelemetryFaultKind::SensorDropout {
+                pattern: "/hw/node0/temp_c".into(),
+            },
+            Timestamp::from_secs(10),
+            Timestamp::from_secs(20),
+        );
+        let mut st = TelemetryFaultState::new(sched, &reg);
+        st.step(Timestamp::from_secs(5));
+        assert!(st.corrupt(temp0, rd(5, 40.0)).is_some(), "inactive window passes");
+        st.step(Timestamp::from_secs(10));
+        assert!(st.corrupt(temp0, rd(10, 40.0)).is_none());
+        assert!(st.corrupt(temp1, rd(10, 40.0)).is_some(), "other sensors unaffected");
+        st.step(Timestamp::from_secs(20));
+        assert!(st.corrupt(temp0, rd(20, 40.0)).is_some(), "window is half-open");
+        assert_eq!(st.suppressed(), 1);
+    }
+
+    #[test]
+    fn stuck_at_latches_first_value_and_releases() {
+        let reg = registry();
+        let s = reg.lookup("/hw/node0/power_w").unwrap();
+        let sched = FaultSchedule::new(1).with(
+            TelemetryFaultKind::StuckAt {
+                pattern: "/hw/node0/power_w".into(),
+            },
+            Timestamp::from_secs(0),
+            Timestamp::from_secs(10),
+        );
+        let mut st = TelemetryFaultState::new(sched, &reg);
+        st.step(Timestamp::ZERO);
+        assert_eq!(st.corrupt(s, rd(0, 100.0)).unwrap().value, 100.0);
+        assert_eq!(st.corrupt(s, rd(1, 150.0)).unwrap().value, 100.0);
+        assert_eq!(st.corrupt(s, rd(2, 90.0)).unwrap().value, 100.0);
+        st.step(Timestamp::from_secs(10));
+        assert_eq!(st.corrupt(s, rd(10, 90.0)).unwrap().value, 90.0);
+    }
+
+    #[test]
+    fn node_failure_blacks_out_all_node_streams() {
+        let reg = registry();
+        let sched = FaultSchedule::new(1).with(
+            TelemetryFaultKind::NodeFailure { node: NodeId(1) },
+            Timestamp::ZERO,
+            Timestamp::from_secs(100),
+        );
+        let mut st = TelemetryFaultState::new(sched, &reg);
+        st.step(Timestamp::ZERO);
+        for name in ["/hw/node1/temp_c", "/hw/node1/power_w", "/sw/node1/sys_mem_gib"] {
+            let s = reg.lookup(name).unwrap();
+            assert!(st.corrupt(s, rd(1, 1.0)).is_none(), "{name} should be dark");
+        }
+        let s0 = reg.lookup("/hw/node0/temp_c").unwrap();
+        assert!(st.corrupt(s0, rd(1, 1.0)).is_some());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let reg = registry();
+        let s = reg.lookup("/hw/node0/power_w").unwrap();
+        let run = |seed: u64| {
+            let sched = FaultSchedule::new(seed).with(
+                TelemetryFaultKind::NanBurst {
+                    pattern: "/hw/*/power_w".into(),
+                    p: 0.5,
+                },
+                Timestamp::ZERO,
+                Timestamp::from_secs(1_000),
+            );
+            let mut st = TelemetryFaultState::new(sched, &reg);
+            st.step(Timestamp::ZERO);
+            (0..200)
+                .map(|t| st.corrupt(s, rd(t, 5.0)).unwrap().value.is_nan())
+                .collect::<Vec<bool>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same corruption stream");
+        assert_ne!(a, run(8), "different seed diverges");
+        let nans = a.iter().filter(|&&x| x).count();
+        assert!(nans > 50 && nans < 150, "p=0.5 should corrupt about half: {nans}");
+    }
+
+    #[test]
+    fn clock_jitter_skews_timestamps_both_ways() {
+        let reg = registry();
+        let s = reg.lookup("/hw/node0/temp_c").unwrap();
+        let sched = FaultSchedule::new(3).with(
+            TelemetryFaultKind::ClockJitter {
+                pattern: "/hw/node0/*".into(),
+                max_skew_ms: 5_000,
+            },
+            Timestamp::ZERO,
+            Timestamp::from_secs(1_000),
+        );
+        let mut st = TelemetryFaultState::new(sched, &reg);
+        st.step(Timestamp::ZERO);
+        let mut ahead = 0;
+        let mut behind = 0;
+        for t in 0..100u64 {
+            let nominal = Timestamp::from_secs(100 + t);
+            let got = st.corrupt(s, Reading::new(nominal, 1.0)).unwrap().ts;
+            let skew = got.as_millis() as i64 - nominal.as_millis() as i64;
+            assert!(skew.abs() <= 5_000, "skew {skew} out of range");
+            if skew > 0 {
+                ahead += 1;
+            } else if skew < 0 {
+                behind += 1;
+            }
+        }
+        assert!(ahead > 10 && behind > 10, "skew should go both ways: +{ahead} -{behind}");
+    }
+
+    #[test]
+    fn randomized_schedule_is_reproducible() {
+        let a = FaultSchedule::randomized(42, Timestamp::from_hours(4), 8, 12);
+        let b = FaultSchedule::randomized(42, Timestamp::from_hours(4), 8, 12);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        let c = FaultSchedule::randomized(43, Timestamp::from_hours(4), 8, 12);
+        assert_ne!(a, c);
+        // All seven kinds are represented across 12 rotating entries.
+        let labels: HashSet<&str> = a.faults.iter().map(|f| f.kind.label()).collect();
+        assert_eq!(labels.len(), 7);
     }
 }

@@ -58,7 +58,9 @@ pub mod prelude {
     pub use crate::datacenter::{DataCenter, DataCenterConfig, Snapshot};
     pub use crate::engine::SimClock;
     pub use crate::facility::cooling::CoolingMode;
-    pub use crate::faults::{Fault, FaultKind};
+    pub use crate::faults::{
+        Fault, FaultKind, FaultSchedule, TelemetryFault, TelemetryFaultKind, TelemetryFaultState,
+    };
     pub use crate::hardware::node::NodeId;
     pub use crate::scheduler::job::{Job, JobClass, JobId, JobState};
     pub use crate::scheduler::placement::PlacementPolicy;

@@ -64,6 +64,14 @@ pub struct AlertRule {
     /// Number of consecutive violating readings required before firing
     /// (debounce). `1` fires immediately.
     pub debounce: u32,
+    /// Number of consecutive *non-violating* readings required before an
+    /// active alert clears (clear-side hysteresis). `1` clears immediately.
+    /// Raising this stops a sensor flapping around the threshold from
+    /// emitting a raise/clear pair per oscillation.
+    pub clear_debounce: u32,
+    /// Minimum time after a clear before the rule may fire again,
+    /// milliseconds. `0` disables the cooldown.
+    pub cooldown_ms: u64,
 }
 
 impl AlertRule {
@@ -80,12 +88,26 @@ impl AlertRule {
             severity,
             name: name.into(),
             debounce: 1,
+            clear_debounce: 1,
+            cooldown_ms: 0,
         }
     }
 
     /// Builder-style debounce setter.
     pub fn with_debounce(mut self, n: u32) -> Self {
         self.debounce = n.max(1);
+        self
+    }
+
+    /// Builder-style clear-debounce setter.
+    pub fn with_clear_debounce(mut self, n: u32) -> Self {
+        self.clear_debounce = n.max(1);
+        self
+    }
+
+    /// Builder-style re-fire cooldown setter.
+    pub fn with_cooldown_ms(mut self, ms: u64) -> Self {
+        self.cooldown_ms = ms;
         self
     }
 }
@@ -109,6 +131,8 @@ pub struct AlertEvent {
 struct RuleState {
     active: bool,
     consecutive_violations: u32,
+    consecutive_good: u32,
+    last_cleared: Option<crate::reading::Timestamp>,
 }
 
 /// Stateful evaluator of a set of alert rules.
@@ -155,8 +179,15 @@ impl AlertEngine {
     }
 
     /// Feeds one reading; returns any raise/clear transitions it caused.
+    ///
+    /// Non-finite readings are ignored outright: a NaN carries no evidence
+    /// about the condition, so it neither advances the violation count nor
+    /// resets it — corrupted telemetry can never raise or clear an alert.
     pub fn observe(&mut self, sensor: SensorId, reading: Reading) -> Vec<AlertEvent> {
         let mut events = Vec::new();
+        if !reading.value.is_finite() {
+            return events;
+        }
         let Some(rule_idxs) = self.by_sensor.get(&sensor) else {
             return events;
         };
@@ -165,7 +196,14 @@ impl AlertEngine {
             let st = &mut self.state[i];
             if rule.condition.violated_by(reading.value) {
                 st.consecutive_violations = st.consecutive_violations.saturating_add(1);
-                if !st.active && st.consecutive_violations >= rule.debounce {
+                st.consecutive_good = 0;
+                let cooled_down = match st.last_cleared {
+                    Some(cleared) if rule.cooldown_ms > 0 => {
+                        reading.ts.millis_since(cleared) >= rule.cooldown_ms
+                    }
+                    _ => true,
+                };
+                if !st.active && st.consecutive_violations >= rule.debounce && cooled_down {
                     st.active = true;
                     self.fired_total += 1;
                     events.push(AlertEvent {
@@ -178,8 +216,10 @@ impl AlertEngine {
                 }
             } else {
                 st.consecutive_violations = 0;
-                if st.active {
+                st.consecutive_good = st.consecutive_good.saturating_add(1);
+                if st.active && st.consecutive_good >= rule.clear_debounce {
                     st.active = false;
+                    st.last_cleared = Some(reading.ts);
                     events.push(AlertEvent {
                         rule: rule.name.clone(),
                         sensor,
@@ -255,6 +295,77 @@ mod tests {
         assert!(!c.violated_by(15.0));
         assert!(!c.violated_by(10.0));
         assert!(!c.violated_by(20.0));
+    }
+
+    #[test]
+    fn non_finite_readings_never_raise_or_clear() {
+        let s = SensorId(0);
+        let mut eng = AlertEngine::new(vec![AlertRule::new(
+            "hot",
+            s,
+            Condition::Above(80.0),
+            AlertSeverity::Critical,
+        )
+        .with_debounce(2)]);
+        assert!(eng.observe(s, rd(90.0)).is_empty());
+        // NaN between two violations must not reset the debounce counter...
+        assert!(eng.observe(s, rd(f64::NAN)).is_empty());
+        let ev = eng.observe(s, rd(91.0));
+        assert_eq!(ev.len(), 1, "second real violation fires");
+        // ...and NaN while active must not clear.
+        assert!(eng.observe(s, rd(f64::NAN)).is_empty());
+        assert!(eng.observe(s, rd(f64::INFINITY)).is_empty());
+        assert_eq!(eng.active_rules().len(), 1);
+        assert_eq!(eng.fired_total(), 1);
+    }
+
+    #[test]
+    fn clear_debounce_suppresses_flapping() {
+        let s = SensorId(0);
+        let mut eng = AlertEngine::new(vec![AlertRule::new(
+            "flap",
+            s,
+            Condition::Above(10.0),
+            AlertSeverity::Warning,
+        )
+        .with_clear_debounce(3)]);
+        assert_eq!(eng.observe(s, rd(11.0)).len(), 1);
+        // Oscillation around the threshold: single good readings do not
+        // clear, so the re-entering violations do not re-fire either.
+        for _ in 0..5 {
+            assert!(eng.observe(s, rd(9.0)).is_empty());
+            assert!(eng.observe(s, rd(11.0)).is_empty());
+        }
+        assert_eq!(eng.fired_total(), 1, "one fire despite 5 oscillations");
+        // Three consecutive good readings finally clear.
+        assert!(eng.observe(s, rd(9.0)).is_empty());
+        assert!(eng.observe(s, rd(9.0)).is_empty());
+        let ev = eng.observe(s, rd(9.0));
+        assert_eq!(ev.len(), 1);
+        assert!(!ev[0].active);
+    }
+
+    #[test]
+    fn cooldown_blocks_immediate_refire() {
+        let s = SensorId(0);
+        let mut eng = AlertEngine::new(vec![AlertRule::new(
+            "cool",
+            s,
+            Condition::Above(10.0),
+            AlertSeverity::Warning,
+        )
+        .with_cooldown_ms(60_000)]);
+        let at = |t_s: u64, v: f64| Reading::new(Timestamp::from_secs(t_s), v);
+        assert_eq!(eng.observe(s, at(0, 11.0)).len(), 1);
+        assert_eq!(eng.observe(s, at(10, 9.0)).len(), 1); // clears at t=10s
+        // Violations inside the cooldown window are swallowed.
+        assert!(eng.observe(s, at(20, 11.0)).is_empty());
+        assert!(eng.observe(s, at(40, 11.0)).is_empty());
+        // Past the cooldown the rule fires again.
+        let ev = eng.observe(s, at(71, 11.0));
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].active);
+        assert_eq!(eng.fired_total(), 2);
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub struct TelemetryBus {
     subscribers: RwLock<Vec<Subscriber>>,
     next_id: Mutex<u64>,
     published: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl TelemetryBus {
@@ -70,6 +72,8 @@ impl TelemetryBus {
             subscribers: RwLock::new(Vec::new()),
             next_id: Mutex::new(0),
             published: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -94,6 +98,17 @@ impl TelemetryBus {
     /// Total batches published since creation.
     pub fn published(&self) -> u64 {
         self.published.load(Ordering::Relaxed)
+    }
+
+    /// Total successful subscriber deliveries since creation.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Total deliveries shed across all subscribers (full or disconnected
+    /// channels) since creation. Monotonically non-decreasing.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Subscribes to all sensors matching `pattern`, with a bounded buffer of
@@ -143,7 +158,7 @@ impl TelemetryBus {
             let subs = self.subscribers.read();
             for sub in subs.iter() {
                 if sub.sensors.contains(&batch.sensor) {
-                    delivered += Self::deliver(sub, &batch);
+                    delivered += self.deliver(sub, &batch);
                 } else {
                     need_resolve = true;
                 }
@@ -155,7 +170,7 @@ impl TelemetryBus {
                 for sub in subs.iter_mut() {
                     if !sub.sensors.contains(&batch.sensor) && sub.pattern.matches(&name) {
                         sub.sensors.insert(batch.sensor);
-                        delivered += Self::deliver(sub, &batch);
+                        delivered += self.deliver(sub, &batch);
                     }
                 }
             }
@@ -163,11 +178,15 @@ impl TelemetryBus {
         delivered
     }
 
-    fn deliver(sub: &Subscriber, batch: &ReadingBatch) -> usize {
+    fn deliver(&self, sub: &Subscriber, batch: &ReadingBatch) -> usize {
         match sub.tx.try_send(batch.clone()) {
-            Ok(()) => 1,
+            Ok(()) => {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                1
+            }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 sub.dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped.fetch_add(1, Ordering::Relaxed);
                 0
             }
         }
@@ -248,6 +267,24 @@ mod tests {
         });
         assert_eq!(store.series_len(a), 2);
         assert_eq!(bus.published(), 1);
+    }
+
+    #[test]
+    fn bus_totals_track_delivery_and_shedding() {
+        let (_reg, bus, a, _b) = setup();
+        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 2);
+        for _ in 0..5 {
+            bus.publish(batch(a, 1.0));
+        }
+        assert_eq!(bus.published(), 5);
+        assert_eq!(bus.delivered_total(), 2);
+        assert_eq!(bus.dropped_total(), 3);
+        assert_eq!(sub.dropped(), 3);
+        // Draining and publishing again resumes delivery; totals only grow.
+        while sub.rx.try_recv().is_ok() {}
+        bus.publish(batch(a, 2.0));
+        assert_eq!(bus.delivered_total(), 3);
+        assert_eq!(bus.dropped_total(), 3);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod alert;
 pub mod bus;
 pub mod export;
+pub mod health;
 pub mod pattern;
 pub mod query;
 pub mod reading;
@@ -54,6 +55,7 @@ pub mod store;
 pub mod prelude {
     pub use crate::alert::{AlertEngine, AlertEvent, AlertRule, AlertSeverity, Condition};
     pub use crate::bus::{Subscription, TelemetryBus};
+    pub use crate::health::{HealthReport, SensorHealth};
     pub use crate::pattern::SensorPattern;
     pub use crate::query::{Aggregation, QueryEngine, TimeRange};
     pub use crate::reading::{Reading, Timestamp};

@@ -33,6 +33,12 @@ pub struct RingBuffer {
     capacity: usize,
     /// Count of readings ever evicted by wrap-around.
     evicted: u64,
+    /// Count of readings rejected for an out-of-order timestamp.
+    rejected_out_of_order: u64,
+    /// Count of readings rejected for a non-finite value.
+    rejected_non_finite: u64,
+    /// Largest inter-reading gap ever accepted, milliseconds.
+    max_gap_ms: u64,
 }
 
 impl RingBuffer {
@@ -48,6 +54,9 @@ impl RingBuffer {
             len: 0,
             capacity,
             evicted: 0,
+            rejected_out_of_order: 0,
+            rejected_non_finite: 0,
+            max_gap_ms: 0,
         }
     }
 
@@ -75,6 +84,25 @@ impl RingBuffer {
         self.evicted
     }
 
+    /// Count of readings rejected for an out-of-order timestamp.
+    #[inline]
+    pub fn rejected_out_of_order(&self) -> u64 {
+        self.rejected_out_of_order
+    }
+
+    /// Count of readings rejected for a non-finite value.
+    #[inline]
+    pub fn rejected_non_finite(&self) -> u64 {
+        self.rejected_non_finite
+    }
+
+    /// Largest gap between consecutive accepted readings, milliseconds
+    /// (`0` until two readings have been accepted).
+    #[inline]
+    pub fn max_gap_ms(&self) -> u64 {
+        self.max_gap_ms
+    }
+
     /// Appends a reading.
     ///
     /// Returns `false` (and stores nothing) if the reading is non-finite or
@@ -85,12 +113,15 @@ impl RingBuffer {
     /// order).
     pub fn push(&mut self, r: Reading) -> bool {
         if !r.is_finite() {
+            self.rejected_non_finite += 1;
             return false;
         }
         if let Some(last) = self.newest() {
             if r.ts < last.ts {
+                self.rejected_out_of_order += 1;
                 return false;
             }
+            self.max_gap_ms = self.max_gap_ms.max(r.ts.millis_since(last.ts));
         }
         if self.len < self.capacity {
             // Still filling the initial allocation.
@@ -295,6 +326,48 @@ impl TimeSeriesStore {
             .unwrap_or(0)
     }
 
+    /// Ingest health of one sensor's series, if the sensor ever reached the
+    /// store.
+    pub fn sensor_health(&self, sensor: SensorId) -> Option<crate::health::SensorHealth> {
+        let (s, slot) = self.locate(sensor);
+        let shard = self.shards[s].read();
+        shard
+            .series
+            .get(slot)
+            .and_then(|b| b.as_ref())
+            .map(|b| Self::health_row(sensor, b))
+    }
+
+    /// Point-in-time health roll-up across every sensor that has reached
+    /// the store, ordered by sensor index.
+    pub fn health_report(&self) -> crate::health::HealthReport {
+        let n = self.shards.len();
+        let mut sensors = Vec::new();
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let shard = shard.read();
+            for (slot, buf) in shard.series.iter().enumerate() {
+                if let Some(buf) = buf {
+                    let sensor = SensorId((slot * n + shard_idx) as u32);
+                    sensors.push(Self::health_row(sensor, buf));
+                }
+            }
+        }
+        sensors.sort_by_key(|h| h.sensor.index());
+        crate::health::HealthReport { sensors }
+    }
+
+    fn health_row(sensor: SensorId, buf: &RingBuffer) -> crate::health::SensorHealth {
+        crate::health::SensorHealth {
+            sensor,
+            len: buf.len(),
+            last_seen: buf.newest().map(|r| r.ts),
+            evicted: buf.evicted(),
+            rejected_out_of_order: buf.rejected_out_of_order(),
+            rejected_non_finite: buf.rejected_non_finite(),
+            max_gap_ms: buf.max_gap_ms(),
+        }
+    }
+
     /// Total readings retained across all sensors (diagnostic).
     pub fn total_len(&self) -> usize {
         self.shards
@@ -437,6 +510,49 @@ mod tests {
         for i in 0..5u32 {
             assert_eq!(store.latest(SensorId(i)).unwrap().value, i as f64);
         }
+    }
+
+    #[test]
+    fn ring_buffer_counts_rejections_and_gaps() {
+        let mut b = RingBuffer::new(4);
+        assert!(b.push(r(1_000, 1.0)));
+        assert!(b.push(r(3_500, 2.0)));
+        assert!(!b.push(r(100, 3.0)));
+        assert!(!b.push(r(4_000, f64::INFINITY)));
+        assert!(b.push(r(4_000, 4.0)));
+        assert_eq!(b.rejected_out_of_order(), 1);
+        assert_eq!(b.rejected_non_finite(), 1);
+        assert_eq!(b.max_gap_ms(), 2_500);
+    }
+
+    #[test]
+    fn health_report_rolls_up_per_sensor_state() {
+        let store = TimeSeriesStore::with_capacity(4);
+        let a = SensorId(0);
+        let b = SensorId(17);
+        for t in 0..6u64 {
+            store.insert(a, r(t * 1_000, t as f64));
+        }
+        store.insert(b, r(500, 1.0));
+        store.insert(b, r(400, 2.0)); // out of order
+        store.insert(b, r(600, f64::NAN));
+        let rep = store.health_report();
+        assert_eq!(rep.sensor_count(), 2);
+        let ha = rep.sensor(a).unwrap();
+        assert_eq!(ha.len, 4);
+        assert_eq!(ha.evicted, 2);
+        assert_eq!(ha.last_seen, Some(Timestamp::from_millis(5_000)));
+        assert_eq!(ha.max_gap_ms, 1_000);
+        let hb = rep.sensor(b).unwrap();
+        assert_eq!(hb.rejected_out_of_order, 1);
+        assert_eq!(hb.rejected_non_finite, 1);
+        assert_eq!(rep.total_rejected(), 2);
+        assert_eq!(rep.total_evicted(), 2);
+        // Sensor b has been silent since t=500ms.
+        let stale = rep.stale_sensors(Timestamp::from_millis(5_000), 1_500);
+        assert_eq!(stale, vec![b]);
+        assert_eq!(store.sensor_health(a).unwrap(), *ha);
+        assert!(store.sensor_health(SensorId(99)).is_none());
     }
 
     #[test]

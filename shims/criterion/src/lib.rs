@@ -1,0 +1,244 @@
+//! Shim for `criterion`: runs each benchmark in a simple timed loop and
+//! prints mean wall-clock ns/iter — no statistical analysis, plots, or
+//! baselines. Invoked without `--bench` (e.g. by `cargo test`, which runs
+//! `harness = false` bench targets), every benchmark executes exactly one
+//! iteration so suites double as smoke tests.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; anything else (notably test mode)
+        // gets the one-shot quick mode.
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.quick, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.criterion.quick,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.criterion.quick,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    quick: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, accumulating iterations until ~200ms of samples
+    /// (quick mode: a single call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            return;
+        }
+        // One warm-up call, untimed.
+        black_box(f());
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            black_box(f());
+            iters += 1;
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters.max(1);
+    }
+
+    /// Like [`Bencher::iter`], but runs `setup` before each timed call and
+    /// passes its output to the routine; only the routine is timed.
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut f: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        if self.quick {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            return;
+        }
+        // One warm-up call, untimed.
+        black_box(f(setup()));
+        let budget = Duration::from_millis(200);
+        let deadline = Instant::now() + budget;
+        let mut iters = 0u64;
+        while Instant::now() < deadline && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            self.elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.iters += iters.max(1);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, quick: bool, mut f: F) {
+    let mut b = Bencher {
+        quick,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("bench: {name:<52} {ns:>14.1} ns/iter ({} iters)", b.iters);
+    } else {
+        println!("bench: {name:<52} (no measurement)");
+    }
+}
+
+/// Expands to a function running each registered benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` invoking every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_quick() {
+        benches();
+    }
+}

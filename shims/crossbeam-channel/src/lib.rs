@@ -1,0 +1,275 @@
+//! Shim for `crossbeam-channel`: a bounded MPMC channel built on a
+//! `Mutex<VecDeque>` + two condvars. Implements the subset used by the
+//! telemetry bus: `bounded`, non-blocking `try_send`/`try_recv`,
+//! blocking `send`/`recv`/`recv_timeout`, `len`, and disconnect
+//! semantics on drop of the last peer.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    cap: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn disconnected_tx(&self) -> bool {
+        self.senders.load(Ordering::Acquire) == 0
+    }
+
+    fn disconnected_rx(&self) -> bool {
+        self.receivers.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Creates a bounded channel with room for `cap` in-flight messages.
+/// `cap == 0` is treated as capacity 1 (this shim has no rendezvous mode).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cap: cap.max(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+pub struct Sender<T>(Arc<Shared<T>>);
+
+impl<T> Sender<T> {
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        if self.0.disconnected_rx() {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.0.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        q.push_back(msg);
+        drop(q);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.0.disconnected_rx() {
+                return Err(SendError(msg));
+            }
+            if q.len() < self.0.cap {
+                q.push_back(msg);
+                drop(q);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            let (guard, timeout) = self
+                .0
+                .not_full
+                .wait_timeout(q, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+            let _ = timeout;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.senders.fetch_add(1, Ordering::AcqRel);
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+impl<T> Receiver<T> {
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match q.pop_front() {
+            Some(v) => {
+                drop(q);
+                self.0.not_full.notify_one();
+                Ok(v)
+            }
+            None if self.0.disconnected_tx() => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.0.disconnected_tx() {
+                return Err(RecvError);
+            }
+            q = self
+                .0
+                .not_empty
+                .wait_timeout(q, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.0.disconnected_tx() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            q = self
+                .0
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.0.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.try_send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = bounded(8);
+        let h = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            if let Ok(v) = rx.recv_timeout(Duration::from_secs(5)) {
+                got.push(v);
+            }
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,123 @@
+//! Shim for `rayon`: `par_iter().map(..).collect()/sum()` over slices,
+//! the only shapes the workspace uses. Work is fanned out in contiguous
+//! chunks with `std::thread::scope`, preserving input order; small
+//! inputs run inline to avoid thread-spawn overhead.
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Inputs below this length are processed on the calling thread.
+const PARALLEL_THRESHOLD: usize = 64;
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked(self.items, &self.f).into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        run_chunked(self.items, &self.f).into_iter().sum()
+    }
+}
+
+fn run_chunked<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(16);
+    if items.len() < PARALLEL_THRESHOLD || threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order_small_and_large() {
+        for n in [0usize, 5, 63, 64, 1000] {
+            let xs: Vec<u64> = (0..n as u64).collect();
+            let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+            assert_eq!(doubled, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let s: u64 = xs.par_iter().map(|&x| x as u64).sum();
+        assert_eq!(s, xs.iter().map(|&x| x as u64).sum::<u64>());
+    }
+}

@@ -139,6 +139,99 @@ proptest! {
         }
     }
 
+    /// Wrap-around under hostile input: out-of-order, duplicate-timestamp
+    /// and non-finite readings against the "Vec that keeps the last N
+    /// accepted" model, with exact rejection/eviction accounting.
+    #[test]
+    fn ring_buffer_survives_out_of_order_and_duplicates(
+        raw in prop::collection::vec((0u64..2_000, -1e6f64..1e6, 0u8..10), 0..300),
+        cap in 1usize..16,
+    ) {
+        // Map the selector byte onto hostile values: ~20% of readings are
+        // NaN or ±infinity.
+        let raw: Vec<(u64, f64)> = raw
+            .into_iter()
+            .map(|(ts, v, sel)| match sel {
+                0 => (ts, f64::NAN),
+                1 => (ts, if v < 0.0 { f64::NEG_INFINITY } else { f64::INFINITY }),
+                _ => (ts, v),
+            })
+            .collect();
+        let mut buf = RingBuffer::new(cap);
+        let mut model: Vec<Reading> = Vec::new();
+        let mut evicted = 0u64;
+        let mut ooo = 0u64;
+        let mut non_finite = 0u64;
+        for (ts, v) in raw {
+            let r = Reading::new(Timestamp::from_millis(ts), v);
+            let accepted = buf.push(r);
+            if !v.is_finite() {
+                prop_assert!(!accepted);
+                non_finite += 1;
+            } else if model.last().is_some_and(|last| r.ts < last.ts) {
+                // Strictly older than the newest accepted reading: dropped.
+                prop_assert!(!accepted);
+                ooo += 1;
+            } else {
+                // Fresh or duplicate timestamp: accepted in arrival order.
+                prop_assert!(accepted);
+                model.push(r);
+                if model.len() > cap {
+                    model.remove(0);
+                    evicted += 1;
+                }
+            }
+        }
+        prop_assert_eq!(buf.to_vec(), model);
+        prop_assert_eq!(buf.evicted(), evicted);
+        prop_assert_eq!(buf.rejected_out_of_order(), ooo);
+        prop_assert_eq!(buf.rejected_non_finite(), non_finite);
+        // Whatever survived is non-decreasing in time.
+        let kept = buf.to_vec();
+        prop_assert!(kept.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    /// A stalled subscriber sheds batches instead of blocking the bus, the
+    /// drop counters grow monotonically, and every published batch is
+    /// accounted for as either delivered or dropped.
+    #[test]
+    fn bus_drop_counters_are_monotone_under_stalled_subscriber(
+        publishes in 1usize..60,
+        buffer in 1usize..8,
+    ) {
+        use hpc_oda::telemetry::bus::TelemetryBus;
+        use hpc_oda::telemetry::pattern::SensorPattern;
+        use hpc_oda::telemetry::reading::ReadingBatch;
+        use hpc_oda::telemetry::sensor::{SensorKind, SensorRegistry, Unit};
+
+        let registry = SensorRegistry::new();
+        let sensor = registry.register("/hw/node0/temp_c", SensorKind::Temperature, Unit::Celsius);
+        let bus = TelemetryBus::new(registry);
+        // Never drained: fills after `buffer` batches, sheds afterwards.
+        let stalled = bus.subscribe(SensorPattern::new("/hw/**"), buffer);
+
+        let mut last_dropped = 0u64;
+        for i in 0..publishes {
+            bus.publish(ReadingBatch::single(
+                sensor,
+                Reading::new(Timestamp::from_millis(i as u64 * 1_000), 25.0),
+            ));
+            let dropped = stalled.dropped();
+            prop_assert!(dropped >= last_dropped, "drop counter went backwards");
+            last_dropped = dropped;
+            prop_assert_eq!(
+                bus.delivered_total() + bus.dropped_total(),
+                i as u64 + 1,
+                "every batch is delivered or shed"
+            );
+        }
+        let expected_dropped = publishes.saturating_sub(buffer) as u64;
+        prop_assert_eq!(stalled.dropped(), expected_dropped);
+        prop_assert_eq!(bus.dropped_total(), expected_dropped);
+        prop_assert_eq!(bus.delivered_total(), publishes.min(buffer) as u64);
+        prop_assert_eq!(bus.published(), publishes as u64);
+    }
+
     /// `aggregate_readings` agrees between the slice helper and the engine.
     #[test]
     fn engine_and_slice_aggregation_agree(series in arb_series(80)) {
