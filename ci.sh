@@ -13,9 +13,31 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 echo "==> cargo clippy -- -D warnings"
+# Also the deprecation gate: the pre-0.2 QueryEngine methods and
+# TelemetryBus::subscribe are #[deprecated], so any in-workspace use fails
+# the build here.
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> chaos soak (short budget)"
 cargo run --release -p oda-bench --bin chaos -- 4000 21
+
+echo "==> ingest soak (observability baseline)"
+cargo run --release -p oda-bench --bin ingest -- 200 48 > BENCH_ingest.json
+# Schema check: the baseline must be one JSON object with the keys the
+# regression tooling reads, and a positive throughput.
+for key in bench readings_total throughput_rps throughput_rps_noop \
+           metrics_overhead_pct query_p50_ns query_p99_ns instruments; do
+  grep -q "\"$key\"" BENCH_ingest.json \
+    || { echo "BENCH_ingest.json missing key: $key" >&2; exit 1; }
+done
+python3 - <<'EOF'
+import json
+report = json.load(open("BENCH_ingest.json"))
+assert report["bench"] == "ingest", report["bench"]
+assert report["throughput_rps"] > 0, "ingest throughput must be positive"
+assert report["readings_total"] > 0
+print(f"ingest baseline OK: {report['throughput_rps']:.0f} readings/s, "
+      f"metrics overhead {report['metrics_overhead_pct']:.1f}%")
+EOF
 
 echo "CI OK"

@@ -168,35 +168,80 @@ fn bench_query(c: &mut Criterion) {
     let all = TimeRange::all();
 
     g.bench_function("range_scan_4k", |b| {
-        b.iter(|| black_box(engine.range(SensorId(3), all).len()));
+        b.iter(|| {
+            black_box(Query::sensors(SensorId(3)).range(all).run(&engine).readings().len())
+        });
     });
     g.bench_function("aggregate_mean_4k", |b| {
-        b.iter(|| black_box(engine.aggregate(SensorId(3), all, Aggregation::Mean)));
+        b.iter(|| {
+            black_box(
+                Query::sensors(SensorId(3))
+                    .range(all)
+                    .aggregate(Aggregation::Mean)
+                    .run(&engine)
+                    .scalar(),
+            )
+        });
     });
     g.bench_function("aggregate_p99_4k", |b| {
-        b.iter(|| black_box(engine.aggregate(SensorId(3), all, Aggregation::Quantile(0.99))));
+        b.iter(|| {
+            black_box(
+                Query::sensors(SensorId(3))
+                    .range(all)
+                    .aggregate(Aggregation::Quantile(0.99))
+                    .run(&engine)
+                    .scalar(),
+            )
+        });
     });
     g.bench_function("downsample_1min_4k", |b| {
-        b.iter(|| black_box(engine.downsample(SensorId(3), all, 60_000, Aggregation::Mean).len()));
+        b.iter(|| {
+            black_box(
+                Query::sensors(SensorId(3))
+                    .range(all)
+                    .downsample(60_000, Aggregation::Mean)
+                    .run(&engine)
+                    .buckets()
+                    .len(),
+            )
+        });
     });
 
     // Ablation: rayon fan-out vs sequential loop over 256 sensors.
     let sensors: Vec<SensorId> = (0..256).map(SensorId).collect();
     g.bench_function("aggregate_many_256_parallel", |b| {
-        b.iter(|| black_box(engine.aggregate_many(&sensors, all, Aggregation::Mean)));
+        b.iter(|| {
+            black_box(
+                Query::sensors(&sensors)
+                    .range(all)
+                    .aggregate(Aggregation::Mean)
+                    .run(&engine)
+                    .scalars(),
+            )
+        });
     });
     g.bench_function("aggregate_many_256_sequential", |b| {
         b.iter(|| {
             let out: Vec<Option<f64>> = sensors
                 .iter()
-                .map(|&s| engine.aggregate(s, all, Aggregation::Mean))
+                .map(|&s| {
+                    Query::sensors(s)
+                        .range(all)
+                        .aggregate(Aggregation::Mean)
+                        .run(&engine)
+                        .scalar()
+                })
                 .collect();
             black_box(out)
         });
     });
     g.bench_function("align_16_sensors_1min", |b| {
         let few: Vec<SensorId> = (0..16).map(SensorId).collect();
-        b.iter(|| black_box(engine.align(&few, all, 60_000).0.len()));
+        b.iter(|| {
+            black_box(
+                Query::sensors(&few).range(all).align(60_000).run(&engine).aligned().0.len(),
+            )
+        });
     });
     g.finish();
 }
@@ -209,7 +254,12 @@ fn bench_bus(c: &mut Criterion) {
         let sensor = registry.register("/hw/node0/power_w", SensorKind::Power, Unit::Watts);
         let bus = TelemetryBus::new(registry);
         let _subs: Vec<Subscription> = (0..8)
-            .map(|_| bus.subscribe(SensorPattern::new("/hw/**"), 2_048))
+            .map(|i| {
+                bus.subscription("/hw/**")
+                    .capacity(2_048)
+                    .named(format!("bench-fanout-{i}"))
+                    .subscribe()
+            })
             .collect();
         b.iter(|| {
             for t in 0..1_000u64 {

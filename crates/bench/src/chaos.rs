@@ -245,7 +245,12 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         .with_clear_debounce(2),
     ]);
 
-    let sub = dc.bus().subscribe(SensorPattern::new("/**"), 4_096);
+    let sub = dc
+        .bus()
+        .subscription(SensorPattern::new("/**"))
+        .capacity(4_096)
+        .named("chaos-soak")
+        .subscribe();
 
     let mut report = SoakReport {
         ticks: cfg.ticks,

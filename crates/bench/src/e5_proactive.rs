@@ -26,7 +26,7 @@ use crate::control::{metrics, run_with_controller, RunMetrics};
 use oda_analytics::predictive::forecast::Holt;
 use oda_analytics::prescriptive::dvfs::{DvfsGovernor, FreqPolicy, GovernorMode};
 use oda_sim::prelude::*;
-use oda_telemetry::query::{Aggregation, QueryEngine, TimeRange};
+use oda_telemetry::query::{Aggregation, Query, QueryEngine, TimeRange};
 
 /// DVFS regime under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,8 +81,11 @@ pub fn run_regime(regime: Regime, hours: f64, seed: u64, control_every_s: u64) -
                 let q = QueryEngine::new(&store);
                 let window = TimeRange::trailing(dc.now(), control_every_s * 1_000);
                 for (i, governor) in governors.iter_mut().enumerate() {
-                    let util = q
-                        .aggregate(util_sensors[i], window, Aggregation::Mean)
+                    let util = Query::sensors(util_sensors[i])
+                        .range(window)
+                        .aggregate(Aggregation::Mean)
+                        .run(&q)
+                        .scalar()
                         .unwrap_or(0.0);
                     let freq = governor.decide(util);
                     dc.set_node_freq(NodeId(i as u32), freq);

@@ -31,7 +31,7 @@ use oda_analytics::prescriptive::cooling_mode::PlantModel;
 use oda_analytics::prescriptive::setpoint::golden_section_min;
 use oda_sim::prelude::*;
 use oda_sim::scheduler::placement::CoolingAware;
-use oda_telemetry::query::{Aggregation, QueryEngine, TimeRange};
+use oda_telemetry::query::{Aggregation, Query, QueryEngine, TimeRange};
 
 /// Experiment configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +83,13 @@ fn tune_cooling_silo(dc: &mut DataCenter) {
     let outside = dc
         .registry()
         .lookup("/facility/outside_temp")
-        .and_then(|s| q.aggregate(s, TimeRange::trailing(dc.now(), 900_000), Aggregation::Max));
+        .and_then(|s| {
+            Query::sensors(s)
+                .range(TimeRange::trailing(dc.now(), 900_000))
+                .aggregate(Aggregation::Max)
+                .run(&q)
+                .scalar()
+        });
     if let Some(outside) = outside {
         // Free cooling needs outside + approach ≤ setpoint; 1 °C margin.
         let target = (outside + 4.0 + 1.0).clamp(18.0, 45.0);
@@ -101,7 +107,9 @@ fn tune_cooling_cross_pillar(dc: &mut DataCenter, leak_w_per_c: f64, leak_onset_
     let q = QueryEngine::new(&store);
     let recent = TimeRange::trailing(dc.now(), 900_000);
     let lookup = |name: &str, agg| {
-        dc.registry().lookup(name).and_then(|s| q.aggregate(s, recent, agg))
+        dc.registry()
+            .lookup(name)
+            .and_then(|s| Query::sensors(s).range(recent).aggregate(agg).run(&q).scalar())
     };
     let Some(outside) = lookup("/facility/outside_temp", Aggregation::Max) else {
         return;

@@ -1,0 +1,223 @@
+//! Ingest soak — the self-observability baseline benchmark.
+//!
+//! Drives the full telemetry data path — `TelemetryBus::publish` →
+//! `TimeSeriesStore` archive → `Query` read-back — on a synthetic fleet and
+//! measures:
+//!
+//! * **ingest throughput** (readings/s sustained through publish+archive),
+//! * **query latency** p50/p99 over a fixed mixed query workload,
+//! * **metrics overhead** — the same soak run against a live
+//!   [`MetricsRegistry`] and against [`MetricsRegistry::disabled`]; the
+//!   wall-clock delta is the price of the observability layer.
+//!
+//! `cargo run --release -p oda-bench --bin ingest` prints the paired result
+//! as one JSON object; CI pins it as `BENCH_ingest.json` at the repo root.
+//! The *shape* of the workload is fully deterministic (fixed sensor count,
+//! batch sizes, synthetic values), so count-valued metrics reproduce
+//! exactly; only wall-clock figures vary run to run.
+
+use oda_telemetry::bus::TelemetryBus;
+use oda_telemetry::metrics::{MetricsRegistry, MetricsSnapshot};
+use oda_telemetry::query::{Aggregation, Query, QueryEngine, TimeRange};
+use oda_telemetry::reading::{Reading, ReadingBatch, Timestamp};
+use oda_telemetry::sensor::{SensorKind, SensorRegistry, Unit};
+use oda_telemetry::store::TimeSeriesStore;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ingest soak parameters.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Number of synthetic sensors (`/hw/nodeN/power_w`).
+    pub sensors: usize,
+    /// Publish rounds; each round publishes one batch per sensor.
+    pub rounds: usize,
+    /// Readings per batch.
+    pub readings_per_batch: usize,
+    /// Per-sensor ring capacity.
+    pub store_capacity: usize,
+    /// Queries per flavour in the read-back phase.
+    pub queries: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            sensors: 64,
+            rounds: 400,
+            readings_per_batch: 16,
+            store_capacity: 8_192,
+            queries: 200,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// A smaller workload for unit tests.
+    pub fn smoke() -> Self {
+        IngestConfig {
+            sensors: 8,
+            rounds: 20,
+            readings_per_batch: 4,
+            store_capacity: 256,
+            queries: 10,
+        }
+    }
+}
+
+/// Result of one soak against one recorder.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestReport {
+    /// Whether the soak recorded into a live registry.
+    pub metrics_enabled: bool,
+    /// Total readings pushed through publish+archive.
+    pub readings_total: u64,
+    /// Wall time of the publish phase, nanoseconds.
+    pub publish_wall_ns: u64,
+    /// Sustained ingest rate, readings per second.
+    pub throughput_rps: f64,
+    /// Queries executed in the read-back phase.
+    pub queries_run: u64,
+    /// Median query latency, nanoseconds (measured externally, so it is
+    /// comparable between the enabled and disabled runs).
+    pub query_p50_ns: u64,
+    /// 99th-percentile query latency, nanoseconds.
+    pub query_p99_ns: u64,
+    /// Batches delivered to the soak's subscriber.
+    pub delivered_total: u64,
+    /// Batches shed on the subscriber's full buffer.
+    pub shed_total: u64,
+}
+
+/// Runs the publish→archive→query soak against `metrics`, returning the
+/// report and the final metrics snapshot (empty when disabled).
+pub fn run_ingest(cfg: &IngestConfig, metrics: MetricsRegistry) -> (IngestReport, MetricsSnapshot) {
+    let metrics_enabled = metrics.is_enabled();
+    let registry = SensorRegistry::new();
+    let sensors: Vec<_> = (0..cfg.sensors)
+        .map(|i| registry.register(&format!("/hw/node{i}/power_w"), SensorKind::Power, Unit::Watts))
+        .collect();
+    let store = Arc::new(TimeSeriesStore::with_capacity_shards_metrics(
+        cfg.store_capacity,
+        TimeSeriesStore::DEFAULT_SHARDS,
+        metrics.clone(),
+    ));
+    let bus = TelemetryBus::with_parts(registry, Some(Arc::clone(&store)), metrics.clone());
+    // One live subscriber so the fan-out path is exercised; drained each
+    // round so it never sheds.
+    let sub = bus
+        .subscription("/hw/**")
+        .capacity(cfg.sensors * 2)
+        .named("ingest-soak")
+        .subscribe();
+
+    // Publish phase: deterministic synthetic values, monotone timestamps.
+    let publish_start = Instant::now();
+    let mut readings_total = 0u64;
+    for round in 0..cfg.rounds {
+        for (i, &sensor) in sensors.iter().enumerate() {
+            let readings: Vec<Reading> = (0..cfg.readings_per_batch)
+                .map(|k| {
+                    let ts = (round * cfg.readings_per_batch + k) as u64 * 1_000;
+                    let value = 100.0 + (i as f64) + (k as f64) * 0.25;
+                    Reading::new(Timestamp::from_millis(ts), value)
+                })
+                .collect();
+            readings_total += readings.len() as u64;
+            bus.publish(ReadingBatch { sensor, readings });
+        }
+        while sub.rx.try_recv().is_ok() {}
+    }
+    let publish_wall_ns = publish_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+
+    // Query phase: a mixed read-back workload (scalar aggregate, downsample,
+    // raw scan) cycled across sensors; latencies measured externally so the
+    // enabled and disabled runs are directly comparable.
+    let engine = QueryEngine::new(&store);
+    let all = TimeRange::all();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(cfg.queries * 3);
+    let mut timed = |query: Query| {
+        let t = Instant::now();
+        let result = query.run(&engine);
+        latencies_ns.push(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        result
+    };
+    for qi in 0..cfg.queries {
+        let s = sensors[qi % sensors.len()];
+        let mean = timed(Query::sensors(s).range(all).aggregate(Aggregation::Mean)).scalar();
+        assert!(mean.is_some(), "soak store must have data for every sensor");
+        let buckets =
+            timed(Query::sensors(s).range(all).downsample(10_000, Aggregation::Max)).buckets();
+        assert!(!buckets.is_empty());
+        let readings = timed(Query::sensors(s).range(all)).readings();
+        assert!(!readings.is_empty());
+    }
+    latencies_ns.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_ns.len() as f64 - 1.0) * p).round() as usize;
+        latencies_ns[idx]
+    };
+
+    let elapsed_s = (publish_wall_ns as f64 / 1e9).max(1e-9);
+    let report = IngestReport {
+        metrics_enabled,
+        readings_total,
+        publish_wall_ns,
+        throughput_rps: readings_total as f64 / elapsed_s,
+        queries_run: latencies_ns.len() as u64,
+        query_p50_ns: pct(0.50),
+        query_p99_ns: pct(0.99),
+        delivered_total: bus.delivered_total(),
+        shed_total: bus.dropped_total(),
+    };
+    (report, metrics.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_pushes_every_reading_through_the_path() {
+        let cfg = IngestConfig::smoke();
+        let (report, snap) = run_ingest(&cfg, MetricsRegistry::new());
+        let expected = (cfg.sensors * cfg.rounds * cfg.readings_per_batch) as u64;
+        assert_eq!(report.readings_total, expected);
+        assert!(report.throughput_rps > 0.0);
+        assert_eq!(report.queries_run, (cfg.queries * 3) as u64);
+        assert!(report.query_p50_ns <= report.query_p99_ns);
+        // The drained subscriber saw every batch, shed nothing.
+        assert_eq!(report.delivered_total, (cfg.sensors * cfg.rounds) as u64);
+        assert_eq!(report.shed_total, 0);
+        // The instrumented path recorded the same totals into the registry.
+        assert_eq!(snap.counter("bus_readings_total"), Some(expected));
+        let appends: u64 = snap
+            .counters
+            .iter()
+            .filter(|c| c.id.starts_with("store_append_total"))
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(appends, expected);
+    }
+
+    #[test]
+    fn disabled_recorder_runs_the_same_workload_with_no_instruments() {
+        let cfg = IngestConfig::smoke();
+        let (report, snap) = run_ingest(&cfg, MetricsRegistry::disabled());
+        assert!(!report.metrics_enabled);
+        assert!(report.throughput_rps > 0.0);
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn same_config_reproduces_count_valued_metrics() {
+        let cfg = IngestConfig::smoke();
+        let (_, a) = run_ingest(&cfg, MetricsRegistry::new());
+        let (_, b) = run_ingest(&cfg, MetricsRegistry::new());
+        assert_eq!(a.count_values(), b.count_values());
+    }
+}

@@ -29,3 +29,4 @@ pub mod e6_multipillar;
 pub mod e7_llnl;
 pub mod e8_cells;
 pub mod e9_cs_ablation;
+pub mod ingest;

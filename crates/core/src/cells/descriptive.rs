@@ -8,7 +8,7 @@ use crate::pillar::Pillar;
 use oda_analytics::descriptive::dashboard::{gauge, sparkline, stat_line, Table};
 use oda_analytics::descriptive::kpi::{self, SystemInformationEntropy};
 use oda_sim::datacenter::JobRecord;
-use oda_telemetry::query::{Aggregation, QueryEngine};
+use oda_telemetry::query::{Aggregation, Query, QueryEngine};
 
 fn resolve(ctx: &CapabilityContext, name: &str) -> Option<oda_telemetry::sensor::SensorId> {
     ctx.registry.lookup(name)
@@ -47,7 +47,13 @@ impl Capability for FacilityDashboard {
         let q = QueryEngine::new(&ctx.store);
         let mut out = Vec::new();
         let get_mean = |name: &str| {
-            resolve(ctx, name).and_then(|s| q.aggregate(s, ctx.window, Aggregation::Mean))
+            resolve(ctx, name).and_then(|s| {
+                Query::sensors(s)
+                    .range(ctx.window)
+                    .aggregate(Aggregation::Mean)
+                    .run(&q)
+                    .scalar()
+            })
         };
         let utility = get_mean("/facility/power/utility_kw");
         let it = get_mean("/facility/power/it_kw");
@@ -74,7 +80,11 @@ impl Capability for FacilityDashboard {
             body.push('\n');
         }
         if let Some(s) = resolve(ctx, "/facility/outside_temp") {
-            let buckets = q.downsample(s, ctx.window, 600_000, Aggregation::Mean);
+            let buckets = Query::sensors(s)
+                .range(ctx.window)
+                .downsample(600_000, Aggregation::Mean)
+                .run(&q)
+                .buckets();
             let series: Vec<f64> = buckets.iter().rev().take(48).rev().map(|b| b.value).collect();
             body.push_str(&format!("Outside temp  {}\n", sparkline(&series)));
         }
@@ -137,8 +147,13 @@ impl Capability for HardwareDashboard {
         let temps = super::node_sensors(&ctx.registry, "temp_c");
         let utils = super::node_sensors(&ctx.registry, "util");
         let fans = super::node_sensors(&ctx.registry, "fan");
-        let mean_of =
-            |ids: &[oda_telemetry::sensor::SensorId]| q.aggregate_many(ids, ctx.window, Aggregation::Mean);
+        let mean_of = |ids: &[oda_telemetry::sensor::SensorId]| {
+            Query::sensors(ids)
+                .range(ctx.window)
+                .aggregate(Aggregation::Mean)
+                .run(&q)
+                .scalars()
+        };
         let p_means = mean_of(&powers);
         let t_means = mean_of(&temps);
         let u_means = mean_of(&utils);
@@ -232,12 +247,12 @@ impl Capability for SchedulerDashboard {
     fn execute(&mut self, ctx: &CapabilityContext) -> Vec<Artifact> {
         let q = QueryEngine::new(&ctx.store);
         let mut out = Vec::new();
-        let mean = |name: &str| {
-            resolve(ctx, name).and_then(|s| q.aggregate(s, ctx.window, Aggregation::Mean))
+        let scalar = |name: &str, agg: Aggregation| {
+            resolve(ctx, name)
+                .and_then(|s| Query::sensors(s).range(ctx.window).aggregate(agg).run(&q).scalar())
         };
-        let last = |name: &str| {
-            resolve(ctx, name).and_then(|s| q.aggregate(s, ctx.window, Aggregation::Last))
-        };
+        let mean = |name: &str| scalar(name, Aggregation::Mean);
+        let last = |name: &str| scalar(name, Aggregation::Last);
         if let Some(u) = mean("/sw/sched/utilization") {
             out.push(Artifact::Kpi {
                 name: "utilization".into(),
@@ -273,7 +288,11 @@ impl Capability for SchedulerDashboard {
             }
         }
         if let Some(s) = resolve(ctx, "/sw/sched/queue_len") {
-            let buckets = q.downsample(s, ctx.window, 600_000, Aggregation::Mean);
+            let buckets = Query::sensors(s)
+                .range(ctx.window)
+                .downsample(600_000, Aggregation::Mean)
+                .run(&q)
+                .buckets();
             let series: Vec<f64> = buckets.iter().rev().take(48).rev().map(|b| b.value).collect();
             body.push_str(&format!("Queue history {}\n", sparkline(&series)));
         }
@@ -449,7 +468,8 @@ impl Capability for AlertBoard {
         // level rules need).
         let mut fired_log = Vec::new();
         for sensor in sensors {
-            for reading in q.range(sensor, ctx.window) {
+            let readings = Query::sensors(sensor).range(ctx.window).run(&q).readings();
+            for reading in readings {
                 for ev in engine.observe(sensor, reading) {
                     if ev.active {
                         fired_log.push(format!(

@@ -9,7 +9,7 @@ use oda_analytics::descriptive::stats::linear_fit;
 use oda_analytics::diagnostic::fingerprint::{JobFeatures, NearestCentroid};
 use oda_sim::datacenter::JobRecord;
 use oda_sim::scheduler::job::JobClass;
-use oda_telemetry::query::{Aggregation, QueryEngine, TimeRange};
+use oda_telemetry::query::{Aggregation, Query, QueryEngine, TimeRange};
 
 /// Median helper shared by the detectors in this module.
 pub(crate) fn median_of(xs: &[f64]) -> Option<f64> {
@@ -72,7 +72,11 @@ impl Capability for InfraAnomalyDetector {
             return Vec::new();
         };
         // Specific power series on a common 1-minute grid.
-        let (grid, m) = q.align(&[cooling, it], ctx.window, 60_000);
+        let (grid, m) = Query::sensors([cooling, it])
+            .range(ctx.window)
+            .align(60_000)
+            .run(&q)
+            .aligned();
         if grid.len() < 16 {
             return Vec::new();
         }
@@ -193,7 +197,13 @@ impl Capability for NodeAnomalyDetector {
         let inlet = ctx
             .registry
             .lookup("/facility/cooling/inlet_c")
-            .and_then(|s| q.aggregate(s, recent, Aggregation::Mean))
+            .and_then(|s| {
+                Query::sensors(s)
+                    .range(recent)
+                    .aggregate(Aggregation::Mean)
+                    .run(&q)
+                    .scalar()
+            })
             .unwrap_or(25.0);
         // Per-node thermal-resistance *series* over the full window, on a
         // 1-minute grid: r(t) = (T(t) − inlet)/P(t).
@@ -202,7 +212,11 @@ impl Capability for NodeAnomalyDetector {
             .iter()
             .zip(&powers)
             .map(|(&t, &p)| {
-                let (grid, m) = q.align(&[t, p], ctx.window, bucket_ms);
+                let (grid, m) = Query::sensors([t, p])
+                    .range(ctx.window)
+                    .align(bucket_ms)
+                    .run(&q)
+                    .aligned();
                 let _ = grid;
                 m[0].iter()
                     .zip(&m[1])
@@ -229,7 +243,11 @@ impl Capability for NodeAnomalyDetector {
         let fleet_z = mad_z_scores(&fleet_values).unwrap_or(vec![0.0; fleet_values.len()]);
         let fleet_median =
             crate::cells::diagnostic::median_of(&fleet_values).unwrap_or(f64::NAN);
-        let f_recent = q.aggregate_many(&fans, recent, Aggregation::Mean);
+        let f_recent = Query::sensors(&fans)
+            .range(recent)
+            .aggregate(Aggregation::Mean)
+            .run(&q)
+            .scalars();
         let mut out = Vec::new();
         let mut vi = 0usize;
         for (node_pos, r) in recent_r.iter().enumerate() {
@@ -346,7 +364,7 @@ impl Capability for NetworkContentionDiagnostics {
                 .next()
                 .unwrap_or("rack?")
                 .to_owned();
-            let samples = q.range(sensor, ctx.window);
+            let samples = Query::sensors(sensor).range(ctx.window).run(&q).readings();
             if samples.len() < 10 {
                 continue;
             }
@@ -442,7 +460,11 @@ impl Capability for SoftwareAnomalyDetector {
         // leak-rate threshold — a one-off allocation raises one quarter
         // and then plateaus.
         for (i, &sensor) in mems.iter().enumerate() {
-            let buckets = q.downsample(sensor, ctx.window, 60_000, Aggregation::Min);
+            let buckets = Query::sensors(sensor)
+                .range(ctx.window)
+                .downsample(60_000, Aggregation::Min)
+                .run(&q)
+                .buckets();
             if buckets.len() < 16 {
                 continue;
             }
@@ -477,12 +499,19 @@ impl Capability for SoftwareAnomalyDetector {
         let fleet_util = ctx
             .registry
             .lookup("/sw/sched/utilization")
-            .and_then(|s| q.aggregate(s, ctx.window, Aggregation::Mean))
+            .and_then(|s| {
+                Query::sensors(s)
+                    .range(ctx.window)
+                    .aggregate(Aggregation::Mean)
+                    .run(&q)
+                    .scalar()
+            })
             .unwrap_or(1.0);
         if fleet_util < 0.8 {
             for (i, &sensor) in utils.iter().enumerate() {
-                let min = q.aggregate(sensor, ctx.window, Aggregation::Min);
-                let mean = q.aggregate(sensor, ctx.window, Aggregation::Mean);
+                let util = Query::sensors(sensor).range(ctx.window);
+                let min = util.clone().aggregate(Aggregation::Min).run(&q).scalar();
+                let mean = util.aggregate(Aggregation::Mean).run(&q).scalar();
                 if let (Some(min), Some(mean)) = (min, mean) {
                     if min > self.rogue_util_floor && mean < 0.95 {
                         out.push(Artifact::Diagnosis {

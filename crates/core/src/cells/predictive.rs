@@ -8,7 +8,7 @@ use oda_analytics::predictive::ar::ArModel;
 use oda_analytics::predictive::forecast::{Forecaster, Holt, HoltWinters};
 use oda_analytics::predictive::jobs::{JobPredictor, Outcome, Submission};
 use oda_sim::datacenter::JobRecord;
-use oda_telemetry::query::{Aggregation, QueryEngine};
+use oda_telemetry::query::{Aggregation, Query, QueryEngine};
 
 /// Diurnal-period Holt–Winters over a sensor downsampled to `bucket_ms`;
 /// falls back to Holt's trend method while less than one full season of
@@ -22,7 +22,11 @@ fn seasonal_forecast(
 ) -> Option<Vec<(f64, f64)>> {
     let sensor = ctx.registry.lookup(sensor_name)?;
     let q = QueryEngine::new(&ctx.store);
-    let buckets = q.downsample(sensor, ctx.window, bucket_ms, Aggregation::Mean);
+    let buckets = Query::sensors(sensor)
+        .range(ctx.window)
+        .downsample(bucket_ms, Aggregation::Mean)
+        .run(&q)
+        .buckets();
     let period = (24 * 3_600_000 / bucket_ms) as usize;
     let mut model: Box<dyn Forecaster> = if buckets.len() >= period + 4 {
         Box::new(HoltWinters::new(0.3, 0.02, 0.3, period))
@@ -162,7 +166,11 @@ impl Capability for HardwareForecaster {
         let mut out = Vec::new();
         let mut fleet_max: Option<f64> = None;
         for (i, &sensor) in temps.iter().enumerate() {
-            let buckets = q.downsample(sensor, ctx.window, self.bucket_ms, Aggregation::Mean);
+            let buckets = Query::sensors(sensor)
+                .range(ctx.window)
+                .downsample(self.bucket_ms, Aggregation::Mean)
+                .run(&q)
+                .buckets();
             let series: Vec<f64> = buckets.iter().map(|b| b.value).collect();
             let Some(model) = ArModel::fit(&series, self.order) else {
                 continue;

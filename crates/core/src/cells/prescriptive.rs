@@ -13,7 +13,7 @@ use crate::pillar::Pillar;
 use oda_analytics::prescriptive::autotune::{coordinate_descent, ParameterSpace};
 use oda_analytics::prescriptive::cooling_mode::{CoolingModeSwitcher, ModeAdvice, PlantModel};
 use oda_analytics::prescriptive::dvfs::FreqPolicy;
-use oda_telemetry::query::{Aggregation, QueryEngine, TimeRange};
+use oda_telemetry::query::{Aggregation, Query, QueryEngine, TimeRange};
 
 /// Prescriptive × Building Infrastructure: cooling setpoint and mode
 /// tuning (Table I: "Switching between types of cooling \[12\]", "Tuning of
@@ -102,11 +102,13 @@ impl Capability for CoolingOptimizer {
                 .map(|&(_, v)| v)
                 .fold(f64::NEG_INFINITY, f64::max)
         } else {
-            match ctx
-                .registry
-                .lookup("/facility/outside_temp")
-                .and_then(|s| q.aggregate(s, TimeRange::trailing(ctx.now, 600_000), Aggregation::Last))
-            {
+            match ctx.registry.lookup("/facility/outside_temp").and_then(|s| {
+                Query::sensors(s)
+                    .range(TimeRange::trailing(ctx.now, 600_000))
+                    .aggregate(Aggregation::Last)
+                    .run(&q)
+                    .scalar()
+            }) {
                 Some(v) => v,
                 None => return out,
             }
@@ -114,7 +116,13 @@ impl Capability for CoolingOptimizer {
         let it_kw = ctx
             .registry
             .lookup("/facility/power/it_kw")
-            .and_then(|s| q.aggregate(s, TimeRange::trailing(ctx.now, 600_000), Aggregation::Mean))
+            .and_then(|s| {
+                Query::sensors(s)
+                    .range(TimeRange::trailing(ctx.now, 600_000))
+                    .aggregate(Aggregation::Mean)
+                    .run(&q)
+                    .scalar()
+            })
             .unwrap_or(0.0);
         // Lowest setpoint that keeps free cooling feasible against the
         // (worst-case forecast) outside temperature.
@@ -193,8 +201,16 @@ impl Capability for DvfsTuner {
         let utils = super::node_sensors(&ctx.registry, "util");
         let freqs = super::node_sensors(&ctx.registry, "freq_ghz");
         let recent = TimeRange::trailing(ctx.now, 5 * 60 * 1_000);
-        let u = q.aggregate_many(&utils, recent, Aggregation::Mean);
-        let f = q.aggregate_many(&freqs, recent, Aggregation::Last);
+        let u = Query::sensors(&utils)
+            .range(recent)
+            .aggregate(Aggregation::Mean)
+            .run(&q)
+            .scalars();
+        let f = Query::sensors(&freqs)
+            .range(recent)
+            .aggregate(Aggregation::Last)
+            .run(&q)
+            .scalars();
         let mut out = Vec::new();
         for (i, (util, cur)) in u.iter().zip(&f).enumerate() {
             let (Some(util), Some(cur)) = (util, cur) else {
@@ -274,8 +290,11 @@ impl Capability for SchedulerTuner {
         // Mean contention across rack uplinks.
         let pattern = oda_telemetry::pattern::SensorPattern::new("/hw/*/uplink_contention");
         let links = ctx.registry.matching(&pattern);
-        let contention: Vec<f64> = q
-            .aggregate_many(&links, ctx.window, Aggregation::Mean)
+        let contention: Vec<f64> = Query::sensors(&links)
+            .range(ctx.window)
+            .aggregate(Aggregation::Mean)
+            .run(&q)
+            .scalars()
             .into_iter()
             .flatten()
             .collect();
@@ -286,8 +305,11 @@ impl Capability for SchedulerTuner {
         };
         // Thermal skew across nodes.
         let temps = super::node_sensors(&ctx.registry, "temp_c");
-        let t_means: Vec<f64> = q
-            .aggregate_many(&temps, ctx.window, Aggregation::Mean)
+        let t_means: Vec<f64> = Query::sensors(&temps)
+            .range(ctx.window)
+            .aggregate(Aggregation::Mean)
+            .run(&q)
+            .scalars()
             .into_iter()
             .flatten()
             .collect();
@@ -392,8 +414,11 @@ impl Capability for AppAutoTuner {
         // clock so the tuned optimum reflects the deployment.
         let q = QueryEngine::new(&ctx.store);
         let freqs = super::node_sensors(&ctx.registry, "freq_ghz");
-        let clocks: Vec<f64> = q
-            .aggregate_many(&freqs, TimeRange::trailing(ctx.now, 600_000), Aggregation::Last)
+        let clocks: Vec<f64> = Query::sensors(&freqs)
+            .range(TimeRange::trailing(ctx.now, 600_000))
+            .aggregate(Aggregation::Last)
+            .run(&q)
+            .scalars()
             .into_iter()
             .flatten()
             .collect();

@@ -13,12 +13,34 @@
 
 use crate::analytics_type::AnalyticsType;
 use crate::capability::{Artifact, Capability, CapabilityContext};
+use oda_telemetry::metrics::MetricsRegistry;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Named span covering one capability execution within a pipeline run —
+/// the per-plugin overhead accounting the paper's production references
+/// treat as a deployment prerequisite.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageSpan {
+    /// Analytics stage the capability ran in.
+    pub stage: AnalyticsType,
+    /// Capability (span) name.
+    pub capability: String,
+    /// Wall time of the capability's `execute`, nanoseconds.
+    pub wall_ns: u64,
+    /// Number of artifacts the capability produced.
+    pub artifacts: usize,
+}
 
 /// Execution trace of one pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineRun {
     /// Per-stage results: `(stage, capability name, artifacts)`.
     pub stages: Vec<(AnalyticsType, String, Vec<Artifact>)>,
+    /// One span per capability execution, in run order.
+    pub spans: Vec<StageSpan>,
+    /// Wall time of the whole run, nanoseconds.
+    pub wall_ns: u64,
 }
 
 impl PipelineRun {
@@ -35,6 +57,11 @@ impl PipelineRun {
             .flat_map(|(_, _, a)| a.iter())
             .collect()
     }
+
+    /// The span of the named capability, if it ran.
+    pub fn span(&self, capability: &str) -> Option<&StageSpan> {
+        self.spans.iter().find(|s| s.capability == capability)
+    }
 }
 
 /// A pipeline of capabilities organised by analytics type.
@@ -42,9 +69,15 @@ impl PipelineRun {
 /// Within one stage, capabilities run in insertion order and do *not* see
 /// each other's artifacts (they are peers); across stages, later stages see
 /// everything earlier stages produced.
+///
+/// Each capability execution is timed as a [`StageSpan`] and recorded as
+/// `pipeline_stage_ns{capability}` / `pipeline_artifacts_total{capability}`
+/// into the pipeline's metrics registry (the process-wide default unless
+/// [`Self::with_metrics`] is used).
 #[derive(Default)]
 pub struct StagedPipeline {
     stages: Vec<(AnalyticsType, Box<dyn Capability>)>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl StagedPipeline {
@@ -58,6 +91,20 @@ impl StagedPipeline {
     pub fn with_stage(mut self, stage: AnalyticsType, capability: Box<dyn Capability>) -> Self {
         self.add_stage(stage, capability);
         self
+    }
+
+    /// Records stage metrics into `metrics` instead of the process-wide
+    /// default registry. Builder-style.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.set_metrics(metrics);
+        self
+    }
+
+    /// Records stage metrics into `metrics` instead of the process-wide
+    /// default registry.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = Some(metrics);
     }
 
     /// Adds a capability at a stage.
@@ -78,7 +125,13 @@ impl StagedPipeline {
     /// Runs the pipeline over `ctx` (whose `upstream` is used as the
     /// initial blackboard, normally empty).
     pub fn run(&mut self, mut ctx: CapabilityContext) -> PipelineRun {
-        let mut run = PipelineRun { stages: Vec::new() };
+        let metrics = self.metrics.clone().unwrap_or_else(MetricsRegistry::global);
+        let run_start = Instant::now();
+        let mut run = PipelineRun {
+            stages: Vec::new(),
+            spans: Vec::new(),
+            wall_ns: 0,
+        };
         for stage_type in AnalyticsType::ALL {
             // Peers within a stage see the same upstream snapshot.
             let snapshot = ctx.upstream.clone();
@@ -95,12 +148,27 @@ impl StagedPipeline {
                     now: ctx.now,
                     upstream: snapshot.clone(),
                 };
+                let span_start = Instant::now();
                 let artifacts = capability.execute(&peer_ctx);
+                let wall_ns = span_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                let name = capability.name().to_owned();
+                let labels: &[(&str, &str)] = &[("capability", name.as_str())];
+                metrics.histogram("pipeline_stage_ns", labels).record(wall_ns);
+                metrics
+                    .counter("pipeline_artifacts_total", labels)
+                    .add(artifacts.len() as u64);
+                run.spans.push(StageSpan {
+                    stage: *stage,
+                    capability: name.clone(),
+                    wall_ns,
+                    artifacts: artifacts.len(),
+                });
                 produced_this_stage.extend(artifacts.iter().cloned());
-                run.stages.push((*stage, capability.name().to_owned(), artifacts));
+                run.stages.push((*stage, name, artifacts));
             }
             ctx.upstream.extend(produced_this_stage);
         }
+        run.wall_ns = run_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         run
     }
 }
@@ -246,6 +314,32 @@ mod tests {
             })
             .collect();
         assert_eq!(kpis, vec!["a:saw_0", "b:saw_0"]);
+    }
+
+    #[test]
+    fn run_records_spans_and_stage_metrics() {
+        let m = MetricsRegistry::new();
+        let mut p = StagedPipeline::new()
+            .with_metrics(m.clone())
+            .with_stage(AnalyticsType::Predictive, Box::new(Predictor))
+            .with_stage(AnalyticsType::Prescriptive, Box::new(Governor { saw_forecast: false }));
+        let run = p.run(ctx());
+        assert_eq!(run.spans.len(), 2);
+        let span = run.span("predictor").unwrap();
+        assert_eq!(span.stage, AnalyticsType::Predictive);
+        assert_eq!(span.artifacts, 1);
+        assert!(run.wall_ns >= run.spans.iter().map(|s| s.wall_ns).sum::<u64>());
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter("pipeline_artifacts_total{capability=\"governor\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("pipeline_stage_ns{capability=\"predictor\"}")
+                .unwrap()
+                .count,
+            1
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::analytics_type::AnalyticsType;
 use crate::capability::{Artifact, Capability, CapabilityContext};
 use crate::pipeline::{PipelineRun, StagedPipeline};
+use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::query::TimeRange;
 use oda_telemetry::reading::Timestamp;
 use oda_telemetry::sensor::SensorRegistry;
@@ -61,7 +62,8 @@ pub struct ActionRecord {
 /// Summary of one runtime pass.
 #[derive(Debug)]
 pub struct PassReport {
-    /// Full pipeline trace.
+    /// Full pipeline trace (including per-capability [`StageSpan`]s —
+    /// see [`crate::pipeline::StageSpan`]).
     pub run: PipelineRun,
     /// Prescriptions applied this pass.
     pub applied: usize,
@@ -69,6 +71,8 @@ pub struct PassReport {
     pub deferred: usize,
     /// Diagnoses raised this pass.
     pub diagnoses: usize,
+    /// Wall time of the whole pass (pipeline + prescription routing), ns.
+    pub wall_ns: u64,
 }
 
 /// Periodic ODA driver.
@@ -102,17 +106,32 @@ pub struct OdaRuntime {
     /// mode: everything goes to the audit log as `NeedsOperator`).
     pub autopilot: bool,
     audit: Vec<ActionRecord>,
+    metrics: MetricsRegistry,
 }
 
 impl OdaRuntime {
     /// Creates a runtime analysing trailing windows of `window_ms`.
+    /// Records pass metrics into the process-wide default registry unless
+    /// [`Self::with_metrics`] is used.
     pub fn new(window_ms: u64) -> Self {
         OdaRuntime {
             pipeline: StagedPipeline::new(),
             window_ms,
             autopilot: true,
             audit: Vec::new(),
+            metrics: MetricsRegistry::global(),
         }
+    }
+
+    /// Records pass metrics (`runtime_pass_total`, `runtime_pass_ns`,
+    /// `runtime_prescriptions_{applied,deferred}_total`,
+    /// `runtime_diagnoses_total`) and the pipeline's per-capability stage
+    /// metrics into `metrics`. Builder-style.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.pipeline.set_metrics(metrics.clone());
+        self.metrics = metrics;
+        self
     }
 
     /// Adds a capability at its stage. Builder-style.
@@ -141,6 +160,8 @@ impl OdaRuntime {
         now: Timestamp,
         control: &mut dyn ControlPlane,
     ) -> PassReport {
+        let pass_timer = self.metrics.histogram("runtime_pass_ns", &[]).start_timer();
+        let pass_start = std::time::Instant::now();
         let ctx = CapabilityContext::new(
             store,
             registry,
@@ -185,11 +206,24 @@ impl OdaRuntime {
                 }
             }
         }
+        self.metrics.counter("runtime_pass_total", &[]).inc();
+        self.metrics
+            .counter("runtime_prescriptions_applied_total", &[])
+            .add(applied as u64);
+        self.metrics
+            .counter("runtime_prescriptions_deferred_total", &[])
+            .add(deferred as u64);
+        self.metrics
+            .counter("runtime_diagnoses_total", &[])
+            .add(diagnoses as u64);
+        let histogram = self.metrics.histogram("runtime_pass_ns", &[]);
+        histogram.observe_timer(pass_timer);
         PassReport {
             run,
             applied,
             deferred,
             diagnoses,
+            wall_ns: pass_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         }
     }
 }

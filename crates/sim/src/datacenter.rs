@@ -37,6 +37,7 @@ use crate::scheduler::placement::{FirstFit, PlacementContext, PlacementPolicy};
 use crate::scheduler::Scheduler;
 use crate::workload::{WorkloadConfig, WorkloadGenerator};
 use oda_telemetry::bus::TelemetryBus;
+use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::reading::{Reading, ReadingBatch, Timestamp};
 use oda_telemetry::sensor::{SensorId, SensorKind, SensorRegistry, Unit};
 use oda_telemetry::store::TimeSeriesStore;
@@ -416,16 +417,28 @@ pub struct DataCenter {
 
 impl DataCenter {
     /// Builds the site from `config`, seeding all stochastic models from
-    /// `seed`.
+    /// `seed`. Telemetry-plane self-metrics go to the process-wide
+    /// [`MetricsRegistry::global`]; use [`DataCenter::new_with_metrics`] to
+    /// isolate them per instance (tests, side-by-side soaks).
     pub fn new(config: DataCenterConfig, seed: u64) -> Self {
+        Self::new_with_metrics(config, seed, MetricsRegistry::global())
+    }
+
+    /// Builds the site with an explicit metrics registry for the telemetry
+    /// plane (store write path + bus publish path).
+    pub fn new_with_metrics(config: DataCenterConfig, seed: u64, metrics: MetricsRegistry) -> Self {
         let mut root_rng = SimRng::new(seed);
         let weather_rng = root_rng.fork();
         let mut workload_rng = root_rng.fork();
         let node_count = config.node_count();
         let registry = SensorRegistry::new();
         let sensors = Sensors::register(&registry, node_count, config.racks);
-        let store = Arc::new(TimeSeriesStore::with_capacity(config.store_capacity));
-        let bus = Arc::new(TelemetryBus::with_store(registry.clone(), store));
+        let store = Arc::new(TimeSeriesStore::with_capacity_shards_metrics(
+            config.store_capacity,
+            TimeSeriesStore::DEFAULT_SHARDS,
+            metrics.clone(),
+        ));
+        let bus = Arc::new(TelemetryBus::with_parts(registry.clone(), Some(store), metrics));
         let racks = build_racks(config.racks, config.nodes_per_rack, config.max_rack_inlet_offset_c);
         let nodes = (0..node_count)
             .map(|i| {
@@ -502,6 +515,11 @@ impl DataCenter {
     /// The archive store behind the bus.
     pub fn store(&self) -> &Arc<TimeSeriesStore> {
         self.bus.store().expect("data center bus always has a store")
+    }
+
+    /// The metrics registry the telemetry plane records into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.bus.metrics()
     }
 
     /// Interned sensor ids.
@@ -1123,12 +1141,10 @@ mod tests {
         // idle.
         let q = oda_telemetry::query::QueryEngine::new(dc.store());
         let it = dc.registry().lookup("/facility/power/it_kw").unwrap();
-        let peak = q
-            .aggregate(
-                it,
-                oda_telemetry::query::TimeRange::all(),
-                oda_telemetry::query::Aggregation::Max,
-            )
+        let peak = oda_telemetry::query::Query::sensors(it)
+            .aggregate(oda_telemetry::query::Aggregation::Max)
+            .run(&q)
+            .scalar()
             .unwrap();
         let idle_estimate = dc.node_count() as f64 * 0.1; // ~100 W/node
         assert!(peak > idle_estimate * 2.0, "peak {peak} kW");
@@ -1186,23 +1202,19 @@ mod tests {
             .registry()
             .lookup("/hw/rack0/uplink_contention")
             .unwrap();
-        let min = q
-            .aggregate(
-                contention,
-                oda_telemetry::query::TimeRange::all(),
-                oda_telemetry::query::Aggregation::Min,
-            )
+        let min = oda_telemetry::query::Query::sensors(contention)
+            .aggregate(oda_telemetry::query::Aggregation::Min)
+            .run(&q)
+            .scalar()
             .unwrap();
         assert!(min < 0.4, "uplink must be heavily congested: {min}");
         // The other rack sees at most ordinary job-driven contention, far
         // milder than the hogged uplink.
         let other = dc.registry().lookup("/hw/rack1/uplink_contention").unwrap();
-        let other_min = q
-            .aggregate(
-                other,
-                oda_telemetry::query::TimeRange::all(),
-                oda_telemetry::query::Aggregation::Min,
-            )
+        let other_min = oda_telemetry::query::Query::sensors(other)
+            .aggregate(oda_telemetry::query::Aggregation::Min)
+            .run(&q)
+            .scalar()
             .unwrap();
         assert!(
             min < other_min * 0.6,
@@ -1250,23 +1262,19 @@ mod tests {
         dc.run_for_hours(1.0);
         let q = oda_telemetry::query::QueryEngine::new(dc.store());
         let sys = dc.registry().lookup("/sw/node1/sys_mem_gib").unwrap();
-        let last = q
-            .aggregate(
-                sys,
-                oda_telemetry::query::TimeRange::all(),
-                oda_telemetry::query::Aggregation::Last,
-            )
+        let last = oda_telemetry::query::Query::sensors(sys)
+            .aggregate(oda_telemetry::query::Aggregation::Last)
+            .run(&q)
+            .scalar()
             .unwrap();
         // 1 GiB/min for 60 min, base 2 GiB.
         assert!((last - 62.0).abs() < 3.0, "sys mem {last}");
         // The healthy node stays at the daemon baseline.
         let healthy = dc.registry().lookup("/sw/node0/sys_mem_gib").unwrap();
-        let h = q
-            .aggregate(
-                healthy,
-                oda_telemetry::query::TimeRange::all(),
-                oda_telemetry::query::Aggregation::Max,
-            )
+        let h = oda_telemetry::query::Query::sensors(healthy)
+            .aggregate(oda_telemetry::query::Aggregation::Max)
+            .run(&q)
+            .scalar()
             .unwrap();
         assert!((h - 2.0).abs() < 1e-9);
     }

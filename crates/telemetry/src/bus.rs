@@ -12,7 +12,25 @@
 //! subscriber and a drop counter is incremented. Monitoring pipelines prefer
 //! losing samples over stalling the collection path — a slow analysis job
 //! must never be able to freeze ingest.
+//!
+//! Subscriptions are created with the fluent [`SubscriptionBuilder`]:
+//!
+//! ```
+//! use oda_telemetry::prelude::*;
+//! let registry = SensorRegistry::new();
+//! let bus = TelemetryBus::new(registry);
+//! let sub = bus.subscription("/hw/**").capacity(256).named("alert-engine").subscribe();
+//! assert_eq!(sub.name(), "alert-engine");
+//! ```
+//!
+//! The name doubles as the `subscriber` label on the bus's per-subscriber
+//! `bus_delivered_total` / `bus_shed_total` metrics, so a dashboard can tell
+//! *which* consumer is shedding. Dropping a [`Subscription`] unsubscribes it
+//! from the bus automatically; as a second line of defense, `publish` reaps
+//! any subscriber whose receiver is gone (disconnected channels are removed
+//! and counted as `bus_reaped_total`, never as sheds).
 
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::pattern::SensorPattern;
 use crate::reading::ReadingBatch;
 use crate::sensor::{SensorId, SensorRegistry};
@@ -21,7 +39,7 @@ use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 struct Subscriber {
     id: u64,
@@ -29,14 +47,36 @@ struct Subscriber {
     pattern: SensorPattern,
     tx: Sender<ReadingBatch>,
     dropped: Arc<AtomicU64>,
+    m_delivered: Counter,
+    m_shed: Counter,
+}
+
+/// Removes the subscriber entry when the owning [`Subscription`] is dropped.
+struct UnsubscribeGuard {
+    id: u64,
+    subscribers: Weak<RwLock<Vec<Subscriber>>>,
+}
+
+impl Drop for UnsubscribeGuard {
+    fn drop(&mut self) {
+        if let Some(subs) = self.subscribers.upgrade() {
+            subs.write().retain(|s| s.id != self.id);
+        }
+    }
 }
 
 /// Receiving side of a bus subscription.
+///
+/// Dropping the subscription removes its entry from the bus, so a departed
+/// consumer stops inflating shed counts immediately.
 pub struct Subscription {
     id: u64,
+    name: String,
     /// Channel on which matching batches arrive.
     pub rx: Receiver<ReadingBatch>,
     dropped: Arc<AtomicU64>,
+    #[allow(dead_code)] // held only for its Drop impl
+    guard: UnsubscribeGuard,
 }
 
 impl Subscription {
@@ -50,38 +90,131 @@ impl Subscription {
     pub fn id(&self) -> u64 {
         self.id
     }
+
+    /// The subscriber name used as the `subscriber` metric label
+    /// (defaults to `sub-<id>` unless set via [`SubscriptionBuilder::named`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Fluent builder returned by [`TelemetryBus::subscription`].
+#[must_use = "call .subscribe() to register the subscription"]
+pub struct SubscriptionBuilder<'a> {
+    bus: &'a TelemetryBus,
+    pattern: SensorPattern,
+    capacity: usize,
+    name: Option<String>,
+}
+
+impl SubscriptionBuilder<'_> {
+    /// Default channel capacity when [`Self::capacity`] is not called.
+    pub const DEFAULT_CAPACITY: usize = 1_024;
+
+    /// Sets the bounded channel capacity in batches (default
+    /// [`Self::DEFAULT_CAPACITY`]; clamped to at least 1). When the channel
+    /// is full, further deliveries to this subscriber are shed.
+    pub fn capacity(mut self, batches: usize) -> Self {
+        self.capacity = batches.max(1);
+        self
+    }
+
+    /// Names the subscriber; the name becomes the `subscriber` label on its
+    /// `bus_delivered_total` / `bus_shed_total` counters.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Registers the subscription on the bus.
+    ///
+    /// The pattern is resolved against the registry *at subscription time and
+    /// on every publish of a not-yet-seen sensor*: sensors registered after
+    /// the subscription that match the pattern are picked up automatically.
+    pub fn subscribe(self) -> Subscription {
+        let (tx, rx) = bounded(self.capacity);
+        let dropped = Arc::new(AtomicU64::new(0));
+        let id = {
+            let mut next = self.bus.next_id.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let name = self.name.unwrap_or_else(|| format!("sub-{id}"));
+        let sensors = self.bus.registry.matching(&self.pattern).into_iter().collect();
+        let labels: &[(&str, &str)] = &[("subscriber", name.as_str())];
+        self.bus.subscribers.write().push(Subscriber {
+            id,
+            sensors,
+            pattern: self.pattern,
+            tx,
+            dropped: Arc::clone(&dropped),
+            m_delivered: self.bus.metrics.counter("bus_delivered_total", labels),
+            m_shed: self.bus.metrics.counter("bus_shed_total", labels),
+        });
+        Subscription {
+            id,
+            name,
+            rx,
+            dropped,
+            guard: UnsubscribeGuard {
+                id,
+                subscribers: Arc::downgrade(&self.bus.subscribers),
+            },
+        }
+    }
 }
 
 /// Fan-out pub/sub bus for telemetry, optionally archiving into a store.
 pub struct TelemetryBus {
     registry: SensorRegistry,
     store: Option<Arc<TimeSeriesStore>>,
-    subscribers: RwLock<Vec<Subscriber>>,
+    subscribers: Arc<RwLock<Vec<Subscriber>>>,
     next_id: Mutex<u64>,
     published: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    reaped: AtomicU64,
+    metrics: MetricsRegistry,
+    m_publish_total: Counter,
+    m_readings_total: Counter,
+    m_reaped_total: Counter,
+    m_publish_ns: Histogram,
 }
 
 impl TelemetryBus {
     /// Creates a bus that only fans out to subscribers (no archiving).
+    /// Records into the process-wide [`MetricsRegistry::global`].
     pub fn new(registry: SensorRegistry) -> Self {
-        TelemetryBus {
-            registry,
-            store: None,
-            subscribers: RwLock::new(Vec::new()),
-            next_id: Mutex::new(0),
-            published: AtomicU64::new(0),
-            delivered: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-        }
+        Self::with_parts(registry, None, MetricsRegistry::global())
     }
 
     /// Creates a bus that also archives every published batch into `store`.
     pub fn with_store(registry: SensorRegistry, store: Arc<TimeSeriesStore>) -> Self {
+        Self::with_parts(registry, Some(store), MetricsRegistry::global())
+    }
+
+    /// Creates a bus with an explicit store (optional) and metrics registry —
+    /// pass [`MetricsRegistry::disabled`] for a zero-overhead bus.
+    pub fn with_parts(
+        registry: SensorRegistry,
+        store: Option<Arc<TimeSeriesStore>>,
+        metrics: MetricsRegistry,
+    ) -> Self {
         TelemetryBus {
-            store: Some(store),
-            ..Self::new(registry)
+            registry,
+            store,
+            subscribers: Arc::new(RwLock::new(Vec::new())),
+            next_id: Mutex::new(0),
+            published: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            m_publish_total: metrics.counter("bus_publish_total", &[]),
+            m_readings_total: metrics.counter("bus_readings_total", &[]),
+            m_reaped_total: metrics.counter("bus_reaped_total", &[]),
+            m_publish_ns: metrics.histogram("bus_publish_ns", &[]),
+            metrics,
         }
     }
 
@@ -95,6 +228,11 @@ impl TelemetryBus {
         self.store.as_ref()
     }
 
+    /// The metrics registry this bus's instruments record into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Total batches published since creation.
     pub fn published(&self) -> u64 {
         self.published.load(Ordering::Relaxed)
@@ -105,39 +243,50 @@ impl TelemetryBus {
         self.delivered.load(Ordering::Relaxed)
     }
 
-    /// Total deliveries shed across all subscribers (full or disconnected
-    /// channels) since creation. Monotonically non-decreasing.
+    /// Total deliveries shed across all subscribers because their channel
+    /// was full. Monotonically non-decreasing. Disconnected receivers are
+    /// *reaped*, not shed — see [`Self::reaped_total`].
     pub fn dropped_total(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Subscribes to all sensors matching `pattern`, with a bounded buffer of
-    /// `buffer` batches.
-    ///
-    /// The pattern is resolved against the registry *at subscription time and
-    /// on every publish of a not-yet-seen sensor*: sensors registered after
-    /// the subscription that match the pattern are picked up automatically.
-    pub fn subscribe(&self, pattern: SensorPattern, buffer: usize) -> Subscription {
-        let (tx, rx) = bounded(buffer.max(1));
-        let dropped = Arc::new(AtomicU64::new(0));
-        let id = {
-            let mut next = self.next_id.lock();
-            let id = *next;
-            *next += 1;
-            id
-        };
-        let sensors = self.registry.matching(&pattern).into_iter().collect();
-        self.subscribers.write().push(Subscriber {
-            id,
-            sensors,
-            pattern,
-            tx,
-            dropped: Arc::clone(&dropped),
-        });
-        Subscription { id, rx, dropped }
+    /// Total subscribers removed because their receiver was found
+    /// disconnected during a publish.
+    pub fn reaped_total(&self) -> u64 {
+        self.reaped.load(Ordering::Relaxed)
     }
 
-    /// Removes a subscription. Idempotent.
+    /// Number of currently registered subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.read().len()
+    }
+
+    /// Starts building a subscription to all sensors matching `pattern`
+    /// (a [`SensorPattern`] or a pattern string like `"/hw/**"`).
+    ///
+    /// Defaults: capacity [`SubscriptionBuilder::DEFAULT_CAPACITY`] batches,
+    /// name `sub-<id>`. Finish with [`SubscriptionBuilder::subscribe`].
+    pub fn subscription(&self, pattern: impl Into<SensorPattern>) -> SubscriptionBuilder<'_> {
+        SubscriptionBuilder {
+            bus: self,
+            pattern: pattern.into(),
+            capacity: SubscriptionBuilder::DEFAULT_CAPACITY,
+            name: None,
+        }
+    }
+
+    /// Subscribes to all sensors matching `pattern`, with a bounded buffer of
+    /// `buffer` batches.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the builder: `bus.subscription(pattern).capacity(buffer).named(\"...\").subscribe()`"
+    )]
+    pub fn subscribe(&self, pattern: SensorPattern, buffer: usize) -> Subscription {
+        self.subscription(pattern).capacity(buffer).subscribe()
+    }
+
+    /// Removes a subscription by id. Idempotent. (Dropping the
+    /// [`Subscription`] does this automatically.)
     pub fn unsubscribe(&self, id: u64) {
         self.subscribers.write().retain(|s| s.id != id);
     }
@@ -145,8 +294,14 @@ impl TelemetryBus {
     /// Publishes a batch: archives it (if a store is attached) and delivers
     /// it to every matching subscriber. Returns the number of subscribers it
     /// was delivered to.
+    ///
+    /// Subscribers whose receiving side has been dropped are removed during
+    /// the publish (reaped) rather than counted as sheds.
     pub fn publish(&self, batch: ReadingBatch) -> usize {
+        let timer = self.m_publish_ns.start_timer();
         self.published.fetch_add(1, Ordering::Relaxed);
+        self.m_publish_total.inc();
+        self.m_readings_total.add(batch.readings.len() as u64);
         if let Some(store) = &self.store {
             store.insert_batch(batch.sensor, &batch.readings);
         }
@@ -154,11 +309,12 @@ impl TelemetryBus {
         // pattern for sensors the subscriber has not seen yet.
         let mut delivered = 0;
         let mut need_resolve = false;
+        let mut dead: Vec<u64> = Vec::new();
         {
             let subs = self.subscribers.read();
             for sub in subs.iter() {
                 if sub.sensors.contains(&batch.sensor) {
-                    delivered += self.deliver(sub, &batch);
+                    delivered += self.deliver(sub, &batch, &mut dead);
                 } else {
                     need_resolve = true;
                 }
@@ -170,23 +326,40 @@ impl TelemetryBus {
                 for sub in subs.iter_mut() {
                     if !sub.sensors.contains(&batch.sensor) && sub.pattern.matches(&name) {
                         sub.sensors.insert(batch.sensor);
-                        delivered += self.deliver(sub, &batch);
+                        delivered += self.deliver(sub, &batch, &mut dead);
                     }
                 }
             }
         }
+        if !dead.is_empty() {
+            let mut subs = self.subscribers.write();
+            let before = subs.len();
+            subs.retain(|s| !dead.contains(&s.id));
+            let reaped = (before - subs.len()) as u64;
+            self.reaped.fetch_add(reaped, Ordering::Relaxed);
+            self.m_reaped_total.add(reaped);
+        }
+        self.m_publish_ns.observe_timer(timer);
         delivered
     }
 
-    fn deliver(&self, sub: &Subscriber, batch: &ReadingBatch) -> usize {
+    fn deliver(&self, sub: &Subscriber, batch: &ReadingBatch, dead: &mut Vec<u64>) -> usize {
         match sub.tx.try_send(batch.clone()) {
             Ok(()) => {
                 self.delivered.fetch_add(1, Ordering::Relaxed);
+                sub.m_delivered.inc();
                 1
             }
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            Err(TrySendError::Full(_)) => {
                 sub.dropped.fetch_add(1, Ordering::Relaxed);
                 self.dropped.fetch_add(1, Ordering::Relaxed);
+                sub.m_shed.inc();
+                0
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Receiver is gone: schedule the subscriber for reaping and
+                // do not count this as a shed — nobody wanted the batch.
+                dead.push(sub.id);
                 0
             }
         }
@@ -207,6 +380,14 @@ mod tests {
         (reg, bus, a, b)
     }
 
+    fn metered_setup() -> (MetricsRegistry, TelemetryBus, SensorId) {
+        let reg = SensorRegistry::new();
+        let a = reg.register("/hw/node0/power", SensorKind::Power, Unit::Watts);
+        let metrics = MetricsRegistry::new();
+        let bus = TelemetryBus::with_parts(reg, None, metrics.clone());
+        (metrics, bus, a)
+    }
+
     fn batch(s: SensorId, v: f64) -> ReadingBatch {
         ReadingBatch::single(s, Reading::new(Timestamp::ZERO, v))
     }
@@ -214,7 +395,7 @@ mod tests {
     #[test]
     fn subscribers_receive_matching_batches_only() {
         let (_reg, bus, a, b) = setup();
-        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 8);
+        let sub = bus.subscription("/hw/**").capacity(8).subscribe();
         assert_eq!(bus.publish(batch(a, 1.0)), 1);
         assert_eq!(bus.publish(batch(b, 2.0)), 0);
         let got = sub.rx.try_recv().unwrap();
@@ -225,7 +406,7 @@ mod tests {
     #[test]
     fn late_registered_sensors_are_picked_up() {
         let (reg, bus, _a, _b) = setup();
-        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 8);
+        let sub = bus.subscription("/hw/**").capacity(8).subscribe();
         let c = reg.register("/hw/node1/temp", SensorKind::Temperature, Unit::Celsius);
         assert_eq!(bus.publish(batch(c, 55.0)), 1);
         assert_eq!(sub.rx.try_recv().unwrap().sensor, c);
@@ -234,7 +415,7 @@ mod tests {
     #[test]
     fn full_subscriber_sheds_and_counts_drops() {
         let (_reg, bus, a, _b) = setup();
-        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 2);
+        let sub = bus.subscription("/hw/**").capacity(2).subscribe();
         for _ in 0..5 {
             bus.publish(batch(a, 1.0));
         }
@@ -245,7 +426,7 @@ mod tests {
     #[test]
     fn unsubscribe_stops_delivery() {
         let (_reg, bus, a, _b) = setup();
-        let sub = bus.subscribe(SensorPattern::new("/**"), 8);
+        let sub = bus.subscription("/**").capacity(8).subscribe();
         bus.publish(batch(a, 1.0));
         bus.unsubscribe(sub.id());
         bus.publish(batch(a, 2.0));
@@ -272,7 +453,7 @@ mod tests {
     #[test]
     fn bus_totals_track_delivery_and_shedding() {
         let (_reg, bus, a, _b) = setup();
-        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 2);
+        let sub = bus.subscription("/hw/**").capacity(2).subscribe();
         for _ in 0..5 {
             bus.publish(batch(a, 1.0));
         }
@@ -290,12 +471,87 @@ mod tests {
     #[test]
     fn multiple_subscribers_fan_out() {
         let (_reg, bus, a, _b) = setup();
-        let s1 = bus.subscribe(SensorPattern::new("/hw/**"), 4);
-        let s2 = bus.subscribe(SensorPattern::new("/hw/node0/*"), 4);
-        let s3 = bus.subscribe(SensorPattern::new("/facility/**"), 4);
+        let s1 = bus.subscription("/hw/**").capacity(4).subscribe();
+        let s2 = bus.subscription("/hw/node0/*").capacity(4).subscribe();
+        let s3 = bus.subscription("/facility/**").capacity(4).subscribe();
         assert_eq!(bus.publish(batch(a, 1.0)), 2);
         assert_eq!(s1.rx.len(), 1);
         assert_eq!(s2.rx.len(), 1);
         assert_eq!(s3.rx.len(), 0);
+    }
+
+    #[test]
+    fn deprecated_subscribe_still_works() {
+        let (_reg, bus, a, _b) = setup();
+        #[allow(deprecated)]
+        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 4);
+        assert_eq!(bus.publish(batch(a, 1.0)), 1);
+        assert_eq!(sub.rx.len(), 1);
+    }
+
+    #[test]
+    fn dropping_subscription_auto_unsubscribes() {
+        // Regression: a dropped Subscription used to leave its Subscriber
+        // entry behind, so every later publish shed into the dead channel
+        // and drop counts grew forever.
+        let (_reg, bus, a, _b) = setup();
+        {
+            let _sub = bus.subscription("/hw/**").capacity(1).subscribe();
+            assert_eq!(bus.subscriber_count(), 1);
+            bus.publish(batch(a, 1.0));
+        } // _sub dropped here
+        assert_eq!(bus.subscriber_count(), 0);
+        bus.publish(batch(a, 2.0));
+        bus.publish(batch(a, 3.0));
+        assert_eq!(bus.publish(batch(a, 4.0)), 0);
+        assert_eq!(bus.dropped_total(), 0, "no sheds into dead channels");
+    }
+
+    #[test]
+    fn publish_reaps_disconnected_receivers_without_counting_sheds() {
+        let (metrics, bus, a) = metered_setup();
+        let sub = bus.subscription("/hw/**").capacity(4).named("doomed").subscribe();
+        // Simulate a consumer that dropped its receiver while the bus entry
+        // survived (e.g. the Subscription was leaked): take the struct apart,
+        // drop the receiver, and suppress the Drop-based unsubscribe.
+        let Subscription { rx, guard, .. } = sub;
+        drop(rx);
+        std::mem::forget(guard);
+        assert_eq!(bus.subscriber_count(), 1);
+        assert_eq!(bus.publish(batch(a, 1.0)), 0);
+        assert_eq!(bus.subscriber_count(), 0, "dead subscriber reaped on publish");
+        assert_eq!(bus.reaped_total(), 1);
+        assert_eq!(bus.dropped_total(), 0, "disconnected is reaped, not shed");
+        assert_eq!(metrics.snapshot().counter("bus_reaped_total"), Some(1));
+        // Later publishes see no subscribers at all.
+        assert_eq!(bus.publish(batch(a, 2.0)), 0);
+        assert_eq!(bus.reaped_total(), 1);
+    }
+
+    #[test]
+    fn named_subscribers_get_labeled_metrics() {
+        let (metrics, bus, a) = metered_setup();
+        let alerts = bus.subscription("/hw/**").capacity(1).named("alerts").subscribe();
+        let _dash = bus.subscription("/hw/**").capacity(8).named("dash").subscribe();
+        for _ in 0..3 {
+            bus.publish(batch(a, 1.0));
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("bus_delivered_total{subscriber=\"alerts\"}"), Some(1));
+        assert_eq!(snap.counter("bus_shed_total{subscriber=\"alerts\"}"), Some(2));
+        assert_eq!(snap.counter("bus_delivered_total{subscriber=\"dash\"}"), Some(3));
+        assert_eq!(snap.counter("bus_publish_total"), Some(3));
+        assert_eq!(snap.counter("bus_readings_total"), Some(3));
+        assert_eq!(snap.histogram("bus_publish_ns").unwrap().count, 3);
+        assert_eq!(alerts.name(), "alerts");
+    }
+
+    #[test]
+    fn default_subscriber_names_are_unique() {
+        let (_reg, bus, _a, _b) = setup();
+        let s1 = bus.subscription("/hw/**").subscribe();
+        let s2 = bus.subscription("/hw/**").subscribe();
+        assert_ne!(s1.name(), s2.name());
+        assert!(s1.name().starts_with("sub-"));
     }
 }

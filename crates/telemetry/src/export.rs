@@ -10,7 +10,7 @@
 //!   sensor, the shape spreadsheet/plotting users prefer (missing buckets
 //!   are empty cells).
 
-use crate::query::{QueryEngine, TimeRange};
+use crate::query::{Query, QueryEngine, TimeRange};
 use crate::sensor::{SensorId, SensorRegistry};
 use crate::store::TimeSeriesStore;
 use std::fmt::Write as _;
@@ -32,13 +32,14 @@ pub fn to_csv_long(
     range: TimeRange,
 ) -> String {
     let q = QueryEngine::new(store);
+    let series = Query::sensors(sensors).range(range).run(&q).series();
     let mut out = String::from("timestamp_ms,sensor,value\n");
-    for &s in sensors {
+    for (&s, readings) in sensors.iter().zip(&series) {
         let name = registry
             .name(s)
             .map(|n| n.to_string())
             .unwrap_or_else(|| format!("#{}", s.0));
-        for r in q.range(s, range) {
+        for r in readings {
             let _ = writeln!(out, "{},{},{}", r.ts.as_millis(), field(&name), r.value);
         }
     }
@@ -58,7 +59,11 @@ pub fn to_csv_wide(
     bucket_ms: u64,
 ) -> String {
     let q = QueryEngine::new(store);
-    let (grid, matrix) = q.align(sensors, range, bucket_ms);
+    let (grid, matrix) = Query::sensors(sensors)
+        .range(range)
+        .align(bucket_ms)
+        .run(&q)
+        .aligned();
     let mut out = String::from("timestamp_ms");
     for &s in sensors {
         let name = registry

@@ -24,6 +24,11 @@
 //! 5. [`alert`] — threshold alert rules provide the "automated alerts upon
 //!    exceeding human-defined thresholds" that the paper lists as part of
 //!    descriptive ODA.
+//! 6. [`metrics`] — the stack's *self*-telemetry: every bus publish, store
+//!    write, and query scan records into a [`metrics::MetricsRegistry`]
+//!    (counters, gauges, deterministic log-linear latency histograms) with
+//!    Prometheus-text and JSON exposition, so the ODA system can describe
+//!    and diagnose itself the way it describes the machine it watches.
 //!
 //! ## Quick example
 //!
@@ -37,7 +42,12 @@
 //!     store.insert(temp, Reading::new(Timestamp::from_secs(t), 40.0 + t as f64));
 //! }
 //! let engine = QueryEngine::new(&store);
-//! let avg = engine.aggregate(temp, TimeRange::all(), Aggregation::Mean).unwrap();
+//! let avg = Query::sensors(temp)
+//!     .range(TimeRange::all())
+//!     .aggregate(Aggregation::Mean)
+//!     .run(&engine)
+//!     .scalar()
+//!     .unwrap();
 //! assert!((avg - 44.5).abs() < 1e-9);
 //! ```
 
@@ -45,6 +55,7 @@ pub mod alert;
 pub mod bus;
 pub mod export;
 pub mod health;
+pub mod metrics;
 pub mod pattern;
 pub mod query;
 pub mod reading;
@@ -54,10 +65,15 @@ pub mod store;
 /// Convenient re-exports of the types used by nearly every consumer.
 pub mod prelude {
     pub use crate::alert::{AlertEngine, AlertEvent, AlertRule, AlertSeverity, Condition};
-    pub use crate::bus::{Subscription, TelemetryBus};
+    pub use crate::bus::{Subscription, SubscriptionBuilder, TelemetryBus};
     pub use crate::health::{HealthReport, SensorHealth};
+    pub use crate::metrics::{
+        Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Timer,
+    };
     pub use crate::pattern::SensorPattern;
-    pub use crate::query::{Aggregation, QueryEngine, TimeRange};
+    pub use crate::query::{
+        Aggregation, Query, QueryEngine, QueryResult, SensorSelector, TimeRange,
+    };
     pub use crate::reading::{Reading, Timestamp};
     pub use crate::sensor::{SensorId, SensorKind, SensorMeta, SensorRegistry, Unit};
     pub use crate::store::TimeSeriesStore;

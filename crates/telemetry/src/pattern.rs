@@ -86,9 +86,29 @@ impl SensorPattern {
     }
 }
 
+impl From<&str> for SensorPattern {
+    /// Compiles the string as a pattern (panics if not absolute), so builder
+    /// APIs accept `"/hw/**"` directly.
+    fn from(pattern: &str) -> Self {
+        SensorPattern::new(pattern)
+    }
+}
+
+impl From<&SensorPattern> for SensorPattern {
+    fn from(pattern: &SensorPattern) -> Self {
+        pattern.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pattern_from_str_compiles() {
+        let p: SensorPattern = "/hw/**".into();
+        assert!(p.matches("/hw/node0/power"));
+    }
 
     #[test]
     fn literal_patterns_match_exactly() {

@@ -1,14 +1,38 @@
 //! Analytical read path over the time-series store.
 //!
-//! The query engine provides the primitives every analytics type builds on:
-//! range scans, scalar aggregations, fixed-width-bucket downsampling, rate
-//! derivation for cumulative counters, and timestamp alignment of multiple
-//! series (the multi-dimensional input the paper's diagnostic techniques
-//! ingest). Multi-sensor scans fan out across a Rayon thread pool because
-//! fleet-wide queries (thousands of node sensors) dominate read volume.
+//! The read API is one fluent builder: [`Query`] names *what* to read (by
+//! sensor ids or by pattern), *when* (a [`TimeRange`]), and *what shape* the
+//! answer takes — raw readings, fixed-width [`Bucket`]s, per-sensor scalars,
+//! or a timestamp-aligned matrix (the multi-dimensional input the paper's
+//! diagnostic techniques ingest). All of it composes into a single planned
+//! scan executed by [`Query::run`] against a [`QueryEngine`]:
+//!
+//! ```
+//! use oda_telemetry::prelude::*;
+//! # let store = TimeSeriesStore::with_capacity(16);
+//! # let s = SensorId(0);
+//! # store.insert(s, Reading::new(Timestamp::ZERO, 1.0));
+//! let engine = QueryEngine::new(&store);
+//! let mean = Query::sensors(s)
+//!     .range(TimeRange::all())
+//!     .aggregate(Aggregation::Mean)
+//!     .run(&engine)
+//!     .scalar();
+//! assert_eq!(mean, Some(1.0));
+//! ```
+//!
+//! Multi-sensor scans fan out across a Rayon thread pool because fleet-wide
+//! queries (thousands of node sensors) dominate read volume. Every executed
+//! query records `query_total`, `query_scan_ns` and
+//! `query_readings_scanned_total` into the store's metrics registry.
+//!
+//! The former method-per-shape API (`range`/`aggregate`/`downsample`/...)
+//! survives as thin deprecated delegates; new code should use the builder.
 
+use crate::metrics::{Counter, Histogram};
+use crate::pattern::SensorPattern;
 use crate::reading::{Reading, Timestamp};
-use crate::sensor::SensorId;
+use crate::sensor::{SensorId, SensorRegistry};
 use crate::store::TimeSeriesStore;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -91,49 +115,436 @@ pub struct Bucket {
     pub count: usize,
 }
 
+/// What a [`Query`] selects: explicit sensor ids or a name pattern resolved
+/// against a registry at execution time.
+#[derive(Debug, Clone)]
+pub enum SensorSelector {
+    /// Explicit ids, scanned in the given order.
+    Ids(Vec<SensorId>),
+    /// All sensors whose name matches, in ascending id order (deterministic).
+    /// Requires an engine built with [`QueryEngine::with_registry`].
+    Pattern(SensorPattern),
+}
+
+impl From<SensorId> for SensorSelector {
+    fn from(id: SensorId) -> Self {
+        SensorSelector::Ids(vec![id])
+    }
+}
+
+impl From<Vec<SensorId>> for SensorSelector {
+    fn from(ids: Vec<SensorId>) -> Self {
+        SensorSelector::Ids(ids)
+    }
+}
+
+impl From<&Vec<SensorId>> for SensorSelector {
+    fn from(ids: &Vec<SensorId>) -> Self {
+        SensorSelector::Ids(ids.clone())
+    }
+}
+
+impl From<&[SensorId]> for SensorSelector {
+    fn from(ids: &[SensorId]) -> Self {
+        SensorSelector::Ids(ids.to_vec())
+    }
+}
+
+impl<const N: usize> From<[SensorId; N]> for SensorSelector {
+    fn from(ids: [SensorId; N]) -> Self {
+        SensorSelector::Ids(ids.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[SensorId; N]> for SensorSelector {
+    fn from(ids: &[SensorId; N]) -> Self {
+        SensorSelector::Ids(ids.to_vec())
+    }
+}
+
+impl From<SensorPattern> for SensorSelector {
+    fn from(pattern: SensorPattern) -> Self {
+        SensorSelector::Pattern(pattern)
+    }
+}
+
+impl From<&SensorPattern> for SensorSelector {
+    fn from(pattern: &SensorPattern) -> Self {
+        SensorSelector::Pattern(pattern.clone())
+    }
+}
+
+impl From<&str> for SensorSelector {
+    fn from(pattern: &str) -> Self {
+        SensorSelector::Pattern(SensorPattern::new(pattern))
+    }
+}
+
+/// Output shape a query has been composed into.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    Readings,
+    Buckets { bucket_ms: u64, agg: Aggregation },
+    Scalars(Aggregation),
+    Aligned { bucket_ms: u64 },
+}
+
+/// A composable read over the store: selector + range + optional rate
+/// derivation + output shape, planned as one scan.
+///
+/// Build with [`Query::sensors`], refine with the chainable methods, execute
+/// with [`Query::run`]. At most one shaping method
+/// ([`downsample`](Self::downsample) / [`aggregate`](Self::aggregate) /
+/// [`align`](Self::align)) may be applied; composing two panics, since the
+/// second would silently discard the first.
+#[derive(Debug, Clone)]
+#[must_use = "a Query does nothing until .run(&engine)"]
+pub struct Query {
+    selector: SensorSelector,
+    range: TimeRange,
+    rate: bool,
+    shape: Shape,
+}
+
+impl Query {
+    /// Starts a query over `sensors`: a [`SensorId`], a slice/`Vec` of ids,
+    /// a [`SensorPattern`], or a pattern string like `"/hw/*/power"`.
+    pub fn sensors(sensors: impl Into<SensorSelector>) -> Self {
+        Query {
+            selector: sensors.into(),
+            range: TimeRange::all(),
+            rate: false,
+            shape: Shape::Readings,
+        }
+    }
+
+    /// Restricts the scan to `range` (default: the full axis).
+    pub fn range(mut self, range: TimeRange) -> Self {
+        self.range = range;
+        self
+    }
+
+    /// Derives a rate series from cumulative counters before shaping: each
+    /// reading becomes `(vᵢ₊₁ - vᵢ) / Δt_seconds` stamped at the later
+    /// timestamp; counter resets (negative deltas) yield no sample.
+    pub fn rate(mut self) -> Self {
+        self.rate = true;
+        self
+    }
+
+    fn set_shape(mut self, shape: Shape) -> Self {
+        assert!(
+            matches!(self.shape, Shape::Readings),
+            "query is already shaped ({:?}); use at most one of downsample/aggregate/align",
+            self.shape
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Downsamples each sensor into fixed `bucket_ms`-wide [`Bucket`]s,
+    /// aggregating each bucket with `agg`. Empty buckets are omitted.
+    ///
+    /// # Panics
+    /// Panics if `bucket_ms == 0` or the query is already shaped.
+    pub fn downsample(self, bucket_ms: u64, agg: Aggregation) -> Self {
+        assert!(bucket_ms > 0, "bucket width must be positive");
+        self.set_shape(Shape::Buckets { bucket_ms, agg })
+    }
+
+    /// Reduces each sensor's readings to one scalar with `agg` (`None` for
+    /// sensors with no readings in range).
+    ///
+    /// # Panics
+    /// Panics if the query is already shaped.
+    pub fn aggregate(self, agg: Aggregation) -> Self {
+        self.set_shape(Shape::Scalars(agg))
+    }
+
+    /// Aligns all selected sensors onto a common `bucket_ms` grid of
+    /// per-bucket means (`NaN` where a sensor has no sample) — the standard
+    /// preprocessing step for multivariate diagnostics.
+    ///
+    /// # Panics
+    /// Panics if `bucket_ms == 0` or the query is already shaped.
+    pub fn align(self, bucket_ms: u64) -> Self {
+        assert!(bucket_ms > 0, "bucket width must be positive");
+        self.set_shape(Shape::Aligned { bucket_ms })
+    }
+
+    /// Executes the query as one planned scan.
+    ///
+    /// # Panics
+    /// Panics if the selector is a pattern and `engine` has no registry
+    /// attached (see [`QueryEngine::with_registry`]).
+    pub fn run(self, engine: &QueryEngine<'_>) -> QueryResult {
+        engine.execute(self)
+    }
+}
+
+/// Materialised result of a [`Query`], in the resolved sensor order.
+///
+/// The typed accessors panic with a descriptive message when called on a
+/// result of a different shape — shape is decided at build time, so a
+/// mismatch is a programming error, not a data condition.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    sensors: Vec<SensorId>,
+    shape: ResultData,
+}
+
+#[derive(Debug, Clone)]
+enum ResultData {
+    Series(Vec<Vec<Reading>>),
+    Buckets(Vec<Vec<Bucket>>),
+    Scalars(Vec<Option<f64>>),
+    Aligned {
+        grid: Vec<Timestamp>,
+        matrix: Vec<Vec<f64>>,
+    },
+}
+
+impl QueryResult {
+    /// The resolved sensors, in result order.
+    pub fn sensors(&self) -> &[SensorId] {
+        &self.sensors
+    }
+
+    /// Number of sensors the query resolved to.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Raw readings of an unshaped single-sensor query.
+    ///
+    /// # Panics
+    /// Panics if the query was shaped or resolved to more than one sensor
+    /// (use [`Self::series`] for multi-sensor reads).
+    pub fn readings(self) -> Vec<Reading> {
+        let mut series = self.series();
+        assert!(
+            series.len() <= 1,
+            "readings() on a {}-sensor result; use series()",
+            series.len()
+        );
+        series.pop().unwrap_or_default()
+    }
+
+    /// Per-sensor raw readings of an unshaped query.
+    ///
+    /// # Panics
+    /// Panics if the query was shaped.
+    pub fn series(self) -> Vec<Vec<Reading>> {
+        match self.shape {
+            ResultData::Series(s) => s,
+            other => panic!("series() on a {} result", shape_name(&other)),
+        }
+    }
+
+    /// Buckets of a single-sensor [`Query::downsample`] query.
+    ///
+    /// # Panics
+    /// Panics if the query was not downsampled or resolved to more than one
+    /// sensor (use [`Self::bucket_series`]).
+    pub fn buckets(self) -> Vec<Bucket> {
+        let mut series = self.bucket_series();
+        assert!(
+            series.len() <= 1,
+            "buckets() on a {}-sensor result; use bucket_series()",
+            series.len()
+        );
+        series.pop().unwrap_or_default()
+    }
+
+    /// Per-sensor buckets of a [`Query::downsample`] query.
+    ///
+    /// # Panics
+    /// Panics if the query was not downsampled.
+    pub fn bucket_series(self) -> Vec<Vec<Bucket>> {
+        match self.shape {
+            ResultData::Buckets(b) => b,
+            other => panic!("bucket_series() on a {} result", shape_name(&other)),
+        }
+    }
+
+    /// Scalar of a single-sensor [`Query::aggregate`] query (`None` when the
+    /// range held no readings).
+    ///
+    /// # Panics
+    /// Panics if the query was not aggregated or resolved to more than one
+    /// sensor (use [`Self::scalars`]).
+    pub fn scalar(self) -> Option<f64> {
+        let mut scalars = self.scalars();
+        assert!(
+            scalars.len() <= 1,
+            "scalar() on a {}-sensor result; use scalars()",
+            scalars.len()
+        );
+        scalars.pop().flatten()
+    }
+
+    /// Per-sensor scalars of a [`Query::aggregate`] query, in sensor order.
+    ///
+    /// # Panics
+    /// Panics if the query was not aggregated.
+    pub fn scalars(self) -> Vec<Option<f64>> {
+        match self.shape {
+            ResultData::Scalars(s) => s,
+            other => panic!("scalars() on a {} result", shape_name(&other)),
+        }
+    }
+
+    /// `(bucket_starts, matrix)` of a [`Query::align`] query, where
+    /// `matrix[s][b]` is the mean of sensor `s` in bucket `b` or `NaN`.
+    ///
+    /// # Panics
+    /// Panics if the query was not aligned.
+    pub fn aligned(self) -> (Vec<Timestamp>, Vec<Vec<f64>>) {
+        match self.shape {
+            ResultData::Aligned { grid, matrix } => (grid, matrix),
+            other => panic!("aligned() on a {} result", shape_name(&other)),
+        }
+    }
+}
+
+fn shape_name(d: &ResultData) -> &'static str {
+    match d {
+        ResultData::Series(_) => "readings",
+        ResultData::Buckets(_) => "buckets",
+        ResultData::Scalars(_) => "scalars",
+        ResultData::Aligned { .. } => "aligned",
+    }
+}
+
 /// Read-side engine over a [`TimeSeriesStore`].
+///
+/// Records `query_total` / `query_scan_ns` / `query_readings_scanned_total`
+/// into the store's metrics registry for every executed [`Query`].
 pub struct QueryEngine<'a> {
     store: &'a TimeSeriesStore,
+    registry: Option<SensorRegistry>,
+    m_query_total: Counter,
+    m_readings_scanned: Counter,
+    m_scan_ns: Histogram,
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Creates an engine borrowing `store`.
+    /// Creates an engine borrowing `store`. Pattern selectors additionally
+    /// need [`Self::with_registry`].
     pub fn new(store: &'a TimeSeriesStore) -> Self {
-        QueryEngine { store }
+        let m = store.metrics();
+        QueryEngine {
+            store,
+            registry: None,
+            m_query_total: m.counter("query_total", &[]),
+            m_readings_scanned: m.counter("query_readings_scanned_total", &[]),
+            m_scan_ns: m.histogram("query_scan_ns", &[]),
+        }
+    }
+
+    /// Attaches a sensor registry so queries can select by name pattern.
+    pub fn with_registry(mut self, registry: SensorRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    fn resolve(&self, selector: SensorSelector) -> Vec<SensorId> {
+        match selector {
+            SensorSelector::Ids(ids) => ids,
+            SensorSelector::Pattern(pattern) => {
+                let registry = self.registry.as_ref().unwrap_or_else(|| {
+                    panic!(
+                        "pattern query {:?} needs a registry; build the engine with \
+                         QueryEngine::new(store).with_registry(registry)",
+                        pattern.as_str()
+                    )
+                });
+                let mut ids = registry.matching(&pattern);
+                ids.sort_unstable_by_key(|s| s.index());
+                ids
+            }
+        }
+    }
+
+    fn execute(&self, query: Query) -> QueryResult {
+        let timer = self.m_scan_ns.start_timer();
+        let sensors = self.resolve(query.selector);
+        let range = query.range;
+        let per_sensor: Vec<Vec<Reading>> = sensors
+            .par_iter()
+            .map(|&s| {
+                let readings = self.store.range(s, range.start, range.end);
+                if query.rate {
+                    rate_readings(&readings)
+                } else {
+                    readings
+                }
+            })
+            .collect();
+        self.m_readings_scanned
+            .add(per_sensor.iter().map(|r| r.len() as u64).sum());
+        let shape = match query.shape {
+            Shape::Readings => ResultData::Series(per_sensor),
+            Shape::Buckets { bucket_ms, agg } => ResultData::Buckets(
+                per_sensor
+                    .par_iter()
+                    .map(|r| bucket_readings(r, bucket_ms, agg))
+                    .collect(),
+            ),
+            Shape::Scalars(agg) => ResultData::Scalars(
+                per_sensor
+                    .iter()
+                    .map(|r| aggregate_readings(r, agg))
+                    .collect(),
+            ),
+            Shape::Aligned { bucket_ms } => {
+                let buckets: Vec<Vec<Bucket>> = per_sensor
+                    .par_iter()
+                    .map(|r| bucket_readings(r, bucket_ms, Aggregation::Mean))
+                    .collect();
+                let (grid, matrix) = align_buckets(&buckets);
+                ResultData::Aligned { grid, matrix }
+            }
+        };
+        self.m_query_total.inc();
+        self.m_scan_ns.observe_timer(timer);
+        QueryResult { sensors, shape }
     }
 
     /// Raw readings in `range`, chronological.
+    #[deprecated(since = "0.2.0", note = "use `Query::sensors(sensor).range(range).run(&engine).readings()`")]
     pub fn range(&self, sensor: SensorId, range: TimeRange) -> Vec<Reading> {
-        self.store.range(sensor, range.start, range.end)
+        Query::sensors(sensor).range(range).run(self).readings()
     }
 
     /// Applies `agg` to the readings of `sensor` within `range`.
-    ///
-    /// Returns `None` when the range holds no readings (aggregates of empty
-    /// sets are undefined rather than silently zero).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::sensors(sensor).range(range).aggregate(agg).run(&engine).scalar()`"
+    )]
     pub fn aggregate(&self, sensor: SensorId, range: TimeRange, agg: Aggregation) -> Option<f64> {
-        let readings = self.range(sensor, range);
-        aggregate_readings(&readings, agg)
+        Query::sensors(sensor).range(range).aggregate(agg).run(self).scalar()
     }
 
     /// Aggregates many sensors in parallel; output order matches input order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::sensors(sensors).range(range).aggregate(agg).run(&engine).scalars()`"
+    )]
     pub fn aggregate_many(
         &self,
         sensors: &[SensorId],
         range: TimeRange,
         agg: Aggregation,
     ) -> Vec<Option<f64>> {
-        sensors
-            .par_iter()
-            .map(|&s| self.aggregate(s, range, agg))
-            .collect()
+        Query::sensors(sensors).range(range).aggregate(agg).run(self).scalars()
     }
 
-    /// Downsamples `sensor` over `range` into fixed `bucket_ms`-wide buckets,
-    /// aggregating each bucket with `agg`. Empty buckets are omitted.
-    ///
-    /// # Panics
-    /// Panics if `bucket_ms == 0`.
+    /// Downsamples `sensor` over `range` into fixed `bucket_ms`-wide buckets.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::sensors(sensor).range(range).downsample(bucket_ms, agg).run(&engine).buckets()`"
+    )]
     pub fn downsample(
         &self,
         sensor: SensorId,
@@ -141,82 +552,101 @@ impl<'a> QueryEngine<'a> {
         bucket_ms: u64,
         agg: Aggregation,
     ) -> Vec<Bucket> {
-        assert!(bucket_ms > 0, "bucket width must be positive");
-        let readings = self.range(sensor, range);
-        let mut out = Vec::new();
-        let mut i = 0usize;
-        while i < readings.len() {
-            let bstart = readings[i].ts.bucket(bucket_ms);
-            let bend = bstart + bucket_ms;
-            let mut j = i;
-            while j < readings.len() && readings[j].ts < bend {
-                j += 1;
-            }
-            let slice = &readings[i..j];
-            if let Some(value) = aggregate_readings(slice, agg) {
-                out.push(Bucket {
-                    start: bstart,
-                    value,
-                    count: slice.len(),
-                });
-            }
-            i = j;
-        }
-        out
+        Query::sensors(sensor)
+            .range(range)
+            .downsample(bucket_ms, agg)
+            .run(self)
+            .buckets()
     }
 
-    /// Converts a cumulative counter (e.g. energy in joules) to a rate series
-    /// (watts): each output reading is `(vᵢ₊₁ - vᵢ) / Δt_seconds`, stamped at
-    /// the later timestamp. Counter resets (negative deltas) yield no sample.
+    /// Converts a cumulative counter to a rate series.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::sensors(sensor).range(range).rate().run(&engine).readings()`"
+    )]
     pub fn rate(&self, sensor: SensorId, range: TimeRange) -> Vec<Reading> {
-        let readings = self.range(sensor, range);
-        readings
-            .windows(2)
-            .filter_map(|w| {
-                let dt = w[1].ts.millis_since(w[0].ts) as f64 / 1_000.0;
-                let dv = w[1].value - w[0].value;
-                (dt > 0.0 && dv >= 0.0).then(|| Reading::new(w[1].ts, dv / dt))
-            })
-            .collect()
+        Query::sensors(sensor).range(range).rate().run(self).readings()
     }
 
     /// Aligns several sensors onto a common bucket grid.
-    ///
-    /// Returns `(bucket_starts, matrix)` where `matrix[s][b]` is the mean of
-    /// sensor `s` in bucket `b`, or `f64::NAN` when that sensor has no sample
-    /// in the bucket. The grid spans the union of non-empty buckets. This is
-    /// the standard preprocessing step for multivariate diagnostics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::sensors(sensors).range(range).align(bucket_ms).run(&engine).aligned()`"
+    )]
     pub fn align(
         &self,
         sensors: &[SensorId],
         range: TimeRange,
         bucket_ms: u64,
     ) -> (Vec<Timestamp>, Vec<Vec<f64>>) {
-        assert!(bucket_ms > 0, "bucket width must be positive");
-        let per_sensor: Vec<Vec<Bucket>> = sensors
-            .par_iter()
-            .map(|&s| self.downsample(s, range, bucket_ms, Aggregation::Mean))
-            .collect();
-        let mut grid: Vec<Timestamp> = per_sensor
-            .iter()
-            .flat_map(|bs| bs.iter().map(|b| b.start))
-            .collect();
-        grid.sort_unstable();
-        grid.dedup();
-        let matrix = per_sensor
-            .par_iter()
-            .map(|buckets| {
-                let mut row = vec![f64::NAN; grid.len()];
-                for b in buckets {
-                    if let Ok(idx) = grid.binary_search(&b.start) {
-                        row[idx] = b.value;
-                    }
-                }
-                row
-            })
-            .collect();
-        (grid, matrix)
+        Query::sensors(sensors).range(range).align(bucket_ms).run(self).aligned()
     }
+}
+
+/// Downsamples an already-materialised chronological slice into fixed
+/// `bucket_ms`-wide buckets, omitting empty ones.
+///
+/// # Panics
+/// Panics if `bucket_ms == 0`.
+pub fn bucket_readings(readings: &[Reading], bucket_ms: u64, agg: Aggregation) -> Vec<Bucket> {
+    assert!(bucket_ms > 0, "bucket width must be positive");
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < readings.len() {
+        let bstart = readings[i].ts.bucket(bucket_ms);
+        let bend = bstart + bucket_ms;
+        let mut j = i;
+        while j < readings.len() && readings[j].ts < bend {
+            j += 1;
+        }
+        let slice = &readings[i..j];
+        if let Some(value) = aggregate_readings(slice, agg) {
+            out.push(Bucket {
+                start: bstart,
+                value,
+                count: slice.len(),
+            });
+        }
+        i = j;
+    }
+    out
+}
+
+/// Derives a rate series from a cumulative-counter slice: each output
+/// reading is `(vᵢ₊₁ - vᵢ) / Δt_seconds` stamped at the later timestamp;
+/// counter resets (negative deltas) yield no sample.
+pub fn rate_readings(readings: &[Reading]) -> Vec<Reading> {
+    readings
+        .windows(2)
+        .filter_map(|w| {
+            let dt = w[1].ts.millis_since(w[0].ts) as f64 / 1_000.0;
+            let dv = w[1].value - w[0].value;
+            (dt > 0.0 && dv >= 0.0).then(|| Reading::new(w[1].ts, dv / dt))
+        })
+        .collect()
+}
+
+/// Merges per-sensor bucket lists onto the union grid of their starts.
+fn align_buckets(per_sensor: &[Vec<Bucket>]) -> (Vec<Timestamp>, Vec<Vec<f64>>) {
+    let mut grid: Vec<Timestamp> = per_sensor
+        .iter()
+        .flat_map(|bs| bs.iter().map(|b| b.start))
+        .collect();
+    grid.sort_unstable();
+    grid.dedup();
+    let matrix = per_sensor
+        .par_iter()
+        .map(|buckets| {
+            let mut row = vec![f64::NAN; grid.len()];
+            for b in buckets {
+                if let Ok(idx) = grid.binary_search(&b.start) {
+                    row[idx] = b.value;
+                }
+            }
+            row
+        })
+        .collect();
+    (grid, matrix)
 }
 
 /// Applies `agg` to an already-materialised chronological slice.
@@ -290,19 +720,23 @@ mod tests {
         (store, s)
     }
 
+    fn agg(q: &QueryEngine<'_>, s: SensorId, range: TimeRange, a: Aggregation) -> Option<f64> {
+        Query::sensors(s).range(range).aggregate(a).run(q).scalar()
+    }
+
     #[test]
     fn scalar_aggregations() {
         let (store, s) = store_with(&[(0, 1.0), (10, 2.0), (20, 3.0), (30, 4.0)]);
         let q = QueryEngine::new(&store);
         let all = TimeRange::all();
-        assert_eq!(q.aggregate(s, all, Aggregation::Mean), Some(2.5));
-        assert_eq!(q.aggregate(s, all, Aggregation::Min), Some(1.0));
-        assert_eq!(q.aggregate(s, all, Aggregation::Max), Some(4.0));
-        assert_eq!(q.aggregate(s, all, Aggregation::Sum), Some(10.0));
-        assert_eq!(q.aggregate(s, all, Aggregation::Count), Some(4.0));
-        assert_eq!(q.aggregate(s, all, Aggregation::First), Some(1.0));
-        assert_eq!(q.aggregate(s, all, Aggregation::Last), Some(4.0));
-        let sd = q.aggregate(s, all, Aggregation::StdDev).unwrap();
+        assert_eq!(agg(&q, s, all, Aggregation::Mean), Some(2.5));
+        assert_eq!(agg(&q, s, all, Aggregation::Min), Some(1.0));
+        assert_eq!(agg(&q, s, all, Aggregation::Max), Some(4.0));
+        assert_eq!(agg(&q, s, all, Aggregation::Sum), Some(10.0));
+        assert_eq!(agg(&q, s, all, Aggregation::Count), Some(4.0));
+        assert_eq!(agg(&q, s, all, Aggregation::First), Some(1.0));
+        assert_eq!(agg(&q, s, all, Aggregation::Last), Some(4.0));
+        let sd = agg(&q, s, all, Aggregation::StdDev).unwrap();
         assert!((sd - (1.25f64).sqrt()).abs() < 1e-12);
     }
 
@@ -311,7 +745,7 @@ mod tests {
         let (store, s) = store_with(&[(0, 1.0)]);
         let q = QueryEngine::new(&store);
         let r = TimeRange::new(Timestamp::from_millis(100), Timestamp::from_millis(200));
-        assert_eq!(q.aggregate(s, r, Aggregation::Mean), None);
+        assert_eq!(agg(&q, s, r, Aggregation::Mean), None);
     }
 
     #[test]
@@ -319,11 +753,11 @@ mod tests {
         let (store, s) = store_with(&[(0, 10.0), (1, 20.0), (2, 30.0), (3, 40.0)]);
         let q = QueryEngine::new(&store);
         let all = TimeRange::all();
-        assert_eq!(q.aggregate(s, all, Aggregation::Quantile(0.0)), Some(10.0));
-        assert_eq!(q.aggregate(s, all, Aggregation::Quantile(1.0)), Some(40.0));
-        assert_eq!(q.aggregate(s, all, Aggregation::Quantile(0.5)), Some(25.0));
+        assert_eq!(agg(&q, s, all, Aggregation::Quantile(0.0)), Some(10.0));
+        assert_eq!(agg(&q, s, all, Aggregation::Quantile(1.0)), Some(40.0));
+        assert_eq!(agg(&q, s, all, Aggregation::Quantile(0.5)), Some(25.0));
         // Out-of-range q is clamped.
-        assert_eq!(q.aggregate(s, all, Aggregation::Quantile(2.0)), Some(40.0));
+        assert_eq!(agg(&q, s, all, Aggregation::Quantile(2.0)), Some(40.0));
     }
 
     #[test]
@@ -332,9 +766,7 @@ mod tests {
         // holding time and is excluded as weight).
         let (store, s) = store_with(&[(0, 0.0), (90, 10.0), (100, 10.0)]);
         let q = QueryEngine::new(&store);
-        let twm = q
-            .aggregate(s, TimeRange::all(), Aggregation::TimeWeightedMean)
-            .unwrap();
+        let twm = agg(&q, s, TimeRange::all(), Aggregation::TimeWeightedMean).unwrap();
         assert!((twm - 1.0).abs() < 1e-12, "got {twm}");
     }
 
@@ -342,7 +774,10 @@ mod tests {
     fn downsample_means_per_bucket_and_skips_gaps() {
         let (store, s) = store_with(&[(0, 1.0), (500, 3.0), (1_000, 5.0), (3_000, 7.0)]);
         let q = QueryEngine::new(&store);
-        let buckets = q.downsample(s, TimeRange::all(), 1_000, Aggregation::Mean);
+        let buckets = Query::sensors(s)
+            .downsample(1_000, Aggregation::Mean)
+            .run(&q)
+            .buckets();
         assert_eq!(buckets.len(), 3);
         assert_eq!(buckets[0].start, Timestamp::ZERO);
         assert_eq!(buckets[0].value, 2.0);
@@ -356,7 +791,7 @@ mod tests {
         // 100 J at t=0s, 300 J at t=2s → 100 W; reset to 0 → skipped.
         let (store, s) = store_with(&[(0, 100.0), (2_000, 300.0), (3_000, 0.0), (4_000, 50.0)]);
         let q = QueryEngine::new(&store);
-        let rates = q.rate(s, TimeRange::all());
+        let rates = Query::sensors(s).rate().run(&q).readings();
         assert_eq!(rates.len(), 2);
         assert!((rates[0].value - 100.0).abs() < 1e-12);
         assert!((rates[1].value - 50.0).abs() < 1e-12);
@@ -372,7 +807,7 @@ mod tests {
         store.insert(b, Reading::new(Timestamp::from_millis(1_000), 10.0));
         store.insert(b, Reading::new(Timestamp::from_millis(2_000), 20.0));
         let q = QueryEngine::new(&store);
-        let (grid, m) = q.align(&[a, b], TimeRange::all(), 1_000);
+        let (grid, m) = Query::sensors([a, b]).align(1_000).run(&q).aligned();
         assert_eq!(grid.len(), 3);
         assert_eq!(m.len(), 2);
         assert_eq!(m[0][0], 1.0);
@@ -391,7 +826,10 @@ mod tests {
         }
         let q = QueryEngine::new(&store);
         let sensors: Vec<SensorId> = (0..4).map(SensorId).collect();
-        let out = q.aggregate_many(&sensors, TimeRange::all(), Aggregation::Last);
+        let out = Query::sensors(&sensors)
+            .aggregate(Aggregation::Last)
+            .run(&q)
+            .scalars();
         assert_eq!(out, vec![Some(0.0), Some(1.0), Some(2.0), Some(3.0)]);
     }
 
@@ -400,6 +838,128 @@ mod tests {
         let (store, s) = store_with(&[(900, 1.0), (1_000, 2.0)]);
         let q = QueryEngine::new(&store);
         let r = TimeRange::trailing(Timestamp::from_millis(1_000), 50);
-        assert_eq!(q.aggregate(s, r, Aggregation::Count), Some(1.0));
+        assert_eq!(agg(&q, s, r, Aggregation::Count), Some(1.0));
+    }
+
+    #[test]
+    fn pattern_selector_resolves_via_registry_in_id_order() {
+        use crate::sensor::{SensorKind, SensorRegistry, Unit};
+        let reg = SensorRegistry::new();
+        let p0 = reg.register("/hw/node0/power", SensorKind::Power, Unit::Watts);
+        let t0 = reg.register("/hw/node0/temp", SensorKind::Temperature, Unit::Celsius);
+        let p1 = reg.register("/hw/node1/power", SensorKind::Power, Unit::Watts);
+        let store = TimeSeriesStore::with_capacity(8);
+        for (i, s) in [p0, t0, p1].iter().enumerate() {
+            store.insert(*s, Reading::new(Timestamp::ZERO, i as f64));
+        }
+        let q = QueryEngine::new(&store).with_registry(reg);
+        let res = Query::sensors("/hw/*/power")
+            .aggregate(Aggregation::Last)
+            .run(&q);
+        assert_eq!(res.sensors(), &[p0, p1]);
+        assert_eq!(res.scalars(), vec![Some(0.0), Some(2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a registry")]
+    fn pattern_selector_without_registry_panics() {
+        let store = TimeSeriesStore::with_capacity(8);
+        let q = QueryEngine::new(&store);
+        let _ = Query::sensors("/hw/**").run(&q);
+    }
+
+    #[test]
+    #[should_panic(expected = "already shaped")]
+    fn double_shaping_panics() {
+        let _ = Query::sensors(SensorId(0))
+            .aggregate(Aggregation::Mean)
+            .downsample(10, Aggregation::Mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "use scalars()")]
+    fn scalar_on_multi_sensor_result_panics() {
+        let store = TimeSeriesStore::with_capacity(8);
+        let q = QueryEngine::new(&store);
+        store.insert(SensorId(0), Reading::new(Timestamp::ZERO, 1.0));
+        store.insert(SensorId(1), Reading::new(Timestamp::ZERO, 2.0));
+        let _ = Query::sensors([SensorId(0), SensorId(1)])
+            .aggregate(Aggregation::Mean)
+            .run(&q)
+            .scalar();
+    }
+
+    #[test]
+    #[should_panic(expected = "on a scalars result")]
+    fn shape_mismatch_accessor_panics() {
+        let store = TimeSeriesStore::with_capacity(8);
+        let q = QueryEngine::new(&store);
+        let _ = Query::sensors(SensorId(0))
+            .aggregate(Aggregation::Mean)
+            .run(&q)
+            .readings();
+    }
+
+    #[test]
+    fn rate_composes_with_downsample() {
+        // Cumulative joules sampled every second; rate → 100 W flat, then
+        // bucketed into 2s means.
+        let (store, s) = store_with(&[(0, 0.0), (1_000, 100.0), (2_000, 200.0), (3_000, 300.0)]);
+        let q = QueryEngine::new(&store);
+        let buckets = Query::sensors(s)
+            .rate()
+            .downsample(2_000, Aggregation::Mean)
+            .run(&q)
+            .buckets();
+        assert!(!buckets.is_empty());
+        for b in &buckets {
+            assert!((b.value - 100.0).abs() < 1e-9, "got {}", b.value);
+        }
+    }
+
+    #[test]
+    fn queries_record_read_path_metrics() {
+        use crate::metrics::MetricsRegistry;
+        let m = MetricsRegistry::new();
+        let store = TimeSeriesStore::with_capacity_shards_metrics(16, 1, m.clone());
+        let s = SensorId(0);
+        for t in 0..10u64 {
+            store.insert(s, Reading::new(Timestamp::from_millis(t), t as f64));
+        }
+        let q = QueryEngine::new(&store);
+        let _ = Query::sensors(s).aggregate(Aggregation::Mean).run(&q).scalar();
+        let _ = Query::sensors(s).run(&q).readings();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("query_total"), Some(2));
+        assert_eq!(snap.counter("query_readings_scanned_total"), Some(20));
+        assert_eq!(snap.histogram("query_scan_ns").unwrap().count, 2);
+    }
+
+    /// The deprecated per-shape methods must stay behaviourally identical to
+    /// the builder they delegate to.
+    #[allow(deprecated)]
+    #[test]
+    fn deprecated_delegates_agree_with_builder() {
+        let (store, s) = store_with(&[(0, 1.0), (500, 3.0), (1_000, 5.0), (3_000, 7.0)]);
+        let q = QueryEngine::new(&store);
+        let all = TimeRange::all();
+        assert_eq!(
+            q.aggregate(s, all, Aggregation::Mean),
+            Query::sensors(s).aggregate(Aggregation::Mean).run(&q).scalar()
+        );
+        assert_eq!(q.range(s, all), Query::sensors(s).run(&q).readings());
+        assert_eq!(
+            q.downsample(s, all, 1_000, Aggregation::Mean),
+            Query::sensors(s).downsample(1_000, Aggregation::Mean).run(&q).buckets()
+        );
+        assert_eq!(q.rate(s, all), Query::sensors(s).rate().run(&q).readings());
+        assert_eq!(
+            q.aggregate_many(&[s], all, Aggregation::Sum),
+            Query::sensors([s]).aggregate(Aggregation::Sum).run(&q).scalars()
+        );
+        assert_eq!(
+            q.align(&[s], all, 1_000),
+            Query::sensors([s]).align(1_000).run(&q).aligned()
+        );
     }
 }

@@ -17,6 +17,7 @@
 //! behind its own `parking_lot::RwLock`, so concurrent collectors writing
 //! disjoint sensors rarely contend. The shard count is fixed at construction.
 
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::reading::{Reading, Timestamp};
 use crate::sensor::SensorId;
 use parking_lot::RwLock;
@@ -207,9 +208,35 @@ struct Shard {
     series: Vec<Option<RingBuffer>>,
 }
 
+/// Per-shard write-path instruments, created once at store construction so
+/// the hot path never touches the registry's maps.
+struct ShardMetrics {
+    appends: Counter,
+    rejects_out_of_order: Counter,
+    rejects_non_finite: Counter,
+    evictions: Counter,
+    lock_hold_ns: Histogram,
+}
+
+impl ShardMetrics {
+    fn new(metrics: &MetricsRegistry, shard: usize) -> Self {
+        let idx = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", idx.as_str())];
+        ShardMetrics {
+            appends: metrics.counter("store_append_total", labels),
+            rejects_out_of_order: metrics.counter("store_reject_out_of_order_total", labels),
+            rejects_non_finite: metrics.counter("store_reject_non_finite_total", labels),
+            evictions: metrics.counter("store_evict_total", labels),
+            lock_hold_ns: metrics.histogram("store_lock_hold_ns", labels),
+        }
+    }
+}
+
 /// Sharded, thread-safe archive of per-sensor time series.
 pub struct TimeSeriesStore {
     shards: Vec<RwLock<Shard>>,
+    shard_metrics: Vec<ShardMetrics>,
+    metrics: MetricsRegistry,
     per_sensor_capacity: usize,
 }
 
@@ -218,7 +245,8 @@ impl TimeSeriesStore {
     pub const DEFAULT_SHARDS: usize = 16;
 
     /// Creates a store where each sensor retains up to `per_sensor_capacity`
-    /// readings, with the default shard count.
+    /// readings, with the default shard count. Records into the process-wide
+    /// [`MetricsRegistry::global`].
     pub fn with_capacity(per_sensor_capacity: usize) -> Self {
         Self::with_capacity_and_shards(per_sensor_capacity, Self::DEFAULT_SHARDS)
     }
@@ -226,14 +254,33 @@ impl TimeSeriesStore {
     /// Creates a store with an explicit shard count (ablation benches compare
     /// shard counts; `1` degenerates to a single global lock).
     pub fn with_capacity_and_shards(per_sensor_capacity: usize, shards: usize) -> Self {
+        Self::with_capacity_shards_metrics(per_sensor_capacity, shards, MetricsRegistry::global())
+    }
+
+    /// Creates a store recording its write-path metrics (`store_append_total`,
+    /// `store_reject_*_total`, `store_evict_total`, `store_lock_hold_ns`, all
+    /// labeled per shard) into an explicit registry — pass
+    /// [`MetricsRegistry::disabled`] for a zero-overhead store.
+    pub fn with_capacity_shards_metrics(
+        per_sensor_capacity: usize,
+        shards: usize,
+        metrics: MetricsRegistry,
+    ) -> Self {
         assert!(per_sensor_capacity > 0, "per-sensor capacity must be positive");
         assert!(shards > 0, "shard count must be positive");
         TimeSeriesStore {
             shards: (0..shards)
                 .map(|_| RwLock::new(Shard { series: Vec::new() }))
                 .collect(),
+            shard_metrics: (0..shards).map(|i| ShardMetrics::new(&metrics, i)).collect(),
+            metrics,
             per_sensor_capacity,
         }
+    }
+
+    /// The registry this store's write-path instruments record into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     #[inline]
@@ -250,26 +297,28 @@ impl TimeSeriesStore {
     /// Appends one reading. Returns `false` if it was rejected (non-finite
     /// value or out-of-order timestamp).
     pub fn insert(&self, sensor: SensorId, reading: Reading) -> bool {
-        let (s, slot) = self.locate(sensor);
-        let mut shard = self.shards[s].write();
-        if shard.series.len() <= slot {
-            shard.series.resize_with(slot + 1, || None);
-        }
-        shard.series[slot]
-            .get_or_insert_with(|| RingBuffer::new(self.per_sensor_capacity))
-            .push(reading)
+        self.insert_batch(sensor, std::slice::from_ref(&reading)) == 1
     }
 
     /// Appends a batch of readings for one sensor; returns how many were
     /// accepted.
     pub fn insert_batch(&self, sensor: SensorId, readings: &[Reading]) -> usize {
         let (s, slot) = self.locate(sensor);
+        let m = &self.shard_metrics[s];
         let mut shard = self.shards[s].write();
+        let timer = m.lock_hold_ns.start_timer();
         if shard.series.len() <= slot {
             shard.series.resize_with(slot + 1, || None);
         }
         let buf = shard.series[slot].get_or_insert_with(|| RingBuffer::new(self.per_sensor_capacity));
-        readings.iter().filter(|r| buf.push(**r)).count()
+        let (ooo0, nf0, ev0) = (buf.rejected_out_of_order(), buf.rejected_non_finite(), buf.evicted());
+        let accepted = readings.iter().filter(|r| buf.push(**r)).count();
+        m.appends.add(accepted as u64);
+        m.rejects_out_of_order.add(buf.rejected_out_of_order() - ooo0);
+        m.rejects_non_finite.add(buf.rejected_non_finite() - nf0);
+        m.evictions.add(buf.evicted() - ev0);
+        m.lock_hold_ns.observe_timer(timer);
+        accepted
     }
 
     /// Readings for `sensor` with `start <= ts < end`, chronological.
@@ -553,6 +602,35 @@ mod tests {
         assert_eq!(stale, vec![b]);
         assert_eq!(store.sensor_health(a).unwrap(), *ha);
         assert!(store.sensor_health(SensorId(99)).is_none());
+    }
+
+    #[test]
+    fn store_write_path_records_per_shard_metrics() {
+        let m = MetricsRegistry::new();
+        let store = TimeSeriesStore::with_capacity_shards_metrics(2, 1, m.clone());
+        let s = SensorId(0);
+        store.insert(s, r(0, 1.0));
+        store.insert(s, r(10, 2.0));
+        store.insert(s, r(5, 3.0)); // out of order → rejected
+        store.insert(s, r(20, f64::NAN)); // non-finite → rejected
+        store.insert(s, r(20, 4.0)); // accepted, evicts the oldest
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("store_append_total{shard=\"0\"}"), Some(3));
+        assert_eq!(snap.counter("store_reject_out_of_order_total{shard=\"0\"}"), Some(1));
+        assert_eq!(snap.counter("store_reject_non_finite_total{shard=\"0\"}"), Some(1));
+        assert_eq!(snap.counter("store_evict_total{shard=\"0\"}"), Some(1));
+        let hold = snap.histogram("store_lock_hold_ns{shard=\"0\"}").unwrap();
+        assert_eq!(hold.count, 5, "one lock-hold sample per insert");
+    }
+
+    #[test]
+    fn store_with_disabled_metrics_records_nothing() {
+        let store =
+            TimeSeriesStore::with_capacity_shards_metrics(4, 2, MetricsRegistry::disabled());
+        store.insert(SensorId(0), r(0, 1.0));
+        assert!(!store.metrics().is_enabled());
+        assert!(store.metrics().snapshot().counters.is_empty());
+        assert_eq!(store.series_len(SensorId(0)), 1);
     }
 
     #[test]

@@ -14,7 +14,10 @@ fn live_bus_subscription_drives_alerts_through_a_fault() {
     // Subscribe to node temperatures *before* anything happens.
     let sub = dc
         .bus()
-        .subscribe(SensorPattern::new("/hw/*/temp_c"), 100_000);
+        .subscription(SensorPattern::new("/hw/*/temp_c"))
+        .capacity(100_000)
+        .named("alert-engine")
+        .subscribe();
 
     // Rules: critical above 85 °C on every node temperature sensor, with
     // debounce so sampling noise cannot flap.
@@ -75,7 +78,10 @@ fn healthy_run_raises_no_critical_alerts() {
     let mut dc = DataCenter::new(DataCenterConfig::tiny(), 34);
     let sub = dc
         .bus()
-        .subscribe(SensorPattern::new("/hw/*/temp_c"), 100_000);
+        .subscription(SensorPattern::new("/hw/*/temp_c"))
+        .capacity(100_000)
+        .named("alert-engine-healthy")
+        .subscribe();
     let rules: Vec<AlertRule> = (0..dc.node_count())
         .map(|i| {
             AlertRule::new(

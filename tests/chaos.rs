@@ -104,7 +104,10 @@ fn nan_burst_never_reaches_store_or_alerts() {
     )]);
     let sub = dc
         .bus()
-        .subscribe(hpc_oda::telemetry::pattern::SensorPattern::new("/hw/node0/power_w"), 4_096);
+        .subscription("/hw/node0/power_w")
+        .capacity(4_096)
+        .named("chaos-alerts")
+        .subscribe();
     dc.run_ticks(TICKS);
     while let Ok(batch) = sub.rx.try_recv() {
         for &r in &batch.readings {
@@ -140,7 +143,10 @@ fn spike_raises_false_alerts_that_a_clean_run_does_not() {
         let mut alerts = AlertEngine::new(vec![pue_rule(&dc)]);
         let sub = dc
             .bus()
-            .subscribe(hpc_oda::telemetry::pattern::SensorPattern::new("/facility/pue"), 4_096);
+            .subscription("/facility/pue")
+            .capacity(4_096)
+            .named("chaos-pue")
+            .subscribe();
         dc.run_ticks(TICKS);
         let mut raised = 0;
         while let Ok(batch) = sub.rx.try_recv() {
@@ -239,7 +245,10 @@ fn forecaster_abstains_when_most_of_the_window_is_missing() {
     let mut forecaster = GapTolerant::new(Holt::new(0.4, 0.1), 3, 40);
     let sub = dc
         .bus()
-        .subscribe(hpc_oda::telemetry::pattern::SensorPattern::new("/facility/power/it_kw"), 64);
+        .subscription("/facility/power/it_kw")
+        .capacity(64)
+        .named("chaos-forecast")
+        .subscribe();
     let mut frame = None;
     for tick in 1..=TICKS {
         dc.step();

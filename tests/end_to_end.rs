@@ -7,7 +7,7 @@ use hpc_oda::core::cells;
 use hpc_oda::core::pipeline::StagedPipeline;
 use hpc_oda::core::registry::CapabilityRegistry;
 use hpc_oda::sim::prelude::*;
-use hpc_oda::telemetry::query::{Aggregation, QueryEngine, TimeRange};
+use hpc_oda::telemetry::query::{Aggregation, Query, QueryEngine, TimeRange};
 use hpc_oda::telemetry::reading::Timestamp;
 use std::sync::Arc;
 
@@ -28,8 +28,11 @@ fn telemetry_agrees_with_simulator_ground_truth() {
     let q = QueryEngine::new(dc.store());
     // The latest archived IT power matches the snapshot.
     let it = dc.registry().lookup("/facility/power/it_kw").unwrap();
-    let latest = q
-        .aggregate(it, TimeRange::all(), Aggregation::Last)
+    let latest = Query::sensors(it)
+        .range(TimeRange::all())
+        .aggregate(Aggregation::Last)
+        .run(&q)
+        .scalar()
         .unwrap();
     assert!(
         (latest - snap.it_power_kw).abs() < 0.5,
@@ -40,7 +43,12 @@ fn telemetry_agrees_with_simulator_ground_truth() {
     let node_sum: f64 = (0..dc.node_count())
         .map(|i| {
             let s = dc.registry().lookup(&format!("/hw/node{i}/power_w")).unwrap();
-            q.aggregate(s, TimeRange::all(), Aggregation::Last).unwrap()
+            Query::sensors(s)
+                .range(TimeRange::all())
+                .aggregate(Aggregation::Last)
+                .run(&q)
+                .scalar()
+                .unwrap()
         })
         .sum();
     assert!(

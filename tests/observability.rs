@@ -1,0 +1,117 @@
+//! End-to-end self-observability: a full `OdaRuntime` pass over a live
+//! simulated site must leave a complete, deterministic metrics trail —
+//! pipeline spans, runtime counters, and telemetry-plane instruments — in
+//! the registry it was built with.
+
+use hpc_oda::core::analytics_type::AnalyticsType;
+use hpc_oda::core::cells;
+use hpc_oda::core::runtime::{OdaRuntime, SimControlPlane};
+use hpc_oda::sim::prelude::*;
+use hpc_oda::telemetry::metrics::{MetricsRegistry, MetricsSnapshot};
+use std::sync::Arc;
+
+/// Simulates half an hour and runs one runtime pass, everything recording
+/// into a fresh registry. Returns the pass's span names and the snapshot.
+fn run_instrumented_pass(seed: u64) -> (Vec<String>, MetricsSnapshot) {
+    let metrics = MetricsRegistry::new();
+    let mut dc = DataCenter::new_with_metrics(DataCenterConfig::tiny(), seed, metrics.clone());
+    dc.run_for_hours(0.5);
+    let mut runtime = OdaRuntime::new(3_600_000)
+        .with_metrics(metrics.clone())
+        .with_capability(
+            AnalyticsType::Descriptive,
+            Box::new(cells::descriptive::FacilityDashboard),
+        )
+        .with_capability(
+            AnalyticsType::Diagnostic,
+            Box::new(cells::diagnostic::NodeAnomalyDetector::new()),
+        )
+        .with_capability(
+            AnalyticsType::Prescriptive,
+            Box::new(cells::prescriptive::DvfsTuner::new()),
+        );
+    let report = runtime.pass(
+        Arc::clone(dc.store()),
+        dc.registry().clone(),
+        dc.now(),
+        &mut SimControlPlane { dc: &mut dc },
+    );
+    assert!(report.wall_ns > 0);
+    let spans: Vec<String> = report.run.spans.iter().map(|s| s.capability.clone()).collect();
+    (spans, metrics.snapshot())
+}
+
+#[test]
+fn runtime_pass_emits_expected_spans_and_counters() {
+    let (spans, snap) = run_instrumented_pass(7);
+
+    // One span per registered capability, in stage order.
+    assert_eq!(
+        spans,
+        ["facility-dashboard", "node-anomaly-detector", "dvfs-tuner"]
+    );
+
+    // Runtime-level counters and the pass latency histogram.
+    assert_eq!(snap.counter("runtime_pass_total"), Some(1));
+    assert_eq!(snap.histogram("runtime_pass_ns").map(|h| h.count), Some(1));
+    assert!(snap.counter("runtime_prescriptions_applied_total").is_some());
+    assert!(snap.counter("runtime_diagnoses_total").is_some());
+
+    // Per-capability stage instruments carry the capability label.
+    for capability in ["facility-dashboard", "node-anomaly-detector", "dvfs-tuner"] {
+        let id = format!("pipeline_stage_ns{{capability=\"{capability}\"}}");
+        assert_eq!(snap.histogram(&id).map(|h| h.count), Some(1), "{id}");
+        let artifacts = format!("pipeline_artifacts_total{{capability=\"{capability}\"}}");
+        assert!(snap.counter(&artifacts).is_some(), "{artifacts}");
+    }
+
+    // The telemetry plane underneath recorded into the same registry: the
+    // simulation published batches, the store archived readings, and the
+    // pass's queries scanned them.
+    assert!(snap.counter("bus_publish_total").unwrap_or(0) > 0);
+    let appended: u64 = snap
+        .counters
+        .iter()
+        .filter(|c| c.id.starts_with("store_append_total"))
+        .map(|c| c.value)
+        .sum();
+    assert!(appended > 0, "store write path must be instrumented");
+    assert!(snap.counter("query_total").unwrap_or(0) > 0);
+    assert!(snap.counter("query_readings_scanned_total").unwrap_or(0) > 0);
+}
+
+#[test]
+fn identical_seeded_runs_produce_identical_count_metrics() {
+    let (spans_a, a) = run_instrumented_pass(11);
+    let (spans_b, b) = run_instrumented_pass(11);
+    assert_eq!(spans_a, spans_b);
+    // Count-valued metrics (counters + histogram sample counts) are exactly
+    // reproducible; wall-time-valued metrics are deliberately excluded.
+    assert_eq!(a.count_values(), b.count_values());
+    assert!(!a.count_values().is_empty());
+}
+
+#[test]
+fn prometheus_exposition_covers_the_whole_trail() {
+    let (_, snap) = run_instrumented_pass(13);
+    let metrics = MetricsRegistry::new();
+    let mut dc = DataCenter::new_with_metrics(DataCenterConfig::tiny(), 13, metrics.clone());
+    dc.run_for_hours(0.1);
+    let text = metrics.render_prometheus();
+    for needle in [
+        "bus_publish_total",
+        "bus_readings_total",
+        "store_append_total{shard=",
+        "bus_publish_ns_count",
+        "bus_publish_ns{quantile=\"0.99\"}",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    // And the earlier full-pass snapshot carries runtime + pipeline + query
+    // families alongside the telemetry plane.
+    let families: Vec<&str> = snap.counters.iter().map(|c| c.id.as_str()).collect();
+    assert!(families.iter().any(|id| id.starts_with("runtime_")));
+    assert!(families.iter().any(|id| id.starts_with("pipeline_")));
+    assert!(families.iter().any(|id| id.starts_with("query_")));
+    assert!(families.iter().any(|id| id.starts_with("bus_")));
+}

@@ -1,7 +1,7 @@
 //! Property-based tests of the telemetry substrate: the ring-buffer store
 //! against a reference model, and query-layer invariants.
 
-use hpc_oda::telemetry::query::{aggregate_readings, Aggregation, QueryEngine, TimeRange};
+use hpc_oda::telemetry::query::{aggregate_readings, Aggregation, Query, QueryEngine, TimeRange};
 use hpc_oda::telemetry::reading::{Reading, Timestamp};
 use hpc_oda::telemetry::sensor::SensorId;
 use hpc_oda::telemetry::store::{RingBuffer, TimeSeriesStore};
@@ -101,20 +101,20 @@ proptest! {
         }
         let q = QueryEngine::new(&store);
         let all = TimeRange::all();
-        let mean = q.aggregate(s, all, Aggregation::Mean).unwrap();
-        let min = q.aggregate(s, all, Aggregation::Min).unwrap();
-        let max = q.aggregate(s, all, Aggregation::Max).unwrap();
+        let agg = |a: Aggregation| {
+            Query::sensors(s).range(all).aggregate(a).run(&q).scalar().unwrap()
+        };
+        let mean = agg(Aggregation::Mean);
+        let min = agg(Aggregation::Min);
+        let max = agg(Aggregation::Max);
         prop_assert!(min <= mean + 1e-9 && mean <= max + 1e-9);
-        prop_assert_eq!(
-            q.aggregate(s, all, Aggregation::Count).unwrap() as usize,
-            series.len()
-        );
-        let q25 = q.aggregate(s, all, Aggregation::Quantile(0.25)).unwrap();
-        let q75 = q.aggregate(s, all, Aggregation::Quantile(0.75)).unwrap();
+        prop_assert_eq!(agg(Aggregation::Count) as usize, series.len());
+        let q25 = agg(Aggregation::Quantile(0.25));
+        let q75 = agg(Aggregation::Quantile(0.75));
         prop_assert!(q25 <= q75);
         prop_assert!(min <= q25 && q75 <= max);
         // Time-weighted mean also sits within [min, max].
-        let twm = q.aggregate(s, all, Aggregation::TimeWeightedMean).unwrap();
+        let twm = agg(Aggregation::TimeWeightedMean);
         prop_assert!(min - 1e-9 <= twm && twm <= max + 1e-9);
     }
 
@@ -128,7 +128,10 @@ proptest! {
             store.insert(s, *r);
         }
         let q = QueryEngine::new(&store);
-        let buckets = q.downsample(s, TimeRange::all(), bucket, Aggregation::Mean);
+        let buckets = Query::sensors(s)
+            .downsample(bucket, Aggregation::Mean)
+            .run(&q)
+            .buckets();
         let total: usize = buckets.iter().map(|b| b.count).sum();
         prop_assert_eq!(total, series.len());
         for w in buckets.windows(2) {
@@ -208,7 +211,11 @@ proptest! {
         let sensor = registry.register("/hw/node0/temp_c", SensorKind::Temperature, Unit::Celsius);
         let bus = TelemetryBus::new(registry);
         // Never drained: fills after `buffer` batches, sheds afterwards.
-        let stalled = bus.subscribe(SensorPattern::new("/hw/**"), buffer);
+        let stalled = bus
+            .subscription(SensorPattern::new("/hw/**"))
+            .capacity(buffer)
+            .named("stalled")
+            .subscribe();
 
         let mut last_dropped = 0u64;
         for i in 0..publishes {
@@ -242,9 +249,9 @@ proptest! {
             store.insert(s, *r);
         }
         let q = QueryEngine::new(&store);
-        let fetched = q.range(s, TimeRange::all());
+        let fetched = Query::sensors(s).run(&q).readings();
         for agg in [Aggregation::Mean, Aggregation::Sum, Aggregation::StdDev] {
-            let a = q.aggregate(s, TimeRange::all(), agg).unwrap();
+            let a = Query::sensors(s).aggregate(agg).run(&q).scalar().unwrap();
             let b = aggregate_readings(&fetched, agg).unwrap();
             prop_assert!((a - b).abs() < 1e-9);
         }
