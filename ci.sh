@@ -26,7 +26,11 @@ cargo run --release -p oda-bench --bin ingest -- 200 48 > BENCH_ingest.json
 # Schema check: the baseline must be one JSON object with the keys the
 # regression tooling reads, and a positive throughput.
 for key in bench readings_total throughput_rps throughput_rps_noop \
-           metrics_overhead_pct query_p50_ns query_p99_ns instruments; do
+           metrics_overhead_pct query_p50_ns query_p99_ns instruments \
+           longwin_queries_run longwin_tiered_p50_ns longwin_tiered_p99_ns \
+           longwin_raw_p50_ns longwin_raw_p99_ns longwin_tier_hits \
+           longwin_readings_avoided longwin_tiered_readings_scanned \
+           longwin_raw_readings_scanned longwin_scan_reduction_x; do
   grep -q "\"$key\"" BENCH_ingest.json \
     || { echo "BENCH_ingest.json missing key: $key" >&2; exit 1; }
 done
@@ -36,8 +40,18 @@ report = json.load(open("BENCH_ingest.json"))
 assert report["bench"] == "ingest", report["bench"]
 assert report["throughput_rps"] > 0, "ingest throughput must be positive"
 assert report["readings_total"] > 0
+# Rollup-tier planner gate: the long-window fleet aggregate must be served
+# from summary tiers, rescanning >=5x fewer raw readings, and the tiered
+# query tail must not be slower than the raw rescan it replaces.
+assert report["longwin_tier_hits"] > 0, "planner never tier-hit"
+assert report["longwin_scan_reduction_x"] >= 5.0, report["longwin_scan_reduction_x"]
+assert report["longwin_tiered_p99_ns"] <= report["longwin_raw_p99_ns"], (
+    report["longwin_tiered_p99_ns"], report["longwin_raw_p99_ns"])
 print(f"ingest baseline OK: {report['throughput_rps']:.0f} readings/s, "
-      f"metrics overhead {report['metrics_overhead_pct']:.1f}%")
+      f"metrics overhead {report['metrics_overhead_pct']:.1f}%, "
+      f"long-window scan reduction {report['longwin_scan_reduction_x']:.0f}x "
+      f"(tiered p99 {report['longwin_tiered_p99_ns']}ns vs "
+      f"raw p99 {report['longwin_raw_p99_ns']}ns)")
 EOF
 
 echo "CI OK"

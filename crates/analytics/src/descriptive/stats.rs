@@ -288,11 +288,25 @@ pub fn correlation(a: &[f64], b: &[f64]) -> Option<f64> {
 }
 
 /// Spearman rank correlation: Pearson on ranks (mean rank for ties).
+///
+/// NaN pairs are skipped, like [`correlation`] — and they must be dropped
+/// *before* ranking: a non-finite cell has no meaningful rank, and letting
+/// it sort arbitrarily would shift every other rank and silently corrupt ρ
+/// (aligned telemetry uses NaN for missing buckets).
 pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
-    if a.len() != b.len() || a.len() < 2 {
+    if a.len() != b.len() {
         return None;
     }
-    correlation(&ranks(a), &ranks(b))
+    let (xs, ys): (Vec<f64>, Vec<f64>) = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    if xs.len() < 2 {
+        return None;
+    }
+    correlation(&ranks(&xs), &ranks(&ys))
 }
 
 fn ranks(xs: &[f64]) -> Vec<f64> {
@@ -547,6 +561,20 @@ mod tests {
         let a = [1.0, 2.0, 2.0, 3.0];
         let b = [10.0, 20.0, 20.0, 30.0];
         assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_skips_nan_pairs_before_ranking() {
+        // A NaN gap cell (ragged alignment) must not shift the other ranks:
+        // without the gap pair, the series are perfectly monotone.
+        let a = [1.0, f64::NAN, 3.0, 4.0, 5.0];
+        let b = [10.0, 999.0, 30.0, 40.0, 50.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        // Symmetric: the gap on the other side is dropped too.
+        let c = [10.0, 20.0, f64::NAN, 40.0, 50.0];
+        assert!((spearman(&a, &c).unwrap() - 1.0).abs() < 1e-12);
+        // Too few finite pairs → no coefficient rather than a fabricated one.
+        assert!(spearman(&[1.0, f64::NAN, f64::NAN], &[1.0, 2.0, 3.0]).is_none());
     }
 
     #[test]

@@ -48,6 +48,16 @@ fn main() {
         "delivered_total": instr.delivered_total,
         "shed_total": instr.shed_total,
         "instruments": snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len(),
+        "longwin_queries_run": instr.longwin.queries_run,
+        "longwin_tiered_p50_ns": instr.longwin.tiered_p50_ns,
+        "longwin_tiered_p99_ns": instr.longwin.tiered_p99_ns,
+        "longwin_raw_p50_ns": instr.longwin.raw_p50_ns,
+        "longwin_raw_p99_ns": instr.longwin.raw_p99_ns,
+        "longwin_tier_hits": instr.longwin.tier_hits,
+        "longwin_readings_avoided": instr.longwin.readings_avoided,
+        "longwin_tiered_readings_scanned": instr.longwin.tiered_readings_scanned,
+        "longwin_raw_readings_scanned": instr.longwin.raw_readings_scanned,
+        "longwin_scan_reduction_x": instr.longwin.scan_reduction_x,
     });
     println!("{}", serde_json::to_string_pretty(&out).expect("report serialises"));
 
@@ -55,9 +65,14 @@ fn main() {
         && noop.throughput_rps > 0.0
         && instr.readings_total == noop.readings_total
         && instr.shed_total == 0
-        && snapshot.counter("bus_readings_total") == Some(instr.readings_total);
+        && snapshot.counter("bus_readings_total") == Some(instr.readings_total)
+        // Tier savings: the planner must serve the long-window fleet
+        // aggregate from rollups, touching >=5x fewer raw readings than the
+        // forced raw rescan (result equality is asserted inside the soak).
+        && instr.longwin.tier_hits > 0
+        && instr.longwin.scan_reduction_x >= 5.0;
     if !healthy {
-        eprintln!("ingest soak FAILED (throughput or accounting invariant violated)");
+        eprintln!("ingest soak FAILED (throughput, accounting or tier-savings invariant violated)");
         std::process::exit(1);
     }
 }

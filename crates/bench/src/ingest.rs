@@ -8,7 +8,12 @@
 //! * **query latency** p50/p99 over a fixed mixed query workload,
 //! * **metrics overhead** — the same soak run against a live
 //!   [`MetricsRegistry`] and against [`MetricsRegistry::disabled`]; the
-//!   wall-clock delta is the price of the observability layer.
+//!   wall-clock delta is the price of the observability layer,
+//! * **rollup-tier savings** — a long-window fleet aggregate answered
+//!   through the planner's rollup tiers and again with [`Query::raw_scan`];
+//!   the paired latencies and readings-scanned deltas quantify what the
+//!   multi-resolution archive buys (the answers themselves are asserted
+//!   bit-identical, since the soak's synthetic values are dyadic).
 //!
 //! `cargo run --release -p oda-bench --bin ingest` prints the paired result
 //! as one JSON object; CI pins it as `BENCH_ingest.json` at the repo root.
@@ -88,6 +93,46 @@ pub struct IngestReport {
     pub delivered_total: u64,
     /// Batches shed on the subscriber's full buffer.
     pub shed_total: u64,
+    /// Long-window fleet-query phase (rollup planner vs forced raw scan).
+    pub longwin: LongWindowReport,
+}
+
+/// Result of the long-window fleet-aggregate phase: the same whole-window
+/// fleet query answered through the rollup planner and again with
+/// [`Query::raw_scan`], so the tier savings are measured on identical work.
+/// Counter-valued fields are zero when the soak ran with metrics disabled.
+#[derive(Debug, Clone, Serialize)]
+pub struct LongWindowReport {
+    /// Fleet queries per path (tiered and raw each ran this many).
+    pub queries_run: u64,
+    /// Median planner-served fleet-query latency, nanoseconds.
+    pub tiered_p50_ns: u64,
+    /// 99th-percentile planner-served fleet-query latency, nanoseconds.
+    pub tiered_p99_ns: u64,
+    /// Median forced-raw fleet-query latency, nanoseconds.
+    pub raw_p50_ns: u64,
+    /// 99th-percentile forced-raw fleet-query latency, nanoseconds.
+    pub raw_p99_ns: u64,
+    /// Raw readings materialised by the tiered phase (head/tail edges only).
+    pub tiered_readings_scanned: u64,
+    /// Readings the planner avoided rescanning by serving rollup buckets.
+    pub readings_avoided: u64,
+    /// Per-sensor tier hits recorded during the tiered phase.
+    pub tier_hits: u64,
+    /// Raw readings materialised by the forced-raw phase.
+    pub raw_readings_scanned: u64,
+    /// `raw_readings_scanned / max(tiered_readings_scanned, 1)` — how many
+    /// times fewer readings the planner touched for the same answers.
+    pub scan_reduction_x: f64,
+}
+
+/// Exact percentile over an already-sorted latency list.
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx]
 }
 
 /// Runs the publish→archive→query soak against `metrics`, returning the
@@ -154,14 +199,64 @@ pub fn run_ingest(cfg: &IngestConfig, metrics: MetricsRegistry) -> (IngestReport
         assert!(!readings.is_empty());
     }
     latencies_ns.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies_ns.is_empty() {
-            return 0;
+
+    // Long-window fleet phase: one whole-window aggregate spanning every
+    // sensor, answered through the rollup planner and then again with the
+    // planner bypassed. The soak's values (100 + i + k/4) are dyadic, so
+    // tier partial sums are bit-exact and both paths must agree exactly.
+    let longwin_queries = cfg.queries.max(1);
+    let scanned_of = |snap: &MetricsSnapshot, id: &str| snap.counter(id).unwrap_or(0);
+    let fleet_mean = |raw: bool| -> Vec<Option<f64>> {
+        let mut q = Query::sensors(sensors.as_slice())
+            .range(all)
+            .aggregate(Aggregation::Mean);
+        if raw {
+            q = q.raw_scan();
         }
-        let idx = ((latencies_ns.len() as f64 - 1.0) * p).round() as usize;
-        latencies_ns[idx]
+        q.run(&engine).scalars()
+    };
+    let before = metrics.snapshot();
+    let mut tiered_ns: Vec<u64> = Vec::with_capacity(longwin_queries);
+    let mut tiered_answer = Vec::new();
+    for _ in 0..longwin_queries {
+        let t = Instant::now();
+        tiered_answer = fleet_mean(false);
+        tiered_ns.push(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    let mid = metrics.snapshot();
+    let mut raw_ns: Vec<u64> = Vec::with_capacity(longwin_queries);
+    let mut raw_answer = Vec::new();
+    for _ in 0..longwin_queries {
+        let t = Instant::now();
+        raw_answer = fleet_mean(true);
+        raw_ns.push(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    let after = metrics.snapshot();
+    assert_eq!(
+        tiered_answer, raw_answer,
+        "rollup-served fleet means must equal the raw rescan bit-for-bit"
+    );
+    tiered_ns.sort_unstable();
+    raw_ns.sort_unstable();
+    let delta = |a: &MetricsSnapshot, b: &MetricsSnapshot, id: &str| {
+        scanned_of(b, id).saturating_sub(scanned_of(a, id))
+    };
+    let tiered_scanned = delta(&before, &mid, "query_readings_scanned_total");
+    let raw_scanned = delta(&mid, &after, "query_readings_scanned_total");
+    let longwin = LongWindowReport {
+        queries_run: longwin_queries as u64,
+        tiered_p50_ns: percentile(&tiered_ns, 0.50),
+        tiered_p99_ns: percentile(&tiered_ns, 0.99),
+        raw_p50_ns: percentile(&raw_ns, 0.50),
+        raw_p99_ns: percentile(&raw_ns, 0.99),
+        tiered_readings_scanned: tiered_scanned,
+        readings_avoided: delta(&before, &mid, "query_readings_avoided_total"),
+        tier_hits: delta(&before, &mid, "query_tier_hit_total"),
+        raw_readings_scanned: raw_scanned,
+        scan_reduction_x: raw_scanned as f64 / tiered_scanned.max(1) as f64,
     };
 
+    let pct = |p: f64| -> u64 { percentile(&latencies_ns, p) };
     let elapsed_s = (publish_wall_ns as f64 / 1e9).max(1e-9);
     let report = IngestReport {
         metrics_enabled,
@@ -173,6 +268,7 @@ pub fn run_ingest(cfg: &IngestConfig, metrics: MetricsRegistry) -> (IngestReport
         query_p99_ns: pct(0.99),
         delivered_total: bus.delivered_total(),
         shed_total: bus.dropped_total(),
+        longwin,
     };
     (report, metrics.snapshot())
 }
@@ -202,6 +298,27 @@ mod tests {
             .map(|c| c.value)
             .sum();
         assert_eq!(appends, expected);
+    }
+
+    #[test]
+    fn long_window_phase_tier_hits_and_counts_savings() {
+        let cfg = IngestConfig::smoke();
+        let (report, _) = run_ingest(&cfg, MetricsRegistry::new());
+        let lw = &report.longwin;
+        assert_eq!(lw.queries_run, cfg.queries as u64);
+        // Every sensor tier-hits on every tiered fleet query...
+        assert_eq!(lw.tier_hits, (cfg.queries * cfg.sensors) as u64);
+        // ...so the raw path scans at least 5x more readings for the same
+        // (exactly equal — asserted inside run_ingest) answers.
+        assert!(lw.readings_avoided > 0);
+        assert!(
+            lw.scan_reduction_x >= 5.0,
+            "tiers should avoid >=5x rescans, got {}x",
+            lw.scan_reduction_x
+        );
+        assert!(lw.raw_readings_scanned > lw.tiered_readings_scanned);
+        assert!(lw.tiered_p50_ns <= lw.tiered_p99_ns);
+        assert!(lw.raw_p50_ns <= lw.raw_p99_ns);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use oda_telemetry::bus::TelemetryBus;
 use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::reading::{Reading, ReadingBatch, Timestamp};
 use oda_telemetry::sensor::{SensorId, SensorKind, SensorRegistry, Unit};
-use oda_telemetry::store::TimeSeriesStore;
+use oda_telemetry::store::{RollupConfig, TimeSeriesStore};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -64,6 +64,10 @@ pub struct DataCenterConfig {
     pub sample_every_ticks: u64,
     /// Ring-buffer capacity per sensor in the archive store.
     pub store_capacity: usize,
+    /// Rollup-tier layout of the archive store (multi-resolution summary
+    /// buckets maintained online per sensor); [`RollupConfig::none`]
+    /// disables tiers for raw-only ablation runs.
+    pub rollups: RollupConfig,
     /// Node model parameters.
     pub node: NodeConfig,
     /// Cooling-plant parameters.
@@ -92,6 +96,7 @@ impl DataCenterConfig {
             tick_ms: 1_000,
             sample_every_ticks: 10,
             store_capacity: 100_000,
+            rollups: RollupConfig::default(),
             node: NodeConfig::default(),
             cooling: CoolingConfig::default(),
             initial_setpoint_c: 30.0,
@@ -433,10 +438,11 @@ impl DataCenter {
         let node_count = config.node_count();
         let registry = SensorRegistry::new();
         let sensors = Sensors::register(&registry, node_count, config.racks);
-        let store = Arc::new(TimeSeriesStore::with_capacity_shards_metrics(
+        let store = Arc::new(TimeSeriesStore::with_rollups(
             config.store_capacity,
             TimeSeriesStore::DEFAULT_SHARDS,
             metrics.clone(),
+            config.rollups.clone(),
         ));
         let bus = Arc::new(TelemetryBus::with_parts(registry.clone(), Some(store), metrics));
         let racks = build_racks(config.racks, config.nodes_per_rack, config.max_rack_inlet_offset_c);
@@ -1054,6 +1060,40 @@ mod tests {
         assert!(store.series_len(s.pue) > 100);
         assert!(store.series_len(s.node_power[0]) > 100);
         assert!(store.latest(s.outside_temp).is_some());
+    }
+
+    #[test]
+    fn archive_maintains_rollup_tiers_online() {
+        use oda_telemetry::query::{Aggregation, Query, QueryEngine, TimeRange};
+
+        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 11);
+        dc.run_for_hours(0.5);
+        // The default rollup layout is wired through DataCenterConfig, so the
+        // archive reports non-empty tier occupancy after half an hour.
+        let report = dc.store().health_report();
+        assert!(!report.rollups.is_empty(), "rollup occupancy missing");
+        assert!(
+            report.rollups.iter().any(|t| t.buckets > 0),
+            "no rollup buckets folded: {:?}",
+            report.rollups
+        );
+        // A long-window fleet mean over PUE is served from tiers: the planner
+        // records a hit and avoids rescanning most raw readings.
+        let engine = QueryEngine::new(dc.store());
+        let before = dc.metrics().snapshot();
+        let mean = Query::sensors(dc.sensors().pue)
+            .range(TimeRange::all())
+            .aggregate(Aggregation::Mean)
+            .run(&engine)
+            .scalar()
+            .expect("pue series is populated");
+        assert!(mean > 1.0 && mean < 2.5, "fleet pue mean {mean}");
+        let after = dc.metrics().snapshot();
+        let delta = |name: &str| {
+            after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0)
+        };
+        assert_eq!(delta("query_tier_hit_total"), 1, "long window should tier-hit");
+        assert!(delta("query_readings_avoided_total") > 0);
     }
 
     #[test]

@@ -138,6 +138,28 @@ mod tests {
     }
 
     #[test]
+    fn wide_header_escapes_sensor_names_with_commas() {
+        // A comma in a sensor name must not shift columns: the header cell
+        // goes through field() escaping exactly like long-form rows do.
+        let reg = SensorRegistry::new();
+        let odd = reg.register("/rack0/ambient,rear_c", SensorKind::Temperature, Unit::Celsius);
+        let plain = reg.register("/rack0/supply_c", SensorKind::Temperature, Unit::Celsius);
+        let store = TimeSeriesStore::with_capacity(8);
+        store.insert(odd, Reading::new(Timestamp::ZERO, 21.0));
+        store.insert(plain, Reading::new(Timestamp::ZERO, 18.5));
+        let csv = to_csv_wide(&store, &reg, &[odd, plain], TimeRange::all(), 1_000);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "timestamp_ms,\"/rack0/ambient,rear_c\",/rack0/supply_c");
+        // Both the header and the data row parse to exactly 3 columns.
+        assert_eq!(lines[1], "0,21,18.5");
+        let header_cols = lines[0].matches(',').count() - lines[0].matches(",rear").count();
+        assert_eq!(header_cols, 2, "quoted comma must not add a column");
+        // Long form stays consistent with the same escaping.
+        let long = to_csv_long(&store, &reg, &[odd], TimeRange::all());
+        assert!(long.contains("\"/rack0/ambient,rear_c\""));
+    }
+
+    #[test]
     fn range_filtering_applies() {
         let (store, reg, sensors) = setup();
         let csv = to_csv_long(

@@ -47,11 +47,33 @@ impl SensorHealth {
     }
 }
 
+/// Occupancy of one rollup tier, aggregated over all sensors.
+///
+/// `buckets`/`evicted` are sums across sensors; `capacity` is the
+/// *per-sensor* ring limit, so a store with `n` sensors saturates at
+/// `n * capacity` buckets for the tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierOccupancy {
+    /// Bucket width of the tier, milliseconds.
+    pub bucket_ms: u64,
+    /// Per-sensor bucket-ring capacity.
+    pub capacity: usize,
+    /// Buckets currently retained, summed over sensors.
+    pub buckets: u64,
+    /// Buckets evicted by ring wrap-around, summed over sensors.
+    pub evicted: u64,
+}
+
 /// Point-in-time roll-up of every sensor's ingest health.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HealthReport {
     /// Per-sensor rows, ordered by sensor index.
     pub sensors: Vec<SensorHealth>,
+    /// Rollup-tier occupancy, one row per configured tier (empty for
+    /// raw-only stores). Defaults to empty when deserialising reports
+    /// produced before tiers existed.
+    #[serde(default)]
+    pub rollups: Vec<TierOccupancy>,
 }
 
 impl HealthReport {
@@ -115,6 +137,7 @@ mod tests {
     fn totals_roll_up() {
         let rep = HealthReport {
             sensors: vec![row(0, Some(1_000)), row(1, Some(9_000))],
+            rollups: Vec::new(),
         };
         assert_eq!(rep.sensor_count(), 2);
         assert_eq!(rep.total_len(), 8);
@@ -130,9 +153,21 @@ mod tests {
         let now = Timestamp::from_millis(10_000);
         let rep = HealthReport {
             sensors: vec![row(0, Some(1_000)), row(1, Some(9_500)), row(2, None)],
+            rollups: Vec::new(),
         };
         let stale = rep.stale_sensors(now, 2_000);
         assert_eq!(stale, vec![SensorId(0), SensorId(2)]);
         assert!(rep.stale_sensors(now, 60_000).contains(&SensorId(2)), "never-seen is always stale");
+    }
+
+    #[test]
+    fn report_serialises_tier_occupancy() {
+        let full = HealthReport {
+            sensors: Vec::new(),
+            rollups: vec![TierOccupancy { bucket_ms: 10_000, capacity: 1_024, buckets: 3, evicted: 1 }],
+        };
+        let json = serde_json::to_string(&full).unwrap();
+        assert!(json.contains("\"rollups\""), "tier occupancy must be exported: {json}");
+        assert!(json.contains("\"bucket_ms\":10000"), "tier width must be exported: {json}");
     }
 }

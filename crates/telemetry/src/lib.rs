@@ -17,10 +17,12 @@
 //! 2. [`bus`] — producers publish [`reading::Reading`]s onto the
 //!    [`bus::TelemetryBus`]; consumers subscribe by name pattern.
 //! 3. [`store`] — the [`store::TimeSeriesStore`] archives readings in
-//!    per-sensor ring buffers behind sharded locks.
+//!    per-sensor ring buffers behind sharded locks, each maintaining
+//!    multi-resolution [`store::RollupConfig`] summary tiers online.
 //! 4. [`query`] — the [`query::QueryEngine`] evaluates range queries,
 //!    aggregations, downsampling and series alignment over the store,
-//!    optionally fanning out across sensors in parallel.
+//!    optionally fanning out across sensors in parallel and serving
+//!    decomposable aggregations from rollup tiers instead of raw scans.
 //! 5. [`alert`] — threshold alert rules provide the "automated alerts upon
 //!    exceeding human-defined thresholds" that the paper lists as part of
 //!    descriptive ODA.
@@ -66,7 +68,7 @@ pub mod store;
 pub mod prelude {
     pub use crate::alert::{AlertEngine, AlertEvent, AlertRule, AlertSeverity, Condition};
     pub use crate::bus::{Subscription, SubscriptionBuilder, TelemetryBus};
-    pub use crate::health::{HealthReport, SensorHealth};
+    pub use crate::health::{HealthReport, SensorHealth, TierOccupancy};
     pub use crate::metrics::{
         Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Timer,
     };
@@ -76,5 +78,5 @@ pub mod prelude {
     };
     pub use crate::reading::{Reading, Timestamp};
     pub use crate::sensor::{SensorId, SensorKind, SensorMeta, SensorRegistry, Unit};
-    pub use crate::store::TimeSeriesStore;
+    pub use crate::store::{RollupConfig, RollupTierSpec, TimeSeriesStore};
 }

@@ -26,6 +26,25 @@
 //! query records `query_total`, `query_scan_ns` and
 //! `query_readings_scanned_total` into the store's metrics registry.
 //!
+//! ## Rollup-tier planning
+//!
+//! For the decomposable aggregations (`Mean`/`Min`/`Max`/`Sum`/`Count`/
+//! `First`/`Last`) the planner consults the store's rollup tiers
+//! ([`TimeSeriesStore::tier_scan`]) instead of rescanning raw readings:
+//!
+//! * [`Query::aggregate`] — any tier may serve the aligned core of the range;
+//! * [`Query::downsample`] / [`Query::align`] — only tiers whose bucket
+//!   width **divides** the requested width are eligible (both bucket from
+//!   epoch zero, so each request bucket is a whole number of tier buckets);
+//! * the **coarsest** eligible tier wins; unaligned range edges are scanned
+//!   raw and merged, so answers are identical to a full raw scan.
+//!
+//! Rate queries ([`Query::rate`]), non-decomposable aggregations
+//! (`StdDev`/`Quantile`/`TimeWeightedMean`) and [`Query::raw_scan`] always
+//! scan raw. Planner outcomes are recorded as `query_tier_hit_total` /
+//! `query_tier_miss_total` / `query_readings_avoided_total` /
+//! `query_rollup_buckets_scanned_total`.
+//!
 //! The former method-per-shape API (`range`/`aggregate`/`downsample`/...)
 //! survives as thin deprecated delegates; new code should use the builder.
 
@@ -33,7 +52,7 @@ use crate::metrics::{Counter, Histogram};
 use crate::pattern::SensorPattern;
 use crate::reading::{Reading, Timestamp};
 use crate::sensor::{SensorId, SensorRegistry};
-use crate::store::TimeSeriesStore;
+use crate::store::{RollupBucket, TierScanResult, TimeSeriesStore};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -100,7 +119,9 @@ pub enum Aggregation {
     /// sizes dashboards use — streaming quantiles live in `oda-analytics`).
     Quantile(f64),
     /// Time-weighted mean: each value weighted by the duration until the next
-    /// sample. The natural aggregate for irregularly-sampled power/temp data.
+    /// sample; the final sample (which has no successor) is weighted by the
+    /// median inter-sample gap. The natural aggregate for
+    /// irregularly-sampled power/temp data.
     TimeWeightedMean,
 }
 
@@ -203,6 +224,7 @@ pub struct Query {
     selector: SensorSelector,
     range: TimeRange,
     rate: bool,
+    raw_only: bool,
     shape: Shape,
 }
 
@@ -214,6 +236,7 @@ impl Query {
             selector: sensors.into(),
             range: TimeRange::all(),
             rate: false,
+            raw_only: false,
             shape: Shape::Readings,
         }
     }
@@ -226,9 +249,18 @@ impl Query {
 
     /// Derives a rate series from cumulative counters before shaping: each
     /// reading becomes `(vᵢ₊₁ - vᵢ) / Δt_seconds` stamped at the later
-    /// timestamp; counter resets (negative deltas) yield no sample.
+    /// timestamp; counter resets (negative deltas) emit a rate of `0` at
+    /// the reset point, see [`rate_readings`].
     pub fn rate(mut self) -> Self {
         self.rate = true;
+        self
+    }
+
+    /// Forces a raw-readings scan even where a rollup tier could serve the
+    /// requested shape exactly — the ablation baseline for measuring what
+    /// the tiers save, also useful when debugging the planner itself.
+    pub fn raw_scan(mut self) -> Self {
+        self.raw_only = true;
         self
     }
 
@@ -262,8 +294,17 @@ impl Query {
     }
 
     /// Aligns all selected sensors onto a common `bucket_ms` grid of
-    /// per-bucket means (`NaN` where a sensor has no sample) — the standard
-    /// preprocessing step for multivariate diagnostics.
+    /// per-bucket means — the standard preprocessing step for multivariate
+    /// diagnostics.
+    ///
+    /// # NaN semantics
+    /// A cell where a sensor has no sample in that bucket is `f64::NAN`,
+    /// meaning **"no data"**, never zero. `NaN` is deliberately not
+    /// interpolated here: consumers decide how to treat gaps. Every
+    /// estimator in `oda-analytics` skips non-finite cells (pairwise for
+    /// correlation); any new consumer of [`QueryResult::aligned`] must
+    /// either filter with `f64::is_finite` or use those NaN-aware
+    /// estimators, or a single ragged sensor will poison its output.
     ///
     /// # Panics
     /// Panics if `bucket_ms == 0` or the query is already shaped.
@@ -395,7 +436,9 @@ impl QueryResult {
     }
 
     /// `(bucket_starts, matrix)` of a [`Query::align`] query, where
-    /// `matrix[s][b]` is the mean of sensor `s` in bucket `b` or `NaN`.
+    /// `matrix[s][b]` is the mean of sensor `s` in bucket `b`, or `NaN`
+    /// when that sensor has no sample there ("no data", not zero — see
+    /// [`Query::align`] for the full NaN contract).
     ///
     /// # Panics
     /// Panics if the query was not aligned.
@@ -419,13 +462,21 @@ fn shape_name(d: &ResultData) -> &'static str {
 /// Read-side engine over a [`TimeSeriesStore`].
 ///
 /// Records `query_total` / `query_scan_ns` / `query_readings_scanned_total`
-/// into the store's metrics registry for every executed [`Query`].
+/// into the store's metrics registry for every executed [`Query`], plus the
+/// rollup-planner outcome counters `query_tier_hit_total` /
+/// `query_tier_miss_total` (one per sensor scan where the planner consulted
+/// tiers), `query_readings_avoided_total` (raw readings the tiers saved) and
+/// `query_rollup_buckets_scanned_total`.
 pub struct QueryEngine<'a> {
     store: &'a TimeSeriesStore,
     registry: Option<SensorRegistry>,
     m_query_total: Counter,
     m_readings_scanned: Counter,
     m_scan_ns: Histogram,
+    m_tier_hit: Counter,
+    m_tier_miss: Counter,
+    m_readings_avoided: Counter,
+    m_rollup_buckets_scanned: Counter,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -439,6 +490,10 @@ impl<'a> QueryEngine<'a> {
             m_query_total: m.counter("query_total", &[]),
             m_readings_scanned: m.counter("query_readings_scanned_total", &[]),
             m_scan_ns: m.histogram("query_scan_ns", &[]),
+            m_tier_hit: m.counter("query_tier_hit_total", &[]),
+            m_tier_miss: m.counter("query_tier_miss_total", &[]),
+            m_readings_avoided: m.counter("query_readings_avoided_total", &[]),
+            m_rollup_buckets_scanned: m.counter("query_rollup_buckets_scanned_total", &[]),
         }
     }
 
@@ -470,37 +525,81 @@ impl<'a> QueryEngine<'a> {
         let timer = self.m_scan_ns.start_timer();
         let sensors = self.resolve(query.selector);
         let range = query.range;
-        let per_sensor: Vec<Vec<Reading>> = sensors
+        // Which store alignment (if any) lets rollup tiers serve this shape
+        // exactly: `Some(None)` = any tier width, `Some(Some(w))` = only
+        // tiers dividing `w`, `None` = the shape must scan raw.
+        let tier_align: Option<Option<u64>> = if query.rate || query.raw_only {
+            None
+        } else {
+            match query.shape {
+                Shape::Scalars(agg) if tier_serves(agg) => Some(None),
+                Shape::Buckets { bucket_ms, agg } if tier_serves(agg) => Some(Some(bucket_ms)),
+                Shape::Aligned { bucket_ms } => Some(Some(bucket_ms)),
+                _ => None,
+            }
+        };
+        let fetched: Vec<Fetched> = sensors
             .par_iter()
             .map(|&s| {
-                let readings = self.store.range(s, range.start, range.end);
-                if query.rate {
-                    rate_readings(&readings)
-                } else {
-                    readings
+                if let Some(align) = tier_align {
+                    if let TierScanResult::Hit { head, core, tail, readings_avoided, .. } =
+                        self.store.tier_scan(s, range.start, range.end, align)
+                    {
+                        return Fetched::Tier { head, core, tail, avoided: readings_avoided };
+                    }
                 }
+                let readings = self.store.range(s, range.start, range.end);
+                let scanned = readings.len() as u64;
+                let readings = if query.rate { rate_readings(&readings) } else { readings };
+                Fetched::Raw { readings, scanned }
             })
             .collect();
-        self.m_readings_scanned
-            .add(per_sensor.iter().map(|r| r.len() as u64).sum());
+        let (mut scanned, mut hits, mut misses, mut avoided, mut tier_buckets) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for f in &fetched {
+            match f {
+                Fetched::Raw { scanned: n, .. } => {
+                    scanned += n;
+                    misses += 1;
+                }
+                Fetched::Tier { head, core, tail, avoided: a } => {
+                    scanned += (head.len() + tail.len()) as u64;
+                    hits += 1;
+                    avoided += a;
+                    tier_buckets += core.len() as u64;
+                }
+            }
+        }
+        self.m_readings_scanned.add(scanned);
+        if tier_align.is_some() {
+            self.m_tier_hit.add(hits);
+            self.m_tier_miss.add(misses);
+            self.m_readings_avoided.add(avoided);
+            self.m_rollup_buckets_scanned.add(tier_buckets);
+        }
         let shape = match query.shape {
-            Shape::Readings => ResultData::Series(per_sensor),
+            Shape::Readings => ResultData::Series(
+                fetched
+                    .into_iter()
+                    .map(|f| match f {
+                        Fetched::Raw { readings, .. } => readings,
+                        // Unreachable: tier_align is None for this shape.
+                        Fetched::Tier { .. } => unreachable!("tier scan on a readings query"),
+                    })
+                    .collect(),
+            ),
             Shape::Buckets { bucket_ms, agg } => ResultData::Buckets(
-                per_sensor
+                fetched
                     .par_iter()
-                    .map(|r| bucket_readings(r, bucket_ms, agg))
+                    .map(|f| shape_buckets(f, bucket_ms, agg))
                     .collect(),
             ),
             Shape::Scalars(agg) => ResultData::Scalars(
-                per_sensor
-                    .iter()
-                    .map(|r| aggregate_readings(r, agg))
-                    .collect(),
+                fetched.iter().map(|f| shape_scalar(f, agg)).collect(),
             ),
             Shape::Aligned { bucket_ms } => {
-                let buckets: Vec<Vec<Bucket>> = per_sensor
+                let buckets: Vec<Vec<Bucket>> = fetched
                     .par_iter()
-                    .map(|r| bucket_readings(r, bucket_ms, Aggregation::Mean))
+                    .map(|f| shape_buckets(f, bucket_ms, Aggregation::Mean))
                     .collect();
                 let (grid, matrix) = align_buckets(&buckets);
                 ResultData::Aligned { grid, matrix }
@@ -583,6 +682,138 @@ impl<'a> QueryEngine<'a> {
     }
 }
 
+/// What one sensor's scan produced: a plain raw slice, or a tier hit
+/// decomposed into raw edges plus summary-bucket core.
+enum Fetched {
+    Raw {
+        readings: Vec<Reading>,
+        /// Raw readings materialised (pre-rate-derivation), for metrics.
+        scanned: u64,
+    },
+    Tier {
+        head: Vec<Reading>,
+        core: Vec<RollupBucket>,
+        tail: Vec<Reading>,
+        avoided: u64,
+    },
+}
+
+/// Whether rollup tiers can answer `agg` exactly from
+/// `count/sum/min/max/first/last` summaries.
+fn tier_serves(agg: Aggregation) -> bool {
+    matches!(
+        agg,
+        Aggregation::Mean
+            | Aggregation::Min
+            | Aggregation::Max
+            | Aggregation::Sum
+            | Aggregation::Count
+            | Aggregation::First
+            | Aggregation::Last
+    )
+}
+
+/// Buckets one sensor's fetch at `bucket_ms`. Head, core and tail occupy
+/// disjoint bucket ranges (core boundaries are `bucket_ms`-aligned), so the
+/// three pieces concatenate into one sorted bucket list.
+fn shape_buckets(f: &Fetched, bucket_ms: u64, agg: Aggregation) -> Vec<Bucket> {
+    match f {
+        Fetched::Raw { readings, .. } => bucket_readings(readings, bucket_ms, agg),
+        Fetched::Tier { head, core, tail, .. } => {
+            let mut out = bucket_readings(head, bucket_ms, agg);
+            bucket_rollups(core, bucket_ms, agg, &mut out);
+            out.extend(bucket_readings(tail, bucket_ms, agg));
+            out
+        }
+    }
+}
+
+/// Re-buckets tier summary buckets into `bucket_ms`-wide output buckets.
+/// The planner guarantees the tier width divides `bucket_ms`, so every
+/// summary bucket falls wholly inside one output bucket.
+fn bucket_rollups(core: &[RollupBucket], bucket_ms: u64, agg: Aggregation, out: &mut Vec<Bucket>) {
+    let mut i = 0usize;
+    while i < core.len() {
+        let bstart = core[i].start.bucket(bucket_ms);
+        let mut j = i;
+        while j < core.len() && core[j].start.bucket(bucket_ms) == bstart {
+            j += 1;
+        }
+        let group = &core[i..j];
+        let count: u64 = group.iter().map(|b| b.count).sum();
+        let value = match agg {
+            Aggregation::Mean => group.iter().map(|b| b.sum).sum::<f64>() / count as f64,
+            Aggregation::Min => group.iter().map(|b| b.min).fold(f64::INFINITY, f64::min),
+            Aggregation::Max => group.iter().map(|b| b.max).fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Sum => group.iter().map(|b| b.sum).sum(),
+            Aggregation::Count => count as f64,
+            Aggregation::First => group[0].first,
+            Aggregation::Last => group[group.len() - 1].last,
+            _ => unreachable!("non-decomposable aggregation on the tier path"),
+        };
+        out.push(Bucket { start: bstart, value, count: count as usize });
+        i = j;
+    }
+}
+
+/// Aggregates one sensor's fetch to a scalar.
+fn shape_scalar(f: &Fetched, agg: Aggregation) -> Option<f64> {
+    match f {
+        Fetched::Raw { readings, .. } => aggregate_readings(readings, agg),
+        Fetched::Tier { head, core, tail, .. } => combine_tier_scalar(head, core, tail, agg),
+    }
+}
+
+/// Merges raw edges and summary core into one scalar. Head precedes the
+/// core in time and the tail follows it, which settles `First`/`Last`.
+fn combine_tier_scalar(
+    head: &[Reading],
+    core: &[RollupBucket],
+    tail: &[Reading],
+    agg: Aggregation,
+) -> Option<f64> {
+    let count =
+        head.len() as u64 + core.iter().map(|b| b.count).sum::<u64>() + tail.len() as u64;
+    if count == 0 {
+        return None;
+    }
+    let sum = || {
+        head.iter().map(|r| r.value).sum::<f64>()
+            + core.iter().map(|b| b.sum).sum::<f64>()
+            + tail.iter().map(|r| r.value).sum::<f64>()
+    };
+    Some(match agg {
+        Aggregation::Mean => sum() / count as f64,
+        Aggregation::Sum => sum(),
+        Aggregation::Min => head
+            .iter()
+            .map(|r| r.value)
+            .chain(core.iter().map(|b| b.min))
+            .chain(tail.iter().map(|r| r.value))
+            .fold(f64::INFINITY, f64::min),
+        Aggregation::Max => head
+            .iter()
+            .map(|r| r.value)
+            .chain(core.iter().map(|b| b.max))
+            .chain(tail.iter().map(|r| r.value))
+            .fold(f64::NEG_INFINITY, f64::max),
+        Aggregation::Count => count as f64,
+        Aggregation::First => head
+            .first()
+            .map(|r| r.value)
+            .or_else(|| core.first().map(|b| b.first))
+            .or_else(|| tail.first().map(|r| r.value))
+            .expect("count > 0 implies a first element"),
+        Aggregation::Last => tail
+            .last()
+            .map(|r| r.value)
+            .or_else(|| core.last().map(|b| b.last))
+            .or_else(|| head.last().map(|r| r.value))
+            .expect("count > 0 implies a last element"),
+        _ => unreachable!("non-decomposable aggregation on the tier path"),
+    })
+}
+
 /// Downsamples an already-materialised chronological slice into fixed
 /// `bucket_ms`-wide buckets, omitting empty ones.
 ///
@@ -613,20 +844,32 @@ pub fn bucket_readings(readings: &[Reading], bucket_ms: u64, agg: Aggregation) -
 }
 
 /// Derives a rate series from a cumulative-counter slice: each output
-/// reading is `(vᵢ₊₁ - vᵢ) / Δt_seconds` stamped at the later timestamp;
-/// counter resets (negative deltas) yield no sample.
+/// reading is `(vᵢ₊₁ - vᵢ) / Δt_seconds` stamped at the later timestamp.
+///
+/// A negative delta means the counter reset (collector restart, RAPL
+/// wrap): the true rate over that window is unknowable, so the sample is
+/// emitted with rate `0` rather than dropped — dropping it would leave a
+/// silent gap that downstream gap detectors misread as a dead sensor.
+/// Only zero-`Δt` pairs (duplicate timestamps) yield no sample.
 pub fn rate_readings(readings: &[Reading]) -> Vec<Reading> {
     readings
         .windows(2)
         .filter_map(|w| {
             let dt = w[1].ts.millis_since(w[0].ts) as f64 / 1_000.0;
+            if dt <= 0.0 {
+                return None;
+            }
             let dv = w[1].value - w[0].value;
-            (dt > 0.0 && dv >= 0.0).then(|| Reading::new(w[1].ts, dv / dt))
+            let rate = if dv < 0.0 { 0.0 } else { dv / dt };
+            Some(Reading::new(w[1].ts, rate))
         })
         .collect()
 }
 
 /// Merges per-sensor bucket lists onto the union grid of their starts.
+///
+/// Cells where a sensor has no bucket are `f64::NAN` ("no data", not zero);
+/// see [`Query::align`] for the consumer contract.
 fn align_buckets(per_sensor: &[Vec<Bucket>]) -> (Vec<Timestamp>, Vec<Vec<f64>>) {
     let mut grid: Vec<Timestamp> = per_sensor
         .iter()
@@ -697,6 +940,24 @@ pub fn aggregate_readings(readings: &[Reading], agg: Aggregation) -> Option<f64>
                     weighted += w[0].value * dt;
                     total_w += dt;
                 }
+                // The last sample has no successor to bound its holding
+                // time. Giving it zero weight biases any window that ends
+                // on a level shift, so extrapolate: assume it holds for
+                // the median inter-sample gap (robust to one long outage
+                // mid-window).
+                let mut gaps: Vec<u64> = readings
+                    .windows(2)
+                    .map(|w| w[1].ts.millis_since(w[0].ts))
+                    .collect();
+                gaps.sort_unstable();
+                let mid = gaps.len() / 2;
+                let median_gap = if gaps.len().is_multiple_of(2) {
+                    (gaps[mid - 1] + gaps[mid]) as f64 / 2.0
+                } else {
+                    gaps[mid] as f64
+                };
+                weighted += readings.last().unwrap().value * median_gap;
+                total_w += median_gap;
                 if total_w == 0.0 {
                     readings.iter().map(|r| r.value).sum::<f64>() / n
                 } else {
@@ -762,12 +1023,25 @@ mod tests {
 
     #[test]
     fn time_weighted_mean_weights_by_holding_time() {
-        // Value 0 held for 90ms, value 10 held for 10ms (last sample has no
-        // holding time and is excluded as weight).
+        // Value 0 held for 90ms, value 10 held for 10ms; the final sample
+        // extrapolates for the median gap ((10+90)/2 = 50ms):
+        // (0*90 + 10*10 + 10*50) / (90+10+50) = 4.
         let (store, s) = store_with(&[(0, 0.0), (90, 10.0), (100, 10.0)]);
         let q = QueryEngine::new(&store);
         let twm = agg(&q, s, TimeRange::all(), Aggregation::TimeWeightedMean).unwrap();
-        assert!((twm - 1.0).abs() < 1e-12, "got {twm}");
+        assert!((twm - 4.0).abs() < 1e-12, "got {twm}");
+    }
+
+    #[test]
+    fn time_weighted_mean_counts_a_trailing_level_shift() {
+        // Regularly-sampled flat zero, then a jump on the very last sample.
+        // Pre-fix the last reading carried zero weight and the TWM was 0 —
+        // a trailing level shift was invisible.
+        let (store, s) = store_with(&[(0, 0.0), (1_000, 0.0), (2_000, 100.0)]);
+        let q = QueryEngine::new(&store);
+        let twm = agg(&q, s, TimeRange::all(), Aggregation::TimeWeightedMean).unwrap();
+        // Median gap 1000ms: (0*1000 + 0*1000 + 100*1000) / 3000.
+        assert!((twm - 100.0 / 3.0).abs() < 1e-12, "got {twm}");
     }
 
     #[test]
@@ -788,13 +1062,31 @@ mod tests {
 
     #[test]
     fn rate_derives_watts_from_joules() {
-        // 100 J at t=0s, 300 J at t=2s → 100 W; reset to 0 → skipped.
+        // 100 J at t=0s, 300 J at t=2s → 100 W; counter reset at t=3s → 0 W.
         let (store, s) = store_with(&[(0, 100.0), (2_000, 300.0), (3_000, 0.0), (4_000, 50.0)]);
         let q = QueryEngine::new(&store);
         let rates = Query::sensors(s).rate().run(&q).readings();
-        assert_eq!(rates.len(), 2);
+        assert_eq!(rates.len(), 3);
         assert!((rates[0].value - 100.0).abs() < 1e-12);
-        assert!((rates[1].value - 50.0).abs() < 1e-12);
+        assert_eq!(rates[1].value, 0.0, "counter reset must emit rate 0, not a gap");
+        assert_eq!(rates[1].ts, Timestamp::from_millis(3_000));
+        assert!((rates[2].value - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_reset_leaves_no_gap_mid_series() {
+        // A mid-series reset must keep the rate series contiguous: every
+        // consecutive input pair with Δt > 0 yields exactly one sample.
+        let series: &[(u64, f64)] =
+            &[(0, 10.0), (1_000, 20.0), (2_000, 5.0), (3_000, 15.0), (4_000, 25.0)];
+        let (store, s) = store_with(series);
+        let q = QueryEngine::new(&store);
+        let rates = Query::sensors(s).rate().run(&q).readings();
+        assert_eq!(rates.len(), series.len() - 1);
+        let ts: Vec<u64> = rates.iter().map(|r| r.ts.as_millis()).collect();
+        assert_eq!(ts, vec![1_000, 2_000, 3_000, 4_000]);
+        assert_eq!(rates[1].value, 0.0);
+        assert!((rates[2].value - 10.0).abs() < 1e-12);
     }
 
     #[test]
@@ -927,12 +1219,110 @@ mod tests {
             store.insert(s, Reading::new(Timestamp::from_millis(t), t as f64));
         }
         let q = QueryEngine::new(&store);
+        // Mean is tier-servable: all 10 readings sit in one rollup bucket,
+        // so the planner scans 0 raw readings and avoids 9.
         let _ = Query::sensors(s).aggregate(Aggregation::Mean).run(&q).scalar();
+        // A raw-readings query still scans all 10.
         let _ = Query::sensors(s).run(&q).readings();
         let snap = m.snapshot();
         assert_eq!(snap.counter("query_total"), Some(2));
-        assert_eq!(snap.counter("query_readings_scanned_total"), Some(20));
+        assert_eq!(snap.counter("query_readings_scanned_total"), Some(10));
+        assert_eq!(snap.counter("query_tier_hit_total"), Some(1));
+        assert_eq!(snap.counter("query_tier_miss_total"), Some(0));
+        assert_eq!(snap.counter("query_readings_avoided_total"), Some(9));
+        assert_eq!(snap.counter("query_rollup_buckets_scanned_total"), Some(1));
         assert_eq!(snap.histogram("query_scan_ns").unwrap().count, 2);
+    }
+
+    #[test]
+    fn raw_scan_bypasses_tiers() {
+        use crate::metrics::MetricsRegistry;
+        let m = MetricsRegistry::new();
+        let store = TimeSeriesStore::with_capacity_shards_metrics(16, 1, m.clone());
+        let s = SensorId(0);
+        for t in 0..10u64 {
+            store.insert(s, Reading::new(Timestamp::from_millis(t), t as f64));
+        }
+        let q = QueryEngine::new(&store);
+        let planned = Query::sensors(s).aggregate(Aggregation::Mean).run(&q).scalar();
+        let raw = Query::sensors(s).raw_scan().aggregate(Aggregation::Mean).run(&q).scalar();
+        assert_eq!(planned, raw, "tier answer must equal the raw rescan");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("query_tier_hit_total"), Some(1), "only the planned query hits");
+        assert_eq!(snap.counter("query_readings_scanned_total"), Some(10), "raw_scan pays full price");
+    }
+
+    #[test]
+    fn planner_answers_match_raw_for_all_decomposable_aggregations() {
+        use crate::metrics::MetricsRegistry;
+        use crate::store::{RollupConfig, RollupTierSpec};
+        let store = TimeSeriesStore::with_rollups(
+            1024,
+            1,
+            MetricsRegistry::disabled(),
+            RollupConfig {
+                tiers: vec![
+                    RollupTierSpec { bucket_ms: 1_000, capacity: 256 },
+                    RollupTierSpec { bucket_ms: 5_000, capacity: 256 },
+                ],
+            },
+        );
+        let s = SensorId(0);
+        // Dyadic values → tier partial sums are bit-exact vs a flat fold.
+        for t in 0..200u64 {
+            store.insert(s, Reading::new(Timestamp::from_millis(t * 137), (t as f64) * 0.25 - 12.0));
+        }
+        let q = QueryEngine::new(&store);
+        // Range with deliberately unaligned edges.
+        let range = TimeRange::new(Timestamp::from_millis(777), Timestamp::from_millis(24_321));
+        for agg in [
+            Aggregation::Mean,
+            Aggregation::Min,
+            Aggregation::Max,
+            Aggregation::Sum,
+            Aggregation::Count,
+            Aggregation::First,
+            Aggregation::Last,
+        ] {
+            let planned = Query::sensors(s).range(range).aggregate(agg).run(&q).scalar();
+            let raw = Query::sensors(s).range(range).raw_scan().aggregate(agg).run(&q).scalar();
+            assert_eq!(planned, raw, "scalar {agg:?} diverged");
+            let planned_b =
+                Query::sensors(s).range(range).downsample(5_000, agg).run(&q).buckets();
+            let raw_b = Query::sensors(s)
+                .range(range)
+                .raw_scan()
+                .downsample(5_000, agg)
+                .run(&q)
+                .buckets();
+            assert_eq!(planned_b, raw_b, "downsample {agg:?} diverged");
+        }
+        let planned_a = Query::sensors(s).range(range).align(5_000).run(&q).aligned();
+        let raw_a = Query::sensors(s).range(range).raw_scan().align(5_000).run(&q).aligned();
+        assert_eq!(planned_a, raw_a, "aligned matrix diverged");
+    }
+
+    #[test]
+    fn non_decomposable_aggregations_never_use_tiers() {
+        use crate::metrics::MetricsRegistry;
+        let m = MetricsRegistry::new();
+        let store = TimeSeriesStore::with_capacity_shards_metrics(64, 1, m.clone());
+        let s = SensorId(0);
+        for t in 0..20u64 {
+            store.insert(s, Reading::new(Timestamp::from_millis(t), t as f64));
+        }
+        let q = QueryEngine::new(&store);
+        for agg in [
+            Aggregation::StdDev,
+            Aggregation::Quantile(0.9),
+            Aggregation::TimeWeightedMean,
+        ] {
+            let _ = Query::sensors(s).aggregate(agg).run(&q).scalar();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("query_tier_hit_total"), Some(0));
+        assert_eq!(snap.counter("query_tier_miss_total"), Some(0), "planner not even consulted");
+        assert_eq!(snap.counter("query_readings_scanned_total"), Some(60));
     }
 
     /// The deprecated per-shape methods must stay behaviourally identical to

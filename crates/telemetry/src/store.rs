@@ -16,11 +16,31 @@
 //! The store is sharded: sensor ids map round-robin onto `N` shards, each
 //! behind its own `parking_lot::RwLock`, so concurrent collectors writing
 //! disjoint sensors rarely contend. The shard count is fixed at construction.
+//!
+//! ## Multi-resolution rollup tiers
+//!
+//! Alongside its raw ring buffer, each sensor maintains a small set of
+//! fixed-width **rollup tiers** (by default 10 s / 1 min / 10 min buckets,
+//! see [`RollupConfig`]). Every accepted reading folds into the open bucket
+//! of every tier in O(1); each tier keeps a bounded ring of buckets, so
+//! memory stays fixed. A [`RollupBucket`] stores `count/sum/min/max` plus
+//! the first/last values and timestamps of its bucket — enough to answer
+//! the decomposable aggregations (`Mean`/`Min`/`Max`/`Sum`/`Count`/
+//! `First`/`Last`) *exactly* without touching raw readings. The query
+//! planner ([`crate::query`]) consults the tiers through
+//! [`TimeSeriesStore::tier_scan`], which returns summary buckets for the
+//! aligned core of a range and raw readings for the unaligned edges — all
+//! under one shard lock, with eviction horizons respected so a tier never
+//! answers about data the raw buffer no longer retains (tier answers are
+//! therefore always identical to a raw rescan). Readings rejected at the
+//! door (non-finite, out-of-order) never reach any tier.
 
 use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::reading::{Reading, Timestamp};
 use crate::sensor::SensorId;
 use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Fixed-capacity ring buffer of readings with monotonic timestamps.
 ///
@@ -203,9 +223,244 @@ impl RingBuffer {
     }
 }
 
+/// One fixed-width summary bucket of a rollup tier.
+///
+/// The stored statistics are exactly those that compose: two adjacent
+/// buckets (or a bucket and a raw-reading edge) merge without loss for the
+/// decomposable aggregations, which is what lets the query planner answer
+/// from tiers with raw-scan-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RollupBucket {
+    /// Bucket start, aligned to the tier width.
+    pub start: Timestamp,
+    /// Raw readings folded into this bucket.
+    pub count: u64,
+    /// Sum of folded values.
+    pub sum: f64,
+    /// Minimum folded value.
+    pub min: f64,
+    /// Maximum folded value.
+    pub max: f64,
+    /// Chronologically first folded value.
+    pub first: f64,
+    /// Chronologically last folded value.
+    pub last: f64,
+    /// Timestamp of the first folded reading.
+    pub first_ts: Timestamp,
+    /// Timestamp of the last folded reading.
+    pub last_ts: Timestamp,
+}
+
+impl RollupBucket {
+    fn open(start: Timestamp, r: Reading) -> Self {
+        RollupBucket {
+            start,
+            count: 1,
+            sum: r.value,
+            min: r.value,
+            max: r.value,
+            first: r.value,
+            last: r.value,
+            first_ts: r.ts,
+            last_ts: r.ts,
+        }
+    }
+
+    #[inline]
+    fn fold(&mut self, r: Reading) {
+        self.count += 1;
+        self.sum += r.value;
+        self.min = self.min.min(r.value);
+        self.max = self.max.max(r.value);
+        self.last = r.value;
+        self.last_ts = r.ts;
+    }
+}
+
+/// Width and retention of one rollup tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RollupTierSpec {
+    /// Bucket width, milliseconds.
+    pub bucket_ms: u64,
+    /// Maximum buckets retained per sensor (ring; oldest evicted first).
+    pub capacity: usize,
+}
+
+/// Rollup-tier layout of a store: zero or more strictly-widening tiers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RollupConfig {
+    /// Tier specs, strictly increasing in `bucket_ms`.
+    pub tiers: Vec<RollupTierSpec>,
+}
+
+impl Default for RollupConfig {
+    /// 10 s / 1 min / 10 min tiers of 1024 buckets each (≈ 2.8 h / 17 h /
+    /// 7 days of summary per sensor, ~90 KiB per sensor total).
+    fn default() -> Self {
+        RollupConfig {
+            tiers: [10_000, 60_000, 600_000]
+                .into_iter()
+                .map(|bucket_ms| RollupTierSpec { bucket_ms, capacity: 1_024 })
+                .collect(),
+        }
+    }
+}
+
+impl RollupConfig {
+    /// No tiers at all: every query falls back to raw scans (the ablation
+    /// baseline).
+    pub fn none() -> Self {
+        RollupConfig { tiers: Vec::new() }
+    }
+
+    fn validate(&self) {
+        for (i, t) in self.tiers.iter().enumerate() {
+            assert!(t.bucket_ms > 0, "rollup tier width must be positive");
+            assert!(t.capacity > 0, "rollup tier capacity must be positive");
+            if i > 0 {
+                assert!(
+                    t.bucket_ms > self.tiers[i - 1].bucket_ms,
+                    "rollup tiers must strictly widen (got {} ms after {} ms)",
+                    t.bucket_ms,
+                    self.tiers[i - 1].bucket_ms
+                );
+            }
+        }
+    }
+}
+
+/// One sensor's ring of summary buckets at a fixed width.
+///
+/// Public so rollup maintenance can be tested directly against a tier
+/// without a full store, mirroring [`RingBuffer`].
+#[derive(Debug, Clone)]
+pub struct RollupTier {
+    bucket_ms: u64,
+    capacity: usize,
+    buckets: VecDeque<RollupBucket>,
+    evicted: u64,
+}
+
+impl RollupTier {
+    /// Creates an empty tier from its spec.
+    pub fn new(spec: RollupTierSpec) -> Self {
+        RollupTier {
+            bucket_ms: spec.bucket_ms,
+            capacity: spec.capacity,
+            buckets: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Bucket width, milliseconds.
+    #[inline]
+    pub fn bucket_ms(&self) -> u64 {
+        self.bucket_ms
+    }
+
+    /// Buckets currently retained.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `true` when no bucket has been opened yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Buckets evicted by ring wrap-around since creation.
+    #[inline]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Start of the oldest retained bucket.
+    #[inline]
+    pub fn oldest_start(&self) -> Option<Timestamp> {
+        self.buckets.front().map(|b| b.start)
+    }
+
+    /// Folds one *accepted* reading into the tier. Callers must uphold the
+    /// ring-buffer invariant (non-decreasing timestamps, finite values); the
+    /// store only calls this after [`RingBuffer::push`] succeeds.
+    pub fn observe(&mut self, r: Reading) {
+        let start = r.ts.bucket(self.bucket_ms);
+        if let Some(open) = self.buckets.back_mut() {
+            if open.start == start {
+                open.fold(r);
+                return;
+            }
+            debug_assert!(start > open.start, "tier timestamps must be monotone");
+        }
+        self.buckets.push_back(RollupBucket::open(start, r));
+        if self.buckets.len() > self.capacity {
+            self.buckets.pop_front();
+            self.evicted += 1;
+        }
+    }
+
+    /// Copies the buckets with `start <= bucket.start < end` into `out`.
+    pub fn range_into(&self, start: Timestamp, end: Timestamp, out: &mut Vec<RollupBucket>) {
+        let lo = self.buckets.partition_point(|b| b.start < start);
+        let hi = self.buckets.partition_point(|b| b.start < end);
+        out.extend(self.buckets.iter().skip(lo).take(hi - lo));
+    }
+}
+
+/// One sensor's archive: the raw ring plus its rollup tiers.
+#[derive(Debug, Clone)]
+struct SensorSeries {
+    raw: RingBuffer,
+    tiers: Vec<RollupTier>,
+}
+
+impl SensorSeries {
+    fn new(capacity: usize, rollups: &RollupConfig) -> Self {
+        SensorSeries {
+            raw: RingBuffer::new(capacity),
+            tiers: rollups.tiers.iter().map(|&s| RollupTier::new(s)).collect(),
+        }
+    }
+
+    /// Pushes into the raw ring and, only on acceptance, into every tier —
+    /// rejected readings (non-finite, out-of-order) never pollute rollups.
+    fn push(&mut self, r: Reading) -> bool {
+        if !self.raw.push(r) {
+            return false;
+        }
+        for tier in &mut self.tiers {
+            tier.observe(r);
+        }
+        true
+    }
+}
+
+/// Result of a planner-assisted tier read ([`TimeSeriesStore::tier_scan`]).
+#[derive(Debug, Clone)]
+pub enum TierScanResult {
+    /// No tier could serve any part of the range exactly; scan raw.
+    Miss,
+    /// The range decomposes into raw edges plus a tier-served core.
+    Hit {
+        /// Raw readings in `[start, core_start)`.
+        head: Vec<Reading>,
+        /// Summary buckets covering `[core_start, core_end)`, chronological.
+        core: Vec<RollupBucket>,
+        /// Raw readings in `[core_end, end)`.
+        tail: Vec<Reading>,
+        /// Width of the serving tier, milliseconds.
+        tier_ms: u64,
+        /// Raw readings the core summarises minus the buckets returned —
+        /// the scan work the tier saved.
+        readings_avoided: u64,
+    },
+}
+
 struct Shard {
     /// Indexed by `sensor.index() / num_shards`.
-    series: Vec<Option<RingBuffer>>,
+    series: Vec<Option<SensorSeries>>,
 }
 
 /// Per-shard write-path instruments, created once at store construction so
@@ -238,6 +493,7 @@ pub struct TimeSeriesStore {
     shard_metrics: Vec<ShardMetrics>,
     metrics: MetricsRegistry,
     per_sensor_capacity: usize,
+    rollups: RollupConfig,
 }
 
 impl TimeSeriesStore {
@@ -266,8 +522,25 @@ impl TimeSeriesStore {
         shards: usize,
         metrics: MetricsRegistry,
     ) -> Self {
+        Self::with_rollups(per_sensor_capacity, shards, metrics, RollupConfig::default())
+    }
+
+    /// Creates a store with an explicit rollup-tier layout. Pass
+    /// [`RollupConfig::none`] for a raw-only store (the ablation baseline);
+    /// the other constructors use [`RollupConfig::default`].
+    ///
+    /// # Panics
+    /// Panics if `per_sensor_capacity == 0`, `shards == 0`, or `rollups`
+    /// has a non-widening or zero-width/zero-capacity tier.
+    pub fn with_rollups(
+        per_sensor_capacity: usize,
+        shards: usize,
+        metrics: MetricsRegistry,
+        rollups: RollupConfig,
+    ) -> Self {
         assert!(per_sensor_capacity > 0, "per-sensor capacity must be positive");
         assert!(shards > 0, "shard count must be positive");
+        rollups.validate();
         TimeSeriesStore {
             shards: (0..shards)
                 .map(|_| RwLock::new(Shard { series: Vec::new() }))
@@ -275,7 +548,13 @@ impl TimeSeriesStore {
             shard_metrics: (0..shards).map(|i| ShardMetrics::new(&metrics, i)).collect(),
             metrics,
             per_sensor_capacity,
+            rollups,
         }
+    }
+
+    /// The rollup-tier layout every sensor in this store maintains.
+    pub fn rollup_config(&self) -> &RollupConfig {
+        &self.rollups
     }
 
     /// The registry this store's write-path instruments record into.
@@ -310,9 +589,12 @@ impl TimeSeriesStore {
         if shard.series.len() <= slot {
             shard.series.resize_with(slot + 1, || None);
         }
-        let buf = shard.series[slot].get_or_insert_with(|| RingBuffer::new(self.per_sensor_capacity));
+        let series = shard.series[slot]
+            .get_or_insert_with(|| SensorSeries::new(self.per_sensor_capacity, &self.rollups));
+        let buf = &series.raw;
         let (ooo0, nf0, ev0) = (buf.rejected_out_of_order(), buf.rejected_non_finite(), buf.evicted());
-        let accepted = readings.iter().filter(|r| buf.push(**r)).count();
+        let accepted = readings.iter().filter(|r| series.push(**r)).count();
+        let buf = &series.raw;
         m.appends.add(accepted as u64);
         m.rejects_out_of_order.add(buf.rejected_out_of_order() - ooo0);
         m.rejects_non_finite.add(buf.rejected_non_finite() - nf0);
@@ -339,16 +621,117 @@ impl TimeSeriesStore {
     ) {
         let (s, slot) = self.locate(sensor);
         let shard = self.shards[s].read();
-        if let Some(Some(buf)) = shard.series.get(slot) {
-            buf.range_into(start, end, out);
+        if let Some(Some(series)) = shard.series.get(slot) {
+            series.raw.range_into(start, end, out);
         }
+    }
+
+    /// Plans a tier-assisted read of `[start, end)` for `sensor`.
+    ///
+    /// `align_ms` is the caller's bucketing requirement: for downsample /
+    /// align shapes it is the requested bucket width (only tiers whose
+    /// width **divides** it can serve, since both bucket from epoch zero);
+    /// for whole-range scalar aggregations pass `None` and any tier may
+    /// serve with its own width.
+    ///
+    /// Picks the **coarsest** eligible tier and decomposes the range into a
+    /// raw `head` edge, a tier-served aligned `core`, and a raw `tail` edge
+    /// — all captured under one shard read-lock, so the three pieces are a
+    /// consistent snapshot. Correctness constraints (either failing → the
+    /// core shrinks or the scan degrades to [`TierScanResult::Miss`]):
+    ///
+    /// * **eviction horizon** — if the raw ring has evicted, the core may
+    ///   only start after the oldest retained raw reading, so edges can
+    ///   always be re-read from raw and answers equal a raw rescan;
+    /// * **tier floor** — if the tier ring has evicted buckets, the core may
+    ///   only start at the oldest retained bucket.
+    ///
+    /// Returns `Miss` when no tier is eligible, the core would be empty, or
+    /// the tier saves nothing (`readings_avoided == 0`), in which case the
+    /// caller should raw-scan.
+    pub fn tier_scan(
+        &self,
+        sensor: SensorId,
+        start: Timestamp,
+        end: Timestamp,
+        align_ms: Option<u64>,
+    ) -> TierScanResult {
+        if start >= end {
+            return TierScanResult::Miss;
+        }
+        let (s, slot) = self.locate(sensor);
+        let shard = self.shards[s].read();
+        let Some(Some(series)) = shard.series.get(slot) else {
+            return TierScanResult::Miss;
+        };
+        // Coarsest tier first: widest buckets summarise the most readings.
+        for tier in series.tiers.iter().rev() {
+            let tier_ms = tier.bucket_ms();
+            if let Some(req) = align_ms {
+                if req == 0 || req % tier_ms != 0 {
+                    continue;
+                }
+            }
+            if tier.is_empty() {
+                continue;
+            }
+            // Core boundaries must land on the *request* alignment (the
+            // caller's bucket width, or the tier's own for scalar reads) so
+            // the caller's buckets are each served wholly by tiers or
+            // wholly by raw edges — never split.
+            let align = align_ms.unwrap_or(tier_ms);
+            let Some(mut core_start) = start.as_millis().checked_next_multiple_of(align) else {
+                continue;
+            };
+            let core_end = (end.as_millis() / align) * align;
+            // Eviction horizon: the head edge must be fully present in raw.
+            if let (true, Some(oldest)) = (series.raw.evicted() > 0, series.raw.oldest()) {
+                let Some(horizon) = oldest
+                    .ts
+                    .as_millis()
+                    .checked_add(1)
+                    .and_then(|t| t.checked_next_multiple_of(align))
+                else {
+                    continue;
+                };
+                core_start = core_start.max(horizon);
+            }
+            // Tier floor: only retained buckets can serve the core.
+            if let (true, Some(floor)) = (tier.evicted() > 0, tier.oldest_start()) {
+                let Some(floor) = floor.as_millis().checked_next_multiple_of(align) else {
+                    continue;
+                };
+                core_start = core_start.max(floor);
+            }
+            if core_start >= core_end {
+                continue;
+            }
+            let core_start = Timestamp::from_millis(core_start);
+            let core_end = Timestamp::from_millis(core_end);
+            let mut core = Vec::new();
+            tier.range_into(core_start, core_end, &mut core);
+            let readings_avoided = core
+                .iter()
+                .map(|b| b.count)
+                .sum::<u64>()
+                .saturating_sub(core.len() as u64);
+            if readings_avoided == 0 {
+                continue;
+            }
+            let mut head = Vec::new();
+            series.raw.range_into(start, core_start, &mut head);
+            let mut tail = Vec::new();
+            series.raw.range_into(core_end, end, &mut tail);
+            return TierScanResult::Hit { head, core, tail, tier_ms, readings_avoided };
+        }
+        TierScanResult::Miss
     }
 
     /// The newest reading for `sensor`, if any.
     pub fn latest(&self, sensor: SensorId) -> Option<Reading> {
         let (s, slot) = self.locate(sensor);
         let shard = self.shards[s].read();
-        shard.series.get(slot).and_then(|b| b.as_ref()).and_then(|b| b.newest())
+        shard.series.get(slot).and_then(|b| b.as_ref()).and_then(|b| b.raw.newest())
     }
 
     /// The most recent `n` readings for `sensor`, oldest-first.
@@ -359,7 +742,7 @@ impl TimeSeriesStore {
             .series
             .get(slot)
             .and_then(|b| b.as_ref())
-            .map(|b| b.last_n(n))
+            .map(|b| b.raw.last_n(n))
             .unwrap_or_default()
     }
 
@@ -371,7 +754,7 @@ impl TimeSeriesStore {
             .series
             .get(slot)
             .and_then(|b| b.as_ref())
-            .map(|b| b.len())
+            .map(|b| b.raw.len())
             .unwrap_or(0)
     }
 
@@ -384,25 +767,41 @@ impl TimeSeriesStore {
             .series
             .get(slot)
             .and_then(|b| b.as_ref())
-            .map(|b| Self::health_row(sensor, b))
+            .map(|b| Self::health_row(sensor, &b.raw))
     }
 
     /// Point-in-time health roll-up across every sensor that has reached
-    /// the store, ordered by sensor index.
+    /// the store, ordered by sensor index. Includes per-tier rollup
+    /// occupancy aggregated over all sensors.
     pub fn health_report(&self) -> crate::health::HealthReport {
         let n = self.shards.len();
         let mut sensors = Vec::new();
+        let mut rollups: Vec<crate::health::TierOccupancy> = self
+            .rollups
+            .tiers
+            .iter()
+            .map(|t| crate::health::TierOccupancy {
+                bucket_ms: t.bucket_ms,
+                capacity: t.capacity,
+                buckets: 0,
+                evicted: 0,
+            })
+            .collect();
         for (shard_idx, shard) in self.shards.iter().enumerate() {
             let shard = shard.read();
-            for (slot, buf) in shard.series.iter().enumerate() {
-                if let Some(buf) = buf {
+            for (slot, series) in shard.series.iter().enumerate() {
+                if let Some(series) = series {
                     let sensor = SensorId((slot * n + shard_idx) as u32);
-                    sensors.push(Self::health_row(sensor, buf));
+                    sensors.push(Self::health_row(sensor, &series.raw));
+                    for (occ, tier) in rollups.iter_mut().zip(&series.tiers) {
+                        occ.buckets += tier.len() as u64;
+                        occ.evicted += tier.evicted();
+                    }
                 }
             }
         }
         sensors.sort_by_key(|h| h.sensor.index());
-        crate::health::HealthReport { sensors }
+        crate::health::HealthReport { sensors, rollups }
     }
 
     fn health_row(sensor: SensorId, buf: &RingBuffer) -> crate::health::SensorHealth {
@@ -426,7 +825,7 @@ impl TimeSeriesStore {
                     .series
                     .iter()
                     .flatten()
-                    .map(|b| b.len())
+                    .map(|b| b.raw.len())
                     .sum::<usize>()
             })
             .sum()
@@ -653,5 +1052,226 @@ mod tests {
         for w in 0..8u32 {
             assert_eq!(store.series_len(SensorId(w)), 1000);
         }
+    }
+
+    #[test]
+    fn rollup_tier_folds_and_wraps() {
+        let mut t = RollupTier::new(RollupTierSpec { bucket_ms: 1_000, capacity: 2 });
+        t.observe(r(100, 1.0));
+        t.observe(r(900, 3.0));
+        assert_eq!(t.len(), 1);
+        let mut out = Vec::new();
+        t.range_into(Timestamp::ZERO, Timestamp::MAX, &mut out);
+        let b = out[0];
+        assert_eq!(b.start, Timestamp::ZERO);
+        assert_eq!(b.count, 2);
+        assert_eq!(b.sum, 4.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 3.0);
+        assert_eq!(b.first, 1.0);
+        assert_eq!(b.last, 3.0);
+        assert_eq!(b.first_ts, Timestamp::from_millis(100));
+        assert_eq!(b.last_ts, Timestamp::from_millis(900));
+        // Third bucket evicts the first (capacity 2).
+        t.observe(r(1_500, 5.0));
+        t.observe(r(2_500, 7.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted(), 1);
+        assert_eq!(t.oldest_start(), Some(Timestamp::from_millis(1_000)));
+    }
+
+    #[test]
+    fn rejected_readings_do_not_pollute_rollups() {
+        let store = TimeSeriesStore::with_rollups(
+            16,
+            1,
+            MetricsRegistry::disabled(),
+            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 8 }] },
+        );
+        let s = SensorId(0);
+        store.insert(s, r(100, 1.0));
+        store.insert(s, r(200, f64::NAN)); // rejected: non-finite
+        store.insert(s, r(300, 2.0));
+        store.insert(s, r(50, 99.0)); // rejected: out of order
+        match store.tier_scan(s, Timestamp::ZERO, Timestamp::from_millis(1_000), None) {
+            TierScanResult::Hit { core, .. } => {
+                assert_eq!(core.len(), 1);
+                assert_eq!(core[0].count, 2, "rejected readings must not be folded");
+                assert_eq!(core[0].sum, 3.0);
+            }
+            TierScanResult::Miss => panic!("expected a tier hit"),
+        }
+    }
+
+    #[test]
+    fn tier_scan_decomposes_into_head_core_tail() {
+        let store = TimeSeriesStore::with_rollups(
+            64,
+            1,
+            MetricsRegistry::disabled(),
+            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 64 }] },
+        );
+        let s = SensorId(0);
+        for t in 0..40u64 {
+            store.insert(s, r(t * 100, t as f64)); // 10 readings per bucket
+        }
+        // [250, 3_250): head = [250,1_000), core = [1_000,3_000), tail = [3_000,3_250)
+        match store.tier_scan(s, Timestamp::from_millis(250), Timestamp::from_millis(3_250), None) {
+            TierScanResult::Hit { head, core, tail, tier_ms, readings_avoided } => {
+                assert_eq!(tier_ms, 1_000);
+                assert_eq!(head.iter().map(|x| x.value).collect::<Vec<_>>(), vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+                assert_eq!(core.len(), 2);
+                assert_eq!(core[0].start, Timestamp::from_millis(1_000));
+                assert_eq!(core[0].count, 10);
+                assert_eq!(core[1].start, Timestamp::from_millis(2_000));
+                assert_eq!(tail.iter().map(|x| x.value).collect::<Vec<_>>(), vec![30.0, 31.0, 32.0]);
+                assert_eq!(readings_avoided, 18);
+            }
+            TierScanResult::Miss => panic!("expected a tier hit"),
+        }
+    }
+
+    #[test]
+    fn tier_scan_honours_alignment_divisibility() {
+        let store = TimeSeriesStore::with_rollups(
+            64,
+            1,
+            MetricsRegistry::disabled(),
+            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 64 }] },
+        );
+        let s = SensorId(0);
+        for t in 0..30u64 {
+            store.insert(s, r(t * 100, t as f64));
+        }
+        // 2_000 is a multiple of the 1_000 ms tier → eligible.
+        assert!(matches!(
+            store.tier_scan(s, Timestamp::ZERO, Timestamp::from_millis(3_000), Some(2_000)),
+            TierScanResult::Hit { .. }
+        ));
+        // 1_500 is not → must miss.
+        assert!(matches!(
+            store.tier_scan(s, Timestamp::ZERO, Timestamp::from_millis(3_000), Some(1_500)),
+            TierScanResult::Miss
+        ));
+    }
+
+    #[test]
+    fn tier_scan_respects_raw_eviction_horizon() {
+        // Raw retains only the last 12 readings; tiers remember everything.
+        let store = TimeSeriesStore::with_rollups(
+            12,
+            1,
+            MetricsRegistry::disabled(),
+            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 64 }] },
+        );
+        let s = SensorId(0);
+        for t in 0..40u64 {
+            store.insert(s, r(t * 100, t as f64));
+        }
+        // Raw now holds ts 2_800..=3_900; bucket 3_000 is the only one whose
+        // readings are all still retained.
+        let oldest = store.range(s, Timestamp::ZERO, Timestamp::MAX)[0].ts;
+        assert_eq!(oldest, Timestamp::from_millis(2_800));
+        match store.tier_scan(s, Timestamp::ZERO, Timestamp::from_millis(4_000), None) {
+            TierScanResult::Hit { head, core, tail, .. } => {
+                for b in &core {
+                    assert!(
+                        b.start > oldest,
+                        "core bucket at {:?} reaches behind the raw eviction horizon",
+                        b.start
+                    );
+                }
+                assert_eq!(core.len(), 1);
+                assert_eq!(core[0].start, Timestamp::from_millis(3_000));
+                // Everything served must re-compose to exactly the raw scan.
+                let raw = store.range(s, Timestamp::ZERO, Timestamp::from_millis(4_000));
+                let served =
+                    head.len() as u64 + core.iter().map(|b| b.count).sum::<u64>() + tail.len() as u64;
+                assert_eq!(served, raw.len() as u64);
+                assert_eq!(head.iter().map(|x| x.value).collect::<Vec<_>>(), vec![28.0, 29.0]);
+            }
+            TierScanResult::Miss => panic!("expected a hit for the fully-retained trailing bucket"),
+        }
+
+        // A range whose only complete buckets reach behind the horizon must
+        // miss rather than answer from summarised-but-evicted data.
+        assert!(matches!(
+            store.tier_scan(s, Timestamp::ZERO, Timestamp::from_millis(2_000), None),
+            TierScanResult::Miss
+        ));
+    }
+
+    #[test]
+    fn tier_scan_misses_without_tiers_or_savings() {
+        let store = TimeSeriesStore::with_rollups(
+            16,
+            1,
+            MetricsRegistry::disabled(),
+            RollupConfig::none(),
+        );
+        let s = SensorId(0);
+        store.insert(s, r(0, 1.0));
+        assert!(matches!(
+            store.tier_scan(s, Timestamp::ZERO, Timestamp::MAX, None),
+            TierScanResult::Miss
+        ));
+
+        // One reading per bucket → zero savings → miss.
+        let sparse = TimeSeriesStore::with_rollups(
+            16,
+            1,
+            MetricsRegistry::disabled(),
+            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 8 }] },
+        );
+        sparse.insert(s, r(500, 1.0));
+        sparse.insert(s, r(1_500, 2.0));
+        assert!(matches!(
+            sparse.tier_scan(s, Timestamp::ZERO, Timestamp::from_millis(2_000), None),
+            TierScanResult::Miss
+        ));
+    }
+
+    #[test]
+    fn health_report_surfaces_tier_occupancy() {
+        let store = TimeSeriesStore::with_rollups(
+            64,
+            2,
+            MetricsRegistry::disabled(),
+            RollupConfig {
+                tiers: vec![
+                    RollupTierSpec { bucket_ms: 1_000, capacity: 2 },
+                    RollupTierSpec { bucket_ms: 10_000, capacity: 8 },
+                ],
+            },
+        );
+        for sensor in 0..2u32 {
+            for t in 0..40u64 {
+                store.insert(SensorId(sensor), r(t * 100, t as f64)); // 4 buckets @1s
+            }
+        }
+        let rep = store.health_report();
+        assert_eq!(rep.rollups.len(), 2);
+        assert_eq!(rep.rollups[0].bucket_ms, 1_000);
+        assert_eq!(rep.rollups[0].capacity, 2);
+        assert_eq!(rep.rollups[0].buckets, 4, "2 sensors × 2 retained buckets");
+        assert_eq!(rep.rollups[0].evicted, 4, "2 sensors × 2 evicted buckets");
+        assert_eq!(rep.rollups[1].buckets, 2, "2 sensors × 1 wide bucket");
+        assert_eq!(rep.rollups[1].evicted, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly widen")]
+    fn rollup_config_rejects_non_widening_tiers() {
+        let _ = TimeSeriesStore::with_rollups(
+            4,
+            1,
+            MetricsRegistry::disabled(),
+            RollupConfig {
+                tiers: vec![
+                    RollupTierSpec { bucket_ms: 1_000, capacity: 4 },
+                    RollupTierSpec { bucket_ms: 1_000, capacity: 4 },
+                ],
+            },
+        );
     }
 }

@@ -78,6 +78,13 @@ fn runtime_pass_emits_expected_spans_and_counters() {
     assert!(appended > 0, "store write path must be instrumented");
     assert!(snap.counter("query_total").unwrap_or(0) > 0);
     assert!(snap.counter("query_readings_scanned_total").unwrap_or(0) > 0);
+    // The rollup-tier planner counters are registered on the same read
+    // path, so a pass leaves them present (tier-eligible queries resolve
+    // each to exactly one hit or miss).
+    let hits = snap.counter("query_tier_hit_total");
+    let misses = snap.counter("query_tier_miss_total");
+    assert!(hits.is_some() && misses.is_some(), "planner counters missing");
+    assert!(snap.counter("query_readings_avoided_total").is_some());
 }
 
 #[test]

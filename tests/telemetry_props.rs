@@ -107,7 +107,11 @@ proptest! {
         let mean = agg(Aggregation::Mean);
         let min = agg(Aggregation::Min);
         let max = agg(Aggregation::Max);
-        prop_assert!(min <= mean + 1e-9 && mean <= max + 1e-9);
+        // The mean may be served from rollup tiers, whose per-bucket partial
+        // sums associate differently than a flat fold — allow the usual
+        // n·ε relative slack on top of the absolute epsilon.
+        let slack = 1e-9 + min.abs().max(max.abs()) * 1e-12;
+        prop_assert!(min <= mean + slack && mean <= max + slack);
         prop_assert_eq!(agg(Aggregation::Count) as usize, series.len());
         let q25 = agg(Aggregation::Quantile(0.25));
         let q75 = agg(Aggregation::Quantile(0.75));
@@ -239,6 +243,74 @@ proptest! {
         prop_assert_eq!(bus.published(), publishes as u64);
     }
 
+    /// Rollup-tier answers are *exactly* the raw-scan answers — scalar and
+    /// downsampled, for every decomposable aggregation — under hostile
+    /// input: out-of-order rejects, NaN bursts, raw-ring eviction and
+    /// tier-ring eviction all active at once. Values are dyadic (multiples
+    /// of 0.25, bounded magnitude) so tier partial sums are bit-exact and
+    /// `prop_assert_eq!` needs no tolerance.
+    #[test]
+    fn rollup_tier_answers_match_raw_scan(
+        raw in prop::collection::vec((0u64..50_000, -4000i32..4000, 0u8..10), 1..300),
+        raw_cap in 4usize..64,
+        tier_cap in 2usize..32,
+    ) {
+        use hpc_oda::telemetry::metrics::MetricsRegistry;
+        use hpc_oda::telemetry::store::{RollupConfig, RollupTierSpec};
+
+        let rollups = RollupConfig {
+            tiers: vec![
+                RollupTierSpec { bucket_ms: 1_000, capacity: tier_cap },
+                RollupTierSpec { bucket_ms: 5_000, capacity: tier_cap },
+            ],
+        };
+        let store =
+            TimeSeriesStore::with_rollups(raw_cap, 1, MetricsRegistry::disabled(), rollups);
+        let s = SensorId(0);
+        for (ts, v, sel) in raw {
+            // ~10% NaN bursts: rejected readings must leave no trace in any
+            // tier, or the planner would answer from poisoned summaries.
+            let value = if sel == 0 { f64::NAN } else { v as f64 * 0.25 };
+            store.insert(s, Reading::new(Timestamp::from_millis(ts), value));
+        }
+        let q = QueryEngine::new(&store);
+        let all = TimeRange::all();
+        for agg in [
+            Aggregation::Mean,
+            Aggregation::Min,
+            Aggregation::Max,
+            Aggregation::Sum,
+            Aggregation::Count,
+        ] {
+            let planned =
+                Query::sensors(s).range(all).aggregate(agg).run(&q).scalar();
+            let rescan = Query::sensors(s)
+                .range(all)
+                .aggregate(agg)
+                .raw_scan()
+                .run(&q)
+                .scalar();
+            prop_assert_eq!(planned, rescan, "scalar {:?} diverged", agg);
+            for bucket_ms in [1_000u64, 5_000, 10_000] {
+                let planned = Query::sensors(s)
+                    .range(all)
+                    .downsample(bucket_ms, agg)
+                    .run(&q)
+                    .buckets();
+                let rescan = Query::sensors(s)
+                    .range(all)
+                    .downsample(bucket_ms, agg)
+                    .raw_scan()
+                    .run(&q)
+                    .buckets();
+                prop_assert_eq!(
+                    &planned, &rescan,
+                    "downsample({}) {:?} diverged", bucket_ms, agg
+                );
+            }
+        }
+    }
+
     /// `aggregate_readings` agrees between the slice helper and the engine.
     #[test]
     fn engine_and_slice_aggregation_agree(series in arb_series(80)) {
@@ -250,10 +322,62 @@ proptest! {
         }
         let q = QueryEngine::new(&store);
         let fetched = Query::sensors(s).run(&q).readings();
+        // Engine aggregation may go through rollup tiers, so Sum/Mean can
+        // differ from the flat slice fold by summation-order rounding:
+        // bounded by n·ε·Σ|v|.
+        let scale: f64 = fetched.iter().map(|r| r.value.abs()).sum();
+        let tol = 1e-9 + scale * fetched.len() as f64 * f64::EPSILON;
         for agg in [Aggregation::Mean, Aggregation::Sum, Aggregation::StdDev] {
             let a = Query::sensors(s).aggregate(agg).run(&q).scalar().unwrap();
             let b = aggregate_readings(&fetched, agg).unwrap();
-            prop_assert!((a - b).abs() < 1e-9);
+            prop_assert!((a - b).abs() < tol, "{agg:?}: {a} vs {b}");
         }
     }
+}
+
+/// A ragged two-sensor alignment leaves NaN holes where one sensor has no
+/// data in a bucket; those holes must not poison downstream correlation.
+/// The NaN-aware estimators in `analytics` give exactly the answer you get
+/// by compacting to the overlapping buckets first.
+#[test]
+fn ragged_alignment_does_not_poison_downstream_correlation() {
+    use hpc_oda::analytics::descriptive::stats::{correlation, spearman};
+
+    let store = TimeSeriesStore::with_capacity(256);
+    let (a, b) = (SensorId(0), SensorId(1));
+    // Sensor a samples every second for 20 s; sensor b only every other
+    // second and only from t=4 s, so the aligned matrix is ragged: b's row
+    // is NaN for half its buckets.
+    for t in 0..20u64 {
+        store.insert(a, Reading::new(Timestamp::from_millis(t * 1_000), t as f64));
+        if t >= 4 && t % 2 == 0 {
+            store.insert(b, Reading::new(Timestamp::from_millis(t * 1_000), 3.0 * t as f64 + 1.0));
+        }
+    }
+    let q = QueryEngine::new(&store);
+    let (grid, matrix) = Query::sensors([a, b].as_slice())
+        .range(TimeRange::all())
+        .align(1_000)
+        .run(&q)
+        .aligned();
+    assert_eq!(grid.len(), 20);
+    assert!(matrix[0].iter().all(|v| v.is_finite()), "dense sensor has no holes");
+    assert!(matrix[1].iter().any(|v| v.is_nan()), "ragged sensor must have holes");
+
+    let pearson = correlation(&matrix[0], &matrix[1]).expect("NaN-aware pearson");
+    let rho = spearman(&matrix[0], &matrix[1]).expect("NaN-aware spearman");
+    assert!(pearson.is_finite() && rho.is_finite(), "holes poisoned the estimators");
+    // b is a perfect affine, monotone function of a on the overlap.
+    assert!((pearson - 1.0).abs() < 1e-12, "pearson {pearson}");
+    assert!((rho - 1.0).abs() < 1e-12, "spearman {rho}");
+    // Same answer as compacting to overlapping buckets by hand.
+    let (xs, ys): (Vec<f64>, Vec<f64>) = matrix[0]
+        .iter()
+        .zip(&matrix[1])
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    assert_eq!(xs.len(), 8, "overlap is the 8 even seconds in 4..=18");
+    assert_eq!(correlation(&matrix[0], &matrix[1]), correlation(&xs, &ys));
+    assert_eq!(spearman(&matrix[0], &matrix[1]), spearman(&xs, &ys));
 }
