@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Local CI gate: everything a PR must pass, in the order fastest-feedback
-# first. Run from the repo root. The chaos soak at the end runs the full
-# ODA runtime under fault injection with a small tick budget and fails on
-# any panic, NaN-carrying alert, or nondeterministic replay.
+# first. Run from the repo root. Mirrors .github/workflows/ci.yml — keep
+# the two in sync. The soaks at the end run the full ODA runtime under
+# fault injection (replay must be bit-identical at workers=1 and
+# workers=4) and regenerate the BENCH_*.json reports, which are gated
+# against the committed baselines by ci/check_bench.py.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -18,40 +23,18 @@ echo "==> cargo clippy -- -D warnings"
 # the build here.
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> chaos soak (short budget)"
-cargo run --release -p oda-bench --bin chaos -- 4000 21
+echo "==> cargo doc -- -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> chaos soak (short budget; replay at workers=1 and workers=4)"
+cargo run --release -p oda-bench --bin chaos -- 4000 21 4
 
 echo "==> ingest soak (observability baseline)"
 cargo run --release -p oda-bench --bin ingest -- 200 48 > BENCH_ingest.json
-# Schema check: the baseline must be one JSON object with the keys the
-# regression tooling reads, and a positive throughput.
-for key in bench readings_total throughput_rps throughput_rps_noop \
-           metrics_overhead_pct query_p50_ns query_p99_ns instruments \
-           longwin_queries_run longwin_tiered_p50_ns longwin_tiered_p99_ns \
-           longwin_raw_p50_ns longwin_raw_p99_ns longwin_tier_hits \
-           longwin_readings_avoided longwin_tiered_readings_scanned \
-           longwin_raw_readings_scanned longwin_scan_reduction_x; do
-  grep -q "\"$key\"" BENCH_ingest.json \
-    || { echo "BENCH_ingest.json missing key: $key" >&2; exit 1; }
-done
-python3 - <<'EOF'
-import json
-report = json.load(open("BENCH_ingest.json"))
-assert report["bench"] == "ingest", report["bench"]
-assert report["throughput_rps"] > 0, "ingest throughput must be positive"
-assert report["readings_total"] > 0
-# Rollup-tier planner gate: the long-window fleet aggregate must be served
-# from summary tiers, rescanning >=5x fewer raw readings, and the tiered
-# query tail must not be slower than the raw rescan it replaces.
-assert report["longwin_tier_hits"] > 0, "planner never tier-hit"
-assert report["longwin_scan_reduction_x"] >= 5.0, report["longwin_scan_reduction_x"]
-assert report["longwin_tiered_p99_ns"] <= report["longwin_raw_p99_ns"], (
-    report["longwin_tiered_p99_ns"], report["longwin_raw_p99_ns"])
-print(f"ingest baseline OK: {report['throughput_rps']:.0f} readings/s, "
-      f"metrics overhead {report['metrics_overhead_pct']:.1f}%, "
-      f"long-window scan reduction {report['longwin_scan_reduction_x']:.0f}x "
-      f"(tiered p99 {report['longwin_tiered_p99_ns']}ns vs "
-      f"raw p99 {report['longwin_raw_p99_ns']}ns)")
-EOF
+python3 ci/check_bench.py BENCH_ingest.json ci/baselines/BENCH_ingest.json
+
+echo "==> scale bench (worker sweep 1/2/4/8)"
+cargo run --release -p oda-bench --bin scale > BENCH_scale.json
+python3 ci/check_bench.py BENCH_scale.json ci/baselines/BENCH_scale.json
 
 echo "CI OK"

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_*.json against its committed
+baseline and fail on structural violations or out-of-band regressions.
+
+Usage: check_bench.py CURRENT.json BASELINE.json
+
+Two classes of numeric check, chosen per key:
+
+* **ratio** — hardware-independent ratios (scan reduction, speedup). These
+  must not fall more than TOLERANCE (20%) below the committed baseline;
+  being *better* than baseline never fails (it prints a refresh hint).
+* **latency** — nanosecond/throughput measurements that scale with the
+  runner. CI machines vary wildly, so these only gate on *catastrophic*
+  regressions (CATASTROPHIC_X = 5x worse than baseline).
+
+Structural invariants (outputs_equal, tier hits, speedup floors) encode the
+acceptance criteria of the benches themselves and are absolute — they fail
+regardless of what the baseline recorded.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.20  # ratio metrics may be up to 20% below baseline
+CATASTROPHIC_X = 5.0  # latency/throughput metrics may be up to 5x worse
+
+# Per-bench key classification. "higher" keys are better when larger,
+# "lower" keys better when smaller.
+CHECKS = {
+    "ingest": {
+        "ratio_higher": ["longwin_scan_reduction_x"],
+        "latency_lower": [
+            "query_p50_ns",
+            "query_p99_ns",
+            "publish_p50_ns",
+            "publish_p99_ns",
+            "longwin_tiered_p50_ns",
+            "longwin_tiered_p99_ns",
+        ],
+        "latency_higher": ["throughput_rps"],
+    },
+    "scale": {
+        "ratio_higher": ["speedup_x_2", "speedup_x_4", "speedup_x_8"],
+        "latency_lower": [
+            "pass_p50_ns_1",
+            "pass_p50_ns_2",
+            "pass_p50_ns_4",
+            "pass_p50_ns_8",
+        ],
+        "latency_higher": [],
+    },
+}
+
+
+def structural(bench, cur, fail):
+    """Absolute invariants — the bench's own acceptance criteria."""
+    if bench == "ingest":
+        if not cur["throughput_rps"] > 0:
+            fail("throughput_rps must be positive")
+        if not cur["readings_total"] > 0:
+            fail("readings_total must be positive")
+        if not cur["longwin_tier_hits"] > 0:
+            fail("planner never tier-hit a long-window query")
+        if cur["longwin_scan_reduction_x"] < 5.0:
+            fail(
+                "long-window scan reduction %.1fx below the 5x floor"
+                % cur["longwin_scan_reduction_x"]
+            )
+        if cur["longwin_tiered_p99_ns"] > cur["longwin_raw_p99_ns"]:
+            fail(
+                "tiered long-window p99 (%d ns) slower than the raw rescan it "
+                "replaces (%d ns)"
+                % (cur["longwin_tiered_p99_ns"], cur["longwin_raw_p99_ns"])
+            )
+    elif bench == "scale":
+        if cur["outputs_equal"] is not True:
+            fail("parallel scheduler output diverged from the serial baseline")
+        if cur["speedup_x_4"] < 2.5:
+            fail(
+                "speedup at 4 workers is %.2fx, below the 2.5x floor"
+                % cur["speedup_x_4"]
+            )
+        for point in cur.get("points", []):
+            if not point["pass_p50_ns"] > 0:
+                fail("pass_p50_ns must be positive at workers=%d" % point["workers"])
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        cur = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    failures = []
+
+    def fail(msg):
+        failures.append(msg)
+
+    bench = cur.get("bench")
+    if bench not in CHECKS:
+        fail("unknown bench kind: %r" % bench)
+    elif base.get("bench") != bench:
+        fail(
+            "baseline is for bench %r, current run is %r" % (base.get("bench"), bench)
+        )
+    else:
+        structural(bench, cur, fail)
+        checks = CHECKS[bench]
+
+        def both(key):
+            if key not in cur:
+                fail("current report missing key: %s" % key)
+                return None
+            if key not in base:
+                fail("baseline missing key: %s" % key)
+                return None
+            return cur[key], base[key]
+
+        for key in checks["ratio_higher"]:
+            pair = both(key)
+            if pair is None:
+                continue
+            c, b = pair
+            floor = b * (1.0 - TOLERANCE)
+            if c < floor:
+                fail(
+                    "%s regressed: %.3f vs baseline %.3f (floor %.3f, -%d%%)"
+                    % (key, c, b, floor, TOLERANCE * 100)
+                )
+            elif c > b * (1.0 + TOLERANCE):
+                print(
+                    "note: %s improved well past baseline (%.3f vs %.3f) — "
+                    "consider refreshing ci/baselines/" % (key, c, b)
+                )
+
+        for key in checks["latency_lower"]:
+            pair = both(key)
+            if pair is None:
+                continue
+            c, b = pair
+            if b > 0 and c > b * CATASTROPHIC_X:
+                fail(
+                    "%s catastrophically regressed: %d vs baseline %d (>%.0fx)"
+                    % (key, c, b, CATASTROPHIC_X)
+                )
+
+        for key in checks["latency_higher"]:
+            pair = both(key)
+            if pair is None:
+                continue
+            c, b = pair
+            if b > 0 and c < b / CATASTROPHIC_X:
+                fail(
+                    "%s catastrophically regressed: %.1f vs baseline %.1f (<1/%.0fx)"
+                    % (key, c, b, CATASTROPHIC_X)
+                )
+
+    if failures:
+        for msg in failures:
+            print("check_bench FAIL [%s]: %s" % (sys.argv[1], msg), file=sys.stderr)
+        return 1
+
+    if bench == "ingest":
+        print(
+            "check_bench OK [%s]: %.0f readings/s, metrics overhead %.1f%%, "
+            "long-window scan reduction %.0fx"
+            % (
+                sys.argv[1],
+                cur["throughput_rps"],
+                cur["metrics_overhead_pct"],
+                cur["longwin_scan_reduction_x"],
+            )
+        )
+    else:
+        print(
+            "check_bench OK [%s]: speedup %.2fx @2 / %.2fx @4 / %.2fx @8 workers, "
+            "outputs bit-identical (host parallelism %d)"
+            % (
+                sys.argv[1],
+                cur["speedup_x_2"],
+                cur["speedup_x_4"],
+                cur["speedup_x_8"],
+                cur["host_parallelism"],
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

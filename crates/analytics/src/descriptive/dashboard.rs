@@ -84,7 +84,13 @@ impl Table {
         let render_row = |cells: &[String], out: &mut String| {
             for (i, c) in cells.iter().enumerate() {
                 let pad = widths[i] - c.chars().count();
-                let _ = write!(out, "{}{}{}", c, " ".repeat(pad), if i + 1 < cols { "  " } else { "" });
+                let _ = write!(
+                    out,
+                    "{}{}{}",
+                    c,
+                    " ".repeat(pad),
+                    if i + 1 < cols { "  " } else { "" }
+                );
             }
             out.push('\n');
         };

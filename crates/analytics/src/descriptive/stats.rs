@@ -311,7 +311,11 @@ pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
 
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&i, &j| {
+        xs[i]
+            .partial_cmp(&xs[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut r = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {

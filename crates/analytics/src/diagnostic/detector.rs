@@ -62,7 +62,10 @@ impl ZScoreDetector {
 impl AnomalyDetector for ZScoreDetector {
     fn observe(&mut self, x: f64) -> Score {
         let score = if self.window.len() >= self.min_samples {
-            self.window.z_score(x).map(|z| z.abs() / self.threshold).unwrap_or(0.0)
+            self.window
+                .z_score(x)
+                .map(|z| z.abs() / self.threshold)
+                .unwrap_or(0.0)
         } else {
             0.0
         };

@@ -30,7 +30,12 @@ pub struct JobFeatures {
 impl JobFeatures {
     /// Feature vector layout used by the classifiers.
     pub fn to_vec(self) -> [f64; 4] {
-        [self.mean_cpu, self.var_cpu, self.mean_mem_gib, self.mean_net_gbps]
+        [
+            self.mean_cpu,
+            self.var_cpu,
+            self.mean_mem_gib,
+            self.mean_net_gbps,
+        ]
     }
 }
 
@@ -164,7 +169,11 @@ impl<L: Clone + PartialEq + std::hash::Hash + Eq> Knn<L> {
             .zip(&raw)
             .map(|((l, _), x)| (l.clone(), scaler.apply(x)))
             .collect();
-        Knn { k, scaler, examples }
+        Knn {
+            k,
+            scaler,
+            examples,
+        }
     }
 
     /// Predicts by majority vote among the `k` nearest neighbours.

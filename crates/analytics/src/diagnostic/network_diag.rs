@@ -113,12 +113,7 @@ mod tests {
     #[test]
     fn aggressor_and_victims_are_separated() {
         // Flow 7 hogs 40 of 50 GB/s; flows 1 and 2 offer 5 each.
-        let links = vec![sample(
-            0,
-            50.0,
-            25.0,
-            vec![(1, 5.0), (7, 40.0), (2, 5.0)],
-        )];
+        let links = vec![sample(0, 50.0, 25.0, vec![(1, 5.0), (7, 40.0), (2, 5.0)])];
         let d = diagnose(&links, 0.95, 0.2);
         assert_eq!(d.len(), 1);
         let c = &d[0];

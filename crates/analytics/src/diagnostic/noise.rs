@@ -64,10 +64,11 @@ pub fn detect_interference(
     // Prefer the *smallest* lag among peaks within 10% of the strongest:
     // multiples of the true period correlate almost as strongly, and
     // reporting a harmonic would misattribute the interference source.
-    let max_r = peaks.iter().map(|&(_, r)| r).fold(f64::NEG_INFINITY, f64::max);
-    let (period, strength) = peaks
-        .into_iter()
-        .find(|&(_, r)| r >= 0.9 * max_r)?;
+    let max_r = peaks
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let (period, strength) = peaks.into_iter().find(|&(_, r)| r >= 0.9 * max_r)?;
     // Estimate cost: samples more than 2 robust sigmas above median.
     let med = crate::descriptive::outlier::median(timings)?;
     let dev: Vec<f64> = timings.iter().map(|&x| (x - med).abs()).collect();
@@ -122,12 +123,18 @@ mod tests {
         let hit = detect_interference(&xs, 5, 100, 0.3).expect("should detect");
         assert_eq!(hit.period, 25);
         assert!(hit.strength > 0.5);
-        assert!((hit.mean_excess - 0.3).abs() < 0.05, "excess {}", hit.mean_excess);
+        assert!(
+            (hit.mean_excess - 0.3).abs() < 0.05,
+            "excess {}",
+            hit.mean_excess
+        );
     }
 
     #[test]
     fn clean_series_reports_nothing() {
-        let xs: Vec<f64> = (0..1_000).map(|i| 1.0 + aperiodic_noise(i) * 1e-5).collect();
+        let xs: Vec<f64> = (0..1_000)
+            .map(|i| 1.0 + aperiodic_noise(i) * 1e-5)
+            .collect();
         assert!(detect_interference(&xs, 5, 100, 0.3).is_none());
     }
 
@@ -139,7 +146,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_basics() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert_eq!(autocorrelation(&xs, 0), 1.0);
         assert!(autocorrelation(&xs, 2) > 0.9);
         assert!(autocorrelation(&xs, 1) < -0.9);

@@ -59,7 +59,11 @@ pub fn rank_causes(
         });
     }
     // Normalisers.
-    let max_z = out.iter().map(|c| c.peak_z).fold(0.0f64, f64::max).max(1e-9);
+    let max_z = out
+        .iter()
+        .map(|c| c.peak_z)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
     let window_len = window.first().map(|w| w.len()).unwrap_or(0).max(1);
     for c in &mut out {
         let onset_score = match c.onset {
@@ -67,7 +71,11 @@ pub fn rank_causes(
             Some(t) => 1.0 - t as f64 / window_len as f64,
             None => 0.0,
         };
-        let magnitude_score = if c.onset.is_some() { c.peak_z / max_z } else { 0.0 };
+        let magnitude_score = if c.onset.is_some() {
+            c.peak_z / max_z
+        } else {
+            0.0
+        };
         c.score = 0.5 * onset_score + 0.5 * magnitude_score;
     }
     out.sort_by(|a, b| {
@@ -90,7 +98,11 @@ fn deviation_profile(baseline: &[f64], window: &[f64], z_threshold: f64) -> (Opt
     let mad = median(&deviations).unwrap_or(0.0);
     // Fallback scale for near-constant baselines: a small fraction of the
     // median magnitude, floored.
-    let scale = if mad > 1e-9 { mad / 0.6745 } else { med.abs().max(1.0) * 0.01 };
+    let scale = if mad > 1e-9 {
+        mad / 0.6745
+    } else {
+        med.abs().max(1.0) * 0.01
+    };
     let mut onset = None;
     let mut peak: f64 = 0.0;
     for (t, &x) in window.iter().enumerate() {
@@ -126,7 +138,11 @@ mod tests {
     /// t=10 with smaller magnitude, bystander never deviates.
     fn scenario() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let baseline: Vec<Vec<f64>> = (0..3)
-            .map(|s| (0..50).map(|i| 10.0 * (s + 1) as f64 + ((i * 7) % 5) as f64 * 0.1).collect())
+            .map(|s| {
+                (0..50)
+                    .map(|i| 10.0 * (s + 1) as f64 + ((i * 7) % 5) as f64 * 0.1)
+                    .collect()
+            })
             .collect();
         let mut window: Vec<Vec<f64>> = baseline.iter().map(|b| b[..30].to_vec()).collect();
         for v in &mut window[0][2..30] {
@@ -160,8 +176,9 @@ mod tests {
 
     #[test]
     fn no_deviation_means_all_zero() {
-        let baseline: Vec<Vec<f64>> =
-            (0..2).map(|_| (0..50).map(|i| (i % 5) as f64).collect()).collect();
+        let baseline: Vec<Vec<f64>> = (0..2)
+            .map(|_| (0..50).map(|i| (i % 5) as f64).collect())
+            .collect();
         let window: Vec<Vec<f64>> = baseline.iter().map(|b| b[..10].to_vec()).collect();
         let ranked = rank_causes(&baseline, &window, 6.0);
         assert!(ranked.iter().all(|c| c.score == 0.0 && c.onset.is_none()));

@@ -133,7 +133,11 @@ impl CorrelationSmoothing {
                 let hi = (b + 1) * n / blocks;
                 // With more blocks than sensors some blocks are empty: fall
                 // back to the nearest sensor so every slot carries signal.
-                let (lo, hi) = if lo < hi { (lo, hi) } else { (lo.min(n - 1), lo.min(n - 1) + 1) };
+                let (lo, hi) = if lo < hi {
+                    (lo, hi)
+                } else {
+                    (lo.min(n - 1), lo.min(n - 1) + 1)
+                };
                 let slice = &ordered[lo..hi];
                 out.push(slice.iter().sum::<f64>() / slice.len() as f64);
             }
@@ -158,7 +162,9 @@ mod tests {
             thermal.clone(),
             base.iter().map(|v| -v).collect(),
             thermal.iter().map(|v| 3.0 * v).collect(),
-            t.iter().map(|x| ((x * 7919.0).sin() * 43758.5453).fract()).collect(),
+            t.iter()
+                .map(|x| ((x * 7919.0).sin() * 43758.5453).fract())
+                .collect(),
         ]
     }
 

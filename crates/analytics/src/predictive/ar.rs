@@ -32,7 +32,7 @@ impl ArModel {
         }
         let rows = n - order;
         let cols = order + 1; // intercept + lags
-        // Normal equations: (Xᵀ X) β = Xᵀ y, built directly.
+                              // Normal equations: (Xᵀ X) β = Xᵀ y, built directly.
         let mut xtx = Matrix::zeros(cols, cols);
         let mut xty = vec![0.0; cols];
         for t in order..n {
@@ -124,8 +124,16 @@ mod tests {
     fn recovers_ar2_coefficients() {
         let xs = ar2_series(5_000, 1.0, 0.6, 0.3, 0.1);
         let m = ArModel::fit(&xs, 2).unwrap();
-        assert!((m.coefficients[0] - 0.6).abs() < 0.05, "{:?}", m.coefficients);
-        assert!((m.coefficients[1] - 0.3).abs() < 0.05, "{:?}", m.coefficients);
+        assert!(
+            (m.coefficients[0] - 0.6).abs() < 0.05,
+            "{:?}",
+            m.coefficients
+        );
+        assert!(
+            (m.coefficients[1] - 0.3).abs() < 0.05,
+            "{:?}",
+            m.coefficients
+        );
         assert!((m.intercept - 1.0).abs() < 0.6, "{}", m.intercept);
         assert!(m.residual_std < 0.12);
     }
@@ -153,7 +161,10 @@ mod tests {
     #[test]
     fn short_and_constant_series_fail_gracefully() {
         assert!(ArModel::fit(&[1.0, 2.0, 3.0], 2).is_none());
-        assert!(ArModel::fit(&[5.0; 100], 2).is_none(), "constant series is singular");
+        assert!(
+            ArModel::fit(&[5.0; 100], 2).is_none(),
+            "constant series is singular"
+        );
     }
 
     #[test]

@@ -95,8 +95,7 @@ impl Forecaster for Holt {
             _ => {
                 let prev_level = self.level;
                 self.level = self.alpha * x + (1.0 - self.alpha) * (self.level + self.trend);
-                self.trend =
-                    self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+                self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
             }
         }
         self.n += 1;
@@ -386,8 +385,9 @@ mod tests {
         for h in 1..=period {
             let truth = 10.0
                 + 0.01 * (n + h - 1) as f64
-                + 5.0 * (2.0 * std::f64::consts::PI * ((n + h - 1) % period) as f64 / period as f64)
-                    .sin();
+                + 5.0
+                    * (2.0 * std::f64::consts::PI * ((n + h - 1) % period) as f64 / period as f64)
+                        .sin();
             let fc = f.forecast(h).unwrap();
             assert!(
                 (fc - truth).abs() < 1.0,
@@ -471,7 +471,10 @@ mod tests {
     fn backtest_scores_better_model_lower() {
         let period = 12;
         let series: Vec<f64> = (0..period * 30)
-            .map(|i| 50.0 + 20.0 * (2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64).cos())
+            .map(|i| {
+                50.0 + 20.0
+                    * (2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64).cos()
+            })
             .collect();
         let (mae_hw, _) = backtest(&mut HoltWinters::new(0.3, 0.05, 0.4, period), &series, 1);
         let (mae_se, _) = backtest(&mut SimpleExp::new(0.5), &series, 1);

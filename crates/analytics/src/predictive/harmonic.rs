@@ -174,7 +174,12 @@ mod tests {
         let series = pulse_series(6);
         let coarse = HarmonicModel::fit(&series, 96.0, 2).unwrap();
         let fine = HarmonicModel::fit(&series, 96.0, 40).unwrap();
-        assert!(fine.rmse < coarse.rmse * 0.5, "{} vs {}", fine.rmse, coarse.rmse);
+        assert!(
+            fine.rmse < coarse.rmse * 0.5,
+            "{} vs {}",
+            fine.rmse,
+            coarse.rmse
+        );
     }
 
     #[test]

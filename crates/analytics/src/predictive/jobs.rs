@@ -127,8 +127,7 @@ impl JobPredictor {
         let top = &scored[..k];
         Some(Prediction {
             runtime_s: top.iter().map(|(_, o)| o.runtime_s).sum::<f64>() / k as f64,
-            mean_node_power_w: top.iter().map(|(_, o)| o.mean_node_power_w).sum::<f64>()
-                / k as f64,
+            mean_node_power_w: top.iter().map(|(_, o)| o.mean_node_power_w).sum::<f64>() / k as f64,
             from_user_history: false,
         })
     }
@@ -221,7 +220,11 @@ mod tests {
                 requested_walltime_s: 600.0,
             })
             .unwrap();
-        assert!(pred.runtime_s < 300.0, "recent behaviour wins: {}", pred.runtime_s);
+        assert!(
+            pred.runtime_s < 300.0,
+            "recent behaviour wins: {}",
+            pred.runtime_s
+        );
     }
 
     #[test]

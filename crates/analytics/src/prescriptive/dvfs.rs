@@ -78,7 +78,11 @@ pub struct DvfsGovernor {
 impl DvfsGovernor {
     /// Creates a governor; `forecaster` is only consulted in proactive
     /// mode but always kept warm so the mode can be switched live.
-    pub fn new(policy: FreqPolicy, mode: GovernorMode, forecaster: Box<dyn Forecaster + Send>) -> Self {
+    pub fn new(
+        policy: FreqPolicy,
+        mode: GovernorMode,
+        forecaster: Box<dyn Forecaster + Send>,
+    ) -> Self {
         DvfsGovernor {
             last_decision_ghz: policy.f_max_ghz,
             policy,

@@ -53,8 +53,7 @@ impl Pid {
         // Tentative integral; kept only if the output is unsaturated or the
         // error drives it back towards the range (conditional integration).
         let tentative_integral = self.integral + error * dt;
-        let unclamped =
-            self.kp * error + self.ki * tentative_integral + self.kd * derivative;
+        let unclamped = self.kp * error + self.ki * tentative_integral + self.kd * derivative;
         let output = unclamped.clamp(self.out_min, self.out_max);
         let saturated_high = unclamped > self.out_max && error > 0.0;
         let saturated_low = unclamped < self.out_min && error < 0.0;
@@ -102,7 +101,11 @@ mod tests {
             let u = pid.update(20.0, plant.value, 0.1);
             plant.step(u, 0.1);
         }
-        assert!((plant.value - 20.0).abs() < 0.2, "settled at {}", plant.value);
+        assert!(
+            (plant.value - 20.0).abs() < 0.2,
+            "settled at {}",
+            plant.value
+        );
     }
 
     #[test]
@@ -133,7 +136,7 @@ mod tests {
         let mut p = Pid::new(1.0, 0.0, 2.0, -100.0, 100.0);
         p.update(10.0, 0.0, 1.0); // error 10
         let out = p.update(10.0, 8.0, 1.0); // error 2, derivative −8
-        // P alone would give 2; derivative pulls it strongly negative.
+                                            // P alone would give 2; derivative pulls it strongly negative.
         assert!(out < 2.0 - 10.0, "{out}");
     }
 

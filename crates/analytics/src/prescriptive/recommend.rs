@@ -47,49 +47,80 @@ const RULES: &[Rule] = &[
         kind: "fan-failure",
         weight: 1.0,
         automatable: true,
-        template: |d| format!("Drain {} and schedule fan replacement; raise neighbouring fan speeds meanwhile", d.subject),
+        template: |d| {
+            format!(
+                "Drain {} and schedule fan replacement; raise neighbouring fan speeds meanwhile",
+                d.subject
+            )
+        },
     },
     Rule {
         kind: "thermal-degradation",
         weight: 0.7,
         automatable: false,
-        template: |d| format!("Schedule thermal service (repaste/dust) for {} at next maintenance window", d.subject),
+        template: |d| {
+            format!(
+                "Schedule thermal service (repaste/dust) for {} at next maintenance window",
+                d.subject
+            )
+        },
     },
     Rule {
         kind: "memory-leak",
         weight: 0.8,
         automatable: true,
-        template: |d| format!("Notify owner of workload on {}; enable OOM guard and cordon after current job", d.subject),
+        template: |d| {
+            format!(
+                "Notify owner of workload on {}; enable OOM guard and cordon after current job",
+                d.subject
+            )
+        },
     },
     Rule {
         kind: "cpu-contention",
         weight: 0.8,
         automatable: true,
-        template: |d| format!("Kill orphaned processes on {} and audit prolog/epilog scripts", d.subject),
+        template: |d| {
+            format!(
+                "Kill orphaned processes on {} and audit prolog/epilog scripts",
+                d.subject
+            )
+        },
     },
     Rule {
         kind: "network-hog",
         weight: 0.9,
         automatable: false,
-        template: |d| format!("Rate-limit external traffic on {} uplink; review I/O scheduling of co-located jobs", d.subject),
+        template: |d| {
+            format!("Rate-limit external traffic on {} uplink; review I/O scheduling of co-located jobs", d.subject)
+        },
     },
     Rule {
         kind: "cooling-degradation",
         weight: 1.0,
         automatable: false,
-        template: |d| format!("Inspect {} (heat exchanger fouling / pump wear); consider raising inlet setpoint until serviced", d.subject),
+        template: |d| {
+            format!("Inspect {} (heat exchanger fouling / pump wear); consider raising inlet setpoint until serviced", d.subject)
+        },
     },
     Rule {
         kind: "cryptominer",
         weight: 1.0,
         automatable: true,
-        template: |d| format!("Suspend job {} pending review: utilization signature matches cryptomining", d.subject),
+        template: |d| {
+            format!(
+                "Suspend job {} pending review: utilization signature matches cryptomining",
+                d.subject
+            )
+        },
     },
     Rule {
         kind: "inefficient-code",
         weight: 0.3,
         automatable: false,
-        template: |d| format!("Recommend profiling session to owner of {}: memory-bound phases dominate at max clock", d.subject),
+        template: |d| {
+            format!("Recommend profiling session to owner of {}: memory-bound phases dominate at max clock", d.subject)
+        },
     },
 ];
 
@@ -146,9 +177,9 @@ mod tests {
     #[test]
     fn ranking_is_by_priority() {
         let recs = recommend(&[
-            diag("inefficient-code", "job42", 0.9), // 0.27
+            diag("inefficient-code", "job42", 0.9),       // 0.27
             diag("cooling-degradation", "chiller0", 0.8), // 0.8
-            diag("memory-leak", "node3", 0.5),      // 0.4
+            diag("memory-leak", "node3", 0.5),            // 0.4
         ]);
         assert!(recs[0].action.contains("chiller0"));
         assert!(recs[1].action.contains("node3"));

@@ -152,7 +152,8 @@ mod tests {
     fn cooling_shaped_objective() {
         // U-shaped facility power vs setpoint: chiller work falls with
         // setpoint, IT leakage rises with it.
-        let facility_power = |sp: f64| 400.0 / (sp - 10.0) + 0.8 * (sp - 18.0).max(0.0).powi(2) * 0.1 + 100.0;
+        let facility_power =
+            |sp: f64| 400.0 / (sp - 10.0) + 0.8 * (sp - 18.0).max(0.0).powi(2) * 0.1 + 100.0;
         let opt = golden_section_min(18.0, 45.0, 0.01, 100, facility_power);
         // Analytic optimum of 400/(x−10) + 0.08(x−18)² near x ≈ 24.
         assert!(opt.knob > 20.0 && opt.knob < 32.0, "{}", opt.knob);

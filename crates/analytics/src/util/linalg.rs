@@ -142,8 +142,8 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     let mut rhs = b.to_vec();
     for col in 0..n {
         // Partial pivot.
-        let pivot_row = (col..n)
-            .max_by(|&i, &j| m[(i, col)].abs().partial_cmp(&m[(j, col)].abs()).unwrap())?;
+        let pivot_row =
+            (col..n).max_by(|&i, &j| m[(i, col)].abs().partial_cmp(&m[(j, col)].abs()).unwrap())?;
         if m[(pivot_row, col)].abs() < 1e-12 {
             return None;
         }

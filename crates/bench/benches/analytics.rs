@@ -20,7 +20,8 @@ use std::hint::black_box;
 fn series(n: usize) -> Vec<f64> {
     (0..n)
         .map(|i| {
-            10.0 + 3.0 * (i as f64 / 24.0).sin() + ((i as u64).wrapping_mul(2654435761) % 100) as f64 * 0.01
+            10.0 + 3.0 * (i as f64 / 24.0).sin()
+                + ((i as u64).wrapping_mul(2654435761) % 100) as f64 * 0.01
         })
         .collect()
 }
@@ -164,7 +165,11 @@ fn bench_forecasters(c: &mut Criterion) {
     });
     g.bench_function("ridge_fit_1000x8", |b| {
         let rows: Vec<Vec<f64>> = (0..1_000)
-            .map(|i| (0..8).map(|j| ((i * 7 + j * 13) % 100) as f64 * 0.01).collect())
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i * 7 + j * 13) % 100) as f64 * 0.01)
+                    .collect()
+            })
             .collect();
         let ys: Vec<f64> = rows.iter().map(|r| r.iter().sum()).collect();
         b.iter(|| black_box(RidgeRegression::fit(&rows, &ys, 0.1).map(|m| m.weights()[0])));

@@ -57,7 +57,10 @@ fn bench_store_ablation(c: &mut Criterion) {
             || TimeSeriesStore::with_capacity(16_384),
             |store| {
                 for t in 0..10_000u64 {
-                    store.insert(SensorId(0), Reading::new(Timestamp::from_millis(t), t as f64));
+                    store.insert(
+                        SensorId(0),
+                        Reading::new(Timestamp::from_millis(t), t as f64),
+                    );
                 }
                 black_box(store.series_len(SensorId(0)))
             },
@@ -68,7 +71,10 @@ fn bench_store_ablation(c: &mut Criterion) {
             || NaiveVecStore::new(1),
             |mut store| {
                 for t in 0..10_000u64 {
-                    store.insert(SensorId(0), Reading::new(Timestamp::from_millis(t), t as f64));
+                    store.insert(
+                        SensorId(0),
+                        Reading::new(Timestamp::from_millis(t), t as f64),
+                    );
                 }
                 black_box(store.series[0].len())
             },
@@ -79,7 +85,10 @@ fn bench_store_ablation(c: &mut Criterion) {
     let ring = prefilled_store(1, 16_384, TimeSeriesStore::DEFAULT_SHARDS);
     let mut naive = NaiveVecStore::new(1);
     for t in 0..16_384u64 {
-        naive.insert(SensorId(0), Reading::new(Timestamp::from_millis(t * 1_000), t as f64));
+        naive.insert(
+            SensorId(0),
+            Reading::new(Timestamp::from_millis(t * 1_000), t as f64),
+        );
     }
     let (s, e) = (Timestamp::from_secs(8_000), Timestamp::from_secs(8_064));
     g.bench_function("ring_store_narrow_range", |b| {
@@ -96,20 +105,24 @@ fn bench_ingest(c: &mut Criterion) {
     g.throughput(Throughput::Elements(10_000));
     // Ablation: shard count (1 = global lock).
     for shards in [1usize, 16] {
-        g.bench_with_input(BenchmarkId::new("single_insert", shards), &shards, |b, &shards| {
-            b.iter_with_setup(
-                || TimeSeriesStore::with_capacity_and_shards(16_384, shards),
-                |store| {
-                    for t in 0..10_000u64 {
-                        store.insert(
-                            SensorId((t % 64) as u32),
-                            Reading::new(Timestamp::from_millis(t), t as f64),
-                        );
-                    }
-                    black_box(store.total_len())
-                },
-            );
-        });
+        g.bench_with_input(
+            BenchmarkId::new("single_insert", shards),
+            &shards,
+            |b, &shards| {
+                b.iter_with_setup(
+                    || TimeSeriesStore::with_capacity_and_shards(16_384, shards),
+                    |store| {
+                        for t in 0..10_000u64 {
+                            store.insert(
+                                SensorId((t % 64) as u32),
+                                Reading::new(Timestamp::from_millis(t), t as f64),
+                            );
+                        }
+                        black_box(store.total_len())
+                    },
+                );
+            },
+        );
     }
     // Batch ingest amortises locking.
     g.bench_function("batch_insert_64", |b| {
@@ -169,7 +182,13 @@ fn bench_query(c: &mut Criterion) {
 
     g.bench_function("range_scan_4k", |b| {
         b.iter(|| {
-            black_box(Query::sensors(SensorId(3)).range(all).run(&engine).readings().len())
+            black_box(
+                Query::sensors(SensorId(3))
+                    .range(all)
+                    .run(&engine)
+                    .readings()
+                    .len(),
+            )
         });
     });
     g.bench_function("aggregate_mean_4k", |b| {
@@ -239,7 +258,13 @@ fn bench_query(c: &mut Criterion) {
         let few: Vec<SensorId> = (0..16).map(SensorId).collect();
         b.iter(|| {
             black_box(
-                Query::sensors(&few).range(all).align(60_000).run(&engine).aligned().0.len(),
+                Query::sensors(&few)
+                    .range(all)
+                    .align(60_000)
+                    .run(&engine)
+                    .aligned()
+                    .0
+                    .len(),
             )
         });
     });
@@ -277,5 +302,11 @@ fn bench_bus(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_store_ablation, bench_ingest, bench_query, bench_bus);
+criterion_group!(
+    benches,
+    bench_store_ablation,
+    bench_ingest,
+    bench_query,
+    bench_bus
+);
 criterion_main!(benches);

@@ -1,22 +1,22 @@
 //! Chaos soak — the full ODA runtime under deterministic fault injection.
 //!
-//! Runs three soaks on the same simulated site: a clean baseline, and two
-//! identical faulted runs (same seed, same schedule). Prints the degradation
-//! metrics side by side and verifies the two faulted runs are bit-identical.
+//! Runs four soaks on the same simulated site: a clean baseline, two
+//! identical faulted runs (same seed, same schedule) to verify replay, and
+//! the same faulted run again with the analytics runtime fanned out across
+//! a worker pool to verify the parallel scheduler is bit-identical to
+//! serial execution. Prints the degradation metrics side by side.
 //!
-//! Usage: `chaos [ticks] [seed]` — defaults to 12 000 ticks, seed 21.
-//! Exits non-zero if the determinism check fails.
+//! Usage: `chaos [ticks] [seed] [workers]` — defaults to 12 000 ticks,
+//! seed 21, 4 workers. Exits non-zero if any determinism check fails.
 
 use oda_bench::chaos::{demo_schedule, run_soak, SoakConfig, SoakReport};
 use oda_sim::prelude::FaultSchedule;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let ticks: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12_000);
+    let ticks: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(12_000);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(21);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
 
     // Hand-built overlap (all seven kinds concurrently active mid-run) plus
     // randomized background faults for variety.
@@ -31,34 +31,65 @@ fn main() {
         schedule.push(fault);
     }
 
-    println!("chaos soak — {ticks} ticks, seed {seed}, {} scheduled faults\n", schedule.len());
+    println!(
+        "chaos soak — {ticks} ticks, seed {seed}, {} scheduled faults, runtime workers 1 vs {workers}\n",
+        schedule.len()
+    );
 
     let clean = run_soak(&SoakConfig::clean(seed, ticks));
     let faulty = run_soak(&SoakConfig::faulty(seed, ticks, schedule.clone()));
-    let replay = run_soak(&SoakConfig::faulty(seed, ticks, schedule));
+    let replay = run_soak(&SoakConfig::faulty(seed, ticks, schedule.clone()));
+    let parallel = run_soak(&SoakConfig::faulty(seed, ticks, schedule).with_workers(workers));
 
     print_comparison(&clean, &faulty);
 
-    println!("\ndeterminism: run A digest {:#018x}", faulty.digest);
-    println!("             run B digest {:#018x}", replay.digest);
+    println!(
+        "\ndeterminism: run A digest           {:#018x} (workers=1)",
+        faulty.digest
+    );
+    println!(
+        "             run B digest           {:#018x} (workers=1, replay)",
+        replay.digest
+    );
+    println!(
+        "             run C digest           {:#018x} (workers={workers})",
+        parallel.digest
+    );
     let deterministic = faulty.digest == replay.digest
         && faulty.suppressed == replay.suppressed
         && faulty.corrupted == replay.corrupted
         && faulty.alerts_raised == replay.alerts_raised;
+    let worker_invariant = faulty.digest == parallel.digest
+        && faulty.prescriptions_applied == parallel.prescriptions_applied
+        && faulty.prescriptions_deferred == parallel.prescriptions_deferred;
     println!(
-        "             {}",
-        if deterministic { "IDENTICAL — replay reproduces the degraded run" } else { "MISMATCH" }
+        "             replay:  {}",
+        if deterministic {
+            "IDENTICAL — replay reproduces the degraded run"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!(
+        "             workers: {}",
+        if worker_invariant {
+            "IDENTICAL — parallel scheduling is bit-identical to serial"
+        } else {
+            "MISMATCH"
+        }
     );
 
     let healthy = deterministic
+        && worker_invariant
         && faulty.nan_alert_events == 0
         && faulty.max_concurrent_faults >= 3
-        && faulty.windows > 0;
+        && faulty.windows > 0
+        && faulty.runtime_passes == faulty.windows;
     if !healthy {
         eprintln!("\nchaos soak FAILED (determinism or degradation invariant violated)");
         std::process::exit(1);
     }
-    println!("\nchaos soak OK — zero panics, NaN-free alerting, deterministic replay");
+    println!("\nchaos soak OK — zero panics, NaN-free alerting, deterministic replay at any worker count");
 }
 
 fn print_comparison(clean: &SoakReport, faulty: &SoakReport) {
@@ -128,5 +159,21 @@ fn print_comparison(clean: &SoakReport, faulty: &SoakReport) {
         "jobs completed",
         clean.jobs_completed.to_string(),
         faulty.jobs_completed.to_string(),
+    );
+    row(
+        "runtime passes",
+        clean.runtime_passes.to_string(),
+        faulty.runtime_passes.to_string(),
+    );
+    row(
+        "prescriptions applied/def.",
+        format!(
+            "{}/{}",
+            clean.prescriptions_applied, clean.prescriptions_deferred
+        ),
+        format!(
+            "{}/{}",
+            faulty.prescriptions_applied, faulty.prescriptions_deferred
+        ),
     );
 }

@@ -14,7 +14,11 @@ fn main() {
         println!("{indent}│ {:<22} │", t.question());
         println!(
             "{indent}│ {:<22} │",
-            if t.is_foresight() { "(foresight)" } else { "(hindsight)" }
+            if t.is_foresight() {
+                "(foresight)"
+            } else {
+                "(hindsight)"
+            }
         );
         println!("{indent}└────────────────────────┘");
     }

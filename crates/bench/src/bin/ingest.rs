@@ -59,7 +59,10 @@ fn main() {
         "longwin_raw_readings_scanned": instr.longwin.raw_readings_scanned,
         "longwin_scan_reduction_x": instr.longwin.scan_reduction_x,
     });
-    println!("{}", serde_json::to_string_pretty(&out).expect("report serialises"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&out).expect("report serialises")
+    );
 
     let healthy = instr.throughput_rps > 0.0
         && noop.throughput_rps > 0.0

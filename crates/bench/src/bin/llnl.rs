@@ -26,12 +26,21 @@ fn main() {
         "\nactual notification events in evaluation region: {}",
         r.actual_events.len()
     );
-    println!("predicted events:                              {}", r.predicted_events.len());
+    println!(
+        "predicted events:                              {}",
+        r.predicted_events.len()
+    );
     println!("recall    (events anticipated): {:.2}", r.recall);
     println!("precision (predictions correct): {:.2}", r.precision);
     println!("\nEvent offsets (15-min buckets into the evaluation region):");
-    println!("  actual:    {:?}", &r.actual_events[..r.actual_events.len().min(24)]);
-    println!("  predicted: {:?}", &r.predicted_events[..r.predicted_events.len().min(24)]);
+    println!(
+        "  actual:    {:?}",
+        &r.actual_events[..r.actual_events.len().min(24)]
+    );
+    println!(
+        "  predicted: {:?}",
+        &r.predicted_events[..r.predicted_events.len().min(24)]
+    );
     println!("\nExpected shape (paper §V-C): the periodic spike patterns Fourier");
     println!("analysis finds make the majority of notification events forecastable.");
     let summary = serde_json::json!({

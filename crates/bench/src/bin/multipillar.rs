@@ -13,7 +13,10 @@ fn main() {
     let mut report = Vec::new();
     for seed in seeds {
         for (config, m) in run_experiment(hours, seed) {
-            println!("{}", metrics_row(&format!("{} (s{seed})", config.label()), &m));
+            println!(
+                "{}",
+                metrics_row(&format!("{} (s{seed})", config.label()), &m)
+            );
             totals.iter_mut().find(|(c, _)| *c == config).unwrap().1 += m.utility_energy_kwh;
             report.push((config.label(), seed, m));
         }

@@ -13,7 +13,10 @@ fn main() {
     let mut report = Vec::new();
     for seed in seeds {
         for (regime, m) in run_experiment(hours, seed) {
-            println!("{}", metrics_row(&format!("{} (s{seed})", regime.label()), &m));
+            println!(
+                "{}",
+                metrics_row(&format!("{} (s{seed})", regime.label()), &m)
+            );
             let t = totals.iter_mut().find(|(r, _, _)| *r == regime).unwrap();
             t.1 += m.it_energy_kwh;
             t.2 += m.work_done_node_s;

@@ -19,10 +19,7 @@ fn main() {
     for a in AnalyticsType::ALL.into_iter().rev() {
         print!("{:<14}", a.name());
         for p in Pillar::ALL {
-            print!(
-                "{:<26}",
-                counts.get(oda_core::grid::GridCell::new(a, p))
-            );
+            print!("{:<26}", counts.get(oda_core::grid::GridCell::new(a, p)));
         }
         println!();
     }

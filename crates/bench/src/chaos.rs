@@ -23,8 +23,12 @@
 //! `tests/chaos.rs` integration suite.
 
 use oda_analytics::predictive::forecast::{Forecaster, GapTolerant, Holt};
+use oda_core::analytics_type::AnalyticsType;
+use oda_core::cells;
+use oda_core::runtime::{OdaRuntime, RuntimeConfig, SimControlPlane};
 use oda_sim::prelude::*;
 use oda_telemetry::alert::{AlertEngine, AlertRule, AlertSeverity, Condition};
+use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::pattern::SensorPattern;
 use oda_telemetry::reading::Timestamp;
 use oda_telemetry::sensor::SensorId;
@@ -43,6 +47,11 @@ pub struct SoakConfig {
     pub window_ticks: u64,
     /// Telemetry-fault schedule; `None` runs the clean baseline.
     pub schedule: Option<FaultSchedule>,
+    /// Worker-pool width for the closed-loop ODA runtime the soak drives
+    /// once per evaluation window (wired through
+    /// `DataCenterConfig::workers`). The determinism check must hold at
+    /// *any* worker count — the replay gate runs this soak at 1 and 4.
+    pub workers: usize,
 }
 
 impl SoakConfig {
@@ -53,6 +62,7 @@ impl SoakConfig {
             ticks,
             window_ticks: 1_000,
             schedule: None,
+            workers: 1,
         }
     }
 
@@ -62,6 +72,13 @@ impl SoakConfig {
             schedule: Some(schedule),
             ..Self::clean(seed, ticks)
         }
+    }
+
+    /// Sets the runtime worker count. Builder-style.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 }
 
@@ -101,6 +118,12 @@ pub struct SoakReport {
     pub max_concurrent_faults: usize,
     /// Jobs the site completed (burst-load faults must still make progress).
     pub jobs_completed: usize,
+    /// Closed-loop analytics passes driven (one per evaluation window).
+    pub runtime_passes: u64,
+    /// Prescriptions the runtime applied through the sim control plane.
+    pub prescriptions_applied: u64,
+    /// Prescriptions deferred to an operator (or unrecognised).
+    pub prescriptions_deferred: u64,
     /// Order-sensitive FNV-1a digest over every consumed reading and alert
     /// transition; equal seeds + equal schedules ⇒ equal digests.
     pub digest: u64,
@@ -199,12 +222,43 @@ struct Watched {
 
 /// Runs one soak and scores it.
 pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
-    let config = DataCenterConfig::tiny();
+    let mut config = DataCenterConfig::tiny();
+    config.workers = cfg.workers;
     let sample_every = config.sample_every_ticks;
+    let window_ms = cfg.window_ticks * config.tick_ms;
     let mut dc = DataCenter::new(config, cfg.seed);
     if let Some(schedule) = &cfg.schedule {
         dc.set_fault_schedule(schedule.clone());
     }
+
+    // The closed-loop analytics runtime the soak drives once per evaluation
+    // window. Scheduling telemetry (steal/busy/contention counters) is
+    // determinism-exempt, so metrics stay disabled; everything the replay
+    // contract *does* cover — artifacts, prescriptions, emission order —
+    // folds into the digest at window close.
+    let mut runtime = OdaRuntime::with_config(
+        window_ms,
+        RuntimeConfig::serial()
+            .with_workers(dc.config().workers)
+            .with_seed(cfg.seed),
+    )
+    .with_metrics(MetricsRegistry::disabled())
+    .with_capability(
+        AnalyticsType::Diagnostic,
+        Box::new(cells::diagnostic::InfraAnomalyDetector::new()),
+    )
+    .with_capability(
+        AnalyticsType::Predictive,
+        Box::new(cells::predictive::InfraForecaster::new()),
+    )
+    .with_capability(
+        AnalyticsType::Prescriptive,
+        Box::new(cells::prescriptive::CoolingOptimizer::new()),
+    )
+    .with_capability(
+        AnalyticsType::Prescriptive,
+        Box::new(cells::prescriptive::DvfsTuner::new()),
+    );
 
     let lookup = |name: &str| dc.registry().lookup(name).expect("watched sensor exists");
     let mut watched: Vec<Watched> = WATCHED
@@ -239,7 +293,10 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         AlertRule::new(
             "it-power-implausible",
             lookup("/facility/power/it_kw"),
-            Condition::Outside { lo: 0.0, hi: 1_000.0 },
+            Condition::Outside {
+                lo: 0.0,
+                hi: 1_000.0,
+            },
             AlertSeverity::Critical,
         )
         .with_clear_debounce(2),
@@ -269,18 +326,25 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         bus_dropped: 0,
         max_concurrent_faults: 0,
         jobs_completed: 0,
+        runtime_passes: 0,
+        prescriptions_applied: 0,
+        prescriptions_deferred: 0,
         digest: 0xcbf2_9ce4_8422_2325, // FNV offset basis
     };
     let expected_per_window = (cfg.window_ticks / sample_every).max(1);
 
-    let by_sensor: HashMap<SensorId, usize> =
-        watched.iter().enumerate().map(|(i, w)| (w.sensor, i)).collect();
+    let by_sensor: HashMap<SensorId, usize> = watched
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (w.sensor, i))
+        .collect();
 
     for tick in 1..=cfg.ticks {
         dc.step();
         if let Some(tf) = dc.telemetry_faults() {
-            report.max_concurrent_faults =
-                report.max_concurrent_faults.max(tf.active_at(dc.now()).len());
+            report.max_concurrent_faults = report
+                .max_concurrent_faults
+                .max(tf.active_at(dc.now()).len());
         }
 
         // Consume everything published this tick, in publish order.
@@ -335,6 +399,22 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                 }
                 w.window_finite = 0;
             }
+
+            // Drive the full analytics pipeline over the closed window and
+            // let its prescriptions actuate the simulator — the faulted run
+            // exercises the feedback loop under corruption too. The pass
+            // output is covered by the scheduler's determinism contract, so
+            // it folds into the replay digest at any worker count.
+            let store = std::sync::Arc::clone(dc.store());
+            let registry = dc.registry().clone();
+            let now = dc.now();
+            let pass = runtime.pass(store, registry, now, &mut SimControlPlane { dc: &mut dc });
+            report.runtime_passes += 1;
+            report.prescriptions_applied += pass.applied as u64;
+            report.prescriptions_deferred += pass.deferred as u64;
+            fnv1a(&mut report.digest, &pass.run.output_digest().to_le_bytes());
+            fnv1a(&mut report.digest, &(pass.applied as u64).to_le_bytes());
+            fnv1a(&mut report.digest, &(pass.deferred as u64).to_le_bytes());
         }
     }
 
@@ -365,6 +445,21 @@ mod tests {
         assert_eq!(r.suppressed, 0);
         assert_eq!(r.nan_alert_events, 0);
         assert_eq!(r.forecasts_abstained, 0);
+    }
+
+    #[test]
+    fn soak_digest_is_worker_count_invariant() {
+        let ticks = 2_000;
+        let schedule = demo_schedule(9, ticks, 1_000);
+        let serial = run_soak(&SoakConfig::faulty(9, ticks, schedule.clone()));
+        let parallel = run_soak(&SoakConfig::faulty(9, ticks, schedule).with_workers(4));
+        assert_eq!(serial.digest, parallel.digest);
+        assert_eq!(serial.prescriptions_applied, parallel.prescriptions_applied);
+        assert_eq!(
+            serial.prescriptions_deferred,
+            parallel.prescriptions_deferred
+        );
+        assert_eq!(serial.runtime_passes, 2);
     }
 
     #[test]

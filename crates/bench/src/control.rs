@@ -112,7 +112,10 @@ pub fn metrics_row(label: &str, m: &RunMetrics) -> String {
 /// results can be consumed by plotting/regression tooling without parsing
 /// stdout. Returns the path written, or `None` if the filesystem refused
 /// (experiments still print their human-readable tables either way).
-pub fn write_json_report<T: serde::Serialize>(name: &str, payload: &T) -> Option<std::path::PathBuf> {
+pub fn write_json_report<T: serde::Serialize>(
+    name: &str,
+    payload: &T,
+) -> Option<std::path::PathBuf> {
     let dir = std::path::Path::new("experiments_out");
     std::fs::create_dir_all(dir).ok()?;
     let path = dir.join(format!("{name}.json"));
@@ -125,7 +128,15 @@ pub fn write_json_report<T: serde::Serialize>(name: &str, payload: &T) -> Option
 pub fn metrics_header() -> String {
     format!(
         "{:<22} {:>10} {:>12} {:>6} {:>7} {:>6} {:>9} {:>12} {:>10}",
-        "configuration", "IT kWh", "utility kWh", "PUE", "done", "killed", "slowdown", "work n·s", "kWh/kn·s"
+        "configuration",
+        "IT kWh",
+        "utility kWh",
+        "PUE",
+        "done",
+        "killed",
+        "slowdown",
+        "work n·s",
+        "kWh/kn·s"
     )
 }
 

@@ -107,9 +107,13 @@ fn tune_cooling_cross_pillar(dc: &mut DataCenter, leak_w_per_c: f64, leak_onset_
     let q = QueryEngine::new(&store);
     let recent = TimeRange::trailing(dc.now(), 900_000);
     let lookup = |name: &str, agg| {
-        dc.registry()
-            .lookup(name)
-            .and_then(|s| Query::sensors(s).range(recent).aggregate(agg).run(&q).scalar())
+        dc.registry().lookup(name).and_then(|s| {
+            Query::sensors(s)
+                .range(recent)
+                .aggregate(agg)
+                .run(&q)
+                .scalar()
+        })
     };
     let Some(outside) = lookup("/facility/outside_temp", Aggregation::Max) else {
         return;

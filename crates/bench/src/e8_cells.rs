@@ -27,13 +27,24 @@ fn short(a: &Artifact) -> String {
             format!("{title} ({} lines)", body.lines().count())
         }
         Artifact::Kpi { name, value } => format!("{name} = {value:.3}"),
-        Artifact::Diagnosis { kind, subject, severity, .. } => {
+        Artifact::Diagnosis {
+            kind,
+            subject,
+            severity,
+            ..
+        } => {
             format!("{kind} on {subject} (sev {severity:.2})")
         }
-        Artifact::Forecast { quantity, horizon_s, value } => {
+        Artifact::Forecast {
+            quantity,
+            horizon_s,
+            value,
+        } => {
             format!("{quantity} @ +{horizon_s:.0}s → {value:.2}")
         }
-        Artifact::Prescription { action, setting, .. } => format!("{action} := {setting}"),
+        Artifact::Prescription {
+            action, setting, ..
+        } => format!("{action} := {setting}"),
     }
 }
 
@@ -149,11 +160,15 @@ mod tests {
             .map(|(_, d)| d)
             .collect();
         assert!(
-            all_diags.iter().any(|d| d.contains("fan-failure") && d.contains("node3")),
+            all_diags
+                .iter()
+                .any(|d| d.contains("fan-failure") && d.contains("node3")),
             "fan failure missed: {all_diags:?}"
         );
         assert!(
-            all_diags.iter().any(|d| d.contains("memory-leak") && d.contains("node10")),
+            all_diags
+                .iter()
+                .any(|d| d.contains("memory-leak") && d.contains("node10")),
             "memory leak missed: {all_diags:?}"
         );
         assert!(

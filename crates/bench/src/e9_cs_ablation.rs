@@ -77,8 +77,7 @@ fn snapshot(state: NodeState, seed: u64, t: u64) -> Vec<f64> {
                 0..=9 => 100.0 + 200.0 * power_driver * (1.0 + 0.05 * i as f64) + 4.0 * jitter,
                 // 8 thermal sensors — carry the fan-failure signature.
                 10..=17 => {
-                    (thermal_driver + thermal_shift) * (1.0 + 0.03 * (i - 10) as f64)
-                        + 1.5 * jitter
+                    (thermal_driver + thermal_shift) * (1.0 + 0.03 * (i - 10) as f64) + 1.5 * jitter
                 }
                 // 6 memory sensors — carry the leak signature.
                 18..=23 => {
@@ -172,8 +171,16 @@ impl Centroids {
 /// Runs the ablation: `train_per_class` labelled examples per class,
 /// evaluated on `test_per_class` held-out snapshots. Returns
 /// `(cs_result, raw_result)`.
-pub fn run_ablation(train_per_class: usize, test_per_class: usize, seed: u64) -> (ArmResult, ArmResult) {
-    let states = [NodeState::Healthy, NodeState::FanFailure, NodeState::MemoryLeak];
+pub fn run_ablation(
+    train_per_class: usize,
+    test_per_class: usize,
+    seed: u64,
+) -> (ArmResult, ArmResult) {
+    let states = [
+        NodeState::Healthy,
+        NodeState::FanFailure,
+        NodeState::MemoryLeak,
+    ];
     // Unlabelled history for learning the CS ordering (healthy operation —
     // ordering needs no labels, one of CS's selling points).
     let history: Vec<Vec<f64>> = (0..256u64)
@@ -224,7 +231,11 @@ mod tests {
     fn cs_descriptor_is_much_smaller() {
         let (cs, raw) = run_ablation(6, 40, 1);
         assert_eq!(raw.feature_len, SENSORS);
-        assert!(cs.feature_len < SENSORS / 2, "cs {} features", cs.feature_len);
+        assert!(
+            cs.feature_len < SENSORS / 2,
+            "cs {} features",
+            cs.feature_len
+        );
     }
 
     #[test]

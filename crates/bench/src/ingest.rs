@@ -141,7 +141,13 @@ pub fn run_ingest(cfg: &IngestConfig, metrics: MetricsRegistry) -> (IngestReport
     let metrics_enabled = metrics.is_enabled();
     let registry = SensorRegistry::new();
     let sensors: Vec<_> = (0..cfg.sensors)
-        .map(|i| registry.register(&format!("/hw/node{i}/power_w"), SensorKind::Power, Unit::Watts))
+        .map(|i| {
+            registry.register(
+                &format!("/hw/node{i}/power_w"),
+                SensorKind::Power,
+                Unit::Watts,
+            )
+        })
         .collect();
     let store = Arc::new(TimeSeriesStore::with_capacity_shards_metrics(
         cfg.store_capacity,
@@ -192,8 +198,12 @@ pub fn run_ingest(cfg: &IngestConfig, metrics: MetricsRegistry) -> (IngestReport
         let s = sensors[qi % sensors.len()];
         let mean = timed(Query::sensors(s).range(all).aggregate(Aggregation::Mean)).scalar();
         assert!(mean.is_some(), "soak store must have data for every sensor");
-        let buckets =
-            timed(Query::sensors(s).range(all).downsample(10_000, Aggregation::Max)).buckets();
+        let buckets = timed(
+            Query::sensors(s)
+                .range(all)
+                .downsample(10_000, Aggregation::Max),
+        )
+        .buckets();
         assert!(!buckets.is_empty());
         let readings = timed(Query::sensors(s).range(all)).readings();
         assert!(!readings.is_empty());

@@ -30,3 +30,4 @@ pub mod e7_llnl;
 pub mod e8_cells;
 pub mod e9_cs_ablation;
 pub mod ingest;
+pub mod scale;

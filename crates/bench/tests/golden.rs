@@ -95,7 +95,10 @@ fn table1_grid_matches_golden_fixture() {
         multi_pillar: stats.multi_pillar,
         multi_type: stats.multi_type,
     };
-    check("table1.json", &serde_json::to_string_pretty(&golden).unwrap());
+    check(
+        "table1.json",
+        &serde_json::to_string_pretty(&golden).unwrap(),
+    );
 }
 
 #[test]
@@ -129,5 +132,8 @@ fn figure3_systems_match_golden_fixture() {
             .collect(),
         pairwise_jaccard: pairwise,
     };
-    check("figure3.json", &serde_json::to_string_pretty(&golden).unwrap());
+    check(
+        "figure3.json",
+        &serde_json::to_string_pretty(&golden).unwrap(),
+    );
 }

@@ -80,7 +80,10 @@ impl AnalyticsType {
     /// diagnostic) or the future (*foresight*: predictive, and
     /// prescriptive acting on it).
     pub const fn is_foresight(self) -> bool {
-        matches!(self, AnalyticsType::Predictive | AnalyticsType::Prescriptive)
+        matches!(
+            self,
+            AnalyticsType::Predictive | AnalyticsType::Prescriptive
+        )
     }
 }
 

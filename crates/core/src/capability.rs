@@ -104,6 +104,16 @@ pub struct CapabilityContext {
     pub now: Timestamp,
     /// Artifacts from earlier pipeline stages, in production order.
     pub upstream: Vec<Artifact>,
+    /// Deterministic RNG seed for this capability execution.
+    ///
+    /// The scheduler derives one stream per task from the pass seed and
+    /// the capability's registration slot — *never* from the worker that
+    /// happens to execute the task — so a randomized capability produces
+    /// bit-identical output at any worker count (work stealing moves
+    /// tasks between workers nondeterministically; a per-worker stream
+    /// would break replay). Capabilities that want randomness must seed
+    /// their generator from this value and nothing else.
+    pub rng_seed: u64,
 }
 
 impl CapabilityContext {
@@ -120,7 +130,15 @@ impl CapabilityContext {
             window,
             now,
             upstream: Vec::new(),
+            rng_seed: 0,
         }
+    }
+
+    /// Sets the deterministic RNG seed for this execution. Builder-style.
+    #[must_use]
+    pub fn with_rng_seed(mut self, rng_seed: u64) -> Self {
+        self.rng_seed = rng_seed;
+        self
     }
 
     /// Upstream forecasts of a given quantity.
@@ -154,6 +172,15 @@ impl CapabilityContext {
             .collect()
     }
 }
+
+// Compile-time audit: contexts and artifacts cross worker-thread
+// boundaries in the parallel scheduler.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CapabilityContext>();
+    assert_send::<Artifact>();
+    assert_send::<Box<dyn Capability>>();
+};
 
 /// A classified, runnable ODA component.
 pub trait Capability: Send {

@@ -85,7 +85,13 @@ impl Capability for FacilityDashboard {
                 .downsample(600_000, Aggregation::Mean)
                 .run(&q)
                 .buckets();
-            let series: Vec<f64> = buckets.iter().rev().take(48).rev().map(|b| b.value).collect();
+            let series: Vec<f64> = buckets
+                .iter()
+                .rev()
+                .take(48)
+                .rev()
+                .map(|b| b.value)
+                .collect();
             body.push_str(&format!("Outside temp  {}\n", sparkline(&series)));
         }
         out.push(Artifact::Report {
@@ -248,8 +254,13 @@ impl Capability for SchedulerDashboard {
         let q = QueryEngine::new(&ctx.store);
         let mut out = Vec::new();
         let scalar = |name: &str, agg: Aggregation| {
-            resolve(ctx, name)
-                .and_then(|s| Query::sensors(s).range(ctx.window).aggregate(agg).run(&q).scalar())
+            resolve(ctx, name).and_then(|s| {
+                Query::sensors(s)
+                    .range(ctx.window)
+                    .aggregate(agg)
+                    .run(&q)
+                    .scalar()
+            })
         };
         let mean = |name: &str| scalar(name, Aggregation::Mean);
         let last = |name: &str| scalar(name, Aggregation::Last);
@@ -293,7 +304,13 @@ impl Capability for SchedulerDashboard {
                 .downsample(600_000, Aggregation::Mean)
                 .run(&q)
                 .buckets();
-            let series: Vec<f64> = buckets.iter().rev().take(48).rev().map(|b| b.value).collect();
+            let series: Vec<f64> = buckets
+                .iter()
+                .rev()
+                .take(48)
+                .rev()
+                .map(|b| b.value)
+                .collect();
             body.push_str(&format!("Queue history {}\n", sparkline(&series)));
         }
         out.push(Artifact::Report {
@@ -384,7 +401,12 @@ impl Capability for JobDashboard {
 /// reports the currently-firing alerts.
 pub struct AlertBoard {
     /// `(rule name, sensor name, condition, severity)` tuples.
-    pub rules: Vec<(String, String, oda_telemetry::alert::Condition, oda_telemetry::alert::AlertSeverity)>,
+    pub rules: Vec<(
+        String,
+        String,
+        oda_telemetry::alert::Condition,
+        oda_telemetry::alert::AlertSeverity,
+    )>,
     /// Consecutive violating samples required before firing.
     pub debounce: u32,
 }
@@ -522,7 +544,9 @@ mod tests {
         let out = FacilityDashboard::new().execute(&ctx);
         let pue = out.iter().find_map(|a| a.kpi("pue")).expect("pue kpi");
         assert!(pue > 1.0 && pue < 3.0, "pue {pue}");
-        assert!(out.iter().any(|a| matches!(a, Artifact::Report { body, .. } if body.contains("IT load"))));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, Artifact::Report { body, .. } if body.contains("IT load"))));
     }
 
     #[test]

@@ -241,8 +241,7 @@ impl Capability for NodeAnomalyDetector {
             return Vec::new();
         }
         let fleet_z = mad_z_scores(&fleet_values).unwrap_or(vec![0.0; fleet_values.len()]);
-        let fleet_median =
-            crate::cells::diagnostic::median_of(&fleet_values).unwrap_or(f64::NAN);
+        let fleet_median = crate::cells::diagnostic::median_of(&fleet_values).unwrap_or(f64::NAN);
         let f_recent = Query::sensors(&fans)
             .range(recent)
             .aggregate(Aggregation::Mean)
@@ -265,11 +264,17 @@ impl Capability for NodeAnomalyDetector {
             let zs_self = {
                 let mut baseline = series[..split].to_vec();
                 baseline.push(*r);
-                mad_z_scores(&baseline).map(|z| *z.last().unwrap()).unwrap_or(0.0)
+                mad_z_scores(&baseline)
+                    .map(|z| *z.last().unwrap())
+                    .unwrap_or(0.0)
             };
             // Effect-size guard: the resistance must have actually *risen*
             // materially against whichever reference flagged it.
-            let rel_fleet = if fleet_median > 1e-9 { r / fleet_median - 1.0 } else { 0.0 };
+            let rel_fleet = if fleet_median > 1e-9 {
+                r / fleet_median - 1.0
+            } else {
+                0.0
+            };
             let rel_self = baseline_median
                 .map(|b| if b > 1e-9 { r / b - 1.0 } else { 0.0 })
                 .unwrap_or(0.0);
@@ -479,8 +484,8 @@ impl Capability for SoftwareAnomalyDetector {
                 .map(|c| c.iter().copied().fold(f64::INFINITY, f64::min))
                 .collect();
             let margin = self.leak_gib_per_hour * window_hours / 8.0;
-            let monotone = quarter_mins.len() == 4
-                && quarter_mins.windows(2).all(|w| w[1] > w[0] + margin);
+            let monotone =
+                quarter_mins.len() == 4 && quarter_mins.windows(2).all(|w| w[1] > w[0] + margin);
             if slope > self.leak_gib_per_hour && monotone {
                 out.push(Artifact::Diagnosis {
                     kind: "memory-leak".into(),
@@ -690,9 +695,12 @@ mod tests {
         let hit = out
             .iter()
             .find_map(|a| match a {
-                Artifact::Diagnosis { kind, subject, severity, .. } => {
-                    Some((kind.clone(), subject.clone(), *severity))
-                }
+                Artifact::Diagnosis {
+                    kind,
+                    subject,
+                    severity,
+                    ..
+                } => Some((kind.clone(), subject.clone(), *severity)),
                 _ => None,
             })
             .expect("hogged uplink must be diagnosed");
@@ -703,7 +711,9 @@ mod tests {
         let (_clean, clean_ctx) = sim_context(2.0, 26);
         let clean_out = NetworkContentionDiagnostics::new().execute(&clean_ctx);
         assert!(
-            !clean_out.iter().any(|a| matches!(a, Artifact::Diagnosis { subject, .. } if subject == "rack0-uplink")),
+            !clean_out.iter().any(
+                |a| matches!(a, Artifact::Diagnosis { subject, .. } if subject == "rack0-uplink")
+            ),
             "{clean_out:?}"
         );
     }
@@ -725,7 +735,9 @@ mod tests {
         );
         let out = InfraAnomalyDetector::new().execute(&ctx);
         assert!(
-            out.iter().any(|a| matches!(a, Artifact::Diagnosis { kind, .. } if kind == "cooling-degradation")),
+            out.iter().any(
+                |a| matches!(a, Artifact::Diagnosis { kind, .. } if kind == "cooling-degradation")
+            ),
             "degradation not detected: {out:?}"
         );
         // And quiet without the fault.
@@ -753,7 +765,8 @@ mod tests {
         );
         let out = SoftwareAnomalyDetector::new().execute(&ctx);
         assert!(
-            out.iter().any(|a| matches!(a, Artifact::Diagnosis { kind, subject, .. }
+            out.iter()
+                .any(|a| matches!(a, Artifact::Diagnosis { kind, subject, .. }
                 if kind == "memory-leak" && subject == "node1")),
             "leak not detected: {out:?}"
         );
@@ -803,7 +816,10 @@ mod tests {
                 id += 1;
             }
         }
-        let suspects = vec![mk(100, JobClass::Cryptominer), mk(101, JobClass::ComputeBound)];
+        let suspects = vec![
+            mk(100, JobClass::Cryptominer),
+            mk(101, JobClass::ComputeBound),
+        ];
         let mut cap = AppFingerprinter::new();
         cap.set_training(training);
         cap.set_records(suspects);
@@ -823,7 +839,10 @@ mod tests {
             Artifact::Diagnosis { subject, .. } => assert_eq!(subject, "job100"),
             _ => unreachable!(),
         }
-        let acc = out.iter().find_map(|a| a.kpi("fingerprint_accuracy")).unwrap();
+        let acc = out
+            .iter()
+            .find_map(|a| a.kpi("fingerprint_accuracy"))
+            .unwrap();
         assert_eq!(acc, 1.0);
     }
 }

@@ -143,8 +143,10 @@ mod tests {
         use crate::analytics_type::AnalyticsType;
         use crate::pillar::Pillar;
         assert_eq!(
-            *cov.per_cell
-                .get(GridCell::new(AnalyticsType::Diagnostic, Pillar::SystemHardware)),
+            *cov.per_cell.get(GridCell::new(
+                AnalyticsType::Diagnostic,
+                Pillar::SystemHardware
+            )),
             2
         );
         assert_eq!(

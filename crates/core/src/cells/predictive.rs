@@ -97,8 +97,7 @@ impl Capability for InfraForecaster {
     fn execute(&mut self, ctx: &CapabilityContext) -> Vec<Artifact> {
         let mut out = Vec::new();
         for sensor in ["/facility/outside_temp", "/facility/cooling/power_kw"] {
-            if let Some(fc) = seasonal_forecast(ctx, sensor, self.bucket_ms, self.horizon_buckets)
-            {
+            if let Some(fc) = seasonal_forecast(ctx, sensor, self.bucket_ms, self.horizon_buckets) {
                 for (horizon_s, value) in fc {
                     out.push(Artifact::Forecast {
                         quantity: sensor.into(),
@@ -248,8 +247,7 @@ impl Capability for WorkloadForecaster {
     fn execute(&mut self, ctx: &CapabilityContext) -> Vec<Artifact> {
         let mut out = Vec::new();
         for sensor in ["/sw/sched/queue_len", "/sw/sched/utilization"] {
-            if let Some(fc) = seasonal_forecast(ctx, sensor, self.bucket_ms, self.horizon_buckets)
-            {
+            if let Some(fc) = seasonal_forecast(ctx, sensor, self.bucket_ms, self.horizon_buckets) {
                 for (horizon_s, value) in fc {
                     out.push(Artifact::Forecast {
                         quantity: sensor.into(),
@@ -386,11 +384,9 @@ mod tests {
         let temps: Vec<f64> = out
             .iter()
             .filter_map(|a| match a {
-                Artifact::Forecast { quantity, value, .. }
-                    if quantity == "/facility/outside_temp" =>
-                {
-                    Some(*value)
-                }
+                Artifact::Forecast {
+                    quantity, value, ..
+                } if quantity == "/facility/outside_temp" => Some(*value),
                 _ => None,
             })
             .collect();
@@ -410,9 +406,9 @@ mod tests {
             .count();
         assert_eq!(per_node, dc.node_count());
         let fleet = out.iter().find_map(|a| match a {
-            Artifact::Forecast { quantity, value, .. } if quantity == "fleet_max_temp_c" => {
-                Some(*value)
-            }
+            Artifact::Forecast {
+                quantity, value, ..
+            } if quantity == "fleet_max_temp_c" => Some(*value),
             _ => None,
         });
         let m = fleet.expect("fleet max forecast");

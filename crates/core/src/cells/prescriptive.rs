@@ -134,7 +134,11 @@ impl Capability for CoolingOptimizer {
             setting: format!("{setpoint:.1}"),
             expected_impact: format!(
                 "{} free cooling at outside {outside:.1} °C",
-                if proactive { "proactively hold" } else { "hold" }
+                if proactive {
+                    "proactively hold"
+                } else {
+                    "hold"
+                }
             ),
             automatable: true,
         });
@@ -433,7 +437,10 @@ impl Capability for AppAutoTuner {
         });
         let mut out = vec![Artifact::Prescription {
             action: "app_parameters".into(),
-            setting: format!("threads={}, tile={}", result.best_values[0], result.best_values[1]),
+            setting: format!(
+                "threads={}, tile={}",
+                result.best_values[0], result.best_values[1]
+            ),
             expected_impact: format!(
                 "modelled runtime {:.2} s after {} probes",
                 result.best_cost, result.evaluations
@@ -462,9 +469,9 @@ mod tests {
     fn prescriptions(out: &[Artifact]) -> Vec<(String, String)> {
         out.iter()
             .filter_map(|a| match a {
-                Artifact::Prescription { action, setting, .. } => {
-                    Some((action.clone(), setting.clone()))
-                }
+                Artifact::Prescription {
+                    action, setting, ..
+                } => Some((action.clone(), setting.clone())),
                 _ => None,
             })
             .collect()

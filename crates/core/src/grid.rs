@@ -28,9 +28,9 @@ impl GridCell {
 
     /// All sixteen cells, row-major (analytics type outer, pillar inner).
     pub fn all() -> impl Iterator<Item = GridCell> {
-        AnalyticsType::ALL.into_iter().flat_map(|a| {
-            Pillar::ALL.into_iter().map(move |p| GridCell::new(a, p))
-        })
+        AnalyticsType::ALL
+            .into_iter()
+            .flat_map(|a| Pillar::ALL.into_iter().map(move |p| GridCell::new(a, p)))
     }
 
     /// Dense index `0..16`, row-major.
@@ -277,7 +277,10 @@ mod tests {
             Pillar::SystemHardware,
         ));
         assert_eq!(a.count(), 2);
-        assert!(a.covers(GridCell::new(AnalyticsType::Diagnostic, Pillar::SystemHardware)));
+        assert!(a.covers(GridCell::new(
+            AnalyticsType::Diagnostic,
+            Pillar::SystemHardware
+        )));
         assert_eq!(a.intersection(b), b);
         assert_eq!(a.union(b), a);
         assert_eq!(a.jaccard(b), 0.5);

@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_names() {
-        assert_eq!(Pillar::BuildingInfrastructure.to_string(), "Building Infrastructure");
+        assert_eq!(
+            Pillar::BuildingInfrastructure.to_string(),
+            "Building Infrastructure"
+        );
         assert_eq!(Pillar::Applications.to_string(), "Applications");
     }
 }

@@ -13,9 +13,9 @@
 
 use crate::analytics_type::AnalyticsType;
 use crate::capability::{Artifact, Capability, CapabilityContext};
+use crate::runtime::{CapabilityScheduler, RuntimeConfig};
 use oda_telemetry::metrics::MetricsRegistry;
 use serde::Serialize;
-use std::time::Instant;
 
 /// Named span covering one capability execution within a pipeline run —
 /// the per-plugin overhead accounting the paper's production references
@@ -30,6 +30,9 @@ pub struct StageSpan {
     pub wall_ns: u64,
     /// Number of artifacts the capability produced.
     pub artifacts: usize,
+    /// Whether the capability panicked (the scheduler isolates the panic:
+    /// the capability contributes no artifacts and the run continues).
+    pub panicked: bool,
 }
 
 /// Execution trace of one pipeline run.
@@ -62,6 +65,89 @@ impl PipelineRun {
     pub fn span(&self, capability: &str) -> Option<&StageSpan> {
         self.spans.iter().find(|s| s.capability == capability)
     }
+
+    /// Order-sensitive FNV-1a digest over everything the run *produced* —
+    /// stage order, capability names, artifacts (floats by bit pattern) and
+    /// panic flags — excluding wall times. Two runs of the same pipeline
+    /// over the same telemetry must yield equal digests at any worker
+    /// count; the scale bench and the determinism property tests gate on
+    /// exactly this.
+    pub fn output_digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (stage, name, artifacts) in &self.stages {
+            fold(&[stage.index() as u8]);
+            fold(name.as_bytes());
+            fold(&(artifacts.len() as u64).to_le_bytes());
+            for artifact in artifacts {
+                match artifact {
+                    Artifact::Report { title, body } => {
+                        fold(b"report");
+                        fold(title.as_bytes());
+                        fold(body.as_bytes());
+                    }
+                    Artifact::Kpi { name, value } => {
+                        fold(b"kpi");
+                        fold(name.as_bytes());
+                        fold(&value.to_bits().to_le_bytes());
+                    }
+                    Artifact::Diagnosis {
+                        kind,
+                        subject,
+                        severity,
+                        evidence,
+                    } => {
+                        fold(b"diagnosis");
+                        fold(kind.as_bytes());
+                        fold(subject.as_bytes());
+                        fold(&severity.to_bits().to_le_bytes());
+                        fold(evidence.as_bytes());
+                    }
+                    Artifact::Forecast {
+                        quantity,
+                        horizon_s,
+                        value,
+                    } => {
+                        fold(b"forecast");
+                        fold(quantity.as_bytes());
+                        fold(&horizon_s.to_bits().to_le_bytes());
+                        fold(&value.to_bits().to_le_bytes());
+                    }
+                    Artifact::Prescription {
+                        action,
+                        setting,
+                        expected_impact,
+                        automatable,
+                    } => {
+                        fold(b"prescription");
+                        fold(action.as_bytes());
+                        fold(setting.as_bytes());
+                        fold(expected_impact.as_bytes());
+                        fold(&[*automatable as u8]);
+                    }
+                }
+            }
+        }
+        for span in &self.spans {
+            fold(span.capability.as_bytes());
+            fold(&[span.panicked as u8]);
+        }
+        hash
+    }
+}
+
+/// One registered capability and its stage — the scheduler's unit of
+/// dispatch. The capability box is taken out of the slot while a worker
+/// executes it and reinstalled at the layer barrier, so the slot index is
+/// a stable identity for the whole pipeline lifetime.
+pub(crate) struct PipelineSlot {
+    pub(crate) stage: AnalyticsType,
+    pub(crate) cap: Option<Box<dyn Capability>>,
 }
 
 /// A pipeline of capabilities organised by analytics type.
@@ -76,7 +162,7 @@ impl PipelineRun {
 /// [`Self::with_metrics`] is used).
 #[derive(Default)]
 pub struct StagedPipeline {
-    stages: Vec<(AnalyticsType, Box<dyn Capability>)>,
+    slots: Vec<PipelineSlot>,
     metrics: Option<MetricsRegistry>,
 }
 
@@ -109,67 +195,48 @@ impl StagedPipeline {
 
     /// Adds a capability at a stage.
     pub fn add_stage(&mut self, stage: AnalyticsType, capability: Box<dyn Capability>) {
-        self.stages.push((stage, capability));
+        self.slots.push(PipelineSlot {
+            stage,
+            cap: Some(capability),
+        });
     }
 
     /// Number of capabilities in the pipeline.
     pub fn len(&self) -> usize {
-        self.stages.len()
+        self.slots.len()
     }
 
     /// `true` when the pipeline has no stages.
     pub fn is_empty(&self) -> bool {
-        self.stages.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Runs the pipeline over `ctx` (whose `upstream` is used as the
-    /// initial blackboard, normally empty).
-    pub fn run(&mut self, mut ctx: CapabilityContext) -> PipelineRun {
-        let metrics = self.metrics.clone().unwrap_or_else(MetricsRegistry::global);
-        let run_start = Instant::now();
-        let mut run = PipelineRun {
-            stages: Vec::new(),
-            spans: Vec::new(),
-            wall_ns: 0,
-        };
-        for stage_type in AnalyticsType::ALL {
-            // Peers within a stage see the same upstream snapshot.
-            let snapshot = ctx.upstream.clone();
-            let mut produced_this_stage: Vec<Artifact> = Vec::new();
-            for (stage, capability) in self
-                .stages
-                .iter_mut()
-                .filter(|(s, _)| *s == stage_type)
-            {
-                let peer_ctx = CapabilityContext {
-                    store: std::sync::Arc::clone(&ctx.store),
-                    registry: ctx.registry.clone(),
-                    window: ctx.window,
-                    now: ctx.now,
-                    upstream: snapshot.clone(),
-                };
-                let span_start = Instant::now();
-                let artifacts = capability.execute(&peer_ctx);
-                let wall_ns = span_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                let name = capability.name().to_owned();
-                let labels: &[(&str, &str)] = &[("capability", name.as_str())];
-                metrics.histogram("pipeline_stage_ns", labels).record(wall_ns);
-                metrics
-                    .counter("pipeline_artifacts_total", labels)
-                    .add(artifacts.len() as u64);
-                run.spans.push(StageSpan {
-                    stage: *stage,
-                    capability: name.clone(),
-                    wall_ns,
-                    artifacts: artifacts.len(),
-                });
-                produced_this_stage.extend(artifacts.iter().cloned());
-                run.stages.push((*stage, name, artifacts));
-            }
-            ctx.upstream.extend(produced_this_stage);
-        }
-        run.wall_ns = run_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        run
+    /// The metrics registry stage spans are recorded into.
+    pub(crate) fn resolved_metrics(&self) -> MetricsRegistry {
+        self.metrics.clone().unwrap_or_else(MetricsRegistry::global)
+    }
+
+    /// The scheduler's view of the registered capabilities.
+    pub(crate) fn slots(&self) -> &[PipelineSlot] {
+        &self.slots
+    }
+
+    /// Mutable slot access for the scheduler's take/reinstall cycle.
+    pub(crate) fn slots_mut(&mut self) -> &mut [PipelineSlot] {
+        &mut self.slots
+    }
+
+    /// Runs the pipeline serially over `ctx` (whose `upstream` is used as
+    /// the initial blackboard, normally empty).
+    ///
+    /// This is the one-worker degenerate case of the DAG scheduler in
+    /// [`crate::runtime`]: stages run in staged order, peers within a stage
+    /// in insertion order on the calling thread. Use
+    /// [`CapabilityScheduler`] (or [`crate::runtime::OdaRuntime`], which
+    /// embeds one) to fan a pass out across a worker pool.
+    pub fn run(&mut self, ctx: CapabilityContext) -> PipelineRun {
+        let metrics = self.resolved_metrics();
+        CapabilityScheduler::with_metrics(RuntimeConfig::serial(), metrics).run(self, ctx)
     }
 }
 
@@ -240,7 +307,12 @@ mod tests {
             self.saw_forecast = !forecasts.is_empty();
             vec![Artifact::Prescription {
                 action: "dvfs".into(),
-                setting: if self.saw_forecast { "proactive" } else { "reactive" }.into(),
+                setting: if self.saw_forecast {
+                    "proactive"
+                } else {
+                    "reactive"
+                }
+                .into(),
                 expected_impact: String::new(),
                 automatable: true,
             }]
@@ -250,7 +322,12 @@ mod tests {
     #[test]
     fn later_stages_see_earlier_artifacts() {
         let mut p = StagedPipeline::new()
-            .with_stage(AnalyticsType::Prescriptive, Box::new(Governor { saw_forecast: false }))
+            .with_stage(
+                AnalyticsType::Prescriptive,
+                Box::new(Governor {
+                    saw_forecast: false,
+                }),
+            )
             .with_stage(AnalyticsType::Predictive, Box::new(Predictor));
         // Insertion order deliberately reversed: the pipeline must order by
         // stage, not insertion.
@@ -265,8 +342,12 @@ mod tests {
 
     #[test]
     fn prescriptive_without_predictor_is_reactive() {
-        let mut p = StagedPipeline::new()
-            .with_stage(AnalyticsType::Prescriptive, Box::new(Governor { saw_forecast: false }));
+        let mut p = StagedPipeline::new().with_stage(
+            AnalyticsType::Prescriptive,
+            Box::new(Governor {
+                saw_forecast: false,
+            }),
+        );
         let run = p.run(ctx());
         match run.stage_artifacts(AnalyticsType::Prescriptive)[0] {
             Artifact::Prescription { setting, .. } => assert_eq!(setting, "reactive"),
@@ -322,7 +403,12 @@ mod tests {
         let mut p = StagedPipeline::new()
             .with_metrics(m.clone())
             .with_stage(AnalyticsType::Predictive, Box::new(Predictor))
-            .with_stage(AnalyticsType::Prescriptive, Box::new(Governor { saw_forecast: false }));
+            .with_stage(
+                AnalyticsType::Prescriptive,
+                Box::new(Governor {
+                    saw_forecast: false,
+                }),
+            );
         let run = p.run(ctx());
         assert_eq!(run.spans.len(), 2);
         let span = run.span("predictor").unwrap();
@@ -345,7 +431,12 @@ mod tests {
     #[test]
     fn run_trace_is_ordered_by_stage() {
         let mut p = StagedPipeline::new()
-            .with_stage(AnalyticsType::Prescriptive, Box::new(Governor { saw_forecast: false }))
+            .with_stage(
+                AnalyticsType::Prescriptive,
+                Box::new(Governor {
+                    saw_forecast: false,
+                }),
+            )
             .with_stage(AnalyticsType::Predictive, Box::new(Predictor))
             .with_stage(AnalyticsType::Descriptive, Box::new(Peer { name: "p" }));
         let run = p.run(ctx());

@@ -161,7 +161,10 @@ mod tests {
         }));
         r.register(Box::new(Fixed {
             name: "node-anomaly",
-            footprint: GridFootprint::single(cell(AnalyticsType::Diagnostic, Pillar::SystemHardware)),
+            footprint: GridFootprint::single(cell(
+                AnalyticsType::Diagnostic,
+                Pillar::SystemHardware,
+            )),
         }));
         r.register(Box::new(Fixed {
             name: "powerstack-like",
@@ -189,9 +192,17 @@ mod tests {
             r.in_cell(cell(AnalyticsType::Diagnostic, Pillar::SystemHardware)),
             vec!["node-anomaly"]
         );
-        assert_eq!(r.in_pillar(Pillar::SystemHardware), vec!["node-anomaly", "powerstack-like"]);
-        assert_eq!(r.of_type(AnalyticsType::Prescriptive), vec!["powerstack-like"]);
-        assert!(r.in_cell(cell(AnalyticsType::Prescriptive, Pillar::Applications)).is_empty());
+        assert_eq!(
+            r.in_pillar(Pillar::SystemHardware),
+            vec!["node-anomaly", "powerstack-like"]
+        );
+        assert_eq!(
+            r.of_type(AnalyticsType::Prescriptive),
+            vec!["powerstack-like"]
+        );
+        assert!(r
+            .in_cell(cell(AnalyticsType::Prescriptive, Pillar::Applications))
+            .is_empty());
     }
 
     #[test]
@@ -200,7 +211,10 @@ mod tests {
         assert_eq!(cov.union.count(), 4);
         assert_eq!(cov.gaps.len(), 12);
         assert_eq!(
-            *cov.per_cell.get(cell(AnalyticsType::Descriptive, Pillar::BuildingInfrastructure)),
+            *cov.per_cell.get(cell(
+                AnalyticsType::Descriptive,
+                Pillar::BuildingInfrastructure
+            )),
             1
         );
         assert!(!cov
@@ -211,7 +225,10 @@ mod tests {
     #[test]
     fn execute_cell_runs_only_matching() {
         let mut r = registry();
-        let out = r.execute_cell(cell(AnalyticsType::Diagnostic, Pillar::SystemHardware), &ctx());
+        let out = r.execute_cell(
+            cell(AnalyticsType::Diagnostic, Pillar::SystemHardware),
+            &ctx(),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].kpi("node-anomaly"), Some(1.0));
     }

@@ -8,21 +8,669 @@
 //! * [`ControlPlane`] abstracts "the thing that can actually turn knobs" —
 //!   the simulator in this reproduction, a BMC/Redfish/SLURM adapter in a
 //!   real deployment;
-//! * [`OdaRuntime`] holds the pipeline, runs a pass over a window of
-//!   telemetry, routes prescriptions, and keeps an audit log of every
-//!   action taken or deferred (prescriptions are outward-facing: a system
-//!   that cannot say what it did and why is not deployable).
+//! * [`CapabilityScheduler`] turns one pipeline pass into a dependency
+//!   DAG over the registered capabilities, topologically layers it, and
+//!   fans each layer out across a fixed-size work-stealing worker pool —
+//!   deterministically (see the module docs below);
+//! * [`OdaRuntime`] holds the pipeline and scheduler, runs a pass over a
+//!   window of telemetry, routes prescriptions, and keeps an audit log of
+//!   every action taken or deferred (prescriptions are outward-facing: a
+//!   system that cannot say what it did and why is not deployable).
+//!
+//! # Determinism contract
+//!
+//! Production ODA evaluates many analytical models online and in parallel
+//! (DCDB Wintermute and friends), but replayability is what makes a
+//! control loop debuggable. The scheduler therefore guarantees that a
+//! pass's *outputs* — the [`PipelineRun`] stage sequence, every artifact,
+//! the audit log, and all count-valued metrics — are bit-identical at any
+//! worker count:
+//!
+//! * workers record results into **pre-assigned slots** (one per
+//!   registered capability), never into a shared append log;
+//! * artifact/metric/audit emission is **sequenced by capability slot**
+//!   after each layer barrier, so emission order never depends on which
+//!   worker finished first;
+//! * per-task RNG streams derive from `(pass seed, capability slot)` —
+//!   not from the executing worker — so work stealing cannot perturb a
+//!   randomized capability;
+//! * capability panics are caught on the worker, surfaced as
+//!   [`StageSpan::panicked`], and isolated (the pass continues), so one
+//!   bad plugin cannot take down the telemetry plane.
+//!
+//! `workers = 1` executes on the calling thread in exactly the historical
+//! serial order (stages in staged order, peers in insertion order).
 
 use crate::analytics_type::AnalyticsType;
 use crate::capability::{Artifact, Capability, CapabilityContext};
-use crate::pipeline::{PipelineRun, StagedPipeline};
+use crate::grid::GridFootprint;
+use crate::pipeline::{PipelineRun, StageSpan, StagedPipeline};
 use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::query::TimeRange;
 use oda_telemetry::reading::Timestamp;
 use oda_telemetry::sensor::SensorRegistry;
 use oda_telemetry::store::TimeSeriesStore;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of the capability scheduler.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Fixed worker-pool size. `1` (the [`Self::serial`] preset) runs
+    /// every capability on the calling thread in the historical serial
+    /// order; the default is [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Root seed for the per-task RNG streams handed to capabilities via
+    /// [`CapabilityContext::rng_seed`]. Same seed ⇒ same streams, pass
+    /// after pass.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            seed: 0,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Single-worker preset: today's exact serial behavior.
+    pub fn serial() -> Self {
+        RuntimeConfig {
+            workers: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker count (clamped to ≥ 1). Builder-style.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the RNG root seed. Builder-style.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// SplitMix64 — the stock seed-derivation permutation (Steele et al.),
+/// used to derive pass seeds and per-slot RNG streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One concurrency layer of the capability DAG: every slot in `slots` may
+/// execute concurrently once all earlier layers have completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagLayer {
+    /// Analytics stage all of this layer's capabilities belong to (layers
+    /// never span stages — stage boundaries are artifact-flow barriers).
+    pub stage: AnalyticsType,
+    /// Capability slot indices, ascending (= registration order).
+    pub slots: Vec<usize>,
+}
+
+/// Dependency DAG over a pipeline's registered capabilities, topologically
+/// layered for barrier execution.
+///
+/// Two edge rules, straight from the pipeline's visibility semantics:
+///
+/// 1. **Artifact flow** — every capability of stage *s* reads the
+///    artifacts of *every* capability of stages < *s* (`ctx.upstream`),
+///    so each non-empty stage depends wholesale on the previous non-empty
+///    stage (transitively on all earlier ones).
+/// 2. **Actuation-domain conflict** — two *prescriptive* capabilities
+///    whose grid footprints intersect prescribe into the same sensor
+///    domain; they are serialized in registration order (an edge from the
+///    earlier to the later) so conflicting knob proposals are always
+///    produced — and later routed — in a stable order. Hindsight stages
+///    only read telemetry and never conflict.
+///
+/// Layering is the usual longest-path assignment: a capability's layer is
+/// one past the deepest of its dependencies, which groups every stage
+/// into one layer (plus conflict sub-layers inside the prescriptive
+/// stage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapabilityDag {
+    /// Execution layers, in order.
+    pub layers: Vec<DagLayer>,
+    /// Total dependency edges (artifact-flow + conflict).
+    pub edges: usize,
+}
+
+impl CapabilityDag {
+    /// Builds the DAG for capabilities declared as `(stage, footprint)`
+    /// pairs in registration order.
+    pub fn build(slots: &[(AnalyticsType, GridFootprint)]) -> Self {
+        let mut layers: Vec<DagLayer> = Vec::new();
+        let mut edges = 0usize;
+        let mut prev_stage_size = 0usize;
+        for stage in AnalyticsType::ALL {
+            let members: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, (s, _))| *s == stage)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            // Artifact-flow edges: complete bipartite from the previous
+            // non-empty stage.
+            edges += prev_stage_size * members.len();
+            prev_stage_size = members.len();
+            if stage == AnalyticsType::Prescriptive {
+                // Conflict sub-layers: longest chain of overlapping
+                // footprints, registration order within a chain.
+                let mut sublayer = vec![0usize; members.len()];
+                for j in 0..members.len() {
+                    for i in 0..j {
+                        let fi = slots[members[i]].1;
+                        let fj = slots[members[j]].1;
+                        if fi.intersection(fj).count() > 0 {
+                            edges += 1;
+                            sublayer[j] = sublayer[j].max(sublayer[i] + 1);
+                        }
+                    }
+                }
+                let depth = sublayer.iter().max().copied().unwrap_or(0);
+                for d in 0..=depth {
+                    let slots_d: Vec<usize> = members
+                        .iter()
+                        .zip(&sublayer)
+                        .filter(|(_, &l)| l == d)
+                        .map(|(&m, _)| m)
+                        .collect();
+                    layers.push(DagLayer {
+                        stage,
+                        slots: slots_d,
+                    });
+                }
+            } else {
+                layers.push(DagLayer {
+                    stage,
+                    slots: members,
+                });
+            }
+        }
+        CapabilityDag { layers, edges }
+    }
+
+    /// Total capabilities across all layers.
+    pub fn len(&self) -> usize {
+        self.layers.iter().map(|l| l.slots.len()).sum()
+    }
+
+    /// `true` when the DAG has no capabilities.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The widest layer — the pass's maximum exploitable parallelism.
+    pub fn max_width(&self) -> usize {
+        self.layers.iter().map(|l| l.slots.len()).max().unwrap_or(0)
+    }
+}
+
+/// A unit of work: one capability execution against a stage snapshot.
+struct Task {
+    slot: usize,
+    stage: AnalyticsType,
+    cap: Box<dyn Capability>,
+    ctx: CapabilityContext,
+}
+
+/// The slot-addressed outcome of one capability execution.
+struct SlotResult {
+    stage: AnalyticsType,
+    name: String,
+    artifacts: Vec<Artifact>,
+    wall_ns: u64,
+    panicked: Option<String>,
+}
+
+/// What came back from executing a [`Task`]: the capability box (to be
+/// reinstalled in its pipeline slot) plus the result for that slot.
+struct TaskDone {
+    slot: usize,
+    cap: Box<dyn Capability>,
+    result: SlotResult,
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Executes one task, catching capability panics so a bad plugin is
+/// isolated instead of poisoning the pool.
+fn execute_task(task: Task) -> TaskDone {
+    let Task {
+        slot,
+        stage,
+        mut cap,
+        ctx,
+    } = task;
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| cap.execute(&ctx)));
+    let wall_ns = elapsed_ns(start);
+    let name = cap.name().to_owned();
+    let (artifacts, panicked) = match outcome {
+        Ok(artifacts) => (artifacts, None),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            (Vec::new(), Some(msg))
+        }
+    };
+    TaskDone {
+        slot,
+        cap,
+        result: SlotResult {
+            stage,
+            name,
+            artifacts,
+            wall_ns,
+            panicked,
+        },
+    }
+}
+
+/// Layer hand-off state shared between the submitting thread and workers.
+#[derive(Default)]
+struct Gate {
+    /// Bumped once per submitted layer; workers drain queues when they
+    /// observe a new epoch.
+    epoch: u64,
+    shutdown: bool,
+}
+
+/// State shared by every worker of a [`WorkerPool`].
+struct PoolShared {
+    /// One deque per worker; tasks are dealt round-robin by layer
+    /// position, workers pop their own front and steal others' backs.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    gate: Mutex<Gate>,
+    wake: Condvar,
+    /// Tasks executed off another worker's deque.
+    steals: AtomicU64,
+    /// Per-worker busy nanoseconds since the last drain.
+    busy_ns: Vec<AtomicU64>,
+}
+
+/// Pops the next task for worker `me`: own queue first (front), then
+/// round-robin victim scan (back). Returns whether the task was stolen.
+fn next_task(me: usize, shared: &PoolShared) -> Option<(Task, bool)> {
+    if let Ok(mut q) = shared.queues[me].lock() {
+        if let Some(t) = q.pop_front() {
+            return Some((t, false));
+        }
+    }
+    let n = shared.queues.len();
+    for k in 1..n {
+        let victim = (me + k) % n;
+        if let Ok(mut q) = shared.queues[victim].lock() {
+            if let Some(t) = q.pop_back() {
+                return Some((t, true));
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(me: usize, shared: Arc<PoolShared>, done: mpsc::Sender<TaskDone>) {
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut gate = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if gate.shutdown {
+                    return;
+                }
+                if gate.epoch != seen {
+                    seen = gate.epoch;
+                    break;
+                }
+                gate = shared.wake.wait(gate).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        while let Some((task, stolen)) = next_task(me, &shared) {
+            if stolen {
+                shared.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            let start = Instant::now();
+            let result = execute_task(task);
+            shared.busy_ns[me].fetch_add(elapsed_ns(start), Ordering::Relaxed);
+            if done.send(result).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// A fixed-size pool of capability workers.
+///
+/// Workers are spawned once (named `oda-worker-N`) and live until the
+/// pool is dropped; `Drop` signals shutdown and **joins every thread**,
+/// so tearing down a runtime never leaks detached workers past e.g. a
+/// `DataCenter` teardown.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    done_rx: mpsc::Receiver<TaskDone>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let (done_tx, done_rx) = mpsc::channel();
+        let shared = Arc::new(PoolShared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            gate: Mutex::new(Gate::default()),
+            wake: Condvar::new(),
+            steals: AtomicU64::new(0),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let done = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("oda-worker-{i}"))
+                    .spawn(move || worker_loop(i, shared, done))
+                    .expect("spawn capability worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            done_rx,
+            handles,
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs one layer to completion: deals the tasks round-robin onto the
+    /// worker deques, opens the gate, and blocks until every result is
+    /// back (the layer barrier).
+    fn run_layer(&self, tasks: Vec<Task>) -> Vec<TaskDone> {
+        let n = tasks.len();
+        let w = self.shared.queues.len();
+        for (i, task) in tasks.into_iter().enumerate() {
+            self.shared.queues[i % w]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+        {
+            let mut gate = self.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+            gate.epoch += 1;
+        }
+        self.shared.wake.notify_all();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.done_rx.recv().expect("worker pool alive"));
+        }
+        out
+    }
+
+    /// Steals since construction.
+    fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Drains per-worker busy time accumulated since the last call.
+    fn drain_busy_ns(&self) -> Vec<u64> {
+        self.shared
+            .busy_ns
+            .iter()
+            .map(|b| b.swap(0, Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut gate = self.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+            gate.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Deterministic parallel executor for [`StagedPipeline`] passes.
+///
+/// Builds the [`CapabilityDag`] fresh each pass (capability registration
+/// may change between passes), then executes it layer by layer. See the
+/// module docs for the determinism contract. The pool is spawned lazily
+/// on the first pass that can use it and reused afterwards; dropping the
+/// scheduler joins every worker.
+pub struct CapabilityScheduler {
+    config: RuntimeConfig,
+    metrics: MetricsRegistry,
+    pool: Option<WorkerPool>,
+    passes: u64,
+    steals_recorded: u64,
+}
+
+impl CapabilityScheduler {
+    /// Creates a scheduler recording into the process-wide default
+    /// metrics registry.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self::with_metrics(config, MetricsRegistry::global())
+    }
+
+    /// Creates a scheduler recording scheduler metrics
+    /// (`runtime_layer_span`, `runtime_worker_busy_ns`,
+    /// `runtime_steal_total`, `runtime_capability_panics_total`) into
+    /// `metrics`.
+    pub fn with_metrics(config: RuntimeConfig, metrics: MetricsRegistry) -> Self {
+        CapabilityScheduler {
+            config,
+            metrics,
+            pool: None,
+            passes: 0,
+            steals_recorded: 0,
+        }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Redirects scheduler metrics to `metrics`.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
+    }
+
+    /// Tasks executed off another worker's deque since construction.
+    pub fn steals(&self) -> u64 {
+        self.pool.as_ref().map(WorkerPool::steals).unwrap_or(0)
+    }
+
+    /// Runs one pipeline pass. Equivalent to [`StagedPipeline::run`] when
+    /// `workers == 1`; fans layers out across the pool otherwise. Outputs
+    /// are bit-identical either way.
+    pub fn run(&mut self, pipeline: &mut StagedPipeline, ctx: CapabilityContext) -> PipelineRun {
+        let pass_seed = splitmix64(self.config.seed ^ splitmix64(self.passes));
+        self.passes += 1;
+        let run_start = Instant::now();
+        let mut run = PipelineRun {
+            stages: Vec::new(),
+            spans: Vec::new(),
+            wall_ns: 0,
+        };
+        let meta: Vec<(AnalyticsType, GridFootprint)> = pipeline
+            .slots()
+            .iter()
+            .map(|s| {
+                let cap = s.cap.as_ref().expect("slot occupied between passes");
+                (s.stage, cap.footprint())
+            })
+            .collect();
+        let dag = CapabilityDag::build(&meta);
+        let stage_metrics = pipeline.resolved_metrics();
+
+        let mut results: Vec<Option<SlotResult>> = meta.iter().map(|_| None).collect();
+        let mut upstream = ctx.upstream.clone();
+        let mut snapshot = upstream.clone();
+        let mut stage_done: Vec<usize> = Vec::new();
+        let mut current_stage: Option<AnalyticsType> = None;
+
+        let want_pool = self.config.workers > 1;
+        if want_pool && self.pool.as_ref().map(WorkerPool::workers) != Some(self.config.workers) {
+            self.pool = Some(WorkerPool::new(self.config.workers));
+        }
+
+        for layer in &dag.layers {
+            if current_stage != Some(layer.stage) {
+                // Stage barrier: emit the finished stage in slot order and
+                // make its artifacts visible downstream.
+                Self::emit_stage(
+                    &mut run,
+                    &mut upstream,
+                    &mut stage_done,
+                    &mut results,
+                    &stage_metrics,
+                );
+                current_stage = Some(layer.stage);
+                snapshot = upstream.clone();
+            }
+            let layer_start = Instant::now();
+            let tasks: Vec<Task> = layer
+                .slots
+                .iter()
+                .map(|&slot| {
+                    let cap = pipeline.slots_mut()[slot]
+                        .cap
+                        .take()
+                        .expect("slot occupied between passes");
+                    Task {
+                        slot,
+                        stage: layer.stage,
+                        cap,
+                        ctx: CapabilityContext {
+                            store: Arc::clone(&ctx.store),
+                            registry: ctx.registry.clone(),
+                            window: ctx.window,
+                            now: ctx.now,
+                            upstream: snapshot.clone(),
+                            rng_seed: splitmix64(pass_seed ^ (slot as u64 + 1)),
+                        },
+                    }
+                })
+                .collect();
+            let done: Vec<TaskDone> = match &self.pool {
+                Some(pool) if want_pool && tasks.len() > 1 => pool.run_layer(tasks),
+                _ => tasks.into_iter().map(execute_task).collect(),
+            };
+            for d in done {
+                pipeline.slots_mut()[d.slot].cap = Some(d.cap);
+                results[d.slot] = Some(d.result);
+            }
+            self.metrics
+                .histogram("runtime_layer_span", &[])
+                .record(elapsed_ns(layer_start));
+            stage_done.extend(layer.slots.iter().copied());
+            self.record_pool_metrics();
+        }
+        Self::emit_stage(
+            &mut run,
+            &mut upstream,
+            &mut stage_done,
+            &mut results,
+            &stage_metrics,
+        );
+        run.wall_ns = elapsed_ns(run_start);
+        run
+    }
+
+    /// Emits every completed capability of the stage that just finished —
+    /// spans, per-capability metrics and artifact visibility — sequenced
+    /// by capability slot, never by completion order.
+    fn emit_stage(
+        run: &mut PipelineRun,
+        upstream: &mut Vec<Artifact>,
+        stage_done: &mut Vec<usize>,
+        results: &mut [Option<SlotResult>],
+        stage_metrics: &MetricsRegistry,
+    ) {
+        stage_done.sort_unstable();
+        for &slot in stage_done.iter() {
+            let done = results[slot].take().expect("layer barrier completed slot");
+            let name = done.name;
+            let labels: &[(&str, &str)] = &[("capability", name.as_str())];
+            stage_metrics
+                .histogram("pipeline_stage_ns", labels)
+                .record(done.wall_ns);
+            stage_metrics
+                .counter("pipeline_artifacts_total", labels)
+                .add(done.artifacts.len() as u64);
+            if done.panicked.is_some() {
+                stage_metrics
+                    .counter("runtime_capability_panics_total", labels)
+                    .inc();
+            }
+            run.spans.push(StageSpan {
+                stage: done.stage,
+                capability: name.clone(),
+                wall_ns: done.wall_ns,
+                artifacts: done.artifacts.len(),
+                panicked: done.panicked.is_some(),
+            });
+            upstream.extend(done.artifacts.iter().cloned());
+            run.stages.push((done.stage, name, done.artifacts));
+        }
+        stage_done.clear();
+    }
+
+    /// Folds pool-side counters (steals, per-worker busy time) into the
+    /// metrics registry. These are scheduling telemetry: they vary run to
+    /// run and are explicitly *outside* the determinism contract.
+    fn record_pool_metrics(&mut self) {
+        let Some(pool) = &self.pool else { return };
+        let steals = pool.steals();
+        if steals > self.steals_recorded {
+            self.metrics
+                .counter("runtime_steal_total", &[])
+                .add(steals - self.steals_recorded);
+            self.steals_recorded = steals;
+        }
+        for (i, busy) in pool.drain_busy_ns().into_iter().enumerate() {
+            if busy > 0 {
+                let idx = i.to_string();
+                self.metrics
+                    .histogram("runtime_worker_busy_ns", &[("worker", idx.as_str())])
+                    .record(busy);
+            }
+        }
+    }
+}
 
 /// The actuation surface prescriptions are applied to.
 pub trait ControlPlane {
@@ -100,6 +748,7 @@ pub struct PassReport {
 /// ```
 pub struct OdaRuntime {
     pipeline: StagedPipeline,
+    scheduler: CapabilityScheduler,
     /// Width of the telemetry window each pass analyses, ms.
     pub window_ms: u64,
     /// Whether automatable prescriptions are applied (`false` = advisory
@@ -110,12 +759,19 @@ pub struct OdaRuntime {
 }
 
 impl OdaRuntime {
-    /// Creates a runtime analysing trailing windows of `window_ms`.
-    /// Records pass metrics into the process-wide default registry unless
-    /// [`Self::with_metrics`] is used.
+    /// Creates a runtime analysing trailing windows of `window_ms`, with
+    /// the default scheduler configuration (one worker per available
+    /// core). Records pass metrics into the process-wide default registry
+    /// unless [`Self::with_metrics`] is used.
     pub fn new(window_ms: u64) -> Self {
+        Self::with_config(window_ms, RuntimeConfig::default())
+    }
+
+    /// Creates a runtime with an explicit scheduler configuration.
+    pub fn with_config(window_ms: u64, config: RuntimeConfig) -> Self {
         OdaRuntime {
             pipeline: StagedPipeline::new(),
+            scheduler: CapabilityScheduler::new(config),
             window_ms,
             autopilot: true,
             audit: Vec::new(),
@@ -123,13 +779,28 @@ impl OdaRuntime {
         }
     }
 
+    /// Sets the worker-pool size (1 = serial). Builder-style.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        let config = self.scheduler.config().clone().with_workers(workers);
+        self.scheduler = CapabilityScheduler::with_metrics(config, self.metrics.clone());
+        self
+    }
+
+    /// The scheduler configuration in effect.
+    pub fn config(&self) -> &RuntimeConfig {
+        self.scheduler.config()
+    }
+
     /// Records pass metrics (`runtime_pass_total`, `runtime_pass_ns`,
     /// `runtime_prescriptions_{applied,deferred}_total`,
-    /// `runtime_diagnoses_total`) and the pipeline's per-capability stage
-    /// metrics into `metrics`. Builder-style.
+    /// `runtime_diagnoses_total`), the scheduler's layer/steal/busy
+    /// metrics, and the pipeline's per-capability stage metrics into
+    /// `metrics`. Builder-style.
     #[must_use]
     pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
         self.pipeline.set_metrics(metrics.clone());
+        self.scheduler.set_metrics(metrics.clone());
         self.metrics = metrics;
         self
     }
@@ -168,7 +839,7 @@ impl OdaRuntime {
             TimeRange::trailing(now, self.window_ms),
             now,
         );
-        let run = self.pipeline.run(ctx);
+        let run = self.scheduler.run(&mut self.pipeline, ctx);
         let mut applied = 0;
         let mut deferred = 0;
         let mut diagnoses = 0;
@@ -242,7 +913,10 @@ impl ControlPlane for SimControlPlane<'_> {
         use oda_sim::hardware::node::NodeId;
         use oda_sim::scheduler::placement::{CoolingAware, FirstFit, PackRacks, PowerAware};
         if let Some(rest) = action.strip_suffix("/freq_ghz") {
-            let Some(idx) = rest.strip_prefix("node").and_then(|s| s.parse::<u32>().ok()) else {
+            let Some(idx) = rest
+                .strip_prefix("node")
+                .and_then(|s| s.parse::<u32>().ok())
+            else {
                 return false;
             };
             let Ok(ghz) = setting.parse::<f64>() else {
@@ -255,7 +929,10 @@ impl ControlPlane for SimControlPlane<'_> {
             return true;
         }
         if let Some(rest) = action.strip_suffix("/fan") {
-            let Some(idx) = rest.strip_prefix("node").and_then(|s| s.parse::<u32>().ok()) else {
+            let Some(idx) = rest
+                .strip_prefix("node")
+                .and_then(|s| s.parse::<u32>().ok())
+            else {
                 return false;
             };
             let Ok(speed) = setting.parse::<f64>() else {
@@ -286,14 +963,14 @@ impl ControlPlane for SimControlPlane<'_> {
                 true
             }
             "placement_policy" => {
-                let policy: Box<dyn oda_sim::scheduler::placement::PlacementPolicy> =
-                    match setting {
-                        "first-fit" => Box::new(FirstFit),
-                        "cooling-aware" => Box::new(CoolingAware),
-                        "pack-racks" => Box::new(PackRacks),
-                        "power-aware" => Box::new(PowerAware),
-                        _ => return false,
-                    };
+                let policy: Box<dyn oda_sim::scheduler::placement::PlacementPolicy> = match setting
+                {
+                    "first-fit" => Box::new(FirstFit),
+                    "cooling-aware" => Box::new(CoolingAware),
+                    "pack-racks" => Box::new(PackRacks),
+                    "power-aware" => Box::new(PowerAware),
+                    _ => return false,
+                };
                 self.dc.set_placement_policy(policy);
                 true
             }
@@ -345,10 +1022,7 @@ mod tests {
         let _ = before_setpoint;
         assert!((18.0..=45.0).contains(&after));
         // Audit log recorded everything with outcomes.
-        assert_eq!(
-            runtime.audit_log().len(),
-            report.applied + report.deferred
-        );
+        assert_eq!(runtime.audit_log().len(), report.applied + report.deferred);
         assert!(runtime
             .audit_log()
             .iter()
@@ -402,6 +1076,193 @@ mod tests {
             .audit_log()
             .iter()
             .all(|r| r.outcome != ActionOutcome::Applied));
+    }
+
+    #[test]
+    fn dag_layers_stages_and_serializes_prescriptive_conflicts() {
+        use crate::grid::GridCell;
+        use crate::pillar::Pillar;
+        let cell = |a, p| GridFootprint::single(GridCell::new(a, p));
+        // Registration order: prescriptive (hw), descriptive ×2, predictive,
+        // prescriptive (hw again → conflicts with slot 0), prescriptive (apps).
+        let slots = vec![
+            (
+                AnalyticsType::Prescriptive,
+                cell(AnalyticsType::Prescriptive, Pillar::SystemHardware),
+            ),
+            (
+                AnalyticsType::Descriptive,
+                cell(AnalyticsType::Descriptive, Pillar::SystemHardware),
+            ),
+            (
+                AnalyticsType::Descriptive,
+                cell(AnalyticsType::Descriptive, Pillar::Applications),
+            ),
+            (
+                AnalyticsType::Predictive,
+                cell(AnalyticsType::Predictive, Pillar::SystemHardware),
+            ),
+            (
+                AnalyticsType::Prescriptive,
+                cell(AnalyticsType::Prescriptive, Pillar::SystemHardware),
+            ),
+            (
+                AnalyticsType::Prescriptive,
+                cell(AnalyticsType::Prescriptive, Pillar::Applications),
+            ),
+        ];
+        let dag = CapabilityDag::build(&slots);
+        assert_eq!(dag.len(), 6);
+        let layers: Vec<(AnalyticsType, Vec<usize>)> = dag
+            .layers
+            .iter()
+            .map(|l| (l.stage, l.slots.clone()))
+            .collect();
+        assert_eq!(
+            layers,
+            vec![
+                (AnalyticsType::Descriptive, vec![1, 2]),
+                (AnalyticsType::Predictive, vec![3]),
+                // Slot 4 overlaps slot 0's hardware domain → its own
+                // sub-layer; slot 5 (apps) rides with slot 0.
+                (AnalyticsType::Prescriptive, vec![0, 5]),
+                (AnalyticsType::Prescriptive, vec![4]),
+            ]
+        );
+        // Artifact flow: 2·1 + 1·3; conflict: 0→4. Max width is the
+        // descriptive/first-prescriptive pair.
+        assert_eq!(dag.edges, 2 + 3 + 1);
+        assert_eq!(dag.max_width(), 2);
+    }
+
+    #[test]
+    fn parallel_pass_is_bit_identical_to_serial() {
+        let mut outputs = Vec::new();
+        for workers in [1usize, 4] {
+            let mut dc = DataCenter::new(DataCenterConfig::tiny(), 77);
+            dc.run_for_hours(1.0);
+            let mut runtime = full_runtime()
+                .with_workers(workers)
+                .with_metrics(MetricsRegistry::new());
+            let report = runtime.pass(
+                std::sync::Arc::clone(dc.store()),
+                dc.registry().clone(),
+                dc.now(),
+                &mut SimControlPlane { dc: &mut dc },
+            );
+            outputs.push((
+                report.run.output_digest(),
+                report.applied,
+                report.deferred,
+                runtime.audit_log().to_vec(),
+            ));
+        }
+        assert_eq!(outputs[0].0, outputs[1].0, "pipeline outputs must match");
+        assert_eq!(outputs[0].1, outputs[1].1, "applied counts must match");
+        assert_eq!(outputs[0].2, outputs[1].2, "deferred counts must match");
+        assert_eq!(outputs[0].3, outputs[1].3, "audit logs must match");
+    }
+
+    /// A capability that always panics: the scheduler must isolate it.
+    struct Exploder;
+    impl Capability for Exploder {
+        fn name(&self) -> &str {
+            "exploder"
+        }
+        fn description(&self) -> &str {
+            "panics on execute"
+        }
+        fn footprint(&self) -> crate::grid::GridFootprint {
+            crate::grid::GridFootprint::single(crate::grid::GridCell::new(
+                AnalyticsType::Diagnostic,
+                crate::pillar::Pillar::SystemHardware,
+            ))
+        }
+        fn execute(&mut self, _ctx: &CapabilityContext) -> Vec<Artifact> {
+            panic!("deliberate test panic");
+        }
+    }
+
+    #[test]
+    fn capability_panic_is_isolated_and_recorded() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let metrics = MetricsRegistry::new();
+        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 55);
+        dc.run_for_hours(0.5);
+        let mut runtime = full_runtime()
+            .with_capability(AnalyticsType::Diagnostic, Box::new(Exploder))
+            .with_metrics(metrics.clone());
+        let report = runtime.pass(
+            std::sync::Arc::clone(dc.store()),
+            dc.registry().clone(),
+            dc.now(),
+            &mut SimControlPlane { dc: &mut dc },
+        );
+        std::panic::set_hook(hook);
+        let span = report.run.span("exploder").expect("exploder span recorded");
+        assert!(span.panicked);
+        assert_eq!(span.artifacts, 0);
+        // The rest of the pipeline still ran to completion.
+        assert!(report.run.spans.len() > 1);
+        assert!(report.applied + report.deferred > 0);
+        assert_eq!(
+            metrics
+                .snapshot()
+                .counter("runtime_capability_panics_total{capability=\"exploder\"}"),
+            Some(1)
+        );
+    }
+
+    /// Threads of this process, from /proc (Linux); 0 elsewhere.
+    fn thread_count() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Threads:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn dropping_runtimes_joins_worker_threads() {
+        let baseline = thread_count();
+        if baseline == 0 {
+            return; // no /proc on this platform; covered on Linux CI
+        }
+        let store = std::sync::Arc::new(TimeSeriesStore::with_capacity_shards_metrics(
+            8,
+            1,
+            MetricsRegistry::disabled(),
+        ));
+        struct Deaf;
+        impl ControlPlane for Deaf {
+            fn apply(&mut self, _: &str, _: &str) -> bool {
+                false
+            }
+        }
+        for i in 0..100 {
+            let mut runtime = full_runtime()
+                .with_workers(4)
+                .with_metrics(MetricsRegistry::disabled());
+            // Run a pass so the pool actually spawns before the drop.
+            runtime.pass(
+                std::sync::Arc::clone(&store),
+                SensorRegistry::new(),
+                Timestamp::from_millis(i),
+                &mut Deaf,
+            );
+        }
+        // Every pool joined on drop: thread count returns to baseline
+        // (slack for unrelated test-harness threads coming and going).
+        let after = thread_count();
+        assert!(
+            after <= baseline + 4,
+            "worker threads leaked: {baseline} before, {after} after"
+        );
     }
 
     #[test]

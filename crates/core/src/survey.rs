@@ -53,54 +53,244 @@ macro_rules! entry {
 pub fn corpus() -> Vec<SurveyEntry> {
     vec![
         // Prescriptive row.
-        entry!("Switching between types of cooling", [12], Prescriptive, BuildingInfrastructure),
-        entry!("Tuning of cooling machinery", [18, 37], Prescriptive, BuildingInfrastructure),
-        entry!("Responding to anomalies", [38, 39], Prescriptive, BuildingInfrastructure),
-        entry!("Cooling optimization at system level", [12], Prescriptive, SystemHardware),
-        entry!("CPU frequency tuning", [11, 24, 40], Prescriptive, SystemHardware),
-        entry!("Tuning of hardware knobs", [20, 25, 41], Prescriptive, SystemHardware),
-        entry!("Intelligent placement of tasks and threads", [42], Prescriptive, SystemSoftware),
+        entry!(
+            "Switching between types of cooling",
+            [12],
+            Prescriptive,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Tuning of cooling machinery",
+            [18, 37],
+            Prescriptive,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Responding to anomalies",
+            [38, 39],
+            Prescriptive,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Cooling optimization at system level",
+            [12],
+            Prescriptive,
+            SystemHardware
+        ),
+        entry!(
+            "CPU frequency tuning",
+            [11, 24, 40],
+            Prescriptive,
+            SystemHardware
+        ),
+        entry!(
+            "Tuning of hardware knobs",
+            [20, 25, 41],
+            Prescriptive,
+            SystemHardware
+        ),
+        entry!(
+            "Intelligent placement of tasks and threads",
+            [42],
+            Prescriptive,
+            SystemSoftware
+        ),
         entry!("Plan-based scheduling", [43], Prescriptive, SystemSoftware),
-        entry!("Power and KPI-aware scheduling", [21, 22, 23], Prescriptive, SystemSoftware),
-        entry!("Auto-tuning of HPC applications", [28, 29, 41], Prescriptive, Applications),
-        entry!("Code improvement recommendations", [44], Prescriptive, Applications),
+        entry!(
+            "Power and KPI-aware scheduling",
+            [21, 22, 23],
+            Prescriptive,
+            SystemSoftware
+        ),
+        entry!(
+            "Auto-tuning of HPC applications",
+            [28, 29, 41],
+            Prescriptive,
+            Applications
+        ),
+        entry!(
+            "Code improvement recommendations",
+            [44],
+            Prescriptive,
+            Applications
+        ),
         // Predictive row.
-        entry!("Predicting data center KPIs", [45], Predictive, BuildingInfrastructure),
-        entry!("Predicting cooling demand", [37], Predictive, BuildingInfrastructure),
-        entry!("Modelling cooling performance", [18, 46], Predictive, BuildingInfrastructure),
-        entry!("Forecasting hardware sensors", [32, 47], Predictive, SystemHardware),
-        entry!("Component failure prediction", [48], Predictive, SystemHardware),
-        entry!("Predicting CPU instruction mixes", [11], Predictive, SystemHardware),
-        entry!("Simulating HPC systems and schedulers", [49, 50, 51], Predictive, SystemSoftware),
+        entry!(
+            "Predicting data center KPIs",
+            [45],
+            Predictive,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Predicting cooling demand",
+            [37],
+            Predictive,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Modelling cooling performance",
+            [18, 46],
+            Predictive,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Forecasting hardware sensors",
+            [32, 47],
+            Predictive,
+            SystemHardware
+        ),
+        entry!(
+            "Component failure prediction",
+            [48],
+            Predictive,
+            SystemHardware
+        ),
+        entry!(
+            "Predicting CPU instruction mixes",
+            [11],
+            Predictive,
+            SystemHardware
+        ),
+        entry!(
+            "Simulating HPC systems and schedulers",
+            [49, 50, 51],
+            Predictive,
+            SystemSoftware
+        ),
         entry!("Predicting HPC workloads", [23], Predictive, SystemSoftware),
-        entry!("Predicting job durations", [30, 34, 35], Predictive, Applications),
-        entry!("Predicting job resource usage", [31, 52, 53], Predictive, Applications),
-        entry!("Predicting performance profiles of code regions", [24], Predictive, Applications),
+        entry!(
+            "Predicting job durations",
+            [30, 34, 35],
+            Predictive,
+            Applications
+        ),
+        entry!(
+            "Predicting job resource usage",
+            [31, 52, 53],
+            Predictive,
+            Applications
+        ),
+        entry!(
+            "Predicting performance profiles of code regions",
+            [24],
+            Predictive,
+            Applications
+        ),
         // Diagnostic row.
-        entry!("Fingerprinting data center crises", [38], Diagnostic, BuildingInfrastructure),
-        entry!("Infrastructure anomaly detection", [54], Diagnostic, BuildingInfrastructure),
-        entry!("Infrastructure stress testing", [39], Diagnostic, BuildingInfrastructure),
-        entry!("Node-level anomaly detection", [17, 26, 47], Diagnostic, SystemHardware),
-        entry!("System-level root cause analysis", [9], Diagnostic, SystemHardware),
-        entry!("Diagnosing network contention issues", [19, 55], Diagnostic, SystemHardware),
-        entry!("Diagnosing data locality issues", [9], Diagnostic, SystemSoftware),
-        entry!("Detection of software anomalies", [16, 56], Diagnostic, SystemSoftware),
-        entry!("Identifying sources of OS noise", [57], Diagnostic, SystemSoftware),
-        entry!("Application fingerprinting", [33, 36], Diagnostic, Applications),
-        entry!("Identifying performance patterns", [20, 31, 44], Diagnostic, Applications),
-        entry!("Diagnosing code-level issues", [15, 27], Diagnostic, Applications),
+        entry!(
+            "Fingerprinting data center crises",
+            [38],
+            Diagnostic,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Infrastructure anomaly detection",
+            [54],
+            Diagnostic,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Infrastructure stress testing",
+            [39],
+            Diagnostic,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Node-level anomaly detection",
+            [17, 26, 47],
+            Diagnostic,
+            SystemHardware
+        ),
+        entry!(
+            "System-level root cause analysis",
+            [9],
+            Diagnostic,
+            SystemHardware
+        ),
+        entry!(
+            "Diagnosing network contention issues",
+            [19, 55],
+            Diagnostic,
+            SystemHardware
+        ),
+        entry!(
+            "Diagnosing data locality issues",
+            [9],
+            Diagnostic,
+            SystemSoftware
+        ),
+        entry!(
+            "Detection of software anomalies",
+            [16, 56],
+            Diagnostic,
+            SystemSoftware
+        ),
+        entry!(
+            "Identifying sources of OS noise",
+            [57],
+            Diagnostic,
+            SystemSoftware
+        ),
+        entry!(
+            "Application fingerprinting",
+            [33, 36],
+            Diagnostic,
+            Applications
+        ),
+        entry!(
+            "Identifying performance patterns",
+            [20, 31, 44],
+            Diagnostic,
+            Applications
+        ),
+        entry!(
+            "Diagnosing code-level issues",
+            [15, 27],
+            Diagnostic,
+            Applications
+        ),
         // Descriptive row.
         entry!("PUE calculation", [4], Descriptive, BuildingInfrastructure),
-        entry!("Facility data processing", [8, 58], Descriptive, BuildingInfrastructure),
-        entry!("Facility-level dashboards", [1, 7], Descriptive, BuildingInfrastructure),
+        entry!(
+            "Facility data processing",
+            [8, 58],
+            Descriptive,
+            BuildingInfrastructure
+        ),
+        entry!(
+            "Facility-level dashboards",
+            [1, 7],
+            Descriptive,
+            BuildingInfrastructure
+        ),
         entry!("ITUE calculation", [59], Descriptive, SystemHardware),
-        entry!("System performance indicators", [14], Descriptive, SystemHardware),
-        entry!("System-level dashboards", [7, 8], Descriptive, SystemHardware),
+        entry!(
+            "System performance indicators",
+            [14],
+            Descriptive,
+            SystemHardware
+        ),
+        entry!(
+            "System-level dashboards",
+            [7, 8],
+            Descriptive,
+            SystemHardware
+        ),
         entry!("Slowdown calculation", [60], Descriptive, SystemSoftware),
-        entry!("Scheduler-level dashboards", [61, 62], Descriptive, SystemSoftware),
+        entry!(
+            "Scheduler-level dashboards",
+            [61, 62],
+            Descriptive,
+            SystemSoftware
+        ),
         entry!("Job performance models", [63], Descriptive, Applications),
         entry!("Job data processing", [8], Descriptive, Applications),
-        entry!("Job-level dashboards", [5, 6, 10], Descriptive, Applications),
+        entry!(
+            "Job-level dashboards",
+            [5, 6, 10],
+            Descriptive,
+            Applications
+        ),
     ]
 }
 
@@ -118,7 +308,9 @@ pub fn table1() -> CapabilityGrid<Vec<SurveyEntry>> {
 pub fn render_table1() -> String {
     let grid = table1();
     let mut out = String::new();
-    out.push_str("| | Building Infrastructure | System Hardware | System Software | Applications |\n");
+    out.push_str(
+        "| | Building Infrastructure | System Hardware | System Software | Applications |\n",
+    );
     out.push_str("|---|---|---|---|---|\n");
     for a in AnalyticsType::ALL.into_iter().rev() {
         out.push_str(&format!("| **{}** |", a.name()));
@@ -224,7 +416,9 @@ mod tests {
             AnalyticsType::Descriptive,
             Pillar::BuildingInfrastructure,
         ));
-        assert!(d_infra.iter().any(|e| e.use_case == "PUE calculation" && e.citations == [4]));
+        assert!(d_infra
+            .iter()
+            .any(|e| e.use_case == "PUE calculation" && e.citations == [4]));
         // Plan-based scheduling [43] in Prescriptive × System Software.
         let r_sw = grid.get(GridCell::new(
             AnalyticsType::Prescriptive,
@@ -232,7 +426,10 @@ mod tests {
         ));
         assert!(r_sw.iter().any(|e| e.use_case == "Plan-based scheduling"));
         // Application fingerprinting [33],[36] in Diagnostic × Applications.
-        let g_app = grid.get(GridCell::new(AnalyticsType::Diagnostic, Pillar::Applications));
+        let g_app = grid.get(GridCell::new(
+            AnalyticsType::Diagnostic,
+            Pillar::Applications,
+        ));
         assert!(g_app.iter().any(|e| e.citations == [33, 36]));
     }
 

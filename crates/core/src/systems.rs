@@ -35,9 +35,7 @@ pub struct ComplexSystem {
 impl ComplexSystem {
     /// The union footprint (the shaded region of Fig. 3).
     pub fn footprint(&self) -> GridFootprint {
-        GridFootprint::from_cells(
-            &self.components.iter().map(|c| c.cell).collect::<Vec<_>>(),
-        )
+        GridFootprint::from_cells(&self.components.iter().map(|c| c.cell).collect::<Vec<_>>())
     }
 
     /// Renders the system's Fig. 3 panel.
@@ -129,7 +127,11 @@ pub fn llnl_power_forecaster() -> ComplexSystem {
 
 /// All Fig. 3 systems.
 pub fn figure3_systems() -> Vec<ComplexSystem> {
-    vec![eni_anomaly_response(), powerstack(), llnl_power_forecaster()]
+    vec![
+        eni_anomaly_response(),
+        powerstack(),
+        llnl_power_forecaster(),
+    ]
 }
 
 #[cfg(test)]

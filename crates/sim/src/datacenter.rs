@@ -82,6 +82,12 @@ pub struct DataCenterConfig {
     pub network: NetworkConfig,
     /// Workload parameters.
     pub workload: WorkloadConfig,
+    /// Worker-pool width for analytics runtimes driven against this site
+    /// (`oda_core::runtime::RuntimeConfig::workers`). The simulator
+    /// itself stays single-threaded and deterministic; this field plumbs
+    /// the site's analytics parallelism to soaks, benches and examples so
+    /// site + runtime are configured in one place. `1` = serial.
+    pub workers: usize,
 }
 
 impl DataCenterConfig {
@@ -108,6 +114,7 @@ impl DataCenterConfig {
             weather: WeatherConfig::default(),
             network: NetworkConfig::default(),
             workload: WorkloadConfig::default(),
+            workers: 1,
         }
     }
 
@@ -221,50 +228,156 @@ impl Sensors {
     fn register(reg: &SensorRegistry, nodes: usize, racks: usize) -> Self {
         let s = |name: &str, kind, unit| reg.register(name, kind, unit);
         Sensors {
-            outside_temp: s("/facility/outside_temp", SensorKind::Temperature, Unit::Celsius),
-            cooling_power: s("/facility/cooling/power_kw", SensorKind::Power, Unit::Kilowatts),
-            cooling_setpoint: s("/facility/cooling/setpoint_c", SensorKind::Temperature, Unit::Celsius),
-            cooling_inlet: s("/facility/cooling/inlet_c", SensorKind::Temperature, Unit::Celsius),
-            cooling_mode: s("/facility/cooling/mode", SensorKind::Count, Unit::Dimensionless),
-            cooling_cop: s("/facility/cooling/cop", SensorKind::Indicator, Unit::Dimensionless),
-            utility_power: s("/facility/power/utility_kw", SensorKind::Power, Unit::Kilowatts),
+            outside_temp: s(
+                "/facility/outside_temp",
+                SensorKind::Temperature,
+                Unit::Celsius,
+            ),
+            cooling_power: s(
+                "/facility/cooling/power_kw",
+                SensorKind::Power,
+                Unit::Kilowatts,
+            ),
+            cooling_setpoint: s(
+                "/facility/cooling/setpoint_c",
+                SensorKind::Temperature,
+                Unit::Celsius,
+            ),
+            cooling_inlet: s(
+                "/facility/cooling/inlet_c",
+                SensorKind::Temperature,
+                Unit::Celsius,
+            ),
+            cooling_mode: s(
+                "/facility/cooling/mode",
+                SensorKind::Count,
+                Unit::Dimensionless,
+            ),
+            cooling_cop: s(
+                "/facility/cooling/cop",
+                SensorKind::Indicator,
+                Unit::Dimensionless,
+            ),
+            utility_power: s(
+                "/facility/power/utility_kw",
+                SensorKind::Power,
+                Unit::Kilowatts,
+            ),
             it_power: s("/facility/power/it_kw", SensorKind::Power, Unit::Kilowatts),
-            loss_power: s("/facility/power/loss_kw", SensorKind::Power, Unit::Kilowatts),
+            loss_power: s(
+                "/facility/power/loss_kw",
+                SensorKind::Power,
+                Unit::Kilowatts,
+            ),
             pue: s("/facility/pue", SensorKind::Indicator, Unit::Dimensionless),
             node_power: (0..nodes)
-                .map(|i| s(&format!("/hw/node{i}/power_w"), SensorKind::Power, Unit::Watts))
+                .map(|i| {
+                    s(
+                        &format!("/hw/node{i}/power_w"),
+                        SensorKind::Power,
+                        Unit::Watts,
+                    )
+                })
                 .collect(),
             node_temp: (0..nodes)
-                .map(|i| s(&format!("/hw/node{i}/temp_c"), SensorKind::Temperature, Unit::Celsius))
+                .map(|i| {
+                    s(
+                        &format!("/hw/node{i}/temp_c"),
+                        SensorKind::Temperature,
+                        Unit::Celsius,
+                    )
+                })
                 .collect(),
             node_util: (0..nodes)
-                .map(|i| s(&format!("/hw/node{i}/util"), SensorKind::Utilization, Unit::Fraction))
+                .map(|i| {
+                    s(
+                        &format!("/hw/node{i}/util"),
+                        SensorKind::Utilization,
+                        Unit::Fraction,
+                    )
+                })
                 .collect(),
             node_freq: (0..nodes)
-                .map(|i| s(&format!("/hw/node{i}/freq_ghz"), SensorKind::Frequency, Unit::Megahertz))
+                .map(|i| {
+                    s(
+                        &format!("/hw/node{i}/freq_ghz"),
+                        SensorKind::Frequency,
+                        Unit::Megahertz,
+                    )
+                })
                 .collect(),
             node_mem: (0..nodes)
-                .map(|i| s(&format!("/hw/node{i}/mem_gib"), SensorKind::Count, Unit::Dimensionless))
+                .map(|i| {
+                    s(
+                        &format!("/hw/node{i}/mem_gib"),
+                        SensorKind::Count,
+                        Unit::Dimensionless,
+                    )
+                })
                 .collect(),
             node_fan: (0..nodes)
-                .map(|i| s(&format!("/hw/node{i}/fan"), SensorKind::Utilization, Unit::Fraction))
+                .map(|i| {
+                    s(
+                        &format!("/hw/node{i}/fan"),
+                        SensorKind::Utilization,
+                        Unit::Fraction,
+                    )
+                })
                 .collect(),
             node_sys_mem: (0..nodes)
-                .map(|i| s(&format!("/sw/node{i}/sys_mem_gib"), SensorKind::Count, Unit::Dimensionless))
+                .map(|i| {
+                    s(
+                        &format!("/sw/node{i}/sys_mem_gib"),
+                        SensorKind::Count,
+                        Unit::Dimensionless,
+                    )
+                })
                 .collect(),
             rack_offered: (0..racks)
-                .map(|r| s(&format!("/hw/rack{r}/uplink_offered_gbps"), SensorKind::Rate, Unit::BytesPerSecond))
+                .map(|r| {
+                    s(
+                        &format!("/hw/rack{r}/uplink_offered_gbps"),
+                        SensorKind::Rate,
+                        Unit::BytesPerSecond,
+                    )
+                })
                 .collect(),
             rack_contention: (0..racks)
-                .map(|r| s(&format!("/hw/rack{r}/uplink_contention"), SensorKind::Indicator, Unit::Fraction))
+                .map(|r| {
+                    s(
+                        &format!("/hw/rack{r}/uplink_contention"),
+                        SensorKind::Indicator,
+                        Unit::Fraction,
+                    )
+                })
                 .collect(),
-            queue_len: s("/sw/sched/queue_len", SensorKind::Count, Unit::Dimensionless),
+            queue_len: s(
+                "/sw/sched/queue_len",
+                SensorKind::Count,
+                Unit::Dimensionless,
+            ),
             running: s("/sw/sched/running", SensorKind::Count, Unit::Dimensionless),
-            sched_util: s("/sw/sched/utilization", SensorKind::Utilization, Unit::Fraction),
-            completed_total: s("/sw/sched/completed_total", SensorKind::Count, Unit::Dimensionless),
-            killed_total: s("/sw/sched/killed_total", SensorKind::Count, Unit::Dimensionless),
+            sched_util: s(
+                "/sw/sched/utilization",
+                SensorKind::Utilization,
+                Unit::Fraction,
+            ),
+            completed_total: s(
+                "/sw/sched/completed_total",
+                SensorKind::Count,
+                Unit::Dimensionless,
+            ),
+            killed_total: s(
+                "/sw/sched/killed_total",
+                SensorKind::Count,
+                Unit::Dimensionless,
+            ),
             active_jobs: s("/app/active_jobs", SensorKind::Count, Unit::Dimensionless),
-            arrivals_total: s("/app/arrivals_total", SensorKind::Count, Unit::Dimensionless),
+            arrivals_total: s(
+                "/app/arrivals_total",
+                SensorKind::Count,
+                Unit::Dimensionless,
+            ),
         }
     }
 }
@@ -444,8 +557,16 @@ impl DataCenter {
             metrics.clone(),
             config.rollups.clone(),
         ));
-        let bus = Arc::new(TelemetryBus::with_parts(registry.clone(), Some(store), metrics));
-        let racks = build_racks(config.racks, config.nodes_per_rack, config.max_rack_inlet_offset_c);
+        let bus = Arc::new(TelemetryBus::with_parts(
+            registry.clone(),
+            Some(store),
+            metrics,
+        ));
+        let racks = build_racks(
+            config.racks,
+            config.nodes_per_rack,
+            config.max_rack_inlet_offset_c,
+        );
         let nodes = (0..node_count)
             .map(|i| {
                 Node::new(
@@ -520,7 +641,9 @@ impl DataCenter {
 
     /// The archive store behind the bus.
     pub fn store(&self) -> &Arc<TimeSeriesStore> {
-        self.bus.store().expect("data center bus always has a store")
+        self.bus
+            .store()
+            .expect("data center bus always has a store")
     }
 
     /// The metrics registry the telemetry plane records into.
@@ -820,7 +943,8 @@ impl DataCenter {
                 .assigned
                 .iter()
                 .any(|&n| node_mem[n.index()] > mem_cap * 0.95);
-            let rate = job.class.progress_rate(mean_speed, net_factor) * if thrash { 0.25 } else { 1.0 };
+            let rate =
+                job.class.progress_rate(mean_speed, net_factor) * if thrash { 0.25 } else { 1.0 };
             let nodes_count = job.assigned.len() as f64;
             if let Some(j) = self.scheduler.job_mut(id) {
                 j.progress_node_seconds += rate * dt_s * nodes_count;
@@ -866,7 +990,11 @@ impl DataCenter {
         self.utility_energy_kwh += power_out.utility_kw * dt_h;
 
         // 8. Telemetry.
-        if self.clock.ticks().is_multiple_of(self.config.sample_every_ticks) {
+        if self
+            .clock
+            .ticks()
+            .is_multiple_of(self.config.sample_every_ticks)
+        {
             self.publish(now, outside_c);
         }
     }
@@ -939,8 +1067,11 @@ impl DataCenter {
                 }
             }
             FaultKind::ThermalDegradation { node, factor } => {
-                self.nodes[node.index()]
-                    .set_thermal_degradation(if activate { factor } else { 1.0 });
+                self.nodes[node.index()].set_thermal_degradation(if activate {
+                    factor
+                } else {
+                    1.0
+                });
             }
             FaultKind::MemoryLeak { node, gib_per_min } => {
                 self.leak_rate_gib_per_min[node.index()] = if activate { gib_per_min } else { 0.0 };
@@ -949,14 +1080,18 @@ impl DataCenter {
                 }
             }
             FaultKind::CpuContention { node, severity } => {
-                self.contention_severity[node.index()] =
-                    if activate { severity.clamp(0.0, 1.0) } else { 0.0 };
+                self.contention_severity[node.index()] = if activate {
+                    severity.clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
             }
             FaultKind::NetworkHog { rack, demand_gbps } => {
                 self.hog_demand[rack.index()] = if activate { demand_gbps } else { 0.0 };
             }
             FaultKind::CoolingDegradation { factor } => {
-                self.cooling.set_degradation(if activate { factor } else { 1.0 });
+                self.cooling
+                    .set_degradation(if activate { factor } else { 1.0 });
             }
         }
     }
@@ -1029,7 +1164,11 @@ mod tests {
         let mut dc = DataCenter::new(DataCenterConfig::tiny(), 1);
         dc.run_for_hours(1.0);
         let s = dc.snapshot();
-        assert!(s.it_power_kw > 0.5, "8 idle nodes still draw power: {}", s.it_power_kw);
+        assert!(
+            s.it_power_kw > 0.5,
+            "8 idle nodes still draw power: {}",
+            s.it_power_kw
+        );
         assert!(s.total_power_kw > s.it_power_kw);
         assert!(s.pue > 1.0 && s.pue < 2.5, "pue {}", s.pue);
         assert!(s.avg_node_temp_c > 20.0 && s.avg_node_temp_c < 95.0);
@@ -1042,7 +1181,11 @@ mod tests {
         dc.run_for_hours(6.0);
         assert!(dc.arrivals_total() > 50);
         let s = dc.snapshot();
-        assert!(s.completed + s.killed > 10, "{} finished", s.completed + s.killed);
+        assert!(
+            s.completed + s.killed > 10,
+            "{} finished",
+            s.completed + s.killed
+        );
         assert!(!dc.finished_jobs().is_empty());
         // Records carry accumulated features.
         let rec = &dc.finished_jobs()[0];
@@ -1089,10 +1232,13 @@ mod tests {
             .expect("pue series is populated");
         assert!(mean > 1.0 && mean < 2.5, "fleet pue mean {mean}");
         let after = dc.metrics().snapshot();
-        let delta = |name: &str| {
-            after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0)
-        };
-        assert_eq!(delta("query_tier_hit_total"), 1, "long window should tier-hit");
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert_eq!(
+            delta("query_tier_hit_total"),
+            1,
+            "long window should tier-hit"
+        );
         assert!(delta("query_readings_avoided_total") > 0);
     }
 
@@ -1238,10 +1384,7 @@ mod tests {
         ));
         dc.run_for_hours(1.0);
         let q = oda_telemetry::query::QueryEngine::new(dc.store());
-        let contention = dc
-            .registry()
-            .lookup("/hw/rack0/uplink_contention")
-            .unwrap();
+        let contention = dc.registry().lookup("/hw/rack0/uplink_contention").unwrap();
         let min = oda_telemetry::query::Query::sensors(contention)
             .aggregate(oda_telemetry::query::Aggregation::Min)
             .run(&q)

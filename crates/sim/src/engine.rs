@@ -173,7 +173,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..32).filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)).count();
+        let same = (0..32)
+            .filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0))
+            .count();
         assert!(same < 4);
     }
 

@@ -107,7 +107,10 @@ impl CoolingPlant {
     /// Sets the inlet-temperature setpoint (clamped to the legal range).
     /// This is the knob prescriptive infrastructure ODA turns.
     pub fn set_setpoint_c(&mut self, sp: f64) {
-        self.setpoint_c = sp.clamp(self.config.setpoint_range_c.0, self.config.setpoint_range_c.1);
+        self.setpoint_c = sp.clamp(
+            self.config.setpoint_range_c.0,
+            self.config.setpoint_range_c.1,
+        );
     }
 
     /// Current configured mode.
@@ -190,7 +193,11 @@ mod tests {
         let p = plant(30.0);
         let out = p.step(500.0, 10.0);
         assert_eq!(out.active_mode, CoolingMode::FreeCooling);
-        assert!(out.power_kw < 30.0, "free cooling should be cheap: {}", out.power_kw);
+        assert!(
+            out.power_kw < 30.0,
+            "free cooling should be cheap: {}",
+            out.power_kw
+        );
         assert_eq!(out.delivered_inlet_c, 30.0);
     }
 
@@ -200,7 +207,11 @@ mod tests {
         let out = p.step(500.0, 35.0);
         assert_eq!(out.active_mode, CoolingMode::Chiller);
         assert!(out.chiller_cop > 1.0);
-        assert!(out.power_kw > 30.0, "chiller should cost more: {}", out.power_kw);
+        assert!(
+            out.power_kw > 30.0,
+            "chiller should cost more: {}",
+            out.power_kw
+        );
     }
 
     #[test]

@@ -142,7 +142,11 @@ impl FaultInjector {
 
     /// Faults active at `t`.
     pub fn active_at(&self, t: Timestamp) -> Vec<Fault> {
-        self.schedule.iter().copied().filter(|f| f.active_at(t)).collect()
+        self.schedule
+            .iter()
+            .copied()
+            .filter(|f| f.active_at(t))
+            .collect()
     }
 
     /// Advances to time `t`; returns `(newly_activated, newly_deactivated)`.
@@ -446,7 +450,11 @@ impl TelemetryFaultState {
 
     /// Telemetry faults active at `t`.
     pub fn active_at(&self, t: Timestamp) -> Vec<TelemetryFault> {
-        self.faults.iter().filter(|f| f.active_at(t)).cloned().collect()
+        self.faults
+            .iter()
+            .filter(|f| f.active_at(t))
+            .cloned()
+            .collect()
     }
 
     /// Readings suppressed so far (dropout and node-failure windows).
@@ -513,11 +521,9 @@ impl TelemetryFaultState {
                     }
                 }
                 TelemetryFaultKind::ClockJitter { max_skew_ms, .. } => {
-                    let skew =
-                        self.rng.uniform(-(max_skew_ms as f64), max_skew_ms as f64) as i64;
+                    let skew = self.rng.uniform(-(max_skew_ms as f64), max_skew_ms as f64) as i64;
                     let ms = reading.ts.as_millis();
-                    reading.ts =
-                        Timestamp::from_millis(ms.saturating_add_signed(skew));
+                    reading.ts = Timestamp::from_millis(ms.saturating_add_signed(skew));
                     self.corrupted += 1;
                 }
                 TelemetryFaultKind::BurstLoad { .. } => {}
@@ -592,9 +598,21 @@ mod tests {
     fn registry() -> SensorRegistry {
         let reg = SensorRegistry::new();
         for i in 0..2 {
-            reg.register(&format!("/hw/node{i}/temp_c"), SensorKind::Temperature, Unit::Celsius);
-            reg.register(&format!("/hw/node{i}/power_w"), SensorKind::Power, Unit::Watts);
-            reg.register(&format!("/sw/node{i}/sys_mem_gib"), SensorKind::Count, Unit::Dimensionless);
+            reg.register(
+                &format!("/hw/node{i}/temp_c"),
+                SensorKind::Temperature,
+                Unit::Celsius,
+            );
+            reg.register(
+                &format!("/hw/node{i}/power_w"),
+                SensorKind::Power,
+                Unit::Watts,
+            );
+            reg.register(
+                &format!("/sw/node{i}/sys_mem_gib"),
+                SensorKind::Count,
+                Unit::Dimensionless,
+            );
         }
         reg
     }
@@ -617,12 +635,21 @@ mod tests {
         );
         let mut st = TelemetryFaultState::new(sched, &reg);
         st.step(Timestamp::from_secs(5));
-        assert!(st.corrupt(temp0, rd(5, 40.0)).is_some(), "inactive window passes");
+        assert!(
+            st.corrupt(temp0, rd(5, 40.0)).is_some(),
+            "inactive window passes"
+        );
         st.step(Timestamp::from_secs(10));
         assert!(st.corrupt(temp0, rd(10, 40.0)).is_none());
-        assert!(st.corrupt(temp1, rd(10, 40.0)).is_some(), "other sensors unaffected");
+        assert!(
+            st.corrupt(temp1, rd(10, 40.0)).is_some(),
+            "other sensors unaffected"
+        );
         st.step(Timestamp::from_secs(20));
-        assert!(st.corrupt(temp0, rd(20, 40.0)).is_some(), "window is half-open");
+        assert!(
+            st.corrupt(temp0, rd(20, 40.0)).is_some(),
+            "window is half-open"
+        );
         assert_eq!(st.suppressed(), 1);
     }
 
@@ -656,7 +683,11 @@ mod tests {
         );
         let mut st = TelemetryFaultState::new(sched, &reg);
         st.step(Timestamp::ZERO);
-        for name in ["/hw/node1/temp_c", "/hw/node1/power_w", "/sw/node1/sys_mem_gib"] {
+        for name in [
+            "/hw/node1/temp_c",
+            "/hw/node1/power_w",
+            "/sw/node1/sys_mem_gib",
+        ] {
             let s = reg.lookup(name).unwrap();
             assert!(st.corrupt(s, rd(1, 1.0)).is_none(), "{name} should be dark");
         }
@@ -687,7 +718,10 @@ mod tests {
         assert_eq!(a, run(7), "same seed, same corruption stream");
         assert_ne!(a, run(8), "different seed diverges");
         let nans = a.iter().filter(|&&x| x).count();
-        assert!(nans > 50 && nans < 150, "p=0.5 should corrupt about half: {nans}");
+        assert!(
+            nans > 50 && nans < 150,
+            "p=0.5 should corrupt about half: {nans}"
+        );
     }
 
     #[test]
@@ -717,7 +751,10 @@ mod tests {
                 behind += 1;
             }
         }
-        assert!(ahead > 10 && behind > 10, "skew should go both ways: +{ahead} -{behind}");
+        assert!(
+            ahead > 10 && behind > 10,
+            "skew should go both ways: +{ahead} -{behind}"
+        );
     }
 
     #[test]

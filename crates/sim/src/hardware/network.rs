@@ -91,7 +91,11 @@ impl Network {
         for (i, link) in self.links.iter_mut().enumerate() {
             let cap = self.config.uplink_capacity_gbps;
             let off = offered[i];
-            let factor = if off <= cap || off == 0.0 { 1.0 } else { cap / off };
+            let factor = if off <= cap || off == 0.0 {
+                1.0
+            } else {
+                cap / off
+            };
             *link = LinkState {
                 offered_gbps: off,
                 delivered_gbps: off.min(cap).min(off * factor),

@@ -267,7 +267,11 @@ mod tests {
         let mut n = idle_node();
         n.step(1.0, 30.0);
         // idle 90 + fan 60*0.3³ = 91.62, plus possible small leakage.
-        assert!(n.power_w() >= 91.0 && n.power_w() < 110.0, "{}", n.power_w());
+        assert!(
+            n.power_w() >= 91.0 && n.power_w() < 110.0,
+            "{}",
+            n.power_w()
+        );
     }
 
     #[test]
@@ -278,7 +282,12 @@ mod tests {
         let idle_p = n.power_w();
         n.set_load(1.0, 64.0);
         settle(&mut n, 30.0);
-        assert!(n.power_w() > idle_p + 250.0, "{} vs {}", n.power_w(), idle_p);
+        assert!(
+            n.power_w() > idle_p + 250.0,
+            "{} vs {}",
+            n.power_w(),
+            idle_p
+        );
         assert!(n.temp_c() > idle_t + 10.0);
     }
 
@@ -292,7 +301,12 @@ mod tests {
         lo.set_freq_ghz(1.5); // half of f_max
         settle(&mut lo, 30.0);
         // Dynamic term should fall by ~8x; total power clearly lower.
-        assert!(lo.power_w() < hi.power_w() - 200.0, "{} vs {}", lo.power_w(), hi.power_w());
+        assert!(
+            lo.power_w() < hi.power_w() - 200.0,
+            "{} vs {}",
+            lo.power_w(),
+            hi.power_w()
+        );
         assert!((lo.compute_speed() - 0.5).abs() < 1e-9);
     }
 

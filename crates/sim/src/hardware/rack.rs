@@ -74,7 +74,10 @@ mod tests {
     fn build_racks_assigns_dense_rack_major_ids() {
         let racks = build_racks(3, 4, 3.0);
         assert_eq!(racks.len(), 3);
-        assert_eq!(racks[0].nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            racks[0].nodes,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
         assert_eq!(racks[2].nodes[0], NodeId(8));
     }
 

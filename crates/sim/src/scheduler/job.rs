@@ -213,7 +213,8 @@ impl Job {
 
     /// Wait time between submission and start, seconds.
     pub fn wait_s(&self) -> Option<f64> {
-        self.start.map(|s| s.millis_since(self.submit) as f64 / 1_000.0)
+        self.start
+            .map(|s| s.millis_since(self.submit) as f64 / 1_000.0)
     }
 
     /// Actual runtime, seconds, once terminal.

@@ -289,7 +289,11 @@ not a job line at all
         assert_eq!(jobs[1].class, JobClass::MemoryBound);
         assert_eq!(jobs[2].class, JobClass::IoBound);
         assert_eq!(jobs[3].class, JobClass::Balanced);
-        assert_eq!(jobs[4].class, JobClass::ComputeBound, "wraps, never a miner");
+        assert_eq!(
+            jobs[4].class,
+            JobClass::ComputeBound,
+            "wraps, never a miner"
+        );
     }
 
     #[test]

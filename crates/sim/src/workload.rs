@@ -154,7 +154,10 @@ mod tests {
     fn arrivals_are_monotone_and_unique_ids() {
         let (mut g, mut rng) = gen_with_seed(1);
         let jobs = g.arrivals(Timestamp::from_hours(12), &mut rng);
-        assert!(jobs.len() > 50, "12h at ~2min spacing should yield many jobs");
+        assert!(
+            jobs.len() > 50,
+            "12h at ~2min spacing should yield many jobs"
+        );
         for w in jobs.windows(2) {
             assert!(w[0].submit <= w[1].submit);
             assert!(w[0].id < w[1].id);
@@ -231,7 +234,10 @@ mod tests {
     fn miners_are_rare_but_present_in_expectation() {
         let (mut g, mut rng) = gen_with_seed(7);
         let jobs = g.arrivals(Timestamp::from_hours(24 * 14), &mut rng);
-        let miners = jobs.iter().filter(|j| j.class == JobClass::Cryptominer).count();
+        let miners = jobs
+            .iter()
+            .filter(|j| j.class == JobClass::Cryptominer)
+            .count();
         let frac = miners as f64 / jobs.len() as f64;
         assert!(frac < 0.15, "miner fraction {frac}");
     }

@@ -358,7 +358,7 @@ mod tests {
         let at = |t_s: u64, v: f64| Reading::new(Timestamp::from_secs(t_s), v);
         assert_eq!(eng.observe(s, at(0, 11.0)).len(), 1);
         assert_eq!(eng.observe(s, at(10, 9.0)).len(), 1); // clears at t=10s
-        // Violations inside the cooldown window are swallowed.
+                                                          // Violations inside the cooldown window are swallowed.
         assert!(eng.observe(s, at(20, 11.0)).is_empty());
         assert!(eng.observe(s, at(40, 11.0)).is_empty());
         // Past the cooldown the rule fires again.

@@ -141,7 +141,12 @@ impl SubscriptionBuilder<'_> {
             id
         };
         let name = self.name.unwrap_or_else(|| format!("sub-{id}"));
-        let sensors = self.bus.registry.matching(&self.pattern).into_iter().collect();
+        let sensors = self
+            .bus
+            .registry
+            .matching(&self.pattern)
+            .into_iter()
+            .collect();
         let labels: &[(&str, &str)] = &[("subscriber", name.as_str())];
         self.bus.subscribers.write().push(Subscriber {
             id,
@@ -165,6 +170,15 @@ impl SubscriptionBuilder<'_> {
     }
 }
 
+// Compile-time audit: the bus is published to from the simulator and read
+// by runtime workers concurrently; it must stay fully thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TelemetryBus>();
+    assert_send_sync::<crate::sensor::SensorRegistry>();
+    assert_send_sync::<crate::metrics::MetricsRegistry>();
+};
+
 /// Fan-out pub/sub bus for telemetry, optionally archiving into a store.
 pub struct TelemetryBus {
     registry: SensorRegistry,
@@ -180,6 +194,10 @@ pub struct TelemetryBus {
     m_readings_total: Counter,
     m_reaped_total: Counter,
     m_publish_ns: Histogram,
+    /// Publishes that found the subscriber table lock already held
+    /// (concurrent publishers, or a publish racing a subscribe). Varies
+    /// run to run — scheduling telemetry, not part of replay determinism.
+    m_contention: Counter,
 }
 
 impl TelemetryBus {
@@ -214,6 +232,7 @@ impl TelemetryBus {
             m_readings_total: metrics.counter("bus_readings_total", &[]),
             m_reaped_total: metrics.counter("bus_reaped_total", &[]),
             m_publish_ns: metrics.histogram("bus_publish_ns", &[]),
+            m_contention: metrics.counter("bus_publish_contention_total", &[]),
             metrics,
         }
     }
@@ -311,7 +330,13 @@ impl TelemetryBus {
         let mut need_resolve = false;
         let mut dead: Vec<u64> = Vec::new();
         {
-            let subs = self.subscribers.read();
+            let subs = match self.subscribers.try_read() {
+                Some(guard) => guard,
+                None => {
+                    self.m_contention.inc();
+                    self.subscribers.read()
+                }
+            };
             for sub in subs.iter() {
                 if sub.sensors.contains(&batch.sensor) {
                     delivered += self.deliver(sub, &batch, &mut dead);
@@ -510,7 +535,11 @@ mod tests {
     #[test]
     fn publish_reaps_disconnected_receivers_without_counting_sheds() {
         let (metrics, bus, a) = metered_setup();
-        let sub = bus.subscription("/hw/**").capacity(4).named("doomed").subscribe();
+        let sub = bus
+            .subscription("/hw/**")
+            .capacity(4)
+            .named("doomed")
+            .subscribe();
         // Simulate a consumer that dropped its receiver while the bus entry
         // survived (e.g. the Subscription was leaked): take the struct apart,
         // drop the receiver, and suppress the Drop-based unsubscribe.
@@ -519,7 +548,11 @@ mod tests {
         std::mem::forget(guard);
         assert_eq!(bus.subscriber_count(), 1);
         assert_eq!(bus.publish(batch(a, 1.0)), 0);
-        assert_eq!(bus.subscriber_count(), 0, "dead subscriber reaped on publish");
+        assert_eq!(
+            bus.subscriber_count(),
+            0,
+            "dead subscriber reaped on publish"
+        );
         assert_eq!(bus.reaped_total(), 1);
         assert_eq!(bus.dropped_total(), 0, "disconnected is reaped, not shed");
         assert_eq!(metrics.snapshot().counter("bus_reaped_total"), Some(1));
@@ -531,15 +564,32 @@ mod tests {
     #[test]
     fn named_subscribers_get_labeled_metrics() {
         let (metrics, bus, a) = metered_setup();
-        let alerts = bus.subscription("/hw/**").capacity(1).named("alerts").subscribe();
-        let _dash = bus.subscription("/hw/**").capacity(8).named("dash").subscribe();
+        let alerts = bus
+            .subscription("/hw/**")
+            .capacity(1)
+            .named("alerts")
+            .subscribe();
+        let _dash = bus
+            .subscription("/hw/**")
+            .capacity(8)
+            .named("dash")
+            .subscribe();
         for _ in 0..3 {
             bus.publish(batch(a, 1.0));
         }
         let snap = metrics.snapshot();
-        assert_eq!(snap.counter("bus_delivered_total{subscriber=\"alerts\"}"), Some(1));
-        assert_eq!(snap.counter("bus_shed_total{subscriber=\"alerts\"}"), Some(2));
-        assert_eq!(snap.counter("bus_delivered_total{subscriber=\"dash\"}"), Some(3));
+        assert_eq!(
+            snap.counter("bus_delivered_total{subscriber=\"alerts\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("bus_shed_total{subscriber=\"alerts\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("bus_delivered_total{subscriber=\"dash\"}"),
+            Some(3)
+        );
         assert_eq!(snap.counter("bus_publish_total"), Some(3));
         assert_eq!(snap.counter("bus_readings_total"), Some(3));
         assert_eq!(snap.histogram("bus_publish_ns").unwrap().count, 3);

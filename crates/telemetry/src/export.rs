@@ -142,14 +142,21 @@ mod tests {
         // A comma in a sensor name must not shift columns: the header cell
         // goes through field() escaping exactly like long-form rows do.
         let reg = SensorRegistry::new();
-        let odd = reg.register("/rack0/ambient,rear_c", SensorKind::Temperature, Unit::Celsius);
+        let odd = reg.register(
+            "/rack0/ambient,rear_c",
+            SensorKind::Temperature,
+            Unit::Celsius,
+        );
         let plain = reg.register("/rack0/supply_c", SensorKind::Temperature, Unit::Celsius);
         let store = TimeSeriesStore::with_capacity(8);
         store.insert(odd, Reading::new(Timestamp::ZERO, 21.0));
         store.insert(plain, Reading::new(Timestamp::ZERO, 18.5));
         let csv = to_csv_wide(&store, &reg, &[odd, plain], TimeRange::all(), 1_000);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "timestamp_ms,\"/rack0/ambient,rear_c\",/rack0/supply_c");
+        assert_eq!(
+            lines[0],
+            "timestamp_ms,\"/rack0/ambient,rear_c\",/rack0/supply_c"
+        );
         // Both the header and the data row parse to exactly 3 columns.
         assert_eq!(lines[1], "0,21,18.5");
         let header_cols = lines[0].matches(',').count() - lines[0].matches(",rear").count();

@@ -157,17 +157,31 @@ mod tests {
         };
         let stale = rep.stale_sensors(now, 2_000);
         assert_eq!(stale, vec![SensorId(0), SensorId(2)]);
-        assert!(rep.stale_sensors(now, 60_000).contains(&SensorId(2)), "never-seen is always stale");
+        assert!(
+            rep.stale_sensors(now, 60_000).contains(&SensorId(2)),
+            "never-seen is always stale"
+        );
     }
 
     #[test]
     fn report_serialises_tier_occupancy() {
         let full = HealthReport {
             sensors: Vec::new(),
-            rollups: vec![TierOccupancy { bucket_ms: 10_000, capacity: 1_024, buckets: 3, evicted: 1 }],
+            rollups: vec![TierOccupancy {
+                bucket_ms: 10_000,
+                capacity: 1_024,
+                buckets: 3,
+                evicted: 1,
+            }],
         };
         let json = serde_json::to_string(&full).unwrap();
-        assert!(json.contains("\"rollups\""), "tier occupancy must be exported: {json}");
-        assert!(json.contains("\"bucket_ms\":10000"), "tier width must be exported: {json}");
+        assert!(
+            json.contains("\"rollups\""),
+            "tier occupancy must be exported: {json}"
+        );
+        assert!(
+            json.contains("\"bucket_ms\":10000"),
+            "tier width must be exported: {json}"
+        );
     }
 }

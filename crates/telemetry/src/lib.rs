@@ -69,9 +69,7 @@ pub mod prelude {
     pub use crate::alert::{AlertEngine, AlertEvent, AlertRule, AlertSeverity, Condition};
     pub use crate::bus::{Subscription, SubscriptionBuilder, TelemetryBus};
     pub use crate::health::{HealthReport, SensorHealth, TierOccupancy};
-    pub use crate::metrics::{
-        Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Timer,
-    };
+    pub use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Timer};
     pub use crate::pattern::SensorPattern;
     pub use crate::query::{
         Aggregation, Query, QueryEngine, QueryResult, SensorSelector, TimeRange,

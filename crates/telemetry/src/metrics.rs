@@ -211,7 +211,9 @@ impl Histogram {
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
-        self.cell.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
     }
 
     /// Deterministic percentile estimate for `q` in `0..=1`.
@@ -243,12 +245,16 @@ impl Histogram {
 
     /// Maximum recorded value (exact).
     pub fn max(&self) -> u64 {
-        self.cell.as_ref().map_or(0, |c| c.max.load(Ordering::Relaxed))
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.max.load(Ordering::Relaxed))
     }
 
     /// Sum of recorded values (exact).
     pub fn sum(&self) -> u64 {
-        self.cell.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.sum.load(Ordering::Relaxed))
     }
 }
 
@@ -570,11 +576,30 @@ mod tests {
         for idx in 0..HISTOGRAM_BUCKETS - 1 {
             assert_eq!(bucket_upper(idx), bucket_lower(idx + 1), "idx {idx}");
         }
-        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 100, 1_000, 1_000_000, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            9,
+            15,
+            16,
+            100,
+            1_000,
+            1_000_000,
+            u64::MAX,
+        ] {
             let idx = bucket_index(v);
             assert!(bucket_lower(idx) <= v, "v={v} idx={idx}");
-            assert!(v <= bucket_upper(idx).saturating_sub(1).max(bucket_lower(idx)) || bucket_upper(idx) == u64::MAX,
-                "v={v} idx={idx}");
+            assert!(
+                v <= bucket_upper(idx).saturating_sub(1).max(bucket_lower(idx))
+                    || bucket_upper(idx) == u64::MAX,
+                "v={v} idx={idx}"
+            );
         }
         // Small values are exact buckets.
         for v in 0..4u64 {
@@ -584,7 +609,10 @@ mod tests {
         for v in [64u64, 1_000, 123_456, 1 << 40] {
             let idx = bucket_index(v);
             let width = bucket_upper(idx) - bucket_lower(idx);
-            assert!((width as f64) <= bucket_lower(idx) as f64 / 4.0 + 1.0, "v={v}");
+            assert!(
+                (width as f64) <= bucket_lower(idx) as f64 / 4.0 + 1.0,
+                "v={v}"
+            );
         }
     }
 
@@ -643,8 +671,14 @@ mod tests {
         c1.inc();
         assert_eq!(c2.get(), 1);
         let snap = reg.snapshot();
-        assert_eq!(snap.counter("delivered_total{subscriber=\"alerts\"}"), Some(3));
-        assert_eq!(snap.counter("delivered_total{subscriber=\"dash\"}"), Some(1));
+        assert_eq!(
+            snap.counter("delivered_total{subscriber=\"alerts\"}"),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter("delivered_total{subscriber=\"dash\"}"),
+            Some(1)
+        );
         assert_eq!(snap.counter("x_total{a=\"1\",b=\"2\"}"), Some(1));
     }
 
@@ -708,7 +742,10 @@ mod tests {
         assert!(text.contains("pub_total 7\n"), "{text}");
         assert!(text.contains("shed_total{subscriber=\"x\"} 2\n"), "{text}");
         assert!(text.contains("lat_ns_count{shard=\"0\"} 1\n"), "{text}");
-        assert!(text.contains("lat_ns{quantile=\"0.5\",shard=\"0\"}"), "{text}");
+        assert!(
+            text.contains("lat_ns{quantile=\"0.5\",shard=\"0\"}"),
+            "{text}"
+        );
     }
 
     #[test]

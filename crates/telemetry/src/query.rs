@@ -542,26 +542,46 @@ impl<'a> QueryEngine<'a> {
             .par_iter()
             .map(|&s| {
                 if let Some(align) = tier_align {
-                    if let TierScanResult::Hit { head, core, tail, readings_avoided, .. } =
-                        self.store.tier_scan(s, range.start, range.end, align)
+                    if let TierScanResult::Hit {
+                        head,
+                        core,
+                        tail,
+                        readings_avoided,
+                        ..
+                    } = self.store.tier_scan(s, range.start, range.end, align)
                     {
-                        return Fetched::Tier { head, core, tail, avoided: readings_avoided };
+                        return Fetched::Tier {
+                            head,
+                            core,
+                            tail,
+                            avoided: readings_avoided,
+                        };
                     }
                 }
                 let readings = self.store.range(s, range.start, range.end);
                 let scanned = readings.len() as u64;
-                let readings = if query.rate { rate_readings(&readings) } else { readings };
+                let readings = if query.rate {
+                    rate_readings(&readings)
+                } else {
+                    readings
+                };
                 Fetched::Raw { readings, scanned }
             })
             .collect();
-        let (mut scanned, mut hits, mut misses, mut avoided, mut tier_buckets) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let (mut scanned, mut hits, mut misses, mut avoided, mut tier_buckets) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
         for f in &fetched {
             match f {
                 Fetched::Raw { scanned: n, .. } => {
                     scanned += n;
                     misses += 1;
                 }
-                Fetched::Tier { head, core, tail, avoided: a } => {
+                Fetched::Tier {
+                    head,
+                    core,
+                    tail,
+                    avoided: a,
+                } => {
                     scanned += (head.len() + tail.len()) as u64;
                     hits += 1;
                     avoided += a;
@@ -593,9 +613,9 @@ impl<'a> QueryEngine<'a> {
                     .map(|f| shape_buckets(f, bucket_ms, agg))
                     .collect(),
             ),
-            Shape::Scalars(agg) => ResultData::Scalars(
-                fetched.iter().map(|f| shape_scalar(f, agg)).collect(),
-            ),
+            Shape::Scalars(agg) => {
+                ResultData::Scalars(fetched.iter().map(|f| shape_scalar(f, agg)).collect())
+            }
             Shape::Aligned { bucket_ms } => {
                 let buckets: Vec<Vec<Bucket>> = fetched
                     .par_iter()
@@ -611,7 +631,10 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Raw readings in `range`, chronological.
-    #[deprecated(since = "0.2.0", note = "use `Query::sensors(sensor).range(range).run(&engine).readings()`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::sensors(sensor).range(range).run(&engine).readings()`"
+    )]
     pub fn range(&self, sensor: SensorId, range: TimeRange) -> Vec<Reading> {
         Query::sensors(sensor).range(range).run(self).readings()
     }
@@ -622,7 +645,11 @@ impl<'a> QueryEngine<'a> {
         note = "use `Query::sensors(sensor).range(range).aggregate(agg).run(&engine).scalar()`"
     )]
     pub fn aggregate(&self, sensor: SensorId, range: TimeRange, agg: Aggregation) -> Option<f64> {
-        Query::sensors(sensor).range(range).aggregate(agg).run(self).scalar()
+        Query::sensors(sensor)
+            .range(range)
+            .aggregate(agg)
+            .run(self)
+            .scalar()
     }
 
     /// Aggregates many sensors in parallel; output order matches input order.
@@ -636,7 +663,11 @@ impl<'a> QueryEngine<'a> {
         range: TimeRange,
         agg: Aggregation,
     ) -> Vec<Option<f64>> {
-        Query::sensors(sensors).range(range).aggregate(agg).run(self).scalars()
+        Query::sensors(sensors)
+            .range(range)
+            .aggregate(agg)
+            .run(self)
+            .scalars()
     }
 
     /// Downsamples `sensor` over `range` into fixed `bucket_ms`-wide buckets.
@@ -664,7 +695,11 @@ impl<'a> QueryEngine<'a> {
         note = "use `Query::sensors(sensor).range(range).rate().run(&engine).readings()`"
     )]
     pub fn rate(&self, sensor: SensorId, range: TimeRange) -> Vec<Reading> {
-        Query::sensors(sensor).range(range).rate().run(self).readings()
+        Query::sensors(sensor)
+            .range(range)
+            .rate()
+            .run(self)
+            .readings()
     }
 
     /// Aligns several sensors onto a common bucket grid.
@@ -678,7 +713,11 @@ impl<'a> QueryEngine<'a> {
         range: TimeRange,
         bucket_ms: u64,
     ) -> (Vec<Timestamp>, Vec<Vec<f64>>) {
-        Query::sensors(sensors).range(range).align(bucket_ms).run(self).aligned()
+        Query::sensors(sensors)
+            .range(range)
+            .align(bucket_ms)
+            .run(self)
+            .aligned()
     }
 }
 
@@ -719,7 +758,9 @@ fn tier_serves(agg: Aggregation) -> bool {
 fn shape_buckets(f: &Fetched, bucket_ms: u64, agg: Aggregation) -> Vec<Bucket> {
     match f {
         Fetched::Raw { readings, .. } => bucket_readings(readings, bucket_ms, agg),
-        Fetched::Tier { head, core, tail, .. } => {
+        Fetched::Tier {
+            head, core, tail, ..
+        } => {
             let mut out = bucket_readings(head, bucket_ms, agg);
             bucket_rollups(core, bucket_ms, agg, &mut out);
             out.extend(bucket_readings(tail, bucket_ms, agg));
@@ -744,14 +785,21 @@ fn bucket_rollups(core: &[RollupBucket], bucket_ms: u64, agg: Aggregation, out: 
         let value = match agg {
             Aggregation::Mean => group.iter().map(|b| b.sum).sum::<f64>() / count as f64,
             Aggregation::Min => group.iter().map(|b| b.min).fold(f64::INFINITY, f64::min),
-            Aggregation::Max => group.iter().map(|b| b.max).fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Max => group
+                .iter()
+                .map(|b| b.max)
+                .fold(f64::NEG_INFINITY, f64::max),
             Aggregation::Sum => group.iter().map(|b| b.sum).sum(),
             Aggregation::Count => count as f64,
             Aggregation::First => group[0].first,
             Aggregation::Last => group[group.len() - 1].last,
             _ => unreachable!("non-decomposable aggregation on the tier path"),
         };
-        out.push(Bucket { start: bstart, value, count: count as usize });
+        out.push(Bucket {
+            start: bstart,
+            value,
+            count: count as usize,
+        });
         i = j;
     }
 }
@@ -760,7 +808,9 @@ fn bucket_rollups(core: &[RollupBucket], bucket_ms: u64, agg: Aggregation, out: 
 fn shape_scalar(f: &Fetched, agg: Aggregation) -> Option<f64> {
     match f {
         Fetched::Raw { readings, .. } => aggregate_readings(readings, agg),
-        Fetched::Tier { head, core, tail, .. } => combine_tier_scalar(head, core, tail, agg),
+        Fetched::Tier {
+            head, core, tail, ..
+        } => combine_tier_scalar(head, core, tail, agg),
     }
 }
 
@@ -772,8 +822,7 @@ fn combine_tier_scalar(
     tail: &[Reading],
     agg: Aggregation,
 ) -> Option<f64> {
-    let count =
-        head.len() as u64 + core.iter().map(|b| b.count).sum::<u64>() + tail.len() as u64;
+    let count = head.len() as u64 + core.iter().map(|b| b.count).sum::<u64>() + tail.len() as u64;
     if count == 0 {
         return None;
     }
@@ -902,7 +951,10 @@ pub fn aggregate_readings(readings: &[Reading], agg: Aggregation) -> Option<f64>
     let n = readings.len() as f64;
     Some(match agg {
         Aggregation::Mean => readings.iter().map(|r| r.value).sum::<f64>() / n,
-        Aggregation::Min => readings.iter().map(|r| r.value).fold(f64::INFINITY, f64::min),
+        Aggregation::Min => readings
+            .iter()
+            .map(|r| r.value)
+            .fold(f64::INFINITY, f64::min),
         Aggregation::Max => readings
             .iter()
             .map(|r| r.value)
@@ -911,7 +963,12 @@ pub fn aggregate_readings(readings: &[Reading], agg: Aggregation) -> Option<f64>
         Aggregation::Count => n,
         Aggregation::StdDev => {
             let mean = readings.iter().map(|r| r.value).sum::<f64>() / n;
-            (readings.iter().map(|r| (r.value - mean).powi(2)).sum::<f64>() / n).sqrt()
+            (readings
+                .iter()
+                .map(|r| (r.value - mean).powi(2))
+                .sum::<f64>()
+                / n)
+                .sqrt()
         }
         Aggregation::Last => readings.last().unwrap().value,
         Aggregation::First => readings.first().unwrap().value,
@@ -1068,7 +1125,10 @@ mod tests {
         let rates = Query::sensors(s).rate().run(&q).readings();
         assert_eq!(rates.len(), 3);
         assert!((rates[0].value - 100.0).abs() < 1e-12);
-        assert_eq!(rates[1].value, 0.0, "counter reset must emit rate 0, not a gap");
+        assert_eq!(
+            rates[1].value, 0.0,
+            "counter reset must emit rate 0, not a gap"
+        );
         assert_eq!(rates[1].ts, Timestamp::from_millis(3_000));
         assert!((rates[2].value - 50.0).abs() < 1e-12);
     }
@@ -1077,8 +1137,13 @@ mod tests {
     fn rate_reset_leaves_no_gap_mid_series() {
         // A mid-series reset must keep the rate series contiguous: every
         // consecutive input pair with Δt > 0 yields exactly one sample.
-        let series: &[(u64, f64)] =
-            &[(0, 10.0), (1_000, 20.0), (2_000, 5.0), (3_000, 15.0), (4_000, 25.0)];
+        let series: &[(u64, f64)] = &[
+            (0, 10.0),
+            (1_000, 20.0),
+            (2_000, 5.0),
+            (3_000, 15.0),
+            (4_000, 25.0),
+        ];
         let (store, s) = store_with(series);
         let q = QueryEngine::new(&store);
         let rates = Query::sensors(s).rate().run(&q).readings();
@@ -1221,7 +1286,10 @@ mod tests {
         let q = QueryEngine::new(&store);
         // Mean is tier-servable: all 10 readings sit in one rollup bucket,
         // so the planner scans 0 raw readings and avoids 9.
-        let _ = Query::sensors(s).aggregate(Aggregation::Mean).run(&q).scalar();
+        let _ = Query::sensors(s)
+            .aggregate(Aggregation::Mean)
+            .run(&q)
+            .scalar();
         // A raw-readings query still scans all 10.
         let _ = Query::sensors(s).run(&q).readings();
         let snap = m.snapshot();
@@ -1244,12 +1312,27 @@ mod tests {
             store.insert(s, Reading::new(Timestamp::from_millis(t), t as f64));
         }
         let q = QueryEngine::new(&store);
-        let planned = Query::sensors(s).aggregate(Aggregation::Mean).run(&q).scalar();
-        let raw = Query::sensors(s).raw_scan().aggregate(Aggregation::Mean).run(&q).scalar();
+        let planned = Query::sensors(s)
+            .aggregate(Aggregation::Mean)
+            .run(&q)
+            .scalar();
+        let raw = Query::sensors(s)
+            .raw_scan()
+            .aggregate(Aggregation::Mean)
+            .run(&q)
+            .scalar();
         assert_eq!(planned, raw, "tier answer must equal the raw rescan");
         let snap = m.snapshot();
-        assert_eq!(snap.counter("query_tier_hit_total"), Some(1), "only the planned query hits");
-        assert_eq!(snap.counter("query_readings_scanned_total"), Some(10), "raw_scan pays full price");
+        assert_eq!(
+            snap.counter("query_tier_hit_total"),
+            Some(1),
+            "only the planned query hits"
+        );
+        assert_eq!(
+            snap.counter("query_readings_scanned_total"),
+            Some(10),
+            "raw_scan pays full price"
+        );
     }
 
     #[test]
@@ -1262,15 +1345,24 @@ mod tests {
             MetricsRegistry::disabled(),
             RollupConfig {
                 tiers: vec![
-                    RollupTierSpec { bucket_ms: 1_000, capacity: 256 },
-                    RollupTierSpec { bucket_ms: 5_000, capacity: 256 },
+                    RollupTierSpec {
+                        bucket_ms: 1_000,
+                        capacity: 256,
+                    },
+                    RollupTierSpec {
+                        bucket_ms: 5_000,
+                        capacity: 256,
+                    },
                 ],
             },
         );
         let s = SensorId(0);
         // Dyadic values → tier partial sums are bit-exact vs a flat fold.
         for t in 0..200u64 {
-            store.insert(s, Reading::new(Timestamp::from_millis(t * 137), (t as f64) * 0.25 - 12.0));
+            store.insert(
+                s,
+                Reading::new(Timestamp::from_millis(t * 137), (t as f64) * 0.25 - 12.0),
+            );
         }
         let q = QueryEngine::new(&store);
         // Range with deliberately unaligned edges.
@@ -1284,11 +1376,23 @@ mod tests {
             Aggregation::First,
             Aggregation::Last,
         ] {
-            let planned = Query::sensors(s).range(range).aggregate(agg).run(&q).scalar();
-            let raw = Query::sensors(s).range(range).raw_scan().aggregate(agg).run(&q).scalar();
+            let planned = Query::sensors(s)
+                .range(range)
+                .aggregate(agg)
+                .run(&q)
+                .scalar();
+            let raw = Query::sensors(s)
+                .range(range)
+                .raw_scan()
+                .aggregate(agg)
+                .run(&q)
+                .scalar();
             assert_eq!(planned, raw, "scalar {agg:?} diverged");
-            let planned_b =
-                Query::sensors(s).range(range).downsample(5_000, agg).run(&q).buckets();
+            let planned_b = Query::sensors(s)
+                .range(range)
+                .downsample(5_000, agg)
+                .run(&q)
+                .buckets();
             let raw_b = Query::sensors(s)
                 .range(range)
                 .raw_scan()
@@ -1297,8 +1401,17 @@ mod tests {
                 .buckets();
             assert_eq!(planned_b, raw_b, "downsample {agg:?} diverged");
         }
-        let planned_a = Query::sensors(s).range(range).align(5_000).run(&q).aligned();
-        let raw_a = Query::sensors(s).range(range).raw_scan().align(5_000).run(&q).aligned();
+        let planned_a = Query::sensors(s)
+            .range(range)
+            .align(5_000)
+            .run(&q)
+            .aligned();
+        let raw_a = Query::sensors(s)
+            .range(range)
+            .raw_scan()
+            .align(5_000)
+            .run(&q)
+            .aligned();
         assert_eq!(planned_a, raw_a, "aligned matrix diverged");
     }
 
@@ -1321,7 +1434,11 @@ mod tests {
         }
         let snap = m.snapshot();
         assert_eq!(snap.counter("query_tier_hit_total"), Some(0));
-        assert_eq!(snap.counter("query_tier_miss_total"), Some(0), "planner not even consulted");
+        assert_eq!(
+            snap.counter("query_tier_miss_total"),
+            Some(0),
+            "planner not even consulted"
+        );
         assert_eq!(snap.counter("query_readings_scanned_total"), Some(60));
     }
 
@@ -1335,17 +1452,26 @@ mod tests {
         let all = TimeRange::all();
         assert_eq!(
             q.aggregate(s, all, Aggregation::Mean),
-            Query::sensors(s).aggregate(Aggregation::Mean).run(&q).scalar()
+            Query::sensors(s)
+                .aggregate(Aggregation::Mean)
+                .run(&q)
+                .scalar()
         );
         assert_eq!(q.range(s, all), Query::sensors(s).run(&q).readings());
         assert_eq!(
             q.downsample(s, all, 1_000, Aggregation::Mean),
-            Query::sensors(s).downsample(1_000, Aggregation::Mean).run(&q).buckets()
+            Query::sensors(s)
+                .downsample(1_000, Aggregation::Mean)
+                .run(&q)
+                .buckets()
         );
         assert_eq!(q.rate(s, all), Query::sensors(s).rate().run(&q).readings());
         assert_eq!(
             q.aggregate_many(&[s], all, Aggregation::Sum),
-            Query::sensors([s]).aggregate(Aggregation::Sum).run(&q).scalars()
+            Query::sensors([s])
+                .aggregate(Aggregation::Sum)
+                .run(&q)
+                .scalars()
         );
         assert_eq!(
             q.align(&[s], all, 1_000),

@@ -11,7 +11,9 @@ use std::ops::{Add, Sub};
 
 /// A point in time, measured in milliseconds since the epoch of the monitored
 /// system (for simulated data centers: the start of the simulation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -185,15 +187,24 @@ mod tests {
         assert_eq!(t.bucket(1_000), Timestamp::from_millis(12_000));
         assert_eq!(t.bucket(5_000), Timestamp::from_millis(10_000));
         // Already aligned timestamps are unchanged.
-        assert_eq!(Timestamp::from_millis(10_000).bucket(5_000).as_millis(), 10_000);
+        assert_eq!(
+            Timestamp::from_millis(10_000).bucket(5_000).as_millis(),
+            10_000
+        );
     }
 
     #[test]
     fn timestamp_arithmetic_saturates() {
         assert_eq!((Timestamp::ZERO - 100).as_millis(), 0);
         assert_eq!((Timestamp::MAX + 100), Timestamp::MAX);
-        assert_eq!(Timestamp::from_secs(1).millis_since(Timestamp::from_secs(2)), 0);
-        assert_eq!(Timestamp::from_secs(2).millis_since(Timestamp::from_secs(1)), 1_000);
+        assert_eq!(
+            Timestamp::from_secs(1).millis_since(Timestamp::from_secs(2)),
+            0
+        );
+        assert_eq!(
+            Timestamp::from_secs(2).millis_since(Timestamp::from_secs(1)),
+            1_000
+        );
     }
 
     #[test]

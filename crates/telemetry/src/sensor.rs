@@ -295,7 +295,11 @@ mod tests {
     #[test]
     fn lookup_and_meta_round_trip() {
         let reg = SensorRegistry::new();
-        let id = reg.register("/facility/chiller0/power", SensorKind::Power, Unit::Kilowatts);
+        let id = reg.register(
+            "/facility/chiller0/power",
+            SensorKind::Power,
+            Unit::Kilowatts,
+        );
         assert_eq!(reg.lookup("/facility/chiller0/power"), Some(id));
         assert_eq!(reg.lookup("/facility/chiller1/power"), None);
         let meta = reg.meta(id).unwrap();

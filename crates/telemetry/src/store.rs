@@ -300,7 +300,10 @@ impl Default for RollupConfig {
         RollupConfig {
             tiers: [10_000, 60_000, 600_000]
                 .into_iter()
-                .map(|bucket_ms| RollupTierSpec { bucket_ms, capacity: 1_024 })
+                .map(|bucket_ms| RollupTierSpec {
+                    bucket_ms,
+                    capacity: 1_024,
+                })
                 .collect(),
         }
     }
@@ -471,6 +474,11 @@ struct ShardMetrics {
     rejects_non_finite: Counter,
     evictions: Counter,
     lock_hold_ns: Histogram,
+    /// Write-lock acquisitions that found the shard lock already held —
+    /// the collector-vs-collector (or collector-vs-query) contention the
+    /// parallel runtime makes possible. Scheduling telemetry: varies run
+    /// to run, excluded from the determinism contract.
+    contention: Counter,
 }
 
 impl ShardMetrics {
@@ -483,9 +491,17 @@ impl ShardMetrics {
             rejects_non_finite: metrics.counter("store_reject_non_finite_total", labels),
             evictions: metrics.counter("store_evict_total", labels),
             lock_hold_ns: metrics.histogram("store_lock_hold_ns", labels),
+            contention: metrics.counter("store_shard_contention_total", labels),
         }
     }
 }
+
+// Compile-time audit: the store is shared (`Arc`) across runtime workers,
+// collectors and query threads; it must stay fully thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TimeSeriesStore>();
+};
 
 /// Sharded, thread-safe archive of per-sensor time series.
 pub struct TimeSeriesStore {
@@ -522,7 +538,12 @@ impl TimeSeriesStore {
         shards: usize,
         metrics: MetricsRegistry,
     ) -> Self {
-        Self::with_rollups(per_sensor_capacity, shards, metrics, RollupConfig::default())
+        Self::with_rollups(
+            per_sensor_capacity,
+            shards,
+            metrics,
+            RollupConfig::default(),
+        )
     }
 
     /// Creates a store with an explicit rollup-tier layout. Pass
@@ -538,14 +559,19 @@ impl TimeSeriesStore {
         metrics: MetricsRegistry,
         rollups: RollupConfig,
     ) -> Self {
-        assert!(per_sensor_capacity > 0, "per-sensor capacity must be positive");
+        assert!(
+            per_sensor_capacity > 0,
+            "per-sensor capacity must be positive"
+        );
         assert!(shards > 0, "shard count must be positive");
         rollups.validate();
         TimeSeriesStore {
             shards: (0..shards)
                 .map(|_| RwLock::new(Shard { series: Vec::new() }))
                 .collect(),
-            shard_metrics: (0..shards).map(|i| ShardMetrics::new(&metrics, i)).collect(),
+            shard_metrics: (0..shards)
+                .map(|i| ShardMetrics::new(&metrics, i))
+                .collect(),
             metrics,
             per_sensor_capacity,
             rollups,
@@ -584,7 +610,13 @@ impl TimeSeriesStore {
     pub fn insert_batch(&self, sensor: SensorId, readings: &[Reading]) -> usize {
         let (s, slot) = self.locate(sensor);
         let m = &self.shard_metrics[s];
-        let mut shard = self.shards[s].write();
+        let mut shard = match self.shards[s].try_write() {
+            Some(guard) => guard,
+            None => {
+                m.contention.inc();
+                self.shards[s].write()
+            }
+        };
         let timer = m.lock_hold_ns.start_timer();
         if shard.series.len() <= slot {
             shard.series.resize_with(slot + 1, || None);
@@ -592,11 +624,16 @@ impl TimeSeriesStore {
         let series = shard.series[slot]
             .get_or_insert_with(|| SensorSeries::new(self.per_sensor_capacity, &self.rollups));
         let buf = &series.raw;
-        let (ooo0, nf0, ev0) = (buf.rejected_out_of_order(), buf.rejected_non_finite(), buf.evicted());
+        let (ooo0, nf0, ev0) = (
+            buf.rejected_out_of_order(),
+            buf.rejected_non_finite(),
+            buf.evicted(),
+        );
         let accepted = readings.iter().filter(|r| series.push(**r)).count();
         let buf = &series.raw;
         m.appends.add(accepted as u64);
-        m.rejects_out_of_order.add(buf.rejected_out_of_order() - ooo0);
+        m.rejects_out_of_order
+            .add(buf.rejected_out_of_order() - ooo0);
         m.rejects_non_finite.add(buf.rejected_non_finite() - nf0);
         m.evictions.add(buf.evicted() - ev0);
         m.lock_hold_ns.observe_timer(timer);
@@ -722,7 +759,13 @@ impl TimeSeriesStore {
             series.raw.range_into(start, core_start, &mut head);
             let mut tail = Vec::new();
             series.raw.range_into(core_end, end, &mut tail);
-            return TierScanResult::Hit { head, core, tail, tier_ms, readings_avoided };
+            return TierScanResult::Hit {
+                head,
+                core,
+                tail,
+                tier_ms,
+                readings_avoided,
+            };
         }
         TierScanResult::Miss
     }
@@ -731,7 +774,11 @@ impl TimeSeriesStore {
     pub fn latest(&self, sensor: SensorId) -> Option<Reading> {
         let (s, slot) = self.locate(sensor);
         let shard = self.shards[s].read();
-        shard.series.get(slot).and_then(|b| b.as_ref()).and_then(|b| b.raw.newest())
+        shard
+            .series
+            .get(slot)
+            .and_then(|b| b.as_ref())
+            .and_then(|b| b.raw.newest())
     }
 
     /// The most recent `n` readings for `sensor`, oldest-first.
@@ -876,8 +923,15 @@ mod tests {
             b.push(r(t * 10, t as f64));
         }
         let mut out = Vec::new();
-        b.range_into(Timestamp::from_millis(20), Timestamp::from_millis(50), &mut out);
-        assert_eq!(out.iter().map(|x| x.value).collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+        b.range_into(
+            Timestamp::from_millis(20),
+            Timestamp::from_millis(50),
+            &mut out,
+        );
+        assert_eq!(
+            out.iter().map(|x| x.value).collect::<Vec<_>>(),
+            vec![2.0, 3.0, 4.0]
+        );
 
         // Range across the wrap point.
         for t in 8..12 {
@@ -899,9 +953,17 @@ mod tests {
 
         let mut b = RingBuffer::new(4);
         b.push(r(0, 1.0));
-        b.range_into(Timestamp::from_millis(5), Timestamp::from_millis(5), &mut out);
+        b.range_into(
+            Timestamp::from_millis(5),
+            Timestamp::from_millis(5),
+            &mut out,
+        );
         assert!(out.is_empty());
-        b.range_into(Timestamp::from_millis(9), Timestamp::from_millis(3), &mut out);
+        b.range_into(
+            Timestamp::from_millis(9),
+            Timestamp::from_millis(3),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -911,7 +973,10 @@ mod tests {
         for t in 0..6 {
             b.push(r(t, t as f64));
         }
-        assert_eq!(b.last_n(2).iter().map(|x| x.value).collect::<Vec<_>>(), vec![4.0, 5.0]);
+        assert_eq!(
+            b.last_n(2).iter().map(|x| x.value).collect::<Vec<_>>(),
+            vec![4.0, 5.0]
+        );
         assert_eq!(b.last_n(10).len(), 4);
     }
 
@@ -935,7 +1000,13 @@ mod tests {
     fn store_batch_insert_counts_accepted() {
         let store = TimeSeriesStore::with_capacity(16);
         let s = SensorId(3);
-        let batch = vec![r(0, 1.0), r(10, 2.0), r(5, 3.0), r(20, f64::NAN), r(30, 4.0)];
+        let batch = vec![
+            r(0, 1.0),
+            r(10, 2.0),
+            r(5, 3.0),
+            r(20, f64::NAN),
+            r(30, 4.0),
+        ];
         // r(5,..) is out of order, NaN is rejected.
         assert_eq!(store.insert_batch(s, &batch), 3);
         assert_eq!(store.series_len(s), 3);
@@ -945,7 +1016,9 @@ mod tests {
     fn store_unknown_sensor_is_empty() {
         let store = TimeSeriesStore::with_capacity(4);
         assert!(store.latest(SensorId(99)).is_none());
-        assert!(store.range(SensorId(99), Timestamp::ZERO, Timestamp::MAX).is_empty());
+        assert!(store
+            .range(SensorId(99), Timestamp::ZERO, Timestamp::MAX)
+            .is_empty());
         assert_eq!(store.series_len(SensorId(99)), 0);
     }
 
@@ -1015,8 +1088,14 @@ mod tests {
         store.insert(s, r(20, 4.0)); // accepted, evicts the oldest
         let snap = m.snapshot();
         assert_eq!(snap.counter("store_append_total{shard=\"0\"}"), Some(3));
-        assert_eq!(snap.counter("store_reject_out_of_order_total{shard=\"0\"}"), Some(1));
-        assert_eq!(snap.counter("store_reject_non_finite_total{shard=\"0\"}"), Some(1));
+        assert_eq!(
+            snap.counter("store_reject_out_of_order_total{shard=\"0\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("store_reject_non_finite_total{shard=\"0\"}"),
+            Some(1)
+        );
         assert_eq!(snap.counter("store_evict_total{shard=\"0\"}"), Some(1));
         let hold = snap.histogram("store_lock_hold_ns{shard=\"0\"}").unwrap();
         assert_eq!(hold.count, 5, "one lock-hold sample per insert");
@@ -1056,7 +1135,10 @@ mod tests {
 
     #[test]
     fn rollup_tier_folds_and_wraps() {
-        let mut t = RollupTier::new(RollupTierSpec { bucket_ms: 1_000, capacity: 2 });
+        let mut t = RollupTier::new(RollupTierSpec {
+            bucket_ms: 1_000,
+            capacity: 2,
+        });
         t.observe(r(100, 1.0));
         t.observe(r(900, 3.0));
         assert_eq!(t.len(), 1);
@@ -1086,7 +1168,12 @@ mod tests {
             16,
             1,
             MetricsRegistry::disabled(),
-            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 8 }] },
+            RollupConfig {
+                tiers: vec![RollupTierSpec {
+                    bucket_ms: 1_000,
+                    capacity: 8,
+                }],
+            },
         );
         let s = SensorId(0);
         store.insert(s, r(100, 1.0));
@@ -1109,22 +1196,44 @@ mod tests {
             64,
             1,
             MetricsRegistry::disabled(),
-            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 64 }] },
+            RollupConfig {
+                tiers: vec![RollupTierSpec {
+                    bucket_ms: 1_000,
+                    capacity: 64,
+                }],
+            },
         );
         let s = SensorId(0);
         for t in 0..40u64 {
             store.insert(s, r(t * 100, t as f64)); // 10 readings per bucket
         }
         // [250, 3_250): head = [250,1_000), core = [1_000,3_000), tail = [3_000,3_250)
-        match store.tier_scan(s, Timestamp::from_millis(250), Timestamp::from_millis(3_250), None) {
-            TierScanResult::Hit { head, core, tail, tier_ms, readings_avoided } => {
+        match store.tier_scan(
+            s,
+            Timestamp::from_millis(250),
+            Timestamp::from_millis(3_250),
+            None,
+        ) {
+            TierScanResult::Hit {
+                head,
+                core,
+                tail,
+                tier_ms,
+                readings_avoided,
+            } => {
                 assert_eq!(tier_ms, 1_000);
-                assert_eq!(head.iter().map(|x| x.value).collect::<Vec<_>>(), vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+                assert_eq!(
+                    head.iter().map(|x| x.value).collect::<Vec<_>>(),
+                    vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+                );
                 assert_eq!(core.len(), 2);
                 assert_eq!(core[0].start, Timestamp::from_millis(1_000));
                 assert_eq!(core[0].count, 10);
                 assert_eq!(core[1].start, Timestamp::from_millis(2_000));
-                assert_eq!(tail.iter().map(|x| x.value).collect::<Vec<_>>(), vec![30.0, 31.0, 32.0]);
+                assert_eq!(
+                    tail.iter().map(|x| x.value).collect::<Vec<_>>(),
+                    vec![30.0, 31.0, 32.0]
+                );
                 assert_eq!(readings_avoided, 18);
             }
             TierScanResult::Miss => panic!("expected a tier hit"),
@@ -1137,7 +1246,12 @@ mod tests {
             64,
             1,
             MetricsRegistry::disabled(),
-            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 64 }] },
+            RollupConfig {
+                tiers: vec![RollupTierSpec {
+                    bucket_ms: 1_000,
+                    capacity: 64,
+                }],
+            },
         );
         let s = SensorId(0);
         for t in 0..30u64 {
@@ -1145,12 +1259,22 @@ mod tests {
         }
         // 2_000 is a multiple of the 1_000 ms tier → eligible.
         assert!(matches!(
-            store.tier_scan(s, Timestamp::ZERO, Timestamp::from_millis(3_000), Some(2_000)),
+            store.tier_scan(
+                s,
+                Timestamp::ZERO,
+                Timestamp::from_millis(3_000),
+                Some(2_000)
+            ),
             TierScanResult::Hit { .. }
         ));
         // 1_500 is not → must miss.
         assert!(matches!(
-            store.tier_scan(s, Timestamp::ZERO, Timestamp::from_millis(3_000), Some(1_500)),
+            store.tier_scan(
+                s,
+                Timestamp::ZERO,
+                Timestamp::from_millis(3_000),
+                Some(1_500)
+            ),
             TierScanResult::Miss
         ));
     }
@@ -1162,7 +1286,12 @@ mod tests {
             12,
             1,
             MetricsRegistry::disabled(),
-            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 64 }] },
+            RollupConfig {
+                tiers: vec![RollupTierSpec {
+                    bucket_ms: 1_000,
+                    capacity: 64,
+                }],
+            },
         );
         let s = SensorId(0);
         for t in 0..40u64 {
@@ -1173,7 +1302,9 @@ mod tests {
         let oldest = store.range(s, Timestamp::ZERO, Timestamp::MAX)[0].ts;
         assert_eq!(oldest, Timestamp::from_millis(2_800));
         match store.tier_scan(s, Timestamp::ZERO, Timestamp::from_millis(4_000), None) {
-            TierScanResult::Hit { head, core, tail, .. } => {
+            TierScanResult::Hit {
+                head, core, tail, ..
+            } => {
                 for b in &core {
                     assert!(
                         b.start > oldest,
@@ -1185,10 +1316,14 @@ mod tests {
                 assert_eq!(core[0].start, Timestamp::from_millis(3_000));
                 // Everything served must re-compose to exactly the raw scan.
                 let raw = store.range(s, Timestamp::ZERO, Timestamp::from_millis(4_000));
-                let served =
-                    head.len() as u64 + core.iter().map(|b| b.count).sum::<u64>() + tail.len() as u64;
+                let served = head.len() as u64
+                    + core.iter().map(|b| b.count).sum::<u64>()
+                    + tail.len() as u64;
                 assert_eq!(served, raw.len() as u64);
-                assert_eq!(head.iter().map(|x| x.value).collect::<Vec<_>>(), vec![28.0, 29.0]);
+                assert_eq!(
+                    head.iter().map(|x| x.value).collect::<Vec<_>>(),
+                    vec![28.0, 29.0]
+                );
             }
             TierScanResult::Miss => panic!("expected a hit for the fully-retained trailing bucket"),
         }
@@ -1203,12 +1338,8 @@ mod tests {
 
     #[test]
     fn tier_scan_misses_without_tiers_or_savings() {
-        let store = TimeSeriesStore::with_rollups(
-            16,
-            1,
-            MetricsRegistry::disabled(),
-            RollupConfig::none(),
-        );
+        let store =
+            TimeSeriesStore::with_rollups(16, 1, MetricsRegistry::disabled(), RollupConfig::none());
         let s = SensorId(0);
         store.insert(s, r(0, 1.0));
         assert!(matches!(
@@ -1221,7 +1352,12 @@ mod tests {
             16,
             1,
             MetricsRegistry::disabled(),
-            RollupConfig { tiers: vec![RollupTierSpec { bucket_ms: 1_000, capacity: 8 }] },
+            RollupConfig {
+                tiers: vec![RollupTierSpec {
+                    bucket_ms: 1_000,
+                    capacity: 8,
+                }],
+            },
         );
         sparse.insert(s, r(500, 1.0));
         sparse.insert(s, r(1_500, 2.0));
@@ -1239,8 +1375,14 @@ mod tests {
             MetricsRegistry::disabled(),
             RollupConfig {
                 tiers: vec![
-                    RollupTierSpec { bucket_ms: 1_000, capacity: 2 },
-                    RollupTierSpec { bucket_ms: 10_000, capacity: 8 },
+                    RollupTierSpec {
+                        bucket_ms: 1_000,
+                        capacity: 2,
+                    },
+                    RollupTierSpec {
+                        bucket_ms: 10_000,
+                        capacity: 8,
+                    },
                 ],
             },
         );
@@ -1268,8 +1410,14 @@ mod tests {
             MetricsRegistry::disabled(),
             RollupConfig {
                 tiers: vec![
-                    RollupTierSpec { bucket_ms: 1_000, capacity: 4 },
-                    RollupTierSpec { bucket_ms: 1_000, capacity: 4 },
+                    RollupTierSpec {
+                        bucket_ms: 1_000,
+                        capacity: 4,
+                    },
+                    RollupTierSpec {
+                        bucket_ms: 1_000,
+                        capacity: 4,
+                    },
                 ],
             },
         );

@@ -33,8 +33,14 @@ fn main() {
     ));
 
     let mut pipeline = StagedPipeline::new()
-        .with_stage(AnalyticsType::Diagnostic, Box::new(InfraAnomalyDetector::new()))
-        .with_stage(AnalyticsType::Prescriptive, Box::new(CoolingOptimizer::new()));
+        .with_stage(
+            AnalyticsType::Diagnostic,
+            Box::new(InfraAnomalyDetector::new()),
+        )
+        .with_stage(
+            AnalyticsType::Prescriptive,
+            Box::new(CoolingOptimizer::new()),
+        );
 
     println!("hour   PUE    cooling kW   setpoint   events");
     let mut responded = false;
@@ -50,7 +56,12 @@ fn main() {
         let mut events = Vec::new();
         for artifact in run.artifacts() {
             match artifact {
-                Artifact::Diagnosis { kind, subject, severity, .. } => {
+                Artifact::Diagnosis {
+                    kind,
+                    subject,
+                    severity,
+                    ..
+                } => {
                     events.push(format!("DETECTED {kind} on {subject} (sev {severity:.2})"));
                     // Operators also get ranked recommendations.
                     let recs = recommend(&[Diagnosis {
@@ -60,7 +71,12 @@ fn main() {
                     }]);
                     events.push(format!("RECOMMEND: {}", recs[0].action));
                 }
-                Artifact::Prescription { action, setting, automatable, .. } => {
+                Artifact::Prescription {
+                    action,
+                    setting,
+                    automatable,
+                    ..
+                } => {
                     // The control plane applies automatable prescriptions.
                     // Once the anomaly response fired, the conservative
                     // setting is latched until the plant is serviced —

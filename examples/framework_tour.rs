@@ -38,7 +38,11 @@ fn main() {
             "  {:<13} {:<45} {}",
             t.name(),
             t.question(),
-            if t.is_foresight() { "foresight" } else { "hindsight" }
+            if t.is_foresight() {
+                "foresight"
+            } else {
+                "hindsight"
+            }
         );
     }
 

@@ -73,9 +73,7 @@ fn main() {
     println!("\nforecast of the final day vs truth:");
     println!("  truth     {}", sparkline(&trace[split..]));
     println!("  forecast  {}", sparkline(&forecast));
-    println!(
-        "\nnotification rule: swing > {threshold:.2} kW within 30 min (scaled 750 kW/15 min)"
-    );
+    println!("\nnotification rule: swing > {threshold:.2} kW within 30 min (scaled 750 kW/15 min)");
     println!("  actual events    at buckets {actual:?}");
     println!("  predicted events at buckets {predicted:?}");
     let hits = actual

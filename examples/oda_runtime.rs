@@ -77,11 +77,7 @@ fn main() {
         let snap = dc.snapshot();
         println!(
             "{hour:>4}  {:>7}  {:>8}  {:>9}  {:>8.1}  {:>6.2}",
-            report.applied,
-            report.deferred,
-            report.diagnoses,
-            snap.setpoint_c,
-            snap.it_energy_kwh
+            report.applied, report.deferred, report.diagnoses, snap.setpoint_c, snap.it_energy_kwh
         );
     }
     assert_eq!(replayer.remaining(), 0, "whole trace submitted");

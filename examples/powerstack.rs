@@ -26,10 +26,18 @@ use std::sync::Arc;
 fn apply_prescriptions(dc: &mut DataCenter, artifacts: &[&Artifact]) -> Vec<String> {
     let mut applied = Vec::new();
     for a in artifacts {
-        if let Artifact::Prescription { action, setting, automatable: true, .. } = a {
+        if let Artifact::Prescription {
+            action,
+            setting,
+            automatable: true,
+            ..
+        } = a
+        {
             if let Some(node_part) = action.strip_suffix("/freq_ghz") {
                 if let (Some(idx), Ok(f)) = (
-                    node_part.strip_prefix("node").and_then(|s| s.parse::<u32>().ok()),
+                    node_part
+                        .strip_prefix("node")
+                        .and_then(|s| s.parse::<u32>().ok()),
                     setting.parse::<f64>(),
                 ) {
                     dc.set_node_freq(NodeId(idx), f);
@@ -61,7 +69,10 @@ fn main() {
     let mut twin = DataCenter::new(DataCenterConfig::small(), 99);
 
     let mut pipeline = StagedPipeline::new()
-        .with_stage(AnalyticsType::Predictive, Box::new(HardwareForecaster::new()))
+        .with_stage(
+            AnalyticsType::Predictive,
+            Box::new(HardwareForecaster::new()),
+        )
         .with_stage(AnalyticsType::Prescriptive, Box::new(DvfsTuner::new()))
         .with_stage(AnalyticsType::Prescriptive, Box::new(SchedulerTuner::new()))
         .with_stage(AnalyticsType::Prescriptive, Box::new(AppAutoTuner::new()));

@@ -22,15 +22,25 @@ fn main() {
     let utilization: Vec<f64> = (0..96)
         .map(|i| {
             let x = (i % 24) as f64;
-            if x < 12.0 { x / 12.0 } else { 2.0 - x / 12.0 }
+            if x < 12.0 {
+                x / 12.0
+            } else {
+                2.0 - x / 12.0
+            }
         })
         .collect();
 
     let policy = FreqPolicy::default_for_range(1.2, 3.0);
-    let mut reactive =
-        DvfsGovernor::new(policy, GovernorMode::Reactive, Box::new(Holt::new(0.9, 0.9)));
-    let mut proactive =
-        DvfsGovernor::new(policy, GovernorMode::Proactive, Box::new(Holt::new(0.9, 0.9)));
+    let mut reactive = DvfsGovernor::new(
+        policy,
+        GovernorMode::Reactive,
+        Box::new(Holt::new(0.9, 0.9)),
+    );
+    let mut proactive = DvfsGovernor::new(
+        policy,
+        GovernorMode::Proactive,
+        Box::new(Holt::new(0.9, 0.9)),
+    );
 
     // Decisions apply to the NEXT interval.
     let mut applied_r = 3.0f64;

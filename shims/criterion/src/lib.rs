@@ -99,15 +99,16 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(
-            &format!("{}/{}", self.name, id.id),
-            self.criterion.quick,
-            f,
-        );
+        run_one(&format!("{}/{}", self.name, id.id), self.criterion.quick, f);
         self
     }
 
-    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -229,9 +230,7 @@ mod tests {
         let mut g = c.benchmark_group("grp");
         g.throughput(Throughput::Elements(4));
         g.sample_size(10);
-        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
-            b.iter(|| n * n)
-        });
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
         g.finish();
     }
 

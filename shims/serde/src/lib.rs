@@ -189,15 +189,21 @@ ser_tuple! {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
         // Sort keys so output is deterministic.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }

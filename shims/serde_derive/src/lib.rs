@@ -19,7 +19,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Ok(item) => item,
         Err(msg) => return compile_error(&msg),
     };
-    item.serialize_impl().parse().expect("generated Serialize impl must parse")
+    item.serialize_impl()
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
@@ -28,11 +30,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Ok(item) => item,
         Err(msg) => return compile_error(&msg),
     };
-    item.deserialize_impl().parse().expect("generated Deserialize impl must parse")
+    item.deserialize_impl()
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("compile_error must parse")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error must parse")
 }
 
 enum Body {
@@ -148,7 +154,10 @@ impl Item {
                         )
                     })
                     .collect();
-                format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                )
             }
             Body::Enum(variants) => {
                 let arms: Vec<String> = variants
@@ -230,7 +239,9 @@ fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String>
             *pos += 1;
             Ok(id.to_string())
         }
-        other => Err(format!("serde shim derive: expected identifier, found {other:?}")),
+        other => Err(format!(
+            "serde shim derive: expected identifier, found {other:?}"
+        )),
     }
 }
 

@@ -44,7 +44,11 @@ fn sensor_dropout_leaves_gap_but_other_streams_flow() {
     assert!(!dc.store().range(temp1, mins(5), mins(25)).is_empty());
     // The gap is visible in the health report.
     let health = dc.store().sensor_health(temp0).unwrap();
-    assert!(health.max_gap_ms >= 19 * 60_000, "gap {} ms", health.max_gap_ms);
+    assert!(
+        health.max_gap_ms >= 19 * 60_000,
+        "gap {} ms",
+        health.max_gap_ms
+    );
     assert!(dc.telemetry_faults().unwrap().suppressed() > 0);
 }
 
@@ -120,7 +124,11 @@ fn nan_burst_never_reaches_store_or_alerts() {
         }
     }
     // Every archived sample is finite; the rejections are counted.
-    assert!(dc.store().last_n(power0, 10_000).iter().all(|r| r.value.is_finite()));
+    assert!(dc
+        .store()
+        .last_n(power0, 10_000)
+        .iter()
+        .all(|r| r.value.is_finite()));
     let health = dc.store().sensor_health(power0).unwrap();
     assert!(health.rejected_non_finite > 0);
 }
@@ -151,7 +159,11 @@ fn spike_raises_false_alerts_that_a_clean_run_does_not() {
         let mut raised = 0;
         while let Ok(batch) = sub.rx.try_recv() {
             for &r in &batch.readings {
-                raised += alerts.observe(batch.sensor, r).iter().filter(|e| e.active).count() as u64;
+                raised += alerts
+                    .observe(batch.sensor, r)
+                    .iter()
+                    .filter(|e| e.active)
+                    .count() as u64;
             }
         }
         raised
@@ -181,7 +193,10 @@ fn clock_jitter_causes_counted_out_of_order_rejections() {
     );
     let dc = run_site(12, Some(schedule));
     let health = dc.store().health_report();
-    assert!(health.total_rejected() > 0, "backward skews must be rejected");
+    assert!(
+        health.total_rejected() > 0,
+        "backward skews must be rejected"
+    );
     // Whatever was archived is still strictly time-ordered per sensor.
     let temp0 = dc.registry().lookup("/hw/node0/temp_c").unwrap();
     let series = dc.store().last_n(temp0, 10_000);
@@ -196,7 +211,11 @@ fn node_failure_blacks_out_the_node_and_only_the_node() {
         mins(25),
     );
     let dc = run_site(13, Some(schedule));
-    for stream in ["/hw/node2/temp_c", "/hw/node2/power_w", "/sw/node2/sys_mem_gib"] {
+    for stream in [
+        "/hw/node2/temp_c",
+        "/hw/node2/power_w",
+        "/sw/node2/sys_mem_gib",
+    ] {
         let id = dc.registry().lookup(stream).unwrap();
         assert!(
             dc.store().range(id, mins(5), mins(25)).is_empty(),

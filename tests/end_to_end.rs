@@ -42,7 +42,10 @@ fn telemetry_agrees_with_simulator_ground_truth() {
     // Sum of node powers ≈ IT power.
     let node_sum: f64 = (0..dc.node_count())
         .map(|i| {
-            let s = dc.registry().lookup(&format!("/hw/node{i}/power_w")).unwrap();
+            let s = dc
+                .registry()
+                .lookup(&format!("/hw/node{i}/power_w"))
+                .unwrap();
             Query::sensors(s)
                 .range(TimeRange::all())
                 .aggregate(Aggregation::Last)
@@ -126,7 +129,10 @@ fn closed_loop_dvfs_actually_reduces_power() {
     let out = cells::prescriptive::DvfsTuner::new().execute(&ctx_for(&dc));
     let mut applied = 0;
     for a in &out {
-        if let Artifact::Prescription { action, setting, .. } = a {
+        if let Artifact::Prescription {
+            action, setting, ..
+        } = a
+        {
             if let Some(rest) = action.strip_suffix("/freq_ghz") {
                 let idx: u32 = rest.trim_start_matches("node").parse().unwrap();
                 dc.set_node_freq(NodeId(idx), setting.parse().unwrap());
@@ -167,11 +173,11 @@ fn staged_pipeline_makes_prescriptive_proactive() {
         run.stage_artifacts(AnalyticsType::Prescriptive)
             .iter()
             .find_map(|a| match a {
-                Artifact::Prescription { action, expected_impact, .. }
-                    if action == "cooling_setpoint_c" =>
-                {
-                    Some(expected_impact.clone())
-                }
+                Artifact::Prescription {
+                    action,
+                    expected_impact,
+                    ..
+                } if action == "cooling_setpoint_c" => Some(expected_impact.clone()),
                 _ => None,
             })
             .unwrap()
@@ -214,5 +220,8 @@ fn job_records_flow_to_application_pillar_cells() {
         .iter()
         .find_map(|a| a.kpi("walltime_baseline_mape"))
         .unwrap();
-    assert!(mape < baseline, "prediction {mape} must beat walltime {baseline}");
+    assert!(
+        mape < baseline,
+        "prediction {mape} must beat walltime {baseline}"
+    );
 }

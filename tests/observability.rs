@@ -37,7 +37,12 @@ fn run_instrumented_pass(seed: u64) -> (Vec<String>, MetricsSnapshot) {
         &mut SimControlPlane { dc: &mut dc },
     );
     assert!(report.wall_ns > 0);
-    let spans: Vec<String> = report.run.spans.iter().map(|s| s.capability.clone()).collect();
+    let spans: Vec<String> = report
+        .run
+        .spans
+        .iter()
+        .map(|s| s.capability.clone())
+        .collect();
     (spans, metrics.snapshot())
 }
 
@@ -54,7 +59,9 @@ fn runtime_pass_emits_expected_spans_and_counters() {
     // Runtime-level counters and the pass latency histogram.
     assert_eq!(snap.counter("runtime_pass_total"), Some(1));
     assert_eq!(snap.histogram("runtime_pass_ns").map(|h| h.count), Some(1));
-    assert!(snap.counter("runtime_prescriptions_applied_total").is_some());
+    assert!(snap
+        .counter("runtime_prescriptions_applied_total")
+        .is_some());
     assert!(snap.counter("runtime_diagnoses_total").is_some());
 
     // Per-capability stage instruments carry the capability label.
@@ -83,7 +90,10 @@ fn runtime_pass_emits_expected_spans_and_counters() {
     // each to exactly one hit or miss).
     let hits = snap.counter("query_tier_hit_total");
     let misses = snap.counter("query_tier_miss_total");
-    assert!(hits.is_some() && misses.is_some(), "planner counters missing");
+    assert!(
+        hits.is_some() && misses.is_some(),
+        "planner counters missing"
+    );
     assert!(snap.counter("query_readings_avoided_total").is_some());
 }
 

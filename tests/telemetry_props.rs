@@ -351,7 +351,10 @@ fn ragged_alignment_does_not_poison_downstream_correlation() {
     for t in 0..20u64 {
         store.insert(a, Reading::new(Timestamp::from_millis(t * 1_000), t as f64));
         if t >= 4 && t % 2 == 0 {
-            store.insert(b, Reading::new(Timestamp::from_millis(t * 1_000), 3.0 * t as f64 + 1.0));
+            store.insert(
+                b,
+                Reading::new(Timestamp::from_millis(t * 1_000), 3.0 * t as f64 + 1.0),
+            );
         }
     }
     let q = QueryEngine::new(&store);
@@ -361,12 +364,21 @@ fn ragged_alignment_does_not_poison_downstream_correlation() {
         .run(&q)
         .aligned();
     assert_eq!(grid.len(), 20);
-    assert!(matrix[0].iter().all(|v| v.is_finite()), "dense sensor has no holes");
-    assert!(matrix[1].iter().any(|v| v.is_nan()), "ragged sensor must have holes");
+    assert!(
+        matrix[0].iter().all(|v| v.is_finite()),
+        "dense sensor has no holes"
+    );
+    assert!(
+        matrix[1].iter().any(|v| v.is_nan()),
+        "ragged sensor must have holes"
+    );
 
     let pearson = correlation(&matrix[0], &matrix[1]).expect("NaN-aware pearson");
     let rho = spearman(&matrix[0], &matrix[1]).expect("NaN-aware spearman");
-    assert!(pearson.is_finite() && rho.is_finite(), "holes poisoned the estimators");
+    assert!(
+        pearson.is_finite() && rho.is_finite(),
+        "holes poisoned the estimators"
+    );
     // b is a perfect affine, monotone function of a on the overlap.
     assert!((pearson - 1.0).abs() < 1e-12, "pearson {pearson}");
     assert!((rho - 1.0).abs() < 1e-12, "spearman {rho}");
