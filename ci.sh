@@ -11,6 +11,12 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> odalint (static determinism / panic-safety / unsafe-audit gate)"
+# Deny-by-default source lint; exits nonzero on any unallowed violation
+# and writes LINT_report.json, whose schema check_lint.py then verifies.
+cargo run -q -p lint --bin odalint
+python3 ci/check_lint.py LINT_report.json
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -18,9 +24,8 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 echo "==> cargo clippy -- -D warnings"
-# Also the deprecation gate: the pre-0.2 QueryEngine methods and
-# TelemetryBus::subscribe are #[deprecated], so any in-workspace use fails
-# the build here.
+# The pre-0.2 QueryEngine methods and TelemetryBus::subscribe are gone;
+# odalint's deprecated-api rule keeps them from coming back.
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc -- -D warnings"

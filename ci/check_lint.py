@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Schema gate for the odalint report.
+
+Usage: check_lint.py LINT_report.json
+
+`odalint` already exits nonzero on violations; this script is the second
+half of the CI stage: it proves the report the run produced is the
+well-formed `odalint-report/v1` document downstream tooling consumes, and
+re-asserts the clean invariant from the report itself (defence in depth if
+the exit code is ever swallowed by a pipeline).
+"""
+
+import json
+import sys
+
+SCHEMA = "odalint-report/v1"
+
+VIOLATION_KEYS = {"rule", "file", "line", "col", "message"}
+ALLOWED_KEYS = {"rule", "file", "line", "justification"}
+INVENTORY_KEYS = {"file", "line", "col", "safety_comment"}
+SUMMARY_KEYS = {"files_scanned", "violations", "allowed", "unsafe_blocks"}
+
+
+def fail(msg):
+    print(f"check_lint: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_lint.py LINT_report.json")
+    try:
+        with open(sys.argv[1]) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if report.get("schema") != SCHEMA:
+        fail(f"schema is {report.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("tool", "summary", "rules", "violations", "allowed",
+                "allowlist", "unsafe_inventory"):
+        if key not in report:
+            fail(f"missing top-level key {key!r}")
+
+    summary = report["summary"]
+    if set(summary) != SUMMARY_KEYS:
+        fail(f"summary keys {sorted(summary)} != {sorted(SUMMARY_KEYS)}")
+    for section, keys in (("violations", VIOLATION_KEYS),
+                          ("allowed", ALLOWED_KEYS),
+                          ("unsafe_inventory", INVENTORY_KEYS)):
+        for entry in report[section]:
+            if set(entry) != keys:
+                fail(f"{section} entry keys {sorted(entry)} != {sorted(keys)}")
+    if summary["violations"] != len(report["violations"]):
+        fail("summary.violations disagrees with the violations list")
+    if summary["allowed"] != len(report["allowed"]):
+        fail("summary.allowed disagrees with the allowed list")
+    if not report["rules"]:
+        fail("empty rule catalogue")
+
+    if summary["violations"] != 0:
+        for v in report["violations"]:
+            print(f"  {v['file']}:{v['line']}:{v['col']}: {v['rule']}: "
+                  f"{v['message']}", file=sys.stderr)
+        fail(f"{summary['violations']} unallowed violation(s)")
+
+    print(f"check_lint: OK ({summary['files_scanned']} files, "
+          f"{summary['allowed']} allowed, "
+          f"{summary['unsafe_blocks']} unsafe block(s))")
+
+
+if __name__ == "__main__":
+    main()

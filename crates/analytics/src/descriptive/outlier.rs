@@ -15,7 +15,7 @@ pub fn median(xs: &[f64]) -> Option<f64> {
     if v.is_empty() {
         return None;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len();
     Some(if n % 2 == 1 {
         v[n / 2]
@@ -30,7 +30,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     if v.is_empty() {
         return None;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

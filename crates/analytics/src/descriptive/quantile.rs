@@ -62,7 +62,7 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.initial.sort_by(|a, b| a.total_cmp(b));
                 for (h, &v) in self.heights.iter_mut().zip(self.initial.iter()) {
                     *h = v;
                 }
@@ -133,7 +133,7 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             // Exact small-sample quantile.
             let mut v = self.initial.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(|a, b| a.total_cmp(b));
             let pos = self.q * (v.len() - 1) as f64;
             let lo = pos.floor() as usize;
             let hi = pos.ceil() as usize;

@@ -12,7 +12,7 @@
 //!   beyond remembering examples.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Behavioural features of one job, as accumulated by monitoring.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -87,7 +87,7 @@ pub struct NearestCentroid<L> {
     centroids: Vec<(L, [f64; 4])>,
 }
 
-impl<L: Clone + PartialEq + std::hash::Hash + Eq> NearestCentroid<L> {
+impl<L: Clone + Ord> NearestCentroid<L> {
     /// Fits centroids from labelled examples.
     ///
     /// # Panics
@@ -96,7 +96,7 @@ impl<L: Clone + PartialEq + std::hash::Hash + Eq> NearestCentroid<L> {
         assert!(!examples.is_empty(), "need training examples");
         let raw: Vec<[f64; 4]> = examples.iter().map(|(_, f)| f.to_vec()).collect();
         let scaler = Scaler::fit(&raw);
-        let mut sums: HashMap<L, ([f64; 4], usize)> = HashMap::new();
+        let mut sums: BTreeMap<L, ([f64; 4], usize)> = BTreeMap::new();
         for ((label, _), x) in examples.iter().zip(&raw) {
             let scaled = scaler.apply(x);
             let e = sums.entry(label.clone()).or_insert(([0.0; 4], 0));
@@ -133,7 +133,7 @@ impl<L: Clone + PartialEq + std::hash::Hash + Eq> NearestCentroid<L> {
             .iter()
             .map(|(l, c)| (dist2(&x, c), l))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let best = scored[0].0.sqrt();
         let confidence = if scored.len() < 2 {
             1.0
@@ -154,7 +154,7 @@ pub struct Knn<L> {
     examples: Vec<(L, [f64; 4])>,
 }
 
-impl<L: Clone + PartialEq + std::hash::Hash + Eq> Knn<L> {
+impl<L: Clone + Ord> Knn<L> {
     /// Builds the classifier remembering all examples.
     ///
     /// # Panics
@@ -184,8 +184,8 @@ impl<L: Clone + PartialEq + std::hash::Hash + Eq> Knn<L> {
             .iter()
             .map(|(l, e)| (dist2(&x, e), l))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut votes: HashMap<&L, usize> = HashMap::new();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut votes: BTreeMap<&L, usize> = BTreeMap::new();
         for (_, l) in scored.iter().take(self.k) {
             *votes.entry(l).or_default() += 1;
         }

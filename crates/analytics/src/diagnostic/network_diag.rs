@@ -66,7 +66,7 @@ pub fn diagnose(
             .iter()
             .map(|&(id, g)| (id, g, if total > 0.0 { g / total } else { 0.0 }))
             .collect();
-        flows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        flows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let victims = flows
             .iter()
             .filter(|&&(_, _, share)| share < victim_share)
@@ -84,7 +84,7 @@ pub fn diagnose(
         });
     }
     // Worst congestion first.
-    out.sort_by(|a, b| a.delivery_ratio.partial_cmp(&b.delivery_ratio).unwrap());
+    out.sort_by(|a, b| a.delivery_ratio.total_cmp(&b.delivery_ratio));
     out
 }
 

@@ -78,12 +78,7 @@ pub fn rank_causes(
         };
         c.score = 0.5 * onset_score + 0.5 * magnitude_score;
     }
-    out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap()
-            .then(a.sensor.cmp(&b.sensor))
-    });
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.sensor.cmp(&b.sensor)));
     out
 }
 

@@ -64,7 +64,7 @@ impl CorrelationSmoothing {
             .max_by(|&a, &b| {
                 let sa: f64 = corr[a].iter().sum();
                 let sb: f64 = corr[b].iter().sum();
-                sa.partial_cmp(&sb).unwrap()
+                sa.total_cmp(&sb)
             })
             .unwrap();
         let mut order = Vec::with_capacity(n);
@@ -75,7 +75,7 @@ impl CorrelationSmoothing {
             let last = *order.last().unwrap();
             let next = (0..n)
                 .filter(|&i| !used[i])
-                .max_by(|&a, &b| corr[last][a].partial_cmp(&corr[last][b]).unwrap())
+                .max_by(|&a, &b| corr[last][a].total_cmp(&corr[last][b]))
                 .unwrap();
             order.push(next);
             used[next] = true;

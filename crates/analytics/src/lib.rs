@@ -32,6 +32,8 @@
 //! operates on plain slices, readings, or feature vectors, so it can be
 //! applied to any telemetry source that speaks `oda-telemetry` types.
 
+#![forbid(unsafe_code)]
+
 pub mod descriptive;
 pub mod diagnostic;
 pub mod predictive;

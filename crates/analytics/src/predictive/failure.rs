@@ -83,7 +83,7 @@ impl FailurePredictor {
             .enumerate()
             .map(|(i, &f)| (i, self.hazard(f)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored
     }
 }

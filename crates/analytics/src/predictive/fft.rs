@@ -105,7 +105,7 @@ pub fn power_spectrum(series: &[f64]) -> Vec<(usize, f64)> {
 pub fn dominant_periods(series: &[f64], top_k: usize) -> Vec<(f64, f64)> {
     let n = next_pow2_below(series.len());
     let mut spec = power_spectrum(series);
-    spec.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    spec.sort_by(|a, b| b.1.total_cmp(&a.1));
     spec.into_iter()
         .take(top_k)
         .map(|(k, p)| (n as f64 / k as f64, p))
@@ -152,7 +152,7 @@ impl SpectralForecaster {
             let mut bins: Vec<(usize, f64)> = (1..n / 2)
                 .map(|k| (k, buf[k].0.powi(2) + buf[k].1.powi(2)))
                 .collect();
-            bins.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            bins.sort_by(|a, b| b.1.total_cmp(&a.1));
             components = bins
                 .into_iter()
                 .take(top_k)

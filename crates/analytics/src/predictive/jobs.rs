@@ -123,7 +123,7 @@ impl JobPredictor {
             .iter()
             .map(|o| (Self::distance(&o.submission, &s), o))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let top = &scored[..k];
         Some(Prediction {
             runtime_s: top.iter().map(|(_, o)| o.runtime_s).sum::<f64>() / k as f64,

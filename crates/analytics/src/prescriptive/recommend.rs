@@ -148,7 +148,7 @@ pub fn recommend(diagnoses: &[Diagnosis]) -> Vec<Recommendation> {
             }
         })
         .collect();
-    out.sort_by(|a, b| b.priority.partial_cmp(&a.priority).unwrap());
+    out.sort_by(|a, b| b.priority.total_cmp(&a.priority));
     out
 }
 

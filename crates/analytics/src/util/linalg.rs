@@ -82,6 +82,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // odalint: allow(float-eq) -- exact-zero sparsity skip; any nonzero value must be multiplied
                 if a == 0.0 {
                     continue;
                 }
@@ -143,7 +144,7 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     for col in 0..n {
         // Partial pivot.
         let pivot_row =
-            (col..n).max_by(|&i, &j| m[(i, col)].abs().partial_cmp(&m[(j, col)].abs()).unwrap())?;
+            (col..n).max_by(|&i, &j| m[(i, col)].abs().total_cmp(&m[(j, col)].abs()))?;
         if m[(pivot_row, col)].abs() < 1e-12 {
             return None;
         }
@@ -158,6 +159,7 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
         // Eliminate below.
         for row in col + 1..n {
             let f = m[(row, col)] / m[(col, col)];
+            // odalint: allow(float-eq) -- exact-zero elimination skip; any nonzero factor must be applied
             if f == 0.0 {
                 continue;
             }

@@ -161,7 +161,7 @@ impl Centroids {
             .min_by(|(_, a), (_, b)| {
                 let da: f64 = a.iter().zip(&sx).map(|(p, q)| (p - q).powi(2)).sum();
                 let db: f64 = b.iter().zip(&sx).map(|(p, q)| (p - q).powi(2)).sum();
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .map(|(l, _)| *l)
             .unwrap()

@@ -22,6 +22,8 @@
 //! and the integration tests can assert the experiments' *directional*
 //! claims (who wins) without parsing stdout.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod control;
 pub mod e5_proactive;

@@ -39,6 +39,8 @@
 //!   (the ENI anomaly-response system, Powerstack, and the LLNL
 //!   power-fluctuation forecaster).
 
+#![forbid(unsafe_code)]
+
 pub mod analytics_type;
 pub mod capability;
 pub mod cells;

@@ -267,6 +267,7 @@ fn execute_task(task: Task) -> TaskDone {
         mut cap,
         ctx,
     } = task;
+    // odalint: allow(wall-clock) -- worker timing telemetry only; never feeds output digests
     let start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| cap.execute(&ctx)));
     let wall_ns = elapsed_ns(start);
@@ -357,6 +358,7 @@ fn worker_loop(me: usize, shared: Arc<PoolShared>, done: mpsc::Sender<TaskDone>)
             if stolen {
                 shared.steals.fetch_add(1, Ordering::Relaxed);
             }
+            // odalint: allow(wall-clock) -- worker busy-time telemetry only; never feeds output digests
             let start = Instant::now();
             let result = execute_task(task);
             shared.busy_ns[me].fetch_add(elapsed_ns(start), Ordering::Relaxed);
@@ -396,6 +398,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("oda-worker-{i}"))
                     .spawn(move || worker_loop(i, shared, done))
+                    // odalint: allow(panic-unwrap) -- thread spawn failure at pool construction is unrecoverable
                     .expect("spawn capability worker")
             })
             .collect();
@@ -429,6 +432,7 @@ impl WorkerPool {
         self.shared.wake.notify_all();
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
+            // odalint: allow(panic-unwrap) -- workers hold the sender for the pool's lifetime
             out.push(self.done_rx.recv().expect("worker pool alive"));
         }
         out
@@ -519,6 +523,7 @@ impl CapabilityScheduler {
     pub fn run(&mut self, pipeline: &mut StagedPipeline, ctx: CapabilityContext) -> PipelineRun {
         let pass_seed = splitmix64(self.config.seed ^ splitmix64(self.passes));
         self.passes += 1;
+        // odalint: allow(wall-clock) -- pass duration telemetry only; never feeds output digests
         let run_start = Instant::now();
         let mut run = PipelineRun {
             stages: Vec::new(),
@@ -529,6 +534,7 @@ impl CapabilityScheduler {
             .slots()
             .iter()
             .map(|s| {
+                // odalint: allow(panic-unwrap) -- slots are re-occupied at the end of every pass
                 let cap = s.cap.as_ref().expect("slot occupied between passes");
                 (s.stage, cap.footprint())
             })
@@ -561,6 +567,7 @@ impl CapabilityScheduler {
                 current_stage = Some(layer.stage);
                 snapshot = upstream.clone();
             }
+            // odalint: allow(wall-clock) -- layer duration telemetry only; never feeds output digests
             let layer_start = Instant::now();
             let tasks: Vec<Task> = layer
                 .slots
@@ -569,6 +576,7 @@ impl CapabilityScheduler {
                     let cap = pipeline.slots_mut()[slot]
                         .cap
                         .take()
+                        // odalint: allow(panic-unwrap) -- slots are re-occupied at the end of every pass
                         .expect("slot occupied between passes");
                     Task {
                         slot,
@@ -622,6 +630,7 @@ impl CapabilityScheduler {
     ) {
         stage_done.sort_unstable();
         for &slot in stage_done.iter() {
+            // odalint: allow(panic-unwrap) -- the layer barrier completes every slot in stage_done
             let done = results[slot].take().expect("layer barrier completed slot");
             let name = done.name;
             let labels: &[(&str, &str)] = &[("capability", name.as_str())];
@@ -832,6 +841,7 @@ impl OdaRuntime {
         control: &mut dyn ControlPlane,
     ) -> PassReport {
         let pass_timer = self.metrics.histogram("runtime_pass_ns", &[]).start_timer();
+        // odalint: allow(wall-clock) -- pass duration telemetry only; never feeds output digests
         let pass_start = std::time::Instant::now();
         let ctx = CapabilityContext::new(
             store,

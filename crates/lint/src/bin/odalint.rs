@@ -1,0 +1,111 @@
+//! `odalint` — the workspace static-analysis gate.
+//!
+//! ```text
+//! odalint [--root <dir>] [--report <path>] [--quiet]
+//! ```
+//!
+//! Walks every `.rs` file under the workspace root (auto-detected by
+//! searching upward for a `Cargo.toml` containing `[workspace]`), applies
+//! the rule catalogue, honours `// odalint: allow(..)` comments and the
+//! committed `odalint.allow` file, writes `LINT_report.json`, prints each
+//! violation as `file:line:col: rule: message`, and exits nonzero when any
+//! unallowed violation remains.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--report" => report_path = args.next().map(PathBuf::from),
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: odalint [--root <dir>] [--report <path>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("odalint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("odalint: could not locate workspace root (no Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cfg = lint::Config::workspace_default();
+    let allow_path = root.join(lint::ALLOWLIST_FILE);
+    if let Ok(content) = std::fs::read_to_string(&allow_path) {
+        match lint::parse_allowlist(&content) {
+            Ok(entries) => cfg.allowlist = entries,
+            Err(e) => {
+                eprintln!("odalint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let outcome = match lint::lint_workspace(&root, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("odalint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = lint::report::render(&outcome);
+    let out_path = report_path.unwrap_or_else(|| root.join(lint::REPORT_FILE));
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("odalint: cannot write {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+
+    if !quiet {
+        for v in &outcome.violations {
+            println!("{}:{}:{}: {}: {}", v.file, v.line, v.col, v.rule, v.message);
+        }
+        println!(
+            "odalint: {} files, {} violation(s), {} allowed, {} unsafe block(s); report: {}",
+            outcome.files_scanned,
+            outcome.violations.len(),
+            outcome.allowed.len(),
+            outcome.unsafe_inventory.len(),
+            out_path.display()
+        );
+    }
+    if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,538 @@
+//! A minimal, dependency-free Rust lexer — just enough fidelity for the
+//! odalint rules: identifiers, numeric literals (int vs float matters for
+//! the float-soundness rules), multi-char operators (`==`/`!=`/`::`), and
+//! comments (kept separately, with line numbers, so the `// SAFETY:` and
+//! `// odalint: allow(...)` conventions can be checked).
+//!
+//! String/char/lifetime literals are recognised so their *contents* never
+//! leak into the token stream (a `"unwrap()"` inside a string must not
+//! trip the panic-safety rule), but their text is not retained.
+//!
+//! The lexer also performs the one piece of structural analysis every rule
+//! needs: marking which tokens live inside `#[cfg(test)]` regions (and
+//! `#[test]` functions), so production-only rules can skip test code.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1.5f64`).
+    Float,
+    /// String, char, or byte literal (text not retained).
+    Literal,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation / operator (`==`, `::`, `[`, ...).
+    Punct,
+}
+
+/// One token with its source position (1-indexed line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (empty for string/char literals).
+    pub text: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// 1-indexed column.
+    pub col: u32,
+    /// True when the token is inside a `#[cfg(test)]` item or `#[test]` fn.
+    pub in_test: bool,
+}
+
+/// A `//`-style comment (block comments are split per line), 1-indexed.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed line the comment (fragment) sits on.
+    pub line: u32,
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// True when code precedes the comment on the same line (trailing).
+    pub trailing: bool,
+}
+
+/// Lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Lines that contain at least one code token.
+    pub fn code_lines(&self) -> Vec<u32> {
+        let mut lines: Vec<u32> = self.toks.iter().map(|t| t.line).collect();
+        lines.dedup();
+        lines
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`, then marks test regions.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+        line_has_code: false,
+    };
+    lx.run();
+    let mut lexed = lx.out;
+    mark_test_regions(&mut lexed.toks);
+    lexed
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+    line_has_code: bool,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_code = false;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.line_has_code = true;
+        self.out.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_lit(line, col),
+                'r' | 'b' => self.raw_or_byte_prefix(),
+                '\'' => self.char_or_lifetime(line, col),
+                _ if c.is_ascii_digit() => self.number(line, col),
+                _ if is_ident_start(c) => self.ident(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let trailing = self.line_has_code;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let trailing = self.line_has_code;
+        let mut depth = 0usize;
+        let mut cur = String::new();
+        let mut cur_line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                cur.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                cur.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else if c == '\n' {
+                self.out.comments.push(Comment {
+                    line: cur_line,
+                    text: std::mem::take(&mut cur),
+                    trailing: trailing && cur_line == self.line,
+                });
+                self.bump();
+                cur_line = self.line;
+            } else {
+                cur.push(c);
+                self.bump();
+            }
+        }
+        if !cur.is_empty() {
+            self.out.comments.push(Comment {
+                line: cur_line,
+                text: cur,
+                trailing,
+            });
+        }
+    }
+
+    fn string_lit(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line, col);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'` — or,
+    /// when the `r`/`b` turns out to start a plain identifier, lexes that.
+    fn raw_or_byte_prefix(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let c0 = self.peek(0).unwrap_or(' ');
+        // Compute the shape without consuming.
+        let mut i = 1;
+        if c0 == 'b' && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        let mut hashes = 0;
+        while self.peek(i) == Some('#') {
+            hashes += 1;
+            i += 1;
+        }
+        match self.peek(i) {
+            Some('"') => {}
+            Some('\'') if c0 == 'b' && hashes == 0 && i == 1 => {
+                // b'x' byte literal.
+                self.bump(); // b
+                self.char_or_lifetime(line, col);
+                return;
+            }
+            _ => {
+                // Just an identifier starting with r/b.
+                self.ident(line, col);
+                return;
+            }
+        }
+        if c0 == 'b' && i == 1 {
+            // b"..." — plain byte string.
+            self.bump();
+            self.string_lit(line, col);
+            return;
+        }
+        // Raw string: consume prefix + opening quote, scan to `"` + hashes.
+        for _ in 0..=i {
+            self.bump();
+        }
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(h) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // opening '
+                     // Lifetime: 'ident not followed by a closing quote.
+        if let Some(c) = self.peek(0) {
+            if is_ident_start(c) && self.peek(1) != Some('\'') {
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokKind::Lifetime, text, line, col);
+                return;
+            }
+        }
+        // Char literal.
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Hex/octal/binary prefix: stays an int.
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'))
+        {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line, col);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: `1.5` yes, `1..2` (range) and `1.method()` no.
+        if self.peek(0) == Some('.') {
+            if let Some(next) = self.peek(1) {
+                if next.is_ascii_digit() {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let sign = matches!(self.peek(1), Some('+') | Some('-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                text.push(self.bump().unwrap_or('e'));
+                if sign {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (`1.0f64`, `3u32`).
+        if self.peek(0).is_some_and(is_ident_start) {
+            let mut suffix = String::new();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                suffix.push(c);
+                self.bump();
+            }
+            if suffix.starts_with('f') {
+                is_float = true;
+            }
+            text.push_str(&suffix);
+        }
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        let c = self.bump().unwrap_or(' ');
+        let mut text = String::from(c);
+        // Join the two-char operators the rules care about.
+        let two = matches!(
+            (c, self.peek(0)),
+            ('=', Some('=') | Some('>'))
+                | ('!', Some('='))
+                | (':', Some(':'))
+                | ('-', Some('>'))
+                | ('<', Some('='))
+                | ('>', Some('='))
+                | ('&', Some('&'))
+                | ('|', Some('|'))
+                | ('.', Some('.'))
+        );
+        if two {
+            text.push(self.bump().unwrap_or(' '));
+        }
+        self.push(TokKind::Punct, text, line, col);
+    }
+}
+
+/// Marks tokens inside `#[cfg(test)]` items (typically `mod tests { .. }`)
+/// and `#[test]` functions as test code.
+///
+/// Strategy: on seeing the attribute, remember a pending flag; when the
+/// next item's body `{` opens (before any `;` at the same level), mark
+/// every token until the matching `}`. An attribute followed by `;` first
+/// (e.g. on a `use`) marks just that statement.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let n = toks.len();
+    let mut i = 0;
+    while i < n {
+        if is_test_attr(toks, i) {
+            // Find the body start.
+            let mut j = i;
+            // Skip past the attribute itself: `#` `[` ... matching `]`.
+            j += 2; // at first token inside [
+            let mut depth = 1;
+            while j < n && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Scan forward to `{` or `;`.
+            let mut k = j;
+            let mut body = None;
+            while k < n {
+                match toks[k].text.as_str() {
+                    "{" => {
+                        body = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end = match body {
+                Some(open) => {
+                    let mut depth = 0usize;
+                    let mut m = open;
+                    while m < n {
+                        match toks[m].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    m
+                }
+                None => k,
+            };
+            for t in toks.iter_mut().take((end + 1).min(n)).skip(i) {
+                t.in_test = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// True when tokens at `i` start `#[cfg(test)]` / `#[cfg(all(test, ..))]`
+/// or `#[test]`.
+fn is_test_attr(toks: &[Tok], i: usize) -> bool {
+    if toks[i].text != "#" || toks.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+        return false;
+    }
+    match toks.get(i + 2).map(|t| t.text.as_str()) {
+        Some("test") => toks.get(i + 3).map(|t| t.text.as_str()) == Some("]"),
+        Some("cfg") => {
+            // Look for a `test` ident before the attribute closes.
+            let mut depth = 1;
+            let mut j = i + 2;
+            while let Some(t) = toks.get(j) {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" if t.kind == TokKind::Ident => return true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: malformed and stale inline allows (rule: allow-hygiene).
+
+// odalint: allow(wall-clock)
+pub fn missing_justification() {}
+
+// odalint: allow(float-eq) -- this suppresses nothing at all
+pub fn stale_allow() {}

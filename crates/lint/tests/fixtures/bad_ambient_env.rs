@@ -1,0 +1,7 @@
+// Fixture: ambient environment inputs in digest scope (rule: ambient-env).
+
+pub const BUILT_FOR: &str = env!("CARGO_PKG_VERSION");
+
+pub fn mode() -> String {
+    std::env::var("ODA_MODE").unwrap_or_default()
+}

@@ -1,0 +1,4 @@
+// Fixture: reintroducing a deprecated shim (rule: deprecated-api).
+
+#[deprecated(note = "use the builder")]
+pub fn old_entry() {}

@@ -1,0 +1,9 @@
+// Fixture: exact equality against a float literal (rule: float-eq).
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn not_half(x: f64) -> bool {
+    x != 0.5
+}

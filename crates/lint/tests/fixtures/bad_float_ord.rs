@@ -1,0 +1,5 @@
+// Fixture: NaN-panicking float ordering (rule: float-ord).
+
+pub fn sort_desc(v: &mut [f64]) {
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}

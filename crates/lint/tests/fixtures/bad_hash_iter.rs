@@ -1,0 +1,12 @@
+// Fixture: iteration-order-unstable containers in digest scope
+// (rule: hash-iter).
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}

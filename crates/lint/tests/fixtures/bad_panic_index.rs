@@ -1,0 +1,5 @@
+// Fixture: direct slice indexing on a hot path (rule: panic-index).
+
+pub fn third(xs: &[u64]) -> u64 {
+    xs[2]
+}

@@ -1,0 +1,9 @@
+// Fixture: panicking extraction on a hot path (rule: panic-unwrap).
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn must_head(xs: &[u64]) -> u64 {
+    *xs.first().expect("nonempty by construction")
+}

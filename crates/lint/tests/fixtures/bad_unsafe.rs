@@ -1,0 +1,5 @@
+// Fixture: unsafe block with no SAFETY comment (rule: unsafe-block).
+
+pub fn first_byte(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

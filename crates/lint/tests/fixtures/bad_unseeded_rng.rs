@@ -1,0 +1,6 @@
+// Fixture: entropy-seeded randomness in digest scope (rule: unseeded-rng).
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

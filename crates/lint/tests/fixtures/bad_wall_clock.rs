@@ -1,0 +1,7 @@
+// Fixture: ambient wall-clock reads in digest scope (rule: wall-clock).
+
+pub fn now_pair() -> u128 {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    t.elapsed().as_nanos() + s.elapsed().map(|d| d.as_nanos()).unwrap_or(0)
+}

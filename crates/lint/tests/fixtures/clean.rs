@@ -1,0 +1,40 @@
+// Fixture: near-misses that must NOT fire any rule, even when classified
+// as both digest scope and hot path.
+
+use std::collections::BTreeMap;
+
+pub fn quantile_sorted(v: &mut [f64]) -> Option<f64> {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v.first().copied()
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn lookup(m: &BTreeMap<u32, u32>, k: u32) -> u32 {
+    m.get(&k).copied().unwrap_or(0)
+}
+
+pub fn array_literal() -> [u8; 3] {
+    [1, 2, 3]
+}
+
+pub fn strings_are_not_code() -> &'static str {
+    "HashMap Instant::now() .unwrap() xs[0] thread_rng() env!(X)"
+}
+
+pub fn justified(xs: &[u64]) -> u64 {
+    // odalint: allow(panic-unwrap) -- fixture: a justified allow is clean
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt from determinism and panic rules.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![std::time::Instant::now()];
+        assert!(v.first().unwrap().elapsed().as_nanos() < u128::MAX);
+    }
+}

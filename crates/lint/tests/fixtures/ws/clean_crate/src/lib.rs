@@ -1,0 +1,6 @@
+//! Workspace fixture: a crate that declares the required policy.
+
+#![forbid(unsafe_code)]
+
+/// Nothing to see here.
+pub fn ok() {}

@@ -1,0 +1,5 @@
+//! Workspace fixture: no unsafe code, but also no forbid attribute —
+//! must fire forbid-unsafe at line 1.
+
+/// Nothing to see here either.
+pub fn ok() {}

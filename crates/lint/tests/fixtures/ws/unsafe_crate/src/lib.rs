@@ -1,0 +1,15 @@
+//! Workspace fixture: audited unsafe behind `#![deny(unsafe_code)]` with
+//! a SAFETY comment — inventory entry, no violation.
+
+#![deny(unsafe_code)]
+
+/// Reads the first byte.
+pub fn first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    #[allow(unsafe_code)]
+    unsafe {
+        *xs.as_ptr()
+    }
+}

@@ -955,6 +955,7 @@ impl DataCenter {
         }
         // Idle nodes with contention faults still show the rogue process.
         for (cpu, &steal) in node_cpu.iter_mut().zip(&self.contention_severity) {
+            // odalint: allow(float-eq) -- exact zero is the 'no job scheduled' sentinel, not a computed value
             if *cpu == 0.0 && steal > 0.0 {
                 *cpu = steal;
             }
@@ -962,6 +963,7 @@ impl DataCenter {
         // A leaking daemon consumes memory whether or not a job is
         // scheduled on the node.
         for (mem, &leak) in node_mem.iter_mut().zip(&self.leak_extra_gib) {
+            // odalint: allow(float-eq) -- exact zero is the 'no job scheduled' sentinel, not a computed value
             if *mem == 0.0 && leak > 0.0 {
                 *mem = leak;
             }

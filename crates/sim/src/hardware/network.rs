@@ -91,6 +91,7 @@ impl Network {
         for (i, link) in self.links.iter_mut().enumerate() {
             let cap = self.config.uplink_capacity_gbps;
             let off = offered[i];
+            // odalint: allow(float-eq) -- exact-zero offered load guards the 0/0 division below
             let factor = if off <= cap || off == 0.0 {
                 1.0
             } else {

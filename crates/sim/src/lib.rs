@@ -44,6 +44,8 @@
 //! assert!(snap.pue >= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod datacenter;
 pub mod engine;
 pub mod facility;

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 pub struct JobId(pub u64);
 
 /// Behavioural class of a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum JobClass {
     /// CPU-limited: progress ∝ clock speed, high steady utilization.
     ComputeBound,

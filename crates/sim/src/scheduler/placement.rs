@@ -91,7 +91,7 @@ impl PlacementPolicy for CoolingAware {
                 (temp + 2.0 * ctx.node_cooling_penalty(n), n)
             })
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         Some(scored.into_iter().take(need).map(|(_, n)| n).collect())
     }
 }
@@ -160,7 +160,7 @@ impl PlacementPolicy for PowerAware {
             .iter()
             .map(|&n| (ctx.node_power_w.get(n.index()).copied().unwrap_or(0.0), n))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         Some(scored.into_iter().take(need).map(|(_, n)| n).collect())
     }
 }

@@ -10,7 +10,7 @@
 use crate::reading::Reading;
 use crate::sensor::SensorId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Operator severity of an alert rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -139,14 +139,14 @@ struct RuleState {
 pub struct AlertEngine {
     rules: Vec<AlertRule>,
     state: Vec<RuleState>,
-    by_sensor: HashMap<SensorId, Vec<usize>>,
+    by_sensor: BTreeMap<SensorId, Vec<usize>>,
     fired_total: u64,
 }
 
 impl AlertEngine {
     /// Creates an engine over `rules`.
     pub fn new(rules: Vec<AlertRule>) -> Self {
-        let mut by_sensor: HashMap<SensorId, Vec<usize>> = HashMap::new();
+        let mut by_sensor: BTreeMap<SensorId, Vec<usize>> = BTreeMap::new();
         for (i, r) in rules.iter().enumerate() {
             by_sensor.entry(r.sensor).or_default().push(i);
         }

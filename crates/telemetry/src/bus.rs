@@ -37,13 +37,13 @@ use crate::sensor::{SensorId, SensorRegistry};
 use crate::store::TimeSeriesStore;
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 struct Subscriber {
     id: u64,
-    sensors: HashSet<SensorId>,
+    sensors: BTreeSet<SensorId>,
     pattern: SensorPattern,
     tx: Sender<ReadingBatch>,
     dropped: Arc<AtomicU64>,
@@ -294,16 +294,6 @@ impl TelemetryBus {
         }
     }
 
-    /// Subscribes to all sensors matching `pattern`, with a bounded buffer of
-    /// `buffer` batches.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the builder: `bus.subscription(pattern).capacity(buffer).named(\"...\").subscribe()`"
-    )]
-    pub fn subscribe(&self, pattern: SensorPattern, buffer: usize) -> Subscription {
-        self.subscription(pattern).capacity(buffer).subscribe()
-    }
-
     /// Removes a subscription by id. Idempotent. (Dropping the
     /// [`Subscription`] does this automatically.)
     pub fn unsubscribe(&self, id: u64) {
@@ -503,15 +493,6 @@ mod tests {
         assert_eq!(s1.rx.len(), 1);
         assert_eq!(s2.rx.len(), 1);
         assert_eq!(s3.rx.len(), 0);
-    }
-
-    #[test]
-    fn deprecated_subscribe_still_works() {
-        let (_reg, bus, a, _b) = setup();
-        #[allow(deprecated)]
-        let sub = bus.subscribe(SensorPattern::new("/hw/**"), 4);
-        assert_eq!(bus.publish(batch(a, 1.0)), 1);
-        assert_eq!(sub.rx.len(), 1);
     }
 
     #[test]

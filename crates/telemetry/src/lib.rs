@@ -53,6 +53,8 @@
 //! assert!((avg - 44.5).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod alert;
 pub mod bus;
 pub mod export;

@@ -198,6 +198,7 @@ impl Histogram {
     /// Starts a wall-clock timer; a disabled histogram skips the clock read.
     #[inline]
     pub fn start_timer(&self) -> Timer {
+        // odalint: allow(wall-clock) -- self-observability timer; excluded from output digests
         Timer(self.cell.as_ref().map(|_| Instant::now()))
     }
 

@@ -46,7 +46,8 @@
 //! `query_rollup_buckets_scanned_total`.
 //!
 //! The former method-per-shape API (`range`/`aggregate`/`downsample`/...)
-//! survives as thin deprecated delegates; new code should use the builder.
+//! has been removed; the builder is the only query surface. `odalint`'s
+//! `deprecated-api` rule keeps the removed names from coming back.
 
 use crate::metrics::{Counter, Histogram};
 use crate::pattern::SensorPattern;
@@ -629,96 +630,6 @@ impl<'a> QueryEngine<'a> {
         self.m_scan_ns.observe_timer(timer);
         QueryResult { sensors, shape }
     }
-
-    /// Raw readings in `range`, chronological.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::sensors(sensor).range(range).run(&engine).readings()`"
-    )]
-    pub fn range(&self, sensor: SensorId, range: TimeRange) -> Vec<Reading> {
-        Query::sensors(sensor).range(range).run(self).readings()
-    }
-
-    /// Applies `agg` to the readings of `sensor` within `range`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::sensors(sensor).range(range).aggregate(agg).run(&engine).scalar()`"
-    )]
-    pub fn aggregate(&self, sensor: SensorId, range: TimeRange, agg: Aggregation) -> Option<f64> {
-        Query::sensors(sensor)
-            .range(range)
-            .aggregate(agg)
-            .run(self)
-            .scalar()
-    }
-
-    /// Aggregates many sensors in parallel; output order matches input order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::sensors(sensors).range(range).aggregate(agg).run(&engine).scalars()`"
-    )]
-    pub fn aggregate_many(
-        &self,
-        sensors: &[SensorId],
-        range: TimeRange,
-        agg: Aggregation,
-    ) -> Vec<Option<f64>> {
-        Query::sensors(sensors)
-            .range(range)
-            .aggregate(agg)
-            .run(self)
-            .scalars()
-    }
-
-    /// Downsamples `sensor` over `range` into fixed `bucket_ms`-wide buckets.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::sensors(sensor).range(range).downsample(bucket_ms, agg).run(&engine).buckets()`"
-    )]
-    pub fn downsample(
-        &self,
-        sensor: SensorId,
-        range: TimeRange,
-        bucket_ms: u64,
-        agg: Aggregation,
-    ) -> Vec<Bucket> {
-        Query::sensors(sensor)
-            .range(range)
-            .downsample(bucket_ms, agg)
-            .run(self)
-            .buckets()
-    }
-
-    /// Converts a cumulative counter to a rate series.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::sensors(sensor).range(range).rate().run(&engine).readings()`"
-    )]
-    pub fn rate(&self, sensor: SensorId, range: TimeRange) -> Vec<Reading> {
-        Query::sensors(sensor)
-            .range(range)
-            .rate()
-            .run(self)
-            .readings()
-    }
-
-    /// Aligns several sensors onto a common bucket grid.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::sensors(sensors).range(range).align(bucket_ms).run(&engine).aligned()`"
-    )]
-    pub fn align(
-        &self,
-        sensors: &[SensorId],
-        range: TimeRange,
-        bucket_ms: u64,
-    ) -> (Vec<Timestamp>, Vec<Vec<f64>>) {
-        Query::sensors(sensors)
-            .range(range)
-            .align(bucket_ms)
-            .run(self)
-            .aligned()
-    }
 }
 
 /// What one sensor's scan produced: a plain raw slice, or a tier hit
@@ -852,12 +763,14 @@ fn combine_tier_scalar(
             .map(|r| r.value)
             .or_else(|| core.first().map(|b| b.first))
             .or_else(|| tail.first().map(|r| r.value))
+            // odalint: allow(panic-unwrap) -- caller checked count > 0 before taking this arm
             .expect("count > 0 implies a first element"),
         Aggregation::Last => tail
             .last()
             .map(|r| r.value)
             .or_else(|| core.last().map(|b| b.last))
             .or_else(|| head.last().map(|r| r.value))
+            // odalint: allow(panic-unwrap) -- caller checked count > 0 before taking this arm
             .expect("count > 0 implies a last element"),
         _ => unreachable!("non-decomposable aggregation on the tier path"),
     })
@@ -970,12 +883,14 @@ pub fn aggregate_readings(readings: &[Reading], agg: Aggregation) -> Option<f64>
                 / n)
                 .sqrt()
         }
+        // odalint: allow(panic-unwrap) -- aggregate_readings rejects empty input at entry
         Aggregation::Last => readings.last().unwrap().value,
+        // odalint: allow(panic-unwrap) -- aggregate_readings rejects empty input at entry
         Aggregation::First => readings.first().unwrap().value,
         Aggregation::Quantile(q) => {
             let q = q.clamp(0.0, 1.0);
             let mut vals: Vec<f64> = readings.iter().map(|r| r.value).collect();
-            vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_unstable_by(|a, b| a.total_cmp(b));
             // Linear interpolation between closest ranks.
             let pos = q * (vals.len() - 1) as f64;
             let lo = pos.floor() as usize;
@@ -1013,8 +928,10 @@ pub fn aggregate_readings(readings: &[Reading], agg: Aggregation) -> Option<f64>
                 } else {
                     gaps[mid] as f64
                 };
+                // odalint: allow(panic-unwrap) -- aggregate_readings rejects empty input at entry
                 weighted += readings.last().unwrap().value * median_gap;
                 total_w += median_gap;
+                // odalint: allow(float-eq) -- exact zero iff every gap weight was zero; sentinel, not arithmetic
                 if total_w == 0.0 {
                     readings.iter().map(|r| r.value).sum::<f64>() / n
                 } else {
@@ -1076,6 +993,26 @@ mod tests {
         assert_eq!(agg(&q, s, all, Aggregation::Quantile(0.5)), Some(25.0));
         // Out-of-range q is clamped.
         assert_eq!(agg(&q, s, all, Aggregation::Quantile(2.0)), Some(40.0));
+    }
+
+    /// Regression: a NaN reading used to panic the quantile path through
+    /// `partial_cmp().unwrap()`. The store rejects non-finite values, but
+    /// `aggregate_readings` is public and rollup/window paths hand it raw
+    /// in-flight slices (injected-fault bursts produce NaN). With
+    /// `total_cmp` the sort is total — NaN sorts after every number — and
+    /// low quantiles still answer from the finite readings.
+    #[test]
+    fn quantile_tolerates_nan_readings() {
+        let readings = [
+            Reading::new(Timestamp::from_millis(0), 1.0),
+            Reading::new(Timestamp::from_millis(1), f64::NAN),
+            Reading::new(Timestamp::from_millis(2), 3.0),
+        ];
+        let low = aggregate_readings(&readings, Aggregation::Quantile(0.0));
+        assert_eq!(low, Some(1.0));
+        // q=1.0 lands on the NaN slot; it must not panic.
+        let top = aggregate_readings(&readings, Aggregation::Quantile(1.0)).unwrap();
+        assert!(top.is_nan());
     }
 
     #[test]
@@ -1440,42 +1377,5 @@ mod tests {
             "planner not even consulted"
         );
         assert_eq!(snap.counter("query_readings_scanned_total"), Some(60));
-    }
-
-    /// The deprecated per-shape methods must stay behaviourally identical to
-    /// the builder they delegate to.
-    #[allow(deprecated)]
-    #[test]
-    fn deprecated_delegates_agree_with_builder() {
-        let (store, s) = store_with(&[(0, 1.0), (500, 3.0), (1_000, 5.0), (3_000, 7.0)]);
-        let q = QueryEngine::new(&store);
-        let all = TimeRange::all();
-        assert_eq!(
-            q.aggregate(s, all, Aggregation::Mean),
-            Query::sensors(s)
-                .aggregate(Aggregation::Mean)
-                .run(&q)
-                .scalar()
-        );
-        assert_eq!(q.range(s, all), Query::sensors(s).run(&q).readings());
-        assert_eq!(
-            q.downsample(s, all, 1_000, Aggregation::Mean),
-            Query::sensors(s)
-                .downsample(1_000, Aggregation::Mean)
-                .run(&q)
-                .buckets()
-        );
-        assert_eq!(q.rate(s, all), Query::sensors(s).rate().run(&q).readings());
-        assert_eq!(
-            q.aggregate_many(&[s], all, Aggregation::Sum),
-            Query::sensors([s])
-                .aggregate(Aggregation::Sum)
-                .run(&q)
-                .scalars()
-        );
-        assert_eq!(
-            q.align(&[s], all, 1_000),
-            Query::sensors([s]).align(1_000).run(&q).aligned()
-        );
     }
 }

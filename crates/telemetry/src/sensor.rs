@@ -21,7 +21,7 @@
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -155,7 +155,7 @@ impl SensorMeta {
 #[derive(Default)]
 struct RegistryInner {
     metas: Vec<SensorMeta>,
-    by_name: HashMap<Arc<str>, SensorId>,
+    by_name: BTreeMap<Arc<str>, SensorId>,
 }
 
 /// Thread-safe interning registry of all sensors in a deployment.

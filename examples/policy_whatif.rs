@@ -84,9 +84,8 @@ fn main() {
     // workload" use the cited simulators serve.
     outcomes.sort_by(|a, b| {
         a.utility_kwh
-            .partial_cmp(&b.utility_kwh)
-            .unwrap()
-            .then(a.mean_slowdown.partial_cmp(&b.mean_slowdown).unwrap())
+            .total_cmp(&b.utility_kwh)
+            .then(a.mean_slowdown.total_cmp(&b.mean_slowdown))
     });
     println!(
         "\nprescription: adopt '{}' ({:.2} kWh, slowdown {:.2})",

@@ -4,6 +4,8 @@
 //! `harness = false` bench targets), every benchmark executes exactly one
 //! iteration so suites double as smoke tests.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -4,6 +4,8 @@
 //! blocking `send`/`recv`/`recv_timeout`, `len`, and disconnect
 //! semantics on drop of the last peer.
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -2,6 +2,8 @@
 //! `std::sync` primitives. Guards are returned directly (no `Result`);
 //! poisoning is ignored, matching parking_lot semantics.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};

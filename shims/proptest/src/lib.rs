@@ -6,6 +6,8 @@
 //! - the per-test RNG seed is derived from the test's name, so runs are
 //!   fully deterministic and independent of declaration order.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};

@@ -5,6 +5,8 @@
 //! The workspace only relies on statistical properties and same-seed
 //! reproducibility, never on exact draw sequences.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of randomness.

@@ -3,6 +3,8 @@
 //! chunks with `std::thread::scope`, preserving input order; small
 //! inputs run inline to avoid thread-spawn overhead.
 
+#![forbid(unsafe_code)]
+
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }

@@ -4,6 +4,8 @@
 //! attribute support — the workspace uses neither. `Deserialize` is a
 //! marker trait so `#[derive(Deserialize)]` keeps compiling.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};

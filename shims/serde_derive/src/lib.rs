@@ -11,6 +11,8 @@
 //!
 //! `#[serde(...)]` attributes are not interpreted (none exist in-tree).
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize, attributes(serde))]

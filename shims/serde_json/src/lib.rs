@@ -4,6 +4,8 @@
 //! workspace can observe it: 2-space pretty indentation, floats always
 //! carry a decimal point or exponent, non-finite floats become `null`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 pub use serde::Value;

@@ -12,6 +12,8 @@
 //! * [`analytics`] ([`oda_analytics`]) — descriptive / diagnostic /
 //!   predictive / prescriptive algorithm library.
 
+#![forbid(unsafe_code)]
+
 pub use oda_analytics as analytics;
 pub use oda_core as core;
 pub use oda_sim as sim;
