@@ -42,4 +42,8 @@ echo "==> scale bench (worker sweep 1/2/4/8)"
 cargo run --release -p oda-bench --bin scale > BENCH_scale.json
 python3 ci/check_bench.py BENCH_scale.json ci/baselines/BENCH_scale.json
 
+echo "==> storage bench (backend sweep: ingest / long-window query / recovery)"
+cargo run --release -p oda-bench --bin storage > BENCH_storage.json
+python3 ci/check_bench.py BENCH_storage.json ci/baselines/BENCH_storage.json
+
 echo "CI OK"

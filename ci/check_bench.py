@@ -49,6 +49,24 @@ CHECKS = {
         ],
         "latency_higher": [],
     },
+    "storage": {
+        "ratio_higher": [],
+        "latency_lower": [
+            "inmemory_longwin_p50_ns",
+            "inmemory_longwin_p99_ns",
+            "persistent_longwin_p50_ns",
+            "persistent_longwin_p99_ns",
+            "hybrid_longwin_p50_ns",
+            "hybrid_longwin_p99_ns",
+            "persistent_recovery_ns",
+            "hybrid_recovery_ns",
+        ],
+        "latency_higher": [
+            "inmemory_ingest_rps",
+            "persistent_ingest_rps",
+            "hybrid_ingest_rps",
+        ],
+    },
 }
 
 
@@ -83,6 +101,27 @@ def structural(bench, cur, fail):
         for point in cur.get("points", []):
             if not point["pass_p50_ns"] > 0:
                 fail("pass_p50_ns must be positive at workers=%d" % point["workers"])
+    elif bench == "storage":
+        if not cur["readings_total"] > 0:
+            fail("readings_total must be positive")
+        if sorted(cur.get("backends", [])) != ["hybrid", "inmemory", "persistent"]:
+            fail("storage bench must report all three backends")
+        for k in ("inmemory", "persistent", "hybrid"):
+            if cur.get("%s_recovered_ok" % k) is not True:
+                fail("%s backend failed its recovery contract" % k)
+            if not cur.get("%s_ingest_rps" % k, 0) > 0:
+                fail("%s_ingest_rps must be positive" % k)
+        for k in ("persistent", "hybrid"):
+            if cur.get("%s_durable_len" % k) != cur["readings_total"]:
+                fail("%s backend did not persist the whole workload" % k)
+            if cur.get("%s_recovered_readings" % k) != cur["readings_total"]:
+                fail("%s backend did not recover the whole workload" % k)
+            if not cur.get("%s_recovery_ns" % k, 0) > 0:
+                fail("%s_recovery_ns must be positive" % k)
+        if cur.get("inmemory_recovered_readings") != 0:
+            fail("in-memory backend must recover nothing across a restart")
+        if cur.get("inmemory_durable_len") != 0:
+            fail("in-memory backend must persist nothing")
 
 
 def main():
@@ -172,6 +211,20 @@ def main():
                 cur["throughput_rps"],
                 cur["metrics_overhead_pct"],
                 cur["longwin_scan_reduction_x"],
+            )
+        )
+    elif bench == "storage":
+        print(
+            "check_bench OK [%s]: ingest %.0f/%.0f/%.0f readings/s "
+            "(inmemory/persistent/hybrid), recovery %.1f ms persistent / "
+            "%.1f ms hybrid, all backends recovered bit-identical"
+            % (
+                sys.argv[1],
+                cur["inmemory_ingest_rps"],
+                cur["persistent_ingest_rps"],
+                cur["hybrid_ingest_rps"],
+                cur["persistent_recovery_ns"] / 1e6,
+                cur["hybrid_recovery_ns"] / 1e6,
             )
         )
     else:

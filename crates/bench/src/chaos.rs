@@ -32,6 +32,7 @@ use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::pattern::SensorPattern;
 use oda_telemetry::reading::Timestamp;
 use oda_telemetry::sensor::SensorId;
+use oda_telemetry::storage::{BackendKind, StorageConfig};
 use serde::Serialize;
 use std::collections::HashMap;
 
@@ -52,6 +53,15 @@ pub struct SoakConfig {
     /// `DataCenterConfig::workers`). The determinism check must hold at
     /// *any* worker count — the replay gate runs this soak at 1 and 4.
     pub workers: usize,
+    /// Archive backend the site runs over. The digest contract is
+    /// backend-invariant: in-memory, persistent and hybrid must consume
+    /// identical streams and drive identical passes.
+    pub backend: BackendKind,
+    /// If set, restart the archive (flush, drop bus + hot store, recover
+    /// from WAL + segments) after this many evaluation windows have closed.
+    /// With a durable backend and complete durable history, the digest must
+    /// be bit-identical to an uninterrupted run.
+    pub restart_at_window: Option<u64>,
 }
 
 impl SoakConfig {
@@ -63,6 +73,8 @@ impl SoakConfig {
             window_ticks: 1_000,
             schedule: None,
             workers: 1,
+            backend: BackendKind::InMemory,
+            restart_at_window: None,
         }
     }
 
@@ -78,6 +90,20 @@ impl SoakConfig {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the archive backend. Builder-style.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Restarts the archive after `window` evaluation windows. Builder-style.
+    #[must_use]
+    pub fn with_restart_at_window(mut self, window: u64) -> Self {
+        self.restart_at_window = Some(window);
         self
     }
 }
@@ -124,6 +150,11 @@ pub struct SoakReport {
     pub prescriptions_applied: u64,
     /// Prescriptions deferred to an operator (or unrecognised).
     pub prescriptions_deferred: u64,
+    /// Archive restarts performed mid-run.
+    pub restarts: u64,
+    /// Readings the durable backend recovered across restarts (0 without a
+    /// restart or with the in-memory backend).
+    pub recovered_readings: u64,
     /// Order-sensitive FNV-1a digest over every consumed reading and alert
     /// transition; equal seeds + equal schedules ⇒ equal digests.
     pub digest: u64,
@@ -224,6 +255,10 @@ struct Watched {
 pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     let mut config = DataCenterConfig::tiny();
     config.workers = cfg.workers;
+    config.storage = StorageConfig {
+        backend: cfg.backend,
+        ..StorageConfig::default()
+    };
     let sample_every = config.sample_every_ticks;
     let window_ms = cfg.window_ticks * config.tick_ms;
     let mut dc = DataCenter::new(config, cfg.seed);
@@ -302,7 +337,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         .with_clear_debounce(2),
     ]);
 
-    let sub = dc
+    let mut sub = dc
         .bus()
         .subscription(SensorPattern::new("/**"))
         .capacity(4_096)
@@ -324,6 +359,8 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         max_gap_ms: 0,
         bus_delivered: 0,
         bus_dropped: 0,
+        restarts: 0,
+        recovered_readings: 0,
         max_concurrent_faults: 0,
         jobs_completed: 0,
         runtime_passes: 0,
@@ -415,6 +452,25 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             fnv1a(&mut report.digest, &pass.run.output_digest().to_le_bytes());
             fnv1a(&mut report.digest, &(pass.applied as u64).to_le_bytes());
             fnv1a(&mut report.digest, &(pass.deferred as u64).to_le_bytes());
+
+            // Archive restart drill: at the configured window boundary (all
+            // published batches drained, pass complete), tear the bus + hot
+            // store down and recover from the durable tier. The digest folds
+            // nothing during the restart itself — with a durable backend the
+            // recovered hot state is bit-identical, so every subsequent pass
+            // must produce the same output as an uninterrupted run.
+            if cfg.restart_at_window == Some(report.windows) {
+                if let Some(recovery) = dc.restart_archive() {
+                    report.recovered_readings += recovery.readings_recovered;
+                }
+                report.restarts += 1;
+                sub = dc
+                    .bus()
+                    .subscription(SensorPattern::new("/**"))
+                    .capacity(4_096)
+                    .named("chaos-soak")
+                    .subscribe();
+            }
         }
     }
 
@@ -460,6 +516,31 @@ mod tests {
             parallel.prescriptions_deferred
         );
         assert_eq!(serial.runtime_passes, 2);
+    }
+
+    #[test]
+    fn soak_digest_is_backend_invariant_and_restart_safe() {
+        let ticks = 2_000;
+        let base = run_soak(&SoakConfig::clean(5, ticks));
+        let hybrid = run_soak(&SoakConfig::clean(5, ticks).with_backend(BackendKind::Hybrid));
+        assert_eq!(
+            base.digest, hybrid.digest,
+            "backend choice must not perturb the pipeline"
+        );
+        let restarted = run_soak(
+            &SoakConfig::clean(5, ticks)
+                .with_backend(BackendKind::Hybrid)
+                .with_restart_at_window(1),
+        );
+        assert_eq!(restarted.restarts, 1);
+        assert!(
+            restarted.recovered_readings > 0,
+            "restart must recover durable readings"
+        );
+        assert_eq!(
+            base.digest, restarted.digest,
+            "recovery must be bit-identical"
+        );
     }
 
     #[test]

@@ -33,3 +33,4 @@ pub mod e8_cells;
 pub mod e9_cs_ablation;
 pub mod ingest;
 pub mod scale;
+pub mod storage;

@@ -82,6 +82,9 @@ impl Config {
                 "crates/telemetry/src/bus.rs",
                 "crates/telemetry/src/query.rs",
                 "crates/telemetry/src/store.rs",
+                "crates/telemetry/src/storage/mod.rs",
+                "crates/telemetry/src/storage/engine.rs",
+                "crates/telemetry/src/storage/wal.rs",
             ]),
             shim_prefixes: s(&["shims/"]),
             skip_prefixes: s(&[

@@ -40,6 +40,9 @@ use oda_telemetry::bus::TelemetryBus;
 use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::reading::{Reading, ReadingBatch, Timestamp};
 use oda_telemetry::sensor::{SensorId, SensorKind, SensorRegistry, Unit};
+use oda_telemetry::storage::{
+    open_backend, RecoveryReport, SimFs, StorageBackend, StorageConfig, StorageFs,
+};
 use oda_telemetry::store::{RollupConfig, TimeSeriesStore};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -68,6 +71,12 @@ pub struct DataCenterConfig {
     /// buckets maintained online per sensor); [`RollupConfig::none`]
     /// disables tiers for raw-only ablation runs.
     pub rollups: RollupConfig,
+    /// Archive storage backend: in-memory (default), persistent (WAL +
+    /// segment files), or hybrid (hot ring + cold segments). Durable
+    /// backends run over a deterministic in-memory filesystem unless an
+    /// explicit one is injected via
+    /// [`DataCenter::new_with_storage_fs`].
+    pub storage: StorageConfig,
     /// Node model parameters.
     pub node: NodeConfig,
     /// Cooling-plant parameters.
@@ -103,6 +112,7 @@ impl DataCenterConfig {
             sample_every_ticks: 10,
             store_capacity: 100_000,
             rollups: RollupConfig::default(),
+            storage: StorageConfig::default(),
             node: NodeConfig::default(),
             cooling: CoolingConfig::default(),
             initial_setpoint_c: 30.0,
@@ -513,6 +523,9 @@ pub struct DataCenter {
     telemetry_faults: Option<TelemetryFaultState>,
     registry: SensorRegistry,
     bus: Arc<TelemetryBus>,
+    /// Filesystem the archive backend lives on; held so the archive can be
+    /// restarted (recovery drill) over the same durable state.
+    archive_fs: Arc<dyn StorageFs>,
     sensors: Sensors,
     // Fault state applied to models each tick.
     leak_extra_gib: Vec<f64>,
@@ -543,25 +556,28 @@ impl DataCenter {
     }
 
     /// Builds the site with an explicit metrics registry for the telemetry
-    /// plane (store write path + bus publish path).
+    /// plane (store write path + bus publish path). Durable storage backends
+    /// run over a fresh deterministic [`SimFs`].
     pub fn new_with_metrics(config: DataCenterConfig, seed: u64, metrics: MetricsRegistry) -> Self {
+        Self::new_with_storage_fs(config, seed, metrics, Arc::new(SimFs::new()))
+    }
+
+    /// Builds the site with explicit metrics *and* an explicit storage
+    /// filesystem, so recovery tests can reopen a site over pre-existing
+    /// durable state (or a fault-injecting [`SimFs`]).
+    pub fn new_with_storage_fs(
+        config: DataCenterConfig,
+        seed: u64,
+        metrics: MetricsRegistry,
+        archive_fs: Arc<dyn StorageFs>,
+    ) -> Self {
         let mut root_rng = SimRng::new(seed);
         let weather_rng = root_rng.fork();
         let mut workload_rng = root_rng.fork();
         let node_count = config.node_count();
         let registry = SensorRegistry::new();
         let sensors = Sensors::register(&registry, node_count, config.racks);
-        let store = Arc::new(TimeSeriesStore::with_rollups(
-            config.store_capacity,
-            TimeSeriesStore::DEFAULT_SHARDS,
-            metrics.clone(),
-            config.rollups.clone(),
-        ));
-        let bus = Arc::new(TelemetryBus::with_parts(
-            registry.clone(),
-            Some(store),
-            metrics,
-        ));
+        let bus = Self::build_bus(&config, registry.clone(), metrics, Arc::clone(&archive_fs));
         let racks = build_racks(
             config.racks,
             config.nodes_per_rack,
@@ -612,9 +628,50 @@ impl DataCenter {
             workload,
             registry,
             bus,
+            archive_fs,
             sensors,
             config,
         }
+    }
+
+    /// Builds the archive backend selected by `config.storage` over `fs`
+    /// (replaying any durable state into a fresh hot store) and attaches it
+    /// to a new bus.
+    fn build_bus(
+        config: &DataCenterConfig,
+        registry: SensorRegistry,
+        metrics: MetricsRegistry,
+        fs: Arc<dyn StorageFs>,
+    ) -> Arc<TelemetryBus> {
+        let store = Arc::new(TimeSeriesStore::with_rollups(
+            config.store_capacity,
+            TimeSeriesStore::DEFAULT_SHARDS,
+            metrics.clone(),
+            config.rollups.clone(),
+        ));
+        let backend = open_backend(&config.storage, fs, store)
+            .expect("archive backend must open over the site's storage fs");
+        Arc::new(TelemetryBus::with_archive(registry, backend, metrics))
+    }
+
+    /// Simulates an analytics-plane process restart: flushes the archive,
+    /// drops the bus and hot store, and rebuilds them over the same storage
+    /// filesystem — durable backends recover from WAL + segments, the
+    /// in-memory backend comes back empty. Existing bus subscriptions are
+    /// disconnected and must be re-established. Returns the recovery report
+    /// for durable backends.
+    pub fn restart_archive(&mut self) -> Option<RecoveryReport> {
+        if let Some(archive) = self.bus.archive() {
+            let _ = archive.flush();
+        }
+        let metrics = self.bus.metrics().clone();
+        self.bus = Self::build_bus(
+            &self.config,
+            self.registry.clone(),
+            metrics,
+            Arc::clone(&self.archive_fs),
+        );
+        self.bus.archive().and_then(|a| a.recovery().cloned())
     }
 
     // ----- accessors -------------------------------------------------------
@@ -644,6 +701,13 @@ impl DataCenter {
         self.bus
             .store()
             .expect("data center bus always has a store")
+    }
+
+    /// The archive backend behind the bus (in-memory, persistent or hybrid).
+    pub fn archive(&self) -> &Arc<dyn StorageBackend> {
+        self.bus
+            .archive()
+            .expect("data center bus always has an archive")
     }
 
     /// The metrics registry the telemetry plane records into.

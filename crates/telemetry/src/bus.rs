@@ -34,6 +34,7 @@ use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::pattern::SensorPattern;
 use crate::reading::ReadingBatch;
 use crate::sensor::{SensorId, SensorRegistry};
+use crate::storage::{InMemoryBackend, StorageBackend};
 use crate::store::TimeSeriesStore;
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
@@ -182,7 +183,7 @@ const _: () = {
 /// Fan-out pub/sub bus for telemetry, optionally archiving into a store.
 pub struct TelemetryBus {
     registry: SensorRegistry,
-    store: Option<Arc<TimeSeriesStore>>,
+    archive: Option<Arc<dyn StorageBackend>>,
     subscribers: Arc<RwLock<Vec<Subscriber>>>,
     next_id: Mutex<u64>,
     published: AtomicU64,
@@ -212,16 +213,37 @@ impl TelemetryBus {
         Self::with_parts(registry, Some(store), MetricsRegistry::global())
     }
 
+    /// Creates a bus that archives through an explicit [`StorageBackend`]
+    /// (in-memory, persistent, or hybrid).
+    pub fn with_archive(
+        registry: SensorRegistry,
+        archive: Arc<dyn StorageBackend>,
+        metrics: MetricsRegistry,
+    ) -> Self {
+        Self::build(registry, Some(archive), metrics)
+    }
+
     /// Creates a bus with an explicit store (optional) and metrics registry —
-    /// pass [`MetricsRegistry::disabled`] for a zero-overhead bus.
+    /// pass [`MetricsRegistry::disabled`] for a zero-overhead bus. The store
+    /// is wrapped in an [`InMemoryBackend`]; use
+    /// [`with_archive`](Self::with_archive) for durable backends.
     pub fn with_parts(
         registry: SensorRegistry,
         store: Option<Arc<TimeSeriesStore>>,
         metrics: MetricsRegistry,
     ) -> Self {
+        let archive = store.map(|s| Arc::new(InMemoryBackend::new(s)) as Arc<dyn StorageBackend>);
+        Self::build(registry, archive, metrics)
+    }
+
+    fn build(
+        registry: SensorRegistry,
+        archive: Option<Arc<dyn StorageBackend>>,
+        metrics: MetricsRegistry,
+    ) -> Self {
         TelemetryBus {
             registry,
-            store,
+            archive,
             subscribers: Arc::new(RwLock::new(Vec::new())),
             next_id: Mutex::new(0),
             published: AtomicU64::new(0),
@@ -242,9 +264,14 @@ impl TelemetryBus {
         &self.registry
     }
 
-    /// The attached archive store, if any.
+    /// The hot store of the attached archive, if any.
     pub fn store(&self) -> Option<&Arc<TimeSeriesStore>> {
-        self.store.as_ref()
+        self.archive.as_ref().map(|a| a.store())
+    }
+
+    /// The attached archive backend, if any.
+    pub fn archive(&self) -> Option<&Arc<dyn StorageBackend>> {
+        self.archive.as_ref()
     }
 
     /// The metrics registry this bus's instruments record into.
@@ -311,8 +338,8 @@ impl TelemetryBus {
         self.published.fetch_add(1, Ordering::Relaxed);
         self.m_publish_total.inc();
         self.m_readings_total.add(batch.readings.len() as u64);
-        if let Some(store) = &self.store {
-            store.insert_batch(batch.sensor, &batch.readings);
+        if let Some(archive) = &self.archive {
+            archive.insert_batch(batch.sensor, &batch.readings);
         }
         // Fast path: read lock, check membership; lazily re-resolve the
         // pattern for sensors the subscriber has not seen yet.

@@ -26,7 +26,11 @@
 //! 5. [`alert`] — threshold alert rules provide the "automated alerts upon
 //!    exceeding human-defined thresholds" that the paper lists as part of
 //!    descriptive ODA.
-//! 6. [`metrics`] — the stack's *self*-telemetry: every bus publish, store
+//! 6. [`storage`] — the durable tier: a [`storage::StorageBackend`] trait
+//!    over the in-memory store, a WAL + compressed-segment persistent
+//!    engine, and a hybrid of the two, so the archive can survive process
+//!    restarts with bit-identical recovery.
+//! 7. [`metrics`] — the stack's *self*-telemetry: every bus publish, store
 //!    write, and query scan records into a [`metrics::MetricsRegistry`]
 //!    (counters, gauges, deterministic log-linear latency histograms) with
 //!    Prometheus-text and JSON exposition, so the ODA system can describe
@@ -64,6 +68,7 @@ pub mod pattern;
 pub mod query;
 pub mod reading;
 pub mod sensor;
+pub mod storage;
 pub mod store;
 
 /// Convenient re-exports of the types used by nearly every consumer.
@@ -78,5 +83,9 @@ pub mod prelude {
     };
     pub use crate::reading::{Reading, Timestamp};
     pub use crate::sensor::{SensorId, SensorKind, SensorMeta, SensorRegistry, Unit};
+    pub use crate::storage::{
+        open_backend, BackendKind, DurableBackend, EngineConfig, FsError, InMemoryBackend,
+        PersistentEngine, RealFs, RecoveryReport, SimFs, StorageBackend, StorageConfig, StorageFs,
+    };
     pub use crate::store::{RollupConfig, RollupTierSpec, TimeSeriesStore};
 }

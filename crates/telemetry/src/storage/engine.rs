@@ -1,0 +1,671 @@
+//! The persistent engine: WAL-fronted segment store with recovery,
+//! retention and compaction.
+//!
+//! Write path: accepted readings are framed into checksummed WAL records
+//! ([`super::wal`]), appended, and fsync'd every
+//! [`EngineConfig::wal_sync_every`] records; the same readings accumulate in
+//! an in-memory memtable. When the memtable reaches
+//! [`EngineConfig::segment_max_readings`], it is **sealed**: encoded as an
+//! immutable raw segment ([`super::segment`]), written atomically as
+//! `seg-<seq>.seg`, and the WAL is atomically reset to a bare header whose
+//! epoch is `seq + 1`.
+//!
+//! Recovery ([`PersistentEngine::open`]) lists segment files, drops any that
+//! fail verification, then reconciles the WAL against the highest durable
+//! segment sequence using the epoch (see [`super::wal`] for the three
+//! cases: replay, stale-discard, sequence gap). A torn WAL tail is truncated
+//! at the last valid record boundary.
+//!
+//! Everything here is deterministic: identical operation sequences over
+//! identical [`super::fs::StorageFs`] contents produce byte-identical files,
+//! and all timing comes from the injected filesystem's logical clock.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::fs::{FsError, StorageFs};
+use super::segment::{self, Segment, SegmentKind};
+use super::wal;
+use crate::metrics::{Counter, MetricsRegistry};
+use crate::reading::{Reading, Timestamp};
+use crate::sensor::SensorId;
+use crate::store::{RollupBucket, TimeSeriesStore};
+
+/// Tuning knobs for the persistent engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Memtable readings that trigger sealing a segment.
+    pub segment_max_readings: usize,
+    /// WAL records between fsyncs (1 = sync every append).
+    pub wal_sync_every: usize,
+    /// Maximum segments retained; `None` keeps everything. When exceeded,
+    /// the oldest segments are expired (deleted) and their per-sensor
+    /// reading counts are added to the expiry counters surfaced through
+    /// health reporting.
+    pub retention_segments: Option<usize>,
+    /// Number of newest segments kept raw by [`PersistentEngine::compact`];
+    /// everything older is folded into rollup-bucket form.
+    pub compact_keep_raw: usize,
+    /// Bucket width used when compacting raw segments, milliseconds.
+    pub compact_bucket_ms: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            segment_max_readings: 4096,
+            wal_sync_every: 8,
+            retention_segments: None,
+            compact_keep_raw: 2,
+            compact_bucket_ms: 60_000,
+        }
+    }
+}
+
+/// What [`PersistentEngine::open`] found and did while recovering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Verified segments loaded.
+    pub segments_loaded: usize,
+    /// Segment files that failed verification and were ignored.
+    pub segments_dropped: usize,
+    /// WAL records replayed into the memtable.
+    pub wal_records_replayed: usize,
+    /// Whether a torn WAL tail was truncated.
+    pub wal_truncated: bool,
+    /// Whether a stale WAL (epoch at or behind the last durable segment)
+    /// was discarded, preventing double-replay after a crash between seal
+    /// and WAL reset.
+    pub wal_discarded_stale: bool,
+    /// Whether the WAL epoch implies at least one segment was lost (e.g. a
+    /// lying fsync swallowed a seal). The WAL is still replayed.
+    pub sequence_gap: bool,
+    /// Total readings recovered (segment totals plus replayed WAL records).
+    pub readings_recovered: u64,
+    /// Logical-clock nanoseconds consumed by recovery I/O.
+    pub recovery_clock_ns: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    seq: u64,
+    file: String,
+    kind: SegmentKind,
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    total_readings: u64,
+    sensor_counts: Vec<(SensorId, u64)>,
+}
+
+impl SegmentMeta {
+    fn of(seg: &Segment, file: String) -> Self {
+        SegmentMeta {
+            seq: seg.seq,
+            file,
+            kind: seg.kind(),
+            min_ts: seg.min_ts(),
+            max_ts: seg.max_ts(),
+            total_readings: seg.total_readings(),
+            sensor_counts: seg.sensor_counts(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EngineState {
+    memtable: BTreeMap<SensorId, Vec<Reading>>,
+    memtable_len: usize,
+    segments: Vec<SegmentMeta>,
+    wal_epoch: u64,
+    wal_unsynced: usize,
+    expired: BTreeMap<SensorId, u64>,
+}
+
+/// Append-only segment store with a write-ahead log.
+pub struct PersistentEngine {
+    fs: Arc<dyn StorageFs>,
+    cfg: EngineConfig,
+    state: Mutex<EngineState>,
+    m_wal_appends: Counter,
+    m_wal_syncs: Counter,
+    m_seals: Counter,
+    m_expired: Counter,
+    m_compactions: Counter,
+}
+
+impl std::fmt::Debug for PersistentEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("PersistentEngine")
+            .field("segments", &st.segments.len())
+            .field("memtable_len", &st.memtable_len)
+            .field("wal_epoch", &st.wal_epoch)
+            .finish()
+    }
+}
+
+impl PersistentEngine {
+    /// Open (or create) a store over `fs`, running recovery.
+    pub fn open(
+        fs: Arc<dyn StorageFs>,
+        cfg: EngineConfig,
+        metrics: &MetricsRegistry,
+    ) -> Result<(Self, RecoveryReport), FsError> {
+        let clock_start = fs.clock_ns();
+        let mut report = RecoveryReport::default();
+        let mut segments: Vec<SegmentMeta> = Vec::new();
+        for name in fs.list()? {
+            let Some(seq) = segment::parse_file_name(&name) else {
+                continue;
+            };
+            let decoded = fs
+                .read(&name)
+                .ok()
+                .and_then(|bytes| segment::decode(&bytes).ok());
+            match decoded {
+                Some(seg) if seg.seq == seq => segments.push(SegmentMeta::of(&seg, name)),
+                _ => report.segments_dropped += 1,
+            }
+        }
+        segments.sort_by_key(|m| m.seq);
+        report.segments_loaded = segments.len();
+        let max_seq = segments.last().map(|m| m.seq).unwrap_or(0);
+
+        let mut memtable: BTreeMap<SensorId, Vec<Reading>> = BTreeMap::new();
+        let mut memtable_len = 0usize;
+        let mut wal_epoch = max_seq + 1;
+        match fs.read(wal::WAL_FILE) {
+            Err(FsError::NotFound(_)) => {
+                fs.write_atomic(wal::WAL_FILE, &wal::encode_header(wal_epoch))?;
+            }
+            Err(e) => return Err(e),
+            Ok(bytes) => {
+                let rep = wal::replay(&bytes);
+                match rep.epoch {
+                    None => {
+                        // Header unreadable: nothing salvageable; start a
+                        // fresh log for the next segment.
+                        report.wal_truncated = rep.torn;
+                        fs.write_atomic(wal::WAL_FILE, &wal::encode_header(wal_epoch))?;
+                    }
+                    Some(epoch) if epoch <= max_seq => {
+                        // Seal completed but the reset raced the crash: the
+                        // records are already inside segment `epoch`.
+                        // Discarding them is what prevents double-replay.
+                        report.wal_discarded_stale = true;
+                        fs.write_atomic(wal::WAL_FILE, &wal::encode_header(wal_epoch))?;
+                    }
+                    Some(epoch) => {
+                        if epoch > max_seq + 1 {
+                            report.sequence_gap = true;
+                        }
+                        wal_epoch = epoch;
+                        for (sensor, readings) in rep.records {
+                            memtable_len += readings.len();
+                            memtable.entry(sensor).or_default().extend(readings);
+                            report.wal_records_replayed += 1;
+                        }
+                        if rep.torn {
+                            report.wal_truncated = true;
+                            fs.truncate(wal::WAL_FILE, rep.valid_len as u64)?;
+                        }
+                    }
+                }
+            }
+        }
+        report.readings_recovered =
+            segments.iter().map(|m| m.total_readings).sum::<u64>() + memtable_len as u64;
+        report.recovery_clock_ns = fs.clock_ns().saturating_sub(clock_start);
+
+        let state = EngineState {
+            memtable,
+            memtable_len,
+            segments,
+            wal_epoch,
+            wal_unsynced: 0,
+            expired: BTreeMap::new(),
+        };
+        let engine = PersistentEngine {
+            fs,
+            cfg,
+            state: Mutex::new(state),
+            m_wal_appends: metrics.counter("storage_wal_appends_total", &[]),
+            m_wal_syncs: metrics.counter("storage_wal_syncs_total", &[]),
+            m_seals: metrics.counter("storage_segments_sealed_total", &[]),
+            m_expired: metrics.counter("storage_readings_expired_total", &[]),
+            m_compactions: metrics.counter("storage_segments_compacted_total", &[]),
+        };
+        Ok((engine, report))
+    }
+
+    /// Durably log and buffer a batch of **accepted** readings for `sensor`.
+    ///
+    /// The caller (the storage backend) must pass only readings the hot
+    /// store accepted, so durable history and ring history stay identical.
+    pub fn append(&self, sensor: SensorId, readings: &[Reading]) -> Result<(), FsError> {
+        if readings.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        let rec = wal::encode_record(sensor, readings);
+        self.fs.append(wal::WAL_FILE, &rec)?;
+        self.m_wal_appends.inc();
+        st.wal_unsynced += 1;
+        if st.wal_unsynced >= self.cfg.wal_sync_every.max(1) {
+            self.fs.sync(wal::WAL_FILE)?;
+            self.m_wal_syncs.inc();
+            st.wal_unsynced = 0;
+        }
+        st.memtable
+            .entry(sensor)
+            .or_default()
+            .extend_from_slice(readings);
+        st.memtable_len += readings.len();
+        if st.memtable_len >= self.cfg.segment_max_readings.max(1) {
+            self.seal_locked(&mut st)?;
+        }
+        Ok(())
+    }
+
+    /// Fsync any WAL records still buffered below the sync interval.
+    pub fn flush(&self) -> Result<(), FsError> {
+        let mut st = self.state.lock();
+        if st.wal_unsynced > 0 {
+            self.fs.sync(wal::WAL_FILE)?;
+            self.m_wal_syncs.inc();
+            st.wal_unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Seal the current memtable into a segment immediately (no-op when the
+    /// memtable is empty). Exposed for tests and shutdown paths.
+    pub fn seal_now(&self) -> Result<(), FsError> {
+        let mut st = self.state.lock();
+        self.seal_locked(&mut st)
+    }
+
+    fn seal_locked(&self, st: &mut EngineState) -> Result<(), FsError> {
+        if st.memtable_len == 0 {
+            return Ok(());
+        }
+        let seq = st.wal_epoch;
+        let sensors: Vec<(SensorId, Vec<Reading>)> =
+            st.memtable.iter().map(|(s, rs)| (*s, rs.clone())).collect();
+        let seg = Segment::raw(seq, sensors);
+        let bytes = segment::encode(&seg);
+        let name = segment::file_name(seq);
+        // Order matters: the segment must be durable before the WAL reset,
+        // or a crash in between would lose the records entirely.
+        self.fs.write_atomic(&name, &bytes)?;
+        st.segments.push(SegmentMeta::of(&seg, name));
+        st.memtable.clear();
+        st.memtable_len = 0;
+        st.wal_epoch = seq + 1;
+        self.fs
+            .write_atomic(wal::WAL_FILE, &wal::encode_header(st.wal_epoch))?;
+        st.wal_unsynced = 0;
+        self.m_seals.inc();
+        self.retain_locked(st)
+    }
+
+    fn retain_locked(&self, st: &mut EngineState) -> Result<(), FsError> {
+        let Some(keep) = self.cfg.retention_segments else {
+            return Ok(());
+        };
+        while st.segments.len() > keep.max(1) {
+            let meta = st.segments.remove(0);
+            for (s, n) in &meta.sensor_counts {
+                *st.expired.entry(*s).or_insert(0) += n;
+            }
+            self.m_expired.add(meta.total_readings);
+            match self.fs.remove(&meta.file) {
+                Ok(()) | Err(FsError::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministically fold cold raw segments (all but the newest
+    /// [`EngineConfig::compact_keep_raw`]) into rollup-bucket form, rewriting
+    /// each file atomically in place under the same sequence number. Returns
+    /// the number of segments compacted.
+    pub fn compact(&self) -> Result<usize, FsError> {
+        let mut st = self.state.lock();
+        let n = st.segments.len();
+        let cold = n.saturating_sub(self.cfg.compact_keep_raw);
+        let mut done = 0usize;
+        for meta in st.segments.iter_mut().take(cold) {
+            if meta.kind == SegmentKind::Compacted {
+                continue;
+            }
+            let bytes = self.fs.read(&meta.file)?;
+            let Ok(seg) = segment::decode(&bytes) else {
+                continue;
+            };
+            let folded = segment::compact(&seg, self.cfg.compact_bucket_ms.max(1));
+            self.fs
+                .write_atomic(&meta.file, &segment::encode(&folded))?;
+            *meta = SegmentMeta::of(&folded, meta.file.clone());
+            done += 1;
+            self.m_compactions.inc();
+        }
+        Ok(done)
+    }
+
+    /// Collect raw readings for `sensor` in `[start, end)` from raw segments
+    /// and the memtable. Readings that were folded into compacted segments
+    /// are no longer individually available (use [`buckets`](Self::buckets)).
+    pub fn range_into(
+        &self,
+        sensor: SensorId,
+        start: Timestamp,
+        end: Timestamp,
+        out: &mut Vec<Reading>,
+    ) -> Result<(), FsError> {
+        let st = self.state.lock();
+        for meta in &st.segments {
+            if meta.kind != SegmentKind::Raw || meta.max_ts < start || meta.min_ts >= end {
+                continue;
+            }
+            let bytes = self.fs.read(&meta.file)?;
+            if let Ok(seg) = segment::decode(&bytes) {
+                seg.readings_for(sensor, start, end, out);
+            }
+        }
+        if let Some(mem) = st.memtable.get(&sensor) {
+            for r in mem {
+                if r.ts >= start && r.ts < end {
+                    out.push(*r);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect rollup buckets for `sensor` whose start lies in `[start, end)`
+    /// from compacted segments.
+    pub fn buckets(
+        &self,
+        sensor: SensorId,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<RollupBucket>, FsError> {
+        let st = self.state.lock();
+        let mut out = Vec::new();
+        for meta in &st.segments {
+            if meta.kind != SegmentKind::Compacted || meta.max_ts < start || meta.min_ts >= end {
+                continue;
+            }
+            let bytes = self.fs.read(&meta.file)?;
+            if let Ok(seg) = segment::decode(&bytes) {
+                seg.buckets_for(sensor, start, end, &mut out);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Replay the durable archive (raw segments in sequence order, then the
+    /// memtable) into a hot store. Per-sensor insertion order equals original
+    /// acceptance order, so ring and rollup state come back bit-identical
+    /// when the durable history is complete. Returns readings inserted.
+    pub fn replay_into(&self, store: &TimeSeriesStore) -> Result<u64, FsError> {
+        let st = self.state.lock();
+        let mut n = 0u64;
+        for meta in &st.segments {
+            if meta.kind != SegmentKind::Raw {
+                continue;
+            }
+            let bytes = self.fs.read(&meta.file)?;
+            if let Ok(Segment {
+                blocks: segment::SegmentBlocks::Raw(sensors),
+                ..
+            }) = segment::decode(&bytes)
+            {
+                for (sensor, readings) in &sensors {
+                    n += store.insert_batch(*sensor, readings) as u64;
+                }
+            }
+        }
+        for (sensor, readings) in &st.memtable {
+            n += store.insert_batch(*sensor, readings) as u64;
+        }
+        Ok(n)
+    }
+
+    /// Total readings durably stored or represented (segments + memtable).
+    pub fn durable_len(&self) -> u64 {
+        let st = self.state.lock();
+        st.segments.iter().map(|m| m.total_readings).sum::<u64>() + st.memtable_len as u64
+    }
+
+    /// Readings expired from `sensor` by segment retention.
+    pub fn expired_for(&self, sensor: SensorId) -> u64 {
+        self.state.lock().expired.get(&sensor).copied().unwrap_or(0)
+    }
+
+    /// Total readings expired by segment retention.
+    pub fn expired_total(&self) -> u64 {
+        self.state.lock().expired.values().sum()
+    }
+
+    /// Number of durable segments, `(raw, compacted)`.
+    pub fn segment_counts(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        let raw = st
+            .segments
+            .iter()
+            .filter(|m| m.kind == SegmentKind::Raw)
+            .count();
+        (raw, st.segments.len() - raw)
+    }
+
+    /// Current WAL epoch (sequence the next seal will use).
+    pub fn wal_epoch(&self) -> u64 {
+        self.state.lock().wal_epoch
+    }
+
+    /// Readings buffered in the memtable (logged but not yet sealed).
+    pub fn memtable_len(&self) -> usize {
+        self.state.lock().memtable_len
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The filesystem this engine operates over.
+    pub fn fs(&self) -> &Arc<dyn StorageFs> {
+        &self.fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::fs::SimFs;
+
+    fn reading(ts: u64, v: f64) -> Reading {
+        Reading {
+            ts: Timestamp(ts),
+            value: v,
+        }
+    }
+
+    fn small_cfg() -> EngineConfig {
+        EngineConfig {
+            segment_max_readings: 10,
+            wal_sync_every: 2,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn open(fs: &Arc<SimFs>, cfg: EngineConfig) -> (PersistentEngine, RecoveryReport) {
+        let fs: Arc<dyn StorageFs> = Arc::clone(fs) as Arc<dyn StorageFs>;
+        PersistentEngine::open(fs, cfg, &MetricsRegistry::disabled()).unwrap()
+    }
+
+    #[test]
+    fn fresh_open_creates_wal_with_epoch_one() {
+        let fs = Arc::new(SimFs::new());
+        let (engine, report) = open(&fs, small_cfg());
+        assert_eq!(
+            report,
+            RecoveryReport {
+                recovery_clock_ns: report.recovery_clock_ns,
+                ..Default::default()
+            }
+        );
+        assert_eq!(engine.wal_epoch(), 1);
+        assert!(fs.exists(wal::WAL_FILE));
+    }
+
+    #[test]
+    fn seal_rolls_epoch_and_writes_segment() {
+        let fs = Arc::new(SimFs::new());
+        let (engine, _) = open(&fs, small_cfg());
+        for i in 0..10u64 {
+            engine
+                .append(SensorId(1), &[reading(i * 100, i as f64)])
+                .unwrap();
+        }
+        assert_eq!(engine.segment_counts(), (1, 0));
+        assert_eq!(engine.memtable_len(), 0);
+        assert_eq!(engine.wal_epoch(), 2);
+        assert!(fs.exists(&segment::file_name(1)));
+        let mut out = Vec::new();
+        engine
+            .range_into(SensorId(1), Timestamp::ZERO, Timestamp::MAX, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn unsynced_wal_tail_is_lost_on_crash_but_synced_prefix_survives() {
+        let fs = Arc::new(SimFs::new());
+        let (engine, _) = open(&fs, small_cfg());
+        // wal_sync_every = 2: records 1-4 synced, record 5 pending.
+        for i in 0..5u64 {
+            engine
+                .append(SensorId(1), &[reading(i * 100, i as f64)])
+                .unwrap();
+        }
+        fs.crash();
+        let (engine2, report) = open(&fs, small_cfg());
+        assert_eq!(report.wal_records_replayed, 4);
+        assert!(!report.wal_discarded_stale);
+        assert_eq!(engine2.memtable_len(), 4);
+    }
+
+    #[test]
+    fn stale_wal_after_seal_is_discarded_not_double_replayed() {
+        let fs = Arc::new(SimFs::new());
+        let (engine, _) = open(&fs, small_cfg());
+        for i in 0..10u64 {
+            engine
+                .append(SensorId(1), &[reading(i * 100, i as f64)])
+                .unwrap();
+        }
+        // Simulate the crash window between segment write and WAL reset by
+        // rewriting the WAL with the pre-seal epoch and stale records.
+        let mut stale = wal::encode_header(1).to_vec();
+        stale.extend_from_slice(&wal::encode_record(SensorId(1), &[reading(0, 0.0)]));
+        fs.write_atomic(wal::WAL_FILE, &stale).unwrap();
+        drop(engine);
+        let (engine2, report) = open(&fs, small_cfg());
+        assert!(report.wal_discarded_stale);
+        assert_eq!(report.wal_records_replayed, 0);
+        assert_eq!(engine2.memtable_len(), 0);
+        assert_eq!(report.readings_recovered, 10);
+        assert_eq!(engine2.wal_epoch(), 2);
+    }
+
+    #[test]
+    fn sequence_gap_is_flagged_when_segment_lost() {
+        let fs = Arc::new(SimFs::new());
+        let (engine, _) = open(&fs, small_cfg());
+        for i in 0..10u64 {
+            engine
+                .append(SensorId(1), &[reading(i * 100, i as f64)])
+                .unwrap();
+        }
+        engine.append(SensorId(1), &[reading(2000, 1.0)]).unwrap();
+        engine.flush().unwrap();
+        drop(engine);
+        // Lose segment 1 entirely: WAL epoch 2 now exceeds max_seq + 1.
+        fs.remove(&segment::file_name(1)).unwrap();
+        let (engine2, report) = open(&fs, small_cfg());
+        assert!(report.sequence_gap);
+        assert_eq!(report.wal_records_replayed, 1);
+        assert_eq!(engine2.wal_epoch(), 2);
+    }
+
+    #[test]
+    fn retention_expires_oldest_and_counts_per_sensor() {
+        let fs = Arc::new(SimFs::new());
+        let cfg = EngineConfig {
+            retention_segments: Some(2),
+            ..small_cfg()
+        };
+        let (engine, _) = open(&fs, cfg);
+        for i in 0..40u64 {
+            engine
+                .append(SensorId(i as u32 % 2), &[reading(i * 100, i as f64)])
+                .unwrap();
+        }
+        assert_eq!(engine.segment_counts().0, 2);
+        assert_eq!(engine.expired_total(), 20);
+        assert_eq!(engine.expired_for(SensorId(0)), 10);
+        assert_eq!(engine.expired_for(SensorId(1)), 10);
+        assert!(!fs.exists(&segment::file_name(1)));
+    }
+
+    #[test]
+    fn compaction_folds_cold_segments_and_preserves_counts() {
+        let fs = Arc::new(SimFs::new());
+        let (engine, _) = open(&fs, small_cfg());
+        for i in 0..40u64 {
+            engine
+                .append(SensorId(1), &[reading(i * 100, i as f64)])
+                .unwrap();
+        }
+        assert_eq!(engine.segment_counts(), (4, 0));
+        let before = engine.durable_len();
+        let done = engine.compact().unwrap();
+        assert_eq!(done, 2); // keep_raw = 2
+        assert_eq!(engine.segment_counts(), (2, 2));
+        assert_eq!(engine.durable_len(), before);
+        // Compacted data served as buckets, not raw readings.
+        let buckets = engine
+            .buckets(SensorId(1), Timestamp::ZERO, Timestamp::MAX)
+            .unwrap();
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), 20);
+        // Idempotent.
+        assert_eq!(engine.compact().unwrap(), 0);
+    }
+
+    #[test]
+    fn replay_into_rebuilds_store_identically() {
+        let fs = Arc::new(SimFs::new());
+        let (engine, _) = open(&fs, small_cfg());
+        let reference = TimeSeriesStore::with_capacity(1024);
+        for i in 0..25u64 {
+            let r = reading(i * 100, (i % 5) as f64);
+            engine.append(SensorId(2), &[r]).unwrap();
+            reference.insert_batch(SensorId(2), &[r]);
+        }
+        let recovered = TimeSeriesStore::with_capacity(1024);
+        assert_eq!(engine.replay_into(&recovered).unwrap(), 25);
+        let a = reference.range(SensorId(2), Timestamp::ZERO, Timestamp::MAX);
+        let b = recovered.range(SensorId(2), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.ts, y.ts);
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Durable storage: WAL + compressed segment files behind a backend trait.
+//!
+//! The archive has historically been purely in-memory (sharded ring buffers
+//! plus rollup tiers in [`crate::store::TimeSeriesStore`]); a process
+//! restart erased it. This module adds a durable tier while keeping the
+//! query planner, rollup tiers and health reporting working identically,
+//! by fronting the archive with the [`StorageBackend`] trait:
+//!
+//! - [`InMemoryBackend`] — the status quo: hot store only, nothing durable.
+//! - Persistent / Hybrid — a [`PersistentEngine`] (WAL + sealed segments,
+//!   see [`engine`]) paired with a hot store **mirror** that serves planner
+//!   and rollup queries. On open, the engine replays the durable archive
+//!   into the mirror; because replay preserves per-sensor acceptance order,
+//!   the recovered hot state is bit-identical whenever the durable history
+//!   is complete. The two kinds differ in query routing policy
+//!   ([`BackendKind`]) and in how health evictions are attributed.
+//!
+//! All I/O flows through the injectable [`StorageFs`] shim ([`fs`]), so
+//! crash scenarios — torn writes, short reads, lying fsyncs — are simulated
+//! deterministically in tests, and all timing comes from the shim's logical
+//! clock rather than the wall clock.
+
+pub mod codec;
+pub mod engine;
+pub mod fs;
+pub mod segment;
+pub mod wal;
+
+use std::sync::Arc;
+
+pub use engine::{EngineConfig, PersistentEngine, RecoveryReport};
+pub use fs::{FsError, RealFs, SimFs, StorageFs};
+
+use crate::health::HealthReport;
+use crate::metrics::Counter;
+use crate::reading::{Reading, Timestamp};
+use crate::sensor::SensorId;
+use crate::store::TimeSeriesStore;
+
+/// Which storage backend an archive uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Hot in-memory store only; nothing survives a restart.
+    InMemory,
+    /// WAL + segments are the source of truth; trait-level range queries
+    /// scan the durable files (honest cold-path latency), with the hot
+    /// mirror serving only the planner/rollup interfaces.
+    Persistent,
+    /// Hot ring answers range queries whenever it still covers the window;
+    /// the durable engine serves windows the ring has evicted.
+    Hybrid,
+}
+
+impl BackendKind {
+    /// Stable lowercase name (used in benchmark JSON and config).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::InMemory => "inmemory",
+            BackendKind::Persistent => "persistent",
+            BackendKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Archive configuration carried through `DataCenterConfig`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageConfig {
+    /// Backend selection.
+    pub backend: BackendKind,
+    /// Engine tuning (ignored by [`BackendKind::InMemory`]).
+    pub engine: EngineConfig,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            backend: BackendKind::InMemory,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl StorageConfig {
+    /// In-memory archive (the default).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Persistent archive with default engine tuning.
+    pub fn persistent() -> Self {
+        StorageConfig {
+            backend: BackendKind::Persistent,
+            ..Self::default()
+        }
+    }
+
+    /// Hybrid archive with default engine tuning.
+    pub fn hybrid() -> Self {
+        StorageConfig {
+            backend: BackendKind::Hybrid,
+            ..Self::default()
+        }
+    }
+}
+
+/// Uniform interface over the three archive backends.
+///
+/// The hot [`TimeSeriesStore`] is always available (it is the store itself
+/// for [`InMemoryBackend`], and a replayed mirror for the durable
+/// backends), so existing consumers — query planner, rollup tiers, alert
+/// evaluation — keep working unchanged over all three.
+pub trait StorageBackend: Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// The hot store serving planner and rollup queries.
+    fn store(&self) -> &Arc<TimeSeriesStore>;
+
+    /// Archive a batch: insert into the hot store and, for durable
+    /// backends, WAL-log exactly the readings the store accepted. Returns
+    /// the number of accepted readings.
+    fn insert_batch(&self, sensor: SensorId, readings: &[Reading]) -> usize;
+
+    /// Range query in `[start, end)` routed according to the backend's
+    /// policy (hot ring, durable scan, or hybrid).
+    fn range(&self, sensor: SensorId, start: Timestamp, end: Timestamp) -> Vec<Reading>;
+
+    /// Fsync any buffered WAL records.
+    fn flush(&self) -> Result<(), FsError>;
+
+    /// Run one deterministic compaction pass; returns segments folded.
+    fn compact(&self) -> Result<usize, FsError>;
+
+    /// Health report with eviction attribution appropriate to the backend
+    /// (see [`DurableBackend::health_report`] for the durable semantics).
+    fn health_report(&self) -> HealthReport;
+
+    /// Readings durably stored or represented; 0 for in-memory.
+    fn durable_len(&self) -> u64;
+
+    /// Recovery report from open, for durable backends.
+    fn recovery(&self) -> Option<&RecoveryReport>;
+}
+
+/// The status-quo backend: hot store only.
+pub struct InMemoryBackend {
+    store: Arc<TimeSeriesStore>,
+}
+
+impl std::fmt::Debug for InMemoryBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InMemoryBackend").finish_non_exhaustive()
+    }
+}
+
+impl InMemoryBackend {
+    /// Wrap a hot store.
+    pub fn new(store: Arc<TimeSeriesStore>) -> Self {
+        InMemoryBackend { store }
+    }
+}
+
+impl StorageBackend for InMemoryBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::InMemory
+    }
+
+    fn store(&self) -> &Arc<TimeSeriesStore> {
+        &self.store
+    }
+
+    fn insert_batch(&self, sensor: SensorId, readings: &[Reading]) -> usize {
+        self.store.insert_batch(sensor, readings)
+    }
+
+    fn range(&self, sensor: SensorId, start: Timestamp, end: Timestamp) -> Vec<Reading> {
+        self.store.range(sensor, start, end)
+    }
+
+    fn flush(&self) -> Result<(), FsError> {
+        Ok(())
+    }
+
+    fn compact(&self) -> Result<usize, FsError> {
+        Ok(0)
+    }
+
+    fn health_report(&self) -> HealthReport {
+        self.store.health_report()
+    }
+
+    fn durable_len(&self) -> u64 {
+        0
+    }
+
+    fn recovery(&self) -> Option<&RecoveryReport> {
+        None
+    }
+}
+
+/// Persistent or hybrid backend: hot mirror + [`PersistentEngine`].
+pub struct DurableBackend {
+    kind: BackendKind,
+    store: Arc<TimeSeriesStore>,
+    engine: PersistentEngine,
+    recovery: RecoveryReport,
+    m_wal_errors: Counter,
+}
+
+impl std::fmt::Debug for DurableBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableBackend")
+            .field("kind", &self.kind)
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+impl DurableBackend {
+    /// Open the engine over `fs`, replay the durable archive into `store`,
+    /// and serve through it. `store` should be freshly constructed.
+    pub fn open(
+        kind: BackendKind,
+        fs: Arc<dyn StorageFs>,
+        engine_cfg: EngineConfig,
+        store: Arc<TimeSeriesStore>,
+    ) -> Result<Self, FsError> {
+        let metrics = store.metrics().clone();
+        let (engine, recovery) = PersistentEngine::open(fs, engine_cfg, &metrics)?;
+        engine.replay_into(&store)?;
+        Ok(DurableBackend {
+            kind,
+            store,
+            engine,
+            recovery,
+            m_wal_errors: metrics.counter("storage_wal_errors_total", &[]),
+        })
+    }
+
+    /// The underlying engine (tests, benches, maintenance).
+    pub fn engine(&self) -> &PersistentEngine {
+        &self.engine
+    }
+
+    /// Whether the hot ring still covers every reading at or after `start`
+    /// for `sensor` (nothing relevant has been overwritten).
+    fn ring_covers(&self, sensor: SensorId, start: Timestamp) -> bool {
+        match self.store.sensor_health(sensor) {
+            None => false,
+            Some(h) if h.evicted == 0 => true,
+            Some(_) => match self.store.oldest(sensor) {
+                // Evicted readings all precede the retained suffix, so a
+                // strictly-older oldest stamp proves `[start, ..)` intact.
+                Some(oldest) => oldest.ts < start,
+                None => false,
+            },
+        }
+    }
+}
+
+impl StorageBackend for DurableBackend {
+    fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    fn store(&self) -> &Arc<TimeSeriesStore> {
+        &self.store
+    }
+
+    fn insert_batch(&self, sensor: SensorId, readings: &[Reading]) -> usize {
+        let mut accepted = Vec::with_capacity(readings.len());
+        let n = self
+            .store
+            .insert_batch_accepted(sensor, readings, &mut accepted);
+        // Log exactly what the ring accepted so durable history mirrors hot
+        // history. A WAL failure must not take down the ingest path: the
+        // hot store already has the data; surface the loss via metrics.
+        if !accepted.is_empty() && self.engine.append(sensor, &accepted).is_err() {
+            self.m_wal_errors.inc();
+        }
+        n
+    }
+
+    fn range(&self, sensor: SensorId, start: Timestamp, end: Timestamp) -> Vec<Reading> {
+        if self.kind == BackendKind::Hybrid && self.ring_covers(sensor, start) {
+            return self.store.range(sensor, start, end);
+        }
+        let mut out = Vec::new();
+        if self
+            .engine
+            .range_into(sensor, start, end, &mut out)
+            .is_err()
+        {
+            self.m_wal_errors.inc();
+        }
+        out
+    }
+
+    fn flush(&self) -> Result<(), FsError> {
+        self.engine.flush()
+    }
+
+    fn compact(&self) -> Result<usize, FsError> {
+        self.engine.compact()
+    }
+
+    /// Health report where `evicted` means **lost from the archive**: a
+    /// reading overwritten in the hot ring but still held in a durable
+    /// segment has not been evicted from the archive, and must not be
+    /// counted; it is counted exactly once when segment retention expires
+    /// it. This replaces the ring's per-sensor eviction counts with the
+    /// engine's retention-expiry counts.
+    fn health_report(&self) -> HealthReport {
+        let mut report = self.store.health_report();
+        for h in report.sensors.iter_mut() {
+            h.evicted = self.engine.expired_for(h.sensor);
+        }
+        report
+    }
+
+    fn durable_len(&self) -> u64 {
+        self.engine.durable_len()
+    }
+
+    fn recovery(&self) -> Option<&RecoveryReport> {
+        Some(&self.recovery)
+    }
+}
+
+/// Build the backend selected by `cfg` over `fs`, replaying any durable
+/// archive into the provided fresh hot `store`.
+pub fn open_backend(
+    cfg: &StorageConfig,
+    fs: Arc<dyn StorageFs>,
+    store: Arc<TimeSeriesStore>,
+) -> Result<Arc<dyn StorageBackend>, FsError> {
+    match cfg.backend {
+        BackendKind::InMemory => Ok(Arc::new(InMemoryBackend::new(store))),
+        kind => Ok(Arc::new(DurableBackend::open(
+            kind,
+            fs,
+            cfg.engine.clone(),
+            store,
+        )?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(ts: u64, v: f64) -> Reading {
+        Reading {
+            ts: Timestamp(ts),
+            value: v,
+        }
+    }
+
+    fn open_kind(kind: BackendKind, fs: Arc<SimFs>, capacity: usize) -> Arc<dyn StorageBackend> {
+        let cfg = StorageConfig {
+            backend: kind,
+            engine: EngineConfig {
+                segment_max_readings: 8,
+                wal_sync_every: 1,
+                ..EngineConfig::default()
+            },
+        };
+        let store = Arc::new(TimeSeriesStore::with_capacity(capacity));
+        open_backend(&cfg, fs as Arc<dyn StorageFs>, store).unwrap()
+    }
+
+    #[test]
+    fn in_memory_backend_matches_store() {
+        let store = Arc::new(TimeSeriesStore::with_capacity(16));
+        let backend = InMemoryBackend::new(Arc::clone(&store));
+        assert_eq!(
+            backend.insert_batch(SensorId(1), &[reading(1, 1.0), reading(2, 2.0)]),
+            2
+        );
+        assert_eq!(
+            backend
+                .range(SensorId(1), Timestamp::ZERO, Timestamp::MAX)
+                .len(),
+            2
+        );
+        assert_eq!(backend.durable_len(), 0);
+        assert!(backend.recovery().is_none());
+        assert_eq!(backend.kind(), BackendKind::InMemory);
+    }
+
+    #[test]
+    fn durable_backend_survives_reopen() {
+        let fs = Arc::new(SimFs::new());
+        {
+            let backend = open_kind(BackendKind::Persistent, Arc::clone(&fs), 64);
+            for i in 0..20u64 {
+                backend.insert_batch(SensorId(3), &[reading(i * 10, i as f64)]);
+            }
+            backend.flush().unwrap();
+        }
+        let backend = open_kind(BackendKind::Persistent, fs, 64);
+        let rec = backend.recovery().unwrap();
+        assert_eq!(rec.readings_recovered, 20);
+        assert_eq!(backend.store().series_len(SensorId(3)), 20);
+        assert_eq!(
+            backend
+                .range(SensorId(3), Timestamp::ZERO, Timestamp::MAX)
+                .len(),
+            20
+        );
+    }
+
+    #[test]
+    fn rejected_readings_never_reach_the_wal() {
+        let fs = Arc::new(SimFs::new());
+        {
+            let backend = open_kind(BackendKind::Persistent, Arc::clone(&fs), 64);
+            let batch = [
+                reading(100, 1.0),
+                reading(50, 2.0), // out of order: rejected
+                Reading {
+                    ts: Timestamp(200),
+                    value: f64::NAN,
+                }, // non-finite: rejected
+                reading(300, 3.0),
+            ];
+            assert_eq!(backend.insert_batch(SensorId(1), &batch), 2);
+            backend.flush().unwrap();
+        }
+        let backend = open_kind(BackendKind::Persistent, fs, 64);
+        let got = backend.range(SensorId(1), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].ts, Timestamp(100));
+        assert_eq!(got[1].ts, Timestamp(300));
+    }
+
+    #[test]
+    fn hybrid_serves_hot_window_from_ring_and_cold_from_segments() {
+        let fs = Arc::new(SimFs::new());
+        // Tiny ring (capacity 4) so early readings are evicted from the
+        // ring but remain durable.
+        let backend = open_kind(BackendKind::Hybrid, fs, 4);
+        for i in 0..32u64 {
+            backend.insert_batch(SensorId(5), &[reading(i * 10, i as f64)]);
+        }
+        // Ring holds the last 4 readings (ts 280..310); everything is
+        // durable. Start 290 > oldest ring stamp 280, so this window is
+        // served from the ring.
+        let hot = backend.range(SensorId(5), Timestamp(290), Timestamp::MAX);
+        assert_eq!(hot.len(), 3);
+        let cold = backend.range(SensorId(5), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(cold.len(), 32);
+        assert_eq!(cold[0].ts, Timestamp(0));
+    }
+
+    #[test]
+    fn durable_health_does_not_double_count_ring_overwrite_as_eviction() {
+        let fs = Arc::new(SimFs::new());
+        let backend = open_kind(BackendKind::Hybrid, fs, 4);
+        for i in 0..32u64 {
+            backend.insert_batch(SensorId(7), &[reading(i * 10, i as f64)]);
+        }
+        // The ring overwrote 28 readings, but all 32 are durable: the
+        // archive has evicted nothing.
+        let ring_evicted = backend.store().sensor_health(SensorId(7)).unwrap().evicted;
+        assert_eq!(ring_evicted, 28);
+        let report = backend.health_report();
+        assert_eq!(report.sensor(SensorId(7)).unwrap().evicted, 0);
+        assert_eq!(report.total_evicted(), 0);
+    }
+}

@@ -608,6 +608,27 @@ impl TimeSeriesStore {
     /// Appends a batch of readings for one sensor; returns how many were
     /// accepted.
     pub fn insert_batch(&self, sensor: SensorId, readings: &[Reading]) -> usize {
+        self.insert_batch_with(sensor, readings, |_| {})
+    }
+
+    /// As [`Self::insert_batch`], additionally pushing every *accepted*
+    /// reading onto `accepted`, in acceptance order. Durable storage
+    /// backends use this to WAL-log exactly the readings the ring admitted.
+    pub fn insert_batch_accepted(
+        &self,
+        sensor: SensorId,
+        readings: &[Reading],
+        accepted: &mut Vec<Reading>,
+    ) -> usize {
+        self.insert_batch_with(sensor, readings, |r| accepted.push(r))
+    }
+
+    fn insert_batch_with(
+        &self,
+        sensor: SensorId,
+        readings: &[Reading],
+        mut on_accept: impl FnMut(Reading),
+    ) -> usize {
         let (s, slot) = self.locate(sensor);
         let m = &self.shard_metrics[s];
         let mut shard = match self.shards[s].try_write() {
@@ -629,7 +650,13 @@ impl TimeSeriesStore {
             buf.rejected_non_finite(),
             buf.evicted(),
         );
-        let accepted = readings.iter().filter(|r| series.push(**r)).count();
+        let mut accepted = 0usize;
+        for r in readings {
+            if series.push(*r) {
+                accepted += 1;
+                on_accept(*r);
+            }
+        }
         let buf = &series.raw;
         m.appends.add(accepted as u64);
         m.rejects_out_of_order
@@ -638,6 +665,18 @@ impl TimeSeriesStore {
         m.evictions.add(buf.evicted() - ev0);
         m.lock_hold_ns.observe_timer(timer);
         accepted
+    }
+
+    /// Oldest reading still retained in the ring for `sensor`, if any.
+    /// Storage backends use this to decide whether the hot ring still
+    /// covers a query window or the durable tier must serve it.
+    pub fn oldest(&self, sensor: SensorId) -> Option<Reading> {
+        let (s, slot) = self.locate(sensor);
+        let shard = self.shards[s].read();
+        match shard.series.get(slot) {
+            Some(Some(series)) => series.raw.oldest(),
+            _ => None,
+        }
     }
 
     /// Readings for `sensor` with `start <= ts < end`, chronological.

@@ -287,6 +287,41 @@ fn forecaster_abstains_when_most_of_the_window_is_missing() {
 }
 
 #[test]
+fn hybrid_soak_digest_survives_a_mid_run_archive_restart_at_any_worker_count() {
+    use hpc_oda::telemetry::storage::BackendKind;
+    use oda_bench::chaos::{run_soak, SoakConfig};
+
+    const SOAK_TICKS: u64 = 2_000; // 2 evaluation windows at the default width
+    let soak = |workers: usize| SoakConfig::clean(23, SOAK_TICKS).with_workers(workers);
+    // The in-memory baseline pins what an uninterrupted volatile archive
+    // produces; the durable lanes must reproduce it bit for bit.
+    let baseline = run_soak(&soak(1));
+    for workers in [1usize, 4] {
+        let hybrid = run_soak(&soak(workers).with_backend(BackendKind::Hybrid));
+        let restarted = run_soak(
+            &soak(workers)
+                .with_backend(BackendKind::Hybrid)
+                .with_restart_at_window(1),
+        );
+        assert_eq!(restarted.restarts, 1, "the drill must have fired");
+        assert!(
+            restarted.recovered_readings > 0,
+            "recovery must replay the durable archive"
+        );
+        assert_eq!(
+            hybrid.digest, restarted.digest,
+            "workers={workers}: restart-in-the-middle changed the output digest"
+        );
+        if workers == 1 {
+            assert_eq!(
+                baseline.digest, hybrid.digest,
+                "hybrid backend changed the output digest vs in-memory"
+            );
+        }
+    }
+}
+
+#[test]
 fn identical_seeds_reproduce_the_degraded_run_exactly() {
     let schedule = || {
         FaultSchedule::new(16)

@@ -1,0 +1,323 @@
+//! Crash-recovery integration suite for the durable storage engine.
+//!
+//! Each test kills the archive at a different point of the WAL / segment
+//! lifecycle (unsynced tail, synced prefix, torn final record, lying fsync,
+//! crash between seal and WAL reset, crash mid-compaction), reopens it over
+//! the surviving bytes, and asserts the recovered archive is **bit-identical
+//! to a reference in-memory store fed exactly the durable prefix** — the
+//! recovery contract from DESIGN.md §12. A final regression test pins the
+//! eviction-attribution bugfix: a reading overwritten in the hot ring but
+//! still durable is not "evicted" and must be counted at most once, when
+//! segment retention actually expires it.
+
+use hpc_oda::telemetry::prelude::*;
+use hpc_oda::telemetry::storage::wal;
+use std::sync::Arc;
+
+/// Deterministic finite readings with non-dyadic values, so any bit-level
+/// corruption of a recovered value breaks equality.
+fn reading(i: u64) -> Reading {
+    Reading::new(Timestamp::from_millis(i * 1_000), 0.1 + i as f64 * 0.3)
+}
+
+fn readings(n: u64) -> Vec<Reading> {
+    (0..n).map(reading).collect()
+}
+
+/// Reference in-memory store fed `prefix` for `sensor` — what a loss-free
+/// archive holding exactly the durable prefix looks like.
+fn reference_store(sensor: SensorId, prefix: &[Reading]) -> TimeSeriesStore {
+    let store = TimeSeriesStore::with_capacity(1_024);
+    assert_eq!(store.insert_batch(sensor, prefix), prefix.len());
+    store
+}
+
+/// Bit-identical comparison of one sensor's full history across two stores:
+/// same readings, same order, same timestamp and value *bits*.
+fn assert_bit_identical(got: &TimeSeriesStore, want: &TimeSeriesStore, sensor: SensorId) {
+    let g = got.range(sensor, Timestamp::ZERO, Timestamp::MAX);
+    let w = want.range(sensor, Timestamp::ZERO, Timestamp::MAX);
+    assert_eq!(g, w, "recovered archive diverges from the reference store");
+    let bits = |rs: &[Reading]| -> Vec<(u64, u64)> {
+        rs.iter().map(|r| (r.ts.0, r.value.to_bits())).collect()
+    };
+    assert_eq!(
+        bits(&g),
+        bits(&w),
+        "recovered values differ at the bit level"
+    );
+    assert_eq!(got.series_len(sensor), want.series_len(sensor));
+}
+
+fn engine_over(fs: &Arc<SimFs>, cfg: EngineConfig) -> (PersistentEngine, RecoveryReport) {
+    PersistentEngine::open(
+        Arc::clone(fs) as Arc<dyn StorageFs>,
+        cfg,
+        &MetricsRegistry::new(),
+    )
+    .expect("engine opens over SimFs")
+}
+
+fn backend_over(
+    fs: &Arc<SimFs>,
+    kind: BackendKind,
+    engine: EngineConfig,
+    capacity: usize,
+) -> Arc<dyn StorageBackend> {
+    let cfg = StorageConfig {
+        backend: kind,
+        engine,
+    };
+    let store = Arc::new(TimeSeriesStore::with_capacity(capacity));
+    open_backend(&cfg, Arc::clone(fs) as Arc<dyn StorageFs>, store)
+        .expect("backend opens over SimFs")
+}
+
+const S: SensorId = SensorId(1);
+
+#[test]
+fn crash_with_unsynced_tail_recovers_exactly_the_synced_prefix() {
+    let fs = Arc::new(SimFs::new());
+    let cfg = EngineConfig {
+        wal_sync_every: 4,
+        ..EngineConfig::default()
+    };
+    let all = readings(10);
+    {
+        let backend = backend_over(&fs, BackendKind::Persistent, cfg.clone(), 1_024);
+        for r in &all {
+            backend.insert_batch(S, std::slice::from_ref(r));
+        }
+        // No flush: records 9 and 10 sit behind the last group sync.
+    }
+    fs.crash();
+    let backend = backend_over(&fs, BackendKind::Persistent, cfg, 1_024);
+    let rec = backend
+        .recovery()
+        .expect("durable backend reports recovery");
+    assert_eq!(
+        rec.readings_recovered, 8,
+        "durable prefix is the two synced groups"
+    );
+    assert!(
+        !rec.wal_truncated,
+        "a clean crash loses whole records, not bytes"
+    );
+    assert_bit_identical(backend.store(), &reference_store(S, &all[..8]), S);
+}
+
+#[test]
+fn flushed_archive_recovers_bit_identical_across_segments_and_wal_tail() {
+    let fs = Arc::new(SimFs::new());
+    // Small segments so recovery crosses sealed segments *and* a WAL tail.
+    let cfg = EngineConfig {
+        segment_max_readings: 8,
+        wal_sync_every: 1,
+        ..EngineConfig::default()
+    };
+    let all = readings(21); // 2 sealed segments + 5 readings in the WAL
+    {
+        let backend = backend_over(&fs, BackendKind::Persistent, cfg.clone(), 1_024);
+        for r in &all {
+            backend.insert_batch(S, std::slice::from_ref(r));
+        }
+        backend.flush().unwrap();
+    }
+    fs.crash();
+    let backend = backend_over(&fs, BackendKind::Persistent, cfg, 1_024);
+    let rec = backend.recovery().unwrap();
+    assert_eq!(rec.segments_loaded, 2);
+    assert_eq!(rec.wal_records_replayed, 5);
+    assert_eq!(rec.readings_recovered, 21);
+    assert_bit_identical(backend.store(), &reference_store(S, &all), S);
+    assert_eq!(backend.durable_len(), 21);
+}
+
+#[test]
+fn torn_final_record_is_truncated_not_propagated() {
+    let fs = Arc::new(SimFs::new());
+    // Buffer everything: three appended records, none synced.
+    let cfg = EngineConfig {
+        wal_sync_every: 100,
+        ..EngineConfig::default()
+    };
+    let all = readings(3);
+    {
+        let engine = engine_over(&fs, cfg.clone()).0;
+        for r in &all {
+            engine.append(S, std::slice::from_ref(r)).unwrap();
+        }
+    }
+    // One single-reading WAL record is 36 bytes (len 4 + payload 24 +
+    // checksum 8). Keep record 1 whole and 10 bytes of record 2: a torn
+    // page write.
+    fs.crash_torn(36 + 10);
+    let (engine, rec) = engine_over(&fs, cfg.clone());
+    assert!(rec.wal_truncated, "the torn tail must be detected");
+    assert_eq!(rec.wal_records_replayed, 1);
+    assert_eq!(
+        rec.readings_recovered, 1,
+        "only the checksummed prefix survives"
+    );
+    // The truncated WAL stays writable: new appends land after the valid
+    // prefix and a further clean reopen sees prefix + new data, in order.
+    let more = [reading(10), reading(11)];
+    engine.append(S, &more).unwrap();
+    engine.flush().unwrap();
+    drop(engine);
+    fs.crash();
+    let (engine, rec) = engine_over(&fs, cfg);
+    assert!(!rec.wal_truncated);
+    assert_eq!(rec.readings_recovered, 3);
+    let mut got = Vec::new();
+    engine
+        .range_into(S, Timestamp::ZERO, Timestamp::MAX, &mut got)
+        .unwrap();
+    assert_eq!(got, vec![all[0], more[0], more[1]]);
+}
+
+#[test]
+fn stale_wal_epoch_is_discarded_so_a_sealed_segment_never_replays_twice() {
+    let fs = Arc::new(SimFs::new());
+    let cfg = EngineConfig {
+        segment_max_readings: 4,
+        wal_sync_every: 1,
+        ..EngineConfig::default()
+    };
+    let all = readings(4);
+    {
+        let engine = engine_over(&fs, cfg.clone()).0;
+        engine.append(S, &all).unwrap(); // fills the memtable: seals seq 1
+        assert_eq!(engine.memtable_len(), 0, "seal must have fired");
+        assert_eq!(engine.wal_epoch(), 2);
+    }
+    // Model a crash *between* segment seal and WAL reset: the durable
+    // segment (epoch 1's data) exists, but the disk still holds the
+    // pre-seal WAL with epoch 1 and the same four readings.
+    let mut stale = wal::encode_header(1).to_vec();
+    stale.extend_from_slice(&wal::encode_record(S, &all));
+    fs.write_atomic(wal::WAL_FILE, &stale).unwrap();
+    let (engine, rec) = engine_over(&fs, cfg);
+    assert!(
+        rec.wal_discarded_stale,
+        "epoch guard must reject the stale WAL"
+    );
+    assert_eq!(rec.wal_records_replayed, 0);
+    assert_eq!(
+        rec.readings_recovered, 4,
+        "the four readings come from the segment exactly once"
+    );
+    let mut got = Vec::new();
+    engine
+        .range_into(S, Timestamp::ZERO, Timestamp::MAX, &mut got)
+        .unwrap();
+    assert_eq!(got, all, "no duplicate replay of the sealed batch");
+}
+
+#[test]
+fn lying_fsync_loses_a_suffix_but_the_recovered_prefix_is_consistent() {
+    let fs = Arc::new(SimFs::new());
+    let cfg = EngineConfig {
+        wal_sync_every: 2,
+        ..EngineConfig::default()
+    };
+    let all = readings(10);
+    {
+        let backend = backend_over(&fs, BackendKind::Persistent, cfg.clone(), 1_024);
+        for (i, r) in all.iter().enumerate() {
+            if i == 6 {
+                // Every durability point from here on lies: it reports
+                // success but persists nothing.
+                fs.lose_next_syncs(u32::MAX);
+            }
+            backend.insert_batch(S, std::slice::from_ref(r));
+        }
+        backend.flush().unwrap(); // also swallowed
+    }
+    fs.crash();
+    let backend = backend_over(&fs, BackendKind::Persistent, cfg, 1_024);
+    let rec = backend.recovery().unwrap();
+    assert_eq!(
+        rec.readings_recovered, 6,
+        "recovery yields the last honestly-synced prefix"
+    );
+    assert_bit_identical(backend.store(), &reference_store(S, &all[..6]), S);
+}
+
+#[test]
+fn crash_mid_compaction_leaves_raw_segments_intact() {
+    let fs = Arc::new(SimFs::new());
+    let cfg = EngineConfig {
+        segment_max_readings: 4,
+        wal_sync_every: 1,
+        compact_keep_raw: 2,
+        compact_bucket_ms: 2_000,
+        ..EngineConfig::default()
+    };
+    let all = readings(16); // 4 sealed segments, 2 of them cold
+    let engine = engine_over(&fs, cfg.clone()).0;
+    for chunk in all.chunks(4) {
+        engine.append(S, chunk).unwrap();
+    }
+    assert_eq!(engine.segment_counts(), (4, 0));
+    // The compacted rewrite of the first cold segment hits a lying fsync;
+    // the second lands durably. Power cut.
+    fs.lose_next_syncs(1);
+    assert_eq!(engine.compact().unwrap(), 2);
+    drop(engine);
+    fs.crash();
+    let (engine, rec) = engine_over(&fs, cfg);
+    assert_eq!(rec.segments_loaded, 4, "every segment file still verifies");
+    assert_eq!(rec.segments_dropped, 0);
+    // Segment 1 reverted to its raw pre-compaction bytes; segment 2 kept
+    // its durable compacted form. Nothing was lost either way.
+    assert_eq!(engine.segment_counts(), (3, 1));
+    assert_eq!(rec.readings_recovered, 16);
+    assert_eq!(engine.durable_len(), 16);
+    // The reverted raw segment still serves raw readings; the compacted
+    // one serves its buckets, which fold the same four readings.
+    let mut raw = Vec::new();
+    engine
+        .range_into(S, Timestamp::ZERO, Timestamp::MAX, &mut raw)
+        .unwrap();
+    assert_eq!(
+        raw[..4],
+        all[..4],
+        "reverted segment serves its original readings"
+    );
+    let buckets = engine
+        .buckets(S, Timestamp::ZERO, Timestamp::MAX)
+        .expect("compacted segment serves buckets");
+    let folded: u64 = buckets.iter().map(|b| b.count).sum();
+    assert_eq!(
+        folded, 4,
+        "the durable compacted segment folds its 4 readings"
+    );
+}
+
+#[test]
+fn ring_overwrite_of_durable_data_is_not_eviction_and_expiry_counts_once() {
+    let fs = Arc::new(SimFs::new());
+    let cfg = EngineConfig {
+        segment_max_readings: 4,
+        wal_sync_every: 1,
+        retention_segments: Some(2),
+        ..EngineConfig::default()
+    };
+    // Tiny ring: 32 readings overwrite 28 slots while all of them flow to
+    // segments; retention keeps the newest 2 segments (8 readings) and
+    // expires 6 (24 readings).
+    let backend = backend_over(&fs, BackendKind::Hybrid, cfg, 4);
+    for r in readings(32) {
+        backend.insert_batch(S, &[r]);
+    }
+    let ring_evicted = backend.store().sensor_health(S).unwrap().evicted;
+    assert_eq!(ring_evicted, 28, "the ring itself overwrote 28 slots");
+    let report = backend.health_report();
+    let archived_evicted = report.sensor(S).unwrap().evicted;
+    // Regression: the archive-level count is retention expiry alone — not
+    // the ring overwrites (28), and not ring + expiry double-counted (52).
+    assert_eq!(archived_evicted, 24);
+    assert_eq!(report.total_evicted(), 24);
+    assert_eq!(backend.durable_len(), 8);
+}
