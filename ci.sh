@@ -46,4 +46,8 @@ echo "==> storage bench (backend sweep: ingest / long-window query / recovery)"
 cargo run --release -p oda-bench --bin storage > BENCH_storage.json
 python3 ci/check_bench.py BENCH_storage.json ci/baselines/BENCH_storage.json
 
+echo "==> serving bench (multi-tenant query traffic + subscription fan-out)"
+cargo run --release -p oda-bench --bin serving > BENCH_serving.json
+python3 ci/check_bench.py BENCH_serving.json ci/baselines/BENCH_serving.json
+
 echo "CI OK"

@@ -49,6 +49,11 @@ CHECKS = {
         ],
         "latency_higher": [],
     },
+    "serving": {
+        "ratio_higher": ["cache_hit_rate"],
+        "latency_lower": ["query_p50_ns", "query_p99_ns"],
+        "latency_higher": ["throughput_rps"],
+    },
     "storage": {
         "ratio_higher": [],
         "latency_lower": [
@@ -101,6 +106,33 @@ def structural(bench, cur, fail):
         for point in cur.get("points", []):
             if not point["pass_p50_ns"] > 0:
                 fail("pass_p50_ns must be positive at workers=%d" % point["workers"])
+    elif bench == "serving":
+        if cur["cache_equal"] is not True:
+            fail("a cached result was not bit-identical to uncached execution")
+        if cur["sheds_reconcile"] is not True:
+            fail("admission ledger does not reconcile (offered != admitted + shed)")
+        if not cur["verified_hits"] > 0:
+            fail("the cache bit-equality gate never sampled a hit")
+        if cur["responses_200"] + cur["responses_shed"] != cur["requests_total"]:
+            fail("responses (200 + shed) do not account for every request")
+        if not cur["responses_shed"] > 0:
+            fail("the tight adhoc quota shed nothing — admission is not engaging")
+        if not 0.0 < cur["shed_rate"] < 0.5:
+            fail("shed rate %.3f outside the expected (0, 0.5) band" % cur["shed_rate"])
+        if cur["cache_hit_rate"] < 0.3:
+            fail(
+                "cache hit rate %.3f below the 0.3 floor for this traffic mix"
+                % cur["cache_hit_rate"]
+            )
+        if cur["query_p99_ns"] > 50_000_000:
+            fail(
+                "query p99 %.1f ms breaches the 50 ms serving SLO"
+                % (cur["query_p99_ns"] / 1e6)
+            )
+        if not cur["frames_delivered"] > 0:
+            fail("fan-out delivered no frames to subscribers")
+        if not cur["frames_shed"] > 0:
+            fail("over-buffer bursts shed no frames — backpressure is not engaging")
     elif bench == "storage":
         if not cur["readings_total"] > 0:
             fail("readings_total must be positive")
@@ -211,6 +243,19 @@ def main():
                 cur["throughput_rps"],
                 cur["metrics_overhead_pct"],
                 cur["longwin_scan_reduction_x"],
+            )
+        )
+    elif bench == "serving":
+        print(
+            "check_bench OK [%s]: %.0f req/s, p99 %.2f ms, cache hit rate "
+            "%.0f%%, shed rate %.0f%% (reconciled), %d subscribers fanned out"
+            % (
+                sys.argv[1],
+                cur["throughput_rps"],
+                cur["query_p99_ns"] / 1e6,
+                cur["cache_hit_rate"] * 100,
+                cur["shed_rate"] * 100,
+                cur["subscribers"],
             )
         )
     elif bench == "storage":

@@ -22,7 +22,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
         g.throughput(Throughput::Elements(3_600));
         g.bench_with_input(BenchmarkId::new("ticks_1h", label), &cfg, |b, cfg| {
             b.iter_with_setup(
-                || DataCenter::new(cfg.clone(), 1),
+                || DataCenter::builder(cfg.clone()).seed(1).build(),
                 |mut dc| {
                     dc.run_for_hours(1.0);
                     black_box(dc.snapshot().it_power_kw)
@@ -37,7 +37,9 @@ fn bench_framework_pass(c: &mut Criterion) {
     let mut g = c.benchmark_group("framework");
     g.sample_size(10);
     // One pre-built 2-hour small-site trace; measure a full ODA pass.
-    let mut dc = DataCenter::new(DataCenterConfig::small(), 3);
+    let mut dc = DataCenter::builder(DataCenterConfig::small())
+        .seed(3)
+        .build();
     dc.run_for_hours(2.0);
     let store = Arc::clone(dc.store());
     let registry = dc.registry().clone();

@@ -1,0 +1,60 @@
+//! Serving-layer benchmark — multi-tenant query traffic + subscription
+//! fan-out over the full HTTP stack on a simulated network.
+//!
+//! Prints ONE JSON object to stdout (the `BENCH_serving.json` baseline
+//! shape) and exits non-zero if the cache bit-equality or admission
+//! reconciliation invariants fail.
+//!
+//! Usage: `serving [requests] [subscribers]` — defaults 1500 × 2000.
+
+use oda_bench::serving::{run_serving, ServingBenchConfig};
+use serde_json::{json, Value};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = ServingBenchConfig::default();
+    if let Some(requests) = args.next().and_then(|s| s.parse().ok()) {
+        cfg.requests = requests;
+    }
+    if let Some(subscribers) = args.next().and_then(|s| s.parse().ok()) {
+        cfg.subscribers = subscribers;
+    }
+
+    // Warm caches/allocator so the measured run sees steady conditions.
+    let _ = run_serving(&ServingBenchConfig::smoke());
+
+    let r = run_serving(&cfg);
+
+    let out = Value::Object(vec![
+        ("bench".to_string(), json!("serving")),
+        ("requests_total".to_string(), json!(r.requests_total)),
+        ("responses_200".to_string(), json!(r.responses_200)),
+        ("responses_shed".to_string(), json!(r.responses_shed)),
+        ("throughput_rps".to_string(), json!(r.throughput_rps)),
+        ("query_p50_ns".to_string(), json!(r.query_p50_ns)),
+        ("query_p99_ns".to_string(), json!(r.query_p99_ns)),
+        ("cache_hit_rate".to_string(), json!(r.cache_hit_rate)),
+        ("cache_invalidated".to_string(), json!(r.cache_invalidated)),
+        ("shed_rate".to_string(), json!(r.shed_rate)),
+        ("sheds_reconcile".to_string(), json!(r.sheds_reconcile)),
+        ("cache_equal".to_string(), json!(r.cache_equal)),
+        ("verified_hits".to_string(), json!(r.verified_hits)),
+        ("subscribers".to_string(), json!(r.subscribers)),
+        ("frames_delivered".to_string(), json!(r.frames_delivered)),
+        ("frames_shed".to_string(), json!(r.frames_shed)),
+        ("fanout_wall_ns".to_string(), json!(r.fanout_wall_ns)),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&out).expect("report serialises")
+    );
+
+    if !r.cache_equal {
+        eprintln!("FAIL: a cached result differed from uncached re-execution");
+        std::process::exit(1);
+    }
+    if !r.sheds_reconcile {
+        eprintln!("FAIL: admission counters do not reconcile");
+        std::process::exit(1);
+    }
+}

@@ -261,7 +261,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     };
     let sample_every = config.sample_every_ticks;
     let window_ms = cfg.window_ticks * config.tick_ms;
-    let mut dc = DataCenter::new(config, cfg.seed);
+    let mut dc = DataCenter::builder(config).seed(cfg.seed).build();
     if let Some(schedule) = &cfg.schedule {
         dc.set_fault_schedule(schedule.clone());
     }

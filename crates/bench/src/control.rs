@@ -146,7 +146,9 @@ mod tests {
 
     #[test]
     fn controller_fires_at_the_requested_cadence() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 1);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(1)
+            .build();
         let mut fires = 0u32;
         run_with_controller(&mut dc, 0.5, 60, |_| fires += 1);
         // 30 minutes at one fire per minute.
@@ -155,7 +157,9 @@ mod tests {
 
     #[test]
     fn metrics_are_consistent() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 2);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(2)
+            .build();
         dc.run_for_hours(4.0);
         let m = metrics(&dc);
         assert!(m.utility_energy_kwh > m.it_energy_kwh);
@@ -168,7 +172,9 @@ mod tests {
 
     #[test]
     fn rows_render_all_metrics() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 3);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(3)
+            .build();
         dc.run_for_hours(0.2);
         let m = metrics(&dc);
         let r = metrics_row("cfg-x", &m);

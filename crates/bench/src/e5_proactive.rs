@@ -55,7 +55,9 @@ impl Regime {
 
 /// Runs one regime and returns its metrics.
 pub fn run_regime(regime: Regime, hours: f64, seed: u64, control_every_s: u64) -> RunMetrics {
-    let mut dc = DataCenter::new(DataCenterConfig::small(), seed);
+    let mut dc = DataCenter::builder(DataCenterConfig::small())
+        .seed(seed)
+        .build();
     match regime {
         Regime::StaticMax => {
             dc.run_for_hours(hours);

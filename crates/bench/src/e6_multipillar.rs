@@ -163,7 +163,7 @@ fn tune_cooling_cross_pillar(dc: &mut DataCenter, leak_w_per_c: f64, leak_onset_
 pub fn run_config(config: Config, hours: f64, seed: u64) -> RunMetrics {
     let cfg = site_config();
     let (leak_w_per_c, leak_onset_c) = (cfg.node.leakage_w_per_c, cfg.node.leakage_onset_c);
-    let mut dc = DataCenter::new(cfg, seed);
+    let mut dc = DataCenter::builder(cfg).seed(seed).build();
     // Siloed sites run a conservative cold loop all year.
     dc.set_cooling_setpoint(20.0);
     match config {

@@ -41,7 +41,9 @@ pub struct LlnlResult {
 /// Builds a site power trace: `days` of 15-minute samples from a simulated
 /// site plus deterministic periodic spike loads.
 pub fn build_trace(days: f64, seed: u64) -> Vec<f64> {
-    let mut dc = DataCenter::new(DataCenterConfig::small(), seed);
+    let mut dc = DataCenter::builder(DataCenterConfig::small())
+        .seed(seed)
+        .build();
     let bucket_s = 900u64;
     let buckets = (days * 24.0 * 3_600.0 / bucket_s as f64) as usize;
     let mut raw = Vec::with_capacity(buckets);

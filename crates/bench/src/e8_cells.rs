@@ -51,7 +51,9 @@ fn short(a: &Artifact) -> String {
 /// Builds the common trace: a small site run for `hours` with one fault in
 /// each pillar's territory.
 pub fn build_site(hours: f64, seed: u64) -> DataCenter {
-    let mut dc = DataCenter::new(DataCenterConfig::small(), seed);
+    let mut dc = DataCenter::builder(DataCenterConfig::small())
+        .seed(seed)
+        .build();
     let h = |x: f64| Timestamp::from_millis((x * 3_600_000.0) as u64);
     dc.inject_fault(Fault::new(
         FaultKind::FanFailure { node: NodeId(3) },

@@ -33,4 +33,5 @@ pub mod e8_cells;
 pub mod e9_cs_ablation;
 pub mod ingest;
 pub mod scale;
+pub mod serving;
 pub mod storage;

@@ -98,7 +98,9 @@ pub(crate) mod testutil {
     /// Runs a tiny data center for `hours` and wraps its telemetry in a
     /// capability context covering the full run.
     pub fn sim_context(hours: f64, seed: u64) -> (DataCenter, CapabilityContext) {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), seed);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(seed)
+            .build();
         dc.run_for_hours(hours);
         let ctx = CapabilityContext::new(
             Arc::clone(dc.store()),

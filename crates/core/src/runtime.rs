@@ -740,7 +740,7 @@ pub struct PassReport {
 /// use oda_core::runtime::{OdaRuntime, SimControlPlane};
 /// use oda_sim::prelude::*;
 ///
-/// let mut dc = DataCenter::new(DataCenterConfig::tiny(), 1);
+/// let mut dc = DataCenter::builder(DataCenterConfig::tiny()).seed(1).build();
 /// dc.run_for_hours(0.5);
 /// let mut runtime = OdaRuntime::new(3_600_000).with_capability(
 ///     AnalyticsType::Prescriptive,
@@ -1017,7 +1017,9 @@ mod tests {
 
     #[test]
     fn runtime_closes_the_loop_on_the_simulator() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 51);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(51)
+            .build();
         dc.run_for_hours(1.0);
         let mut runtime = full_runtime();
         let store = std::sync::Arc::clone(dc.store());
@@ -1041,7 +1043,9 @@ mod tests {
 
     #[test]
     fn advisory_mode_applies_nothing() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 52);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(52)
+            .build();
         dc.run_for_hours(0.5);
         let mut runtime = full_runtime();
         runtime.autopilot = false;
@@ -1072,7 +1076,9 @@ mod tests {
                 false
             }
         }
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 53);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(53)
+            .build();
         dc.run_for_hours(0.5);
         let mut runtime = full_runtime();
         let report = runtime.pass(
@@ -1149,7 +1155,9 @@ mod tests {
     fn parallel_pass_is_bit_identical_to_serial() {
         let mut outputs = Vec::new();
         for workers in [1usize, 4] {
-            let mut dc = DataCenter::new(DataCenterConfig::tiny(), 77);
+            let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+                .seed(77)
+                .build();
             dc.run_for_hours(1.0);
             let mut runtime = full_runtime()
                 .with_workers(workers)
@@ -1198,7 +1206,9 @@ mod tests {
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
         let metrics = MetricsRegistry::new();
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 55);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(55)
+            .build();
         dc.run_for_hours(0.5);
         let mut runtime = full_runtime()
             .with_capability(AnalyticsType::Diagnostic, Box::new(Exploder))
@@ -1277,7 +1287,9 @@ mod tests {
 
     #[test]
     fn sim_control_plane_validates_inputs() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 54);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(54)
+            .build();
         let mut cp = SimControlPlane { dc: &mut dc };
         assert!(cp.apply("node0/freq_ghz", "2.0"));
         assert!(!cp.apply("node999/freq_ghz", "2.0"), "out-of-range node");

@@ -85,6 +85,12 @@ impl Config {
                 "crates/telemetry/src/storage/mod.rs",
                 "crates/telemetry/src/storage/engine.rs",
                 "crates/telemetry/src/storage/wal.rs",
+                "crates/serve/src/cache.rs",
+                "crates/serve/src/fanout.rs",
+                "crates/serve/src/http.rs",
+                "crates/serve/src/net.rs",
+                "crates/serve/src/server.rs",
+                "crates/serve/src/tenant.rs",
             ]),
             shim_prefixes: s(&["shims/"]),
             skip_prefixes: s(&[

@@ -1,0 +1,258 @@
+//! Version-validated query-result cache.
+//!
+//! Entries are keyed on the **canonical query wire form**
+//! ([`oda_telemetry::query::Query::to_json`] of the parsed request), so two
+//! syntactically different requests for the same query share one entry.
+//!
+//! Correctness contract — *a hit is bit-identical to re-execution*:
+//!
+//! * Each entry records the sensor ids the query resolved to and each
+//!   sensor's store `version` (a monotone counter the store bumps on every
+//!   accepted write, i.e. exactly when rollup tiers fold).
+//! * On lookup the caller passes freshly resolved ids and versions,
+//!   snapshotted **before** any execution. The entry is served only if
+//!   both vectors match exactly; any write to any involved sensor — or a
+//!   pattern now matching a different sensor set — since the entry was
+//!   stored forces a miss and evicts the stale entry.
+//! * Versions are snapshotted before execution on insert too, so a write
+//!   racing an execution can only make a future lookup *conservatively*
+//!   miss (the entry was stored under the older version), never serve
+//!   stale bytes.
+//!
+//! Eviction is LRU by lookup sequence number, so the cache is fully
+//! deterministic given the request sequence — no clocks, no randomness.
+
+use oda_telemetry::prelude::SensorId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Monotone cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable (absent or invalidated).
+    pub misses: u64,
+    /// Entries discarded because sensor versions (or the resolved sensor
+    /// set) changed underneath them. Subset of `misses`.
+    pub invalidated: u64,
+    /// Entries stored.
+    pub inserted: u64,
+    /// Entries evicted by LRU pressure.
+    pub evicted: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups, `0.0` if none.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    body: Arc<Vec<u8>>,
+    digest: u64,
+    sensors: Vec<SensorId>,
+    versions: Vec<u64>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    map: BTreeMap<String, Entry>,
+    seq: u64,
+    stats: CacheStats,
+}
+
+/// LRU cache of rendered query results, validated by store versions.
+pub struct QueryCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` entries (`0` disables).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            capacity,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Looks up `key`, validating against the caller's freshly snapshotted
+    /// `sensors` and `versions`. Returns the rendered body and its digest
+    /// on a hit.
+    pub fn lookup(
+        &self,
+        key: &str,
+        sensors: &[SensorId],
+        versions: &[u64],
+    ) -> Option<(Arc<Vec<u8>>, u64)> {
+        let mut st = self.state.lock();
+        st.seq += 1;
+        let seq = st.seq;
+        let hit = match st.map.get_mut(key) {
+            Some(entry) if entry.sensors == sensors && entry.versions == versions => {
+                entry.last_used = seq;
+                Some((Arc::clone(&entry.body), entry.digest))
+            }
+            Some(_) => None,
+            None => {
+                st.stats.misses += 1;
+                return None;
+            }
+        };
+        match hit {
+            Some(found) => {
+                st.stats.hits += 1;
+                Some(found)
+            }
+            None => {
+                st.map.remove(key);
+                st.stats.invalidated += 1;
+                st.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly executed result under `key`. `sensors`/`versions`
+    /// must have been snapshotted *before* the execution that produced
+    /// `body`.
+    pub fn insert(
+        &self,
+        key: String,
+        sensors: Vec<SensorId>,
+        versions: Vec<u64>,
+        body: Arc<Vec<u8>>,
+        digest: u64,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.seq += 1;
+        let seq = st.seq;
+        st.map.insert(
+            key,
+            Entry {
+                body,
+                digest,
+                sensors,
+                versions,
+                last_used: seq,
+            },
+        );
+        st.stats.inserted += 1;
+        while st.map.len() > self.capacity {
+            let oldest = st
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    st.map.remove(&k);
+                    st.stats.evicted += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// `true` if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters are preserved).
+    pub fn clear(&self) {
+        self.state.lock().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<SensorId> {
+        raw.iter().map(|&r| SensorId(r)).collect()
+    }
+
+    #[test]
+    fn hit_requires_matching_versions() {
+        let cache = QueryCache::new(8);
+        let body = Arc::new(b"{\"x\":1}".to_vec());
+        cache.insert("q1".into(), ids(&[0, 1]), vec![5, 7], Arc::clone(&body), 42);
+
+        let hit = cache.lookup("q1", &ids(&[0, 1]), &[5, 7]);
+        assert_eq!(hit.map(|(b, d)| (b.to_vec(), d)), Some((body.to_vec(), 42)));
+
+        // A bumped version invalidates and evicts.
+        assert!(cache.lookup("q1", &ids(&[0, 1]), &[5, 8]).is_none());
+        assert_eq!(cache.stats().invalidated, 1);
+        // Entry is gone even for the old versions now.
+        assert!(cache.lookup("q1", &ids(&[0, 1]), &[5, 7]).is_none());
+    }
+
+    #[test]
+    fn hit_requires_matching_sensor_set() {
+        let cache = QueryCache::new(8);
+        cache.insert("p".into(), ids(&[0]), vec![1], Arc::new(b"a".to_vec()), 1);
+        // Pattern now resolves to an extra sensor: must miss.
+        assert!(cache.lookup("p", &ids(&[0, 3]), &[1, 0]).is_none());
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn lru_eviction_is_by_lookup_recency() {
+        let cache = QueryCache::new(2);
+        cache.insert("a".into(), ids(&[0]), vec![0], Arc::new(b"a".to_vec()), 0);
+        cache.insert("b".into(), ids(&[0]), vec![0], Arc::new(b"b".to_vec()), 0);
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.lookup("a", &ids(&[0]), &[0]).is_some());
+        cache.insert("c".into(), ids(&[0]), vec![0], Arc::new(b"c".to_vec()), 0);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("a", &ids(&[0]), &[0]).is_some());
+        assert!(cache.lookup("c", &ids(&[0]), &[0]).is_some());
+        assert!(cache.lookup("b", &ids(&[0]), &[0]).is_none());
+        assert_eq!(cache.stats().evicted, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = QueryCache::new(0);
+        cache.insert("a".into(), ids(&[0]), vec![0], Arc::new(b"a".to_vec()), 0);
+        assert!(cache.is_empty());
+        assert!(cache.lookup("a", &ids(&[0]), &[0]).is_none());
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let cache = QueryCache::new(4);
+        cache.insert("a".into(), ids(&[0]), vec![0], Arc::new(b"a".to_vec()), 0);
+        for _ in 0..3 {
+            cache.lookup("a", &ids(&[0]), &[0]);
+        }
+        cache.lookup("missing", &ids(&[0]), &[0]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (3, 1));
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

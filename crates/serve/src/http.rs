@@ -1,0 +1,346 @@
+//! Minimal HTTP/1.1 request parsing and response rendering.
+//!
+//! Exactly the subset the serving endpoints need, written against byte
+//! buffers so it composes with the non-blocking [`crate::net::ServerNet`]
+//! loop: the server accumulates bytes per connection and calls
+//! [`parse_request`] until it reports a complete request (plus how many
+//! bytes it consumed, so pipelined requests in one segment work).
+//!
+//! Deliberate non-goals: chunked request bodies, multipart, compression,
+//! HTTP/2. Streaming *responses* (the `/api/v1/subscribe` endpoint) are
+//! produced by the server as `Connection: close` bodies of unspecified
+//! length, which every HTTP/1.1 client understands.
+
+use std::fmt::Write as _;
+
+/// A fully received HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path component of the request target (no query string).
+    pub path: String,
+    /// Raw query string after `?`, if any (still percent-encoded).
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of header `name` (case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Percent-decoded value of query parameter `key`.
+    pub fn query_param(&self, key: &str) -> Option<String> {
+        let q = self.query.as_deref()?;
+        for pair in q.split('&') {
+            let (k, v) = match pair.split_once('=') {
+                Some((k, v)) => (k, v),
+                None => (pair, ""),
+            };
+            if percent_decode(k) == key {
+                return Some(percent_decode(v));
+            }
+        }
+        None
+    }
+}
+
+/// Result of trying to parse a request out of a connection buffer.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// Not enough bytes yet; keep reading.
+    Incomplete,
+    /// The bytes cannot be a valid request; the connection should get a
+    /// `400` and be closed.
+    Bad(&'static str),
+    /// A complete request, and how many buffer bytes it consumed.
+    Ready {
+        /// The parsed request.
+        request: HttpRequest,
+        /// Bytes of `buf` consumed (head + body); the caller drains these.
+        consumed: usize,
+    },
+}
+
+/// Parses one request from the front of `buf`.
+///
+/// `max_body` bounds the accepted `Content-Length`; larger requests are
+/// rejected as [`ParseOutcome::Bad`] before their body is buffered.
+pub fn parse_request(buf: &[u8], max_body: usize) -> ParseOutcome {
+    let Some(head_len) = find_terminator(buf) else {
+        return ParseOutcome::Incomplete;
+    };
+    let Some(head_bytes) = buf.get(..head_len) else {
+        return ParseOutcome::Bad("head bounds");
+    };
+    let Ok(head) = std::str::from_utf8(head_bytes) else {
+        return ParseOutcome::Bad("head is not utf-8");
+    };
+    let mut lines = head.split("\r\n");
+    let Some(request_line) = lines.next() else {
+        return ParseOutcome::Bad("empty head");
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Bad("malformed request line");
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return ParseOutcome::Bad("malformed request line");
+    }
+    if method.is_empty() || target.is_empty() {
+        return ParseOutcome::Bad("malformed request line");
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseOutcome::Bad("malformed header line");
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ParseOutcome::Bad("bad content-length"),
+        },
+        None => 0,
+    };
+    if content_length > max_body {
+        return ParseOutcome::Bad("body too large");
+    }
+    let body_start = head_len + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return ParseOutcome::Incomplete;
+    }
+    let body = buf
+        .get(body_start..total)
+        .map(|b| b.to_vec())
+        .unwrap_or_default();
+
+    let (raw_path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q.to_string())),
+        None => (target, None),
+    };
+
+    ParseOutcome::Ready {
+        request: HttpRequest {
+            method: method.to_string(),
+            path: percent_decode(raw_path),
+            query,
+            headers,
+            body,
+        },
+        consumed: total,
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Decodes `%XX` escapes and `+`-as-space. Invalid escapes pass through
+/// verbatim (lenient, like most servers).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes.get(i).copied().unwrap_or(0);
+        if b == b'+' {
+            out.push(b' ');
+            i += 1;
+        } else if b == b'%' {
+            let hi = bytes.get(i + 1).copied().and_then(hex_val);
+            let lo = bytes.get(i + 2).copied().and_then(hex_val);
+            match (hi, lo) {
+                (Some(h), Some(l)) => {
+                    out.push(h * 16 + l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Renders a complete response with `Content-Length` framing.
+pub fn response(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut head = String::with_capacity(128);
+    let _ = write!(head, "HTTP/1.1 {} {}\r\n", status, reason(status));
+    let _ = write!(head, "content-type: {content_type}\r\n");
+    let _ = write!(head, "content-length: {}\r\n", body.len());
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Renders the head of an unbounded streaming response
+/// (`Connection: close`, no `Content-Length`). Frames follow as raw body
+/// bytes until the server closes the connection.
+pub fn streaming_head(status: u16, content_type: &str) -> Vec<u8> {
+    let mut head = String::with_capacity(96);
+    let _ = write!(head, "HTTP/1.1 {} {}\r\n", status, reason(status));
+    let _ = write!(head, "content-type: {content_type}\r\n");
+    head.push_str("connection: close\r\n\r\n");
+    head.into_bytes()
+}
+
+/// Renders the standard JSON error body `{"error": "..."}`.
+pub fn error_body(message: &str) -> Vec<u8> {
+    let value = serde_json::Value::Object(vec![(
+        "error".to_string(),
+        serde_json::Value::Str(message.to_string()),
+    )]);
+    serde_json::to_string(&value)
+        .unwrap_or_default()
+        .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let raw =
+            b"GET /api/v1/sensors?pattern=%2Fhw%2F** HTTP/1.1\r\nHost: x\r\nX-Tenant: ops\r\n\r\n";
+        let ParseOutcome::Ready { request, consumed } = parse_request(raw, 1024) else {
+            panic!("expected complete request");
+        };
+        assert_eq!(consumed, raw.len());
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/api/v1/sensors");
+        assert_eq!(request.header("x-tenant"), Some("ops"));
+        assert_eq!(request.header("X-TENANT"), Some("ops"));
+        assert_eq!(request.query_param("pattern").as_deref(), Some("/hw/**"));
+        assert!(request.query_param("missing").is_none());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_pipelined_remainder() {
+        let raw = b"POST /api/v1/query HTTP/1.1\r\ncontent-length: 4\r\n\r\n{\"a\"GET /healthz HTTP/1.1\r\n\r\n";
+        let ParseOutcome::Ready { request, consumed } = parse_request(raw, 1024) else {
+            panic!("expected complete request");
+        };
+        assert_eq!(request.body, b"{\"a\"");
+        let rest = &raw[consumed..];
+        let ParseOutcome::Ready {
+            request: second, ..
+        } = parse_request(rest, 1024)
+        else {
+            panic!("expected pipelined request");
+        };
+        assert_eq!(second.path, "/healthz");
+    }
+
+    #[test]
+    fn incomplete_and_bad_requests() {
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\n", 1024),
+            ParseOutcome::Incomplete
+        ));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc", 1024),
+            ParseOutcome::Incomplete
+        ));
+        assert!(matches!(
+            parse_request(b"BOGUS\r\n\r\n", 1024),
+            ParseOutcome::Bad(_)
+        ));
+        assert!(matches!(
+            parse_request(b"GET / SPDY/9\r\n\r\n", 1024),
+            ParseOutcome::Bad(_)
+        ));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n", 1024),
+            ParseOutcome::Bad(_)
+        ));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n", 1024),
+            ParseOutcome::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn response_rendering_round_trips() {
+        let r = response(
+            429,
+            "application/json",
+            &[("retry-after", "1".to_string())],
+            b"{}",
+        );
+        let text = String::from_utf8(r).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let head = String::from_utf8(streaming_head(200, "application/x-ndjson")).expect("utf8");
+        assert!(head.contains("connection: close"));
+        assert!(!head.contains("content-length"));
+    }
+
+    #[test]
+    fn percent_decode_handles_escapes_and_junk() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("%2Fhw%2F%2A%2A"), "/hw/**");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

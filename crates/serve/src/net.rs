@@ -1,0 +1,428 @@
+//! Readiness-style server transport: one trait, two worlds.
+//!
+//! [`ServerNet`] is the narrow waist between the serving loop and the
+//! operating system. The server only ever asks four questions — "any new
+//! connection?", "any bytes to read?", "can I write?", "what time is it?" —
+//! and never blocks on any of them. That makes the entire request path
+//! drivable from a test at byte granularity:
+//!
+//! * [`RealNet`] answers with a non-blocking [`std::net::TcpListener`] and
+//!   a monotonic wall clock.
+//! * [`SimNet`] answers from in-memory byte queues and a **logical clock**
+//!   that advances by a fixed cost per I/O operation plus whatever the test
+//!   adds with [`SimNet::advance`]. Two runs of the same request schedule
+//!   observe identical clocks, so admission decisions (token buckets refill
+//!   from the clock) are reproducible down to the individual 429.
+//!
+//! The split deliberately mirrors `StorageFs` / `SimFs` in
+//! `oda-telemetry`'s storage engine: trait-seam at the OS boundary,
+//! deterministic twin for tests, identical call sequence in both worlds.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Opaque identifier of an accepted connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+/// Outcome of a non-blocking read or write attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoResult {
+    /// `n` bytes were transferred (`n > 0`).
+    Ready(usize),
+    /// Nothing to transfer right now; retry on a later poll tick.
+    WouldBlock,
+    /// The peer closed the connection, or the connection does not exist.
+    Closed,
+}
+
+/// The non-blocking transport the [`crate::server::Server`] runs over.
+///
+/// All methods must return immediately. Implementations are shared between
+/// the server and (for [`SimNet`]) the test acting as the client, hence
+/// `&self` + interior mutability.
+pub trait ServerNet: Send + Sync {
+    /// Accepts at most one pending connection, if any.
+    fn poll_accept(&self) -> Option<ConnId>;
+    /// Reads available bytes into `buf`.
+    fn read(&self, conn: ConnId, buf: &mut [u8]) -> IoResult;
+    /// Writes a prefix of `data`, as much as the transport will take.
+    fn write(&self, conn: ConnId, data: &[u8]) -> IoResult;
+    /// Closes the server side of the connection.
+    fn close(&self, conn: ConnId);
+    /// Monotonic clock in nanoseconds (logical under [`SimNet`]).
+    fn clock_ns(&self) -> u64;
+}
+
+/// Logical nanoseconds charged per I/O operation on a [`SimNet`].
+///
+/// Non-zero so that latency percentiles and token-bucket refill are
+/// observable in pure simulation without any test having to sprinkle
+/// explicit `advance` calls.
+pub const SIM_OP_COST_NS: u64 = 1_000;
+
+#[derive(Default)]
+struct SimConn {
+    to_server: VecDeque<u8>,
+    to_client: VecDeque<u8>,
+    client_closed: bool,
+    server_closed: bool,
+}
+
+#[derive(Default)]
+struct SimState {
+    next_conn: u64,
+    pending_accept: VecDeque<ConnId>,
+    conns: BTreeMap<u64, SimConn>,
+    clock_ns: u64,
+}
+
+/// Deterministic in-memory [`ServerNet`] twin for tests and benchmarks.
+///
+/// The test plays the client: [`SimNet::connect`] opens a connection,
+/// [`SimNet::client_send`] / [`SimNet::client_recv`] move bytes, and
+/// [`SimNet::advance`] moves the logical clock (e.g. to refill token
+/// buckets). Writes from the server are split into chunks of at most
+/// `write_chunk` bytes so partial-write handling is exercised on every
+/// response, not just under rare kernel buffer pressure.
+pub struct SimNet {
+    state: Mutex<SimState>,
+    write_chunk: usize,
+}
+
+impl Default for SimNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimNet {
+    /// Creates a simulated network with a 1 KiB write chunk.
+    pub fn new() -> Self {
+        SimNet {
+            state: Mutex::new(SimState::default()),
+            write_chunk: 1024,
+        }
+    }
+
+    /// Caps each server-side write at `bytes` (min 1), to force partial
+    /// writes at a chosen granularity.
+    pub fn with_write_chunk(mut self, bytes: usize) -> Self {
+        self.write_chunk = bytes.max(1);
+        self
+    }
+
+    /// Opens a client connection; the server sees it on its next
+    /// `poll_accept`.
+    pub fn connect(&self) -> ConnId {
+        let mut st = self.state.lock();
+        let id = st.next_conn;
+        st.next_conn += 1;
+        st.conns.insert(id, SimConn::default());
+        st.pending_accept.push_back(ConnId(id));
+        ConnId(id)
+    }
+
+    /// Queues `data` for the server to read.
+    pub fn client_send(&self, conn: ConnId, data: &[u8]) {
+        let mut st = self.state.lock();
+        if let Some(c) = st.conns.get_mut(&conn.0) {
+            if !c.client_closed && !c.server_closed {
+                c.to_server.extend(data.iter().copied());
+            }
+        }
+    }
+
+    /// Drains everything the server has written so far.
+    pub fn client_recv(&self, conn: ConnId) -> Vec<u8> {
+        let mut st = self.state.lock();
+        match st.conns.get_mut(&conn.0) {
+            Some(c) => c.to_client.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Half-closes the client side: the server drains remaining bytes and
+    /// then reads `Closed`.
+    pub fn client_close(&self, conn: ConnId) {
+        let mut st = self.state.lock();
+        if let Some(c) = st.conns.get_mut(&conn.0) {
+            c.client_closed = true;
+        }
+    }
+
+    /// `true` once the server has closed its side of `conn`.
+    pub fn server_closed(&self, conn: ConnId) -> bool {
+        let st = self.state.lock();
+        st.conns
+            .get(&conn.0)
+            .map(|c| c.server_closed)
+            .unwrap_or(true)
+    }
+
+    /// Advances the logical clock by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.state.lock().clock_ns += ns;
+    }
+
+    /// Current logical time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.state.lock().clock_ns
+    }
+}
+
+impl ServerNet for SimNet {
+    fn poll_accept(&self) -> Option<ConnId> {
+        let mut st = self.state.lock();
+        st.clock_ns += SIM_OP_COST_NS;
+        st.pending_accept.pop_front()
+    }
+
+    fn read(&self, conn: ConnId, buf: &mut [u8]) -> IoResult {
+        let mut st = self.state.lock();
+        st.clock_ns += SIM_OP_COST_NS;
+        let Some(c) = st.conns.get_mut(&conn.0) else {
+            return IoResult::Closed;
+        };
+        if c.server_closed {
+            return IoResult::Closed;
+        }
+        let mut n = 0;
+        for slot in buf.iter_mut() {
+            match c.to_server.pop_front() {
+                Some(b) => {
+                    *slot = b;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            IoResult::Ready(n)
+        } else if c.client_closed {
+            IoResult::Closed
+        } else {
+            IoResult::WouldBlock
+        }
+    }
+
+    fn write(&self, conn: ConnId, data: &[u8]) -> IoResult {
+        let chunk = self.write_chunk;
+        let mut st = self.state.lock();
+        st.clock_ns += SIM_OP_COST_NS;
+        let Some(c) = st.conns.get_mut(&conn.0) else {
+            return IoResult::Closed;
+        };
+        if c.server_closed || c.client_closed {
+            return IoResult::Closed;
+        }
+        if data.is_empty() {
+            return IoResult::WouldBlock;
+        }
+        let n = data.len().min(chunk);
+        c.to_client.extend(data.iter().take(n).copied());
+        IoResult::Ready(n)
+    }
+
+    fn close(&self, conn: ConnId) {
+        let mut st = self.state.lock();
+        if let Some(c) = st.conns.get_mut(&conn.0) {
+            c.server_closed = true;
+            c.to_server.clear();
+        }
+    }
+
+    fn clock_ns(&self) -> u64 {
+        self.state.lock().clock_ns
+    }
+}
+
+struct RealState {
+    next_conn: u64,
+    conns: BTreeMap<u64, std::net::TcpStream>,
+}
+
+/// [`ServerNet`] over a non-blocking [`std::net::TcpListener`].
+///
+/// Dependency-free: readiness is approximated by polling (`accept`/`read`/
+/// `write` all return `WouldBlock` instead of blocking), which is exactly
+/// the contract the serving loop is written against. A production
+/// deployment would drive [`crate::server::Server::poll`] from a small
+/// sleep loop or an external epoll wrapper; the endpoint logic is
+/// identical either way.
+pub struct RealNet {
+    listener: std::net::TcpListener,
+    state: Mutex<RealState>,
+    start: std::time::Instant,
+}
+
+impl RealNet {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) in non-blocking mode.
+    pub fn bind(addr: &str) -> std::io::Result<RealNet> {
+        let listener = std::net::TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(RealNet {
+            listener,
+            state: Mutex::new(RealState {
+                next_conn: 0,
+                conns: BTreeMap::new(),
+            }),
+            start: std::time::Instant::now(),
+        })
+    }
+
+    /// The bound socket address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+}
+
+impl ServerNet for RealNet {
+    fn poll_accept(&self) -> Option<ConnId> {
+        match self.listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    return None;
+                }
+                let mut st = self.state.lock();
+                let id = st.next_conn;
+                st.next_conn += 1;
+                st.conns.insert(id, stream);
+                Some(ConnId(id))
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn read(&self, conn: ConnId, buf: &mut [u8]) -> IoResult {
+        use std::io::Read as _;
+        let mut st = self.state.lock();
+        let Some(stream) = st.conns.get_mut(&conn.0) else {
+            return IoResult::Closed;
+        };
+        match stream.read(buf) {
+            Ok(0) => IoResult::Closed,
+            Ok(n) => IoResult::Ready(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => IoResult::WouldBlock,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => IoResult::WouldBlock,
+            Err(_) => IoResult::Closed,
+        }
+    }
+
+    fn write(&self, conn: ConnId, data: &[u8]) -> IoResult {
+        use std::io::Write as _;
+        let mut st = self.state.lock();
+        let Some(stream) = st.conns.get_mut(&conn.0) else {
+            return IoResult::Closed;
+        };
+        match stream.write(data) {
+            Ok(0) => IoResult::Closed,
+            Ok(n) => IoResult::Ready(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => IoResult::WouldBlock,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => IoResult::WouldBlock,
+            Err(_) => IoResult::Closed,
+        }
+    }
+
+    fn close(&self, conn: ConnId) {
+        let mut st = self.state.lock();
+        st.conns.remove(&conn.0);
+    }
+
+    fn clock_ns(&self) -> u64 {
+        let e = self.start.elapsed();
+        e.as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(e.subsec_nanos()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simnet_round_trip_and_close() {
+        let net = SimNet::new();
+        let conn = net.connect();
+        assert_eq!(net.poll_accept(), Some(conn));
+        assert_eq!(net.poll_accept(), None);
+
+        net.client_send(conn, b"hello");
+        let mut buf = [0u8; 3];
+        assert_eq!(net.read(conn, &mut buf), IoResult::Ready(3));
+        assert_eq!(&buf, b"hel");
+        assert_eq!(net.read(conn, &mut buf), IoResult::Ready(2));
+        assert_eq!(&buf[..2], b"lo");
+        assert_eq!(net.read(conn, &mut buf), IoResult::WouldBlock);
+
+        assert_eq!(net.write(conn, b"world"), IoResult::Ready(5));
+        assert_eq!(net.client_recv(conn), b"world");
+
+        net.client_close(conn);
+        assert_eq!(net.read(conn, &mut buf), IoResult::Closed);
+        net.close(conn);
+        assert!(net.server_closed(conn));
+    }
+
+    #[test]
+    fn simnet_partial_writes_respect_chunk() {
+        let net = SimNet::new().with_write_chunk(4);
+        let conn = net.connect();
+        net.poll_accept();
+        assert_eq!(net.write(conn, b"0123456789"), IoResult::Ready(4));
+        assert_eq!(net.write(conn, b"456789"), IoResult::Ready(4));
+        assert_eq!(net.write(conn, b"89"), IoResult::Ready(2));
+        assert_eq!(net.client_recv(conn), b"0123456789");
+    }
+
+    #[test]
+    fn simnet_clock_is_logical_and_deterministic() {
+        let run = || {
+            let net = SimNet::new();
+            let conn = net.connect();
+            net.poll_accept();
+            net.client_send(conn, b"x");
+            let mut buf = [0u8; 8];
+            net.read(conn, &mut buf);
+            net.write(conn, b"y");
+            net.advance(5_000);
+            net.clock_ns()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a, 3 * SIM_OP_COST_NS + 5_000);
+    }
+
+    #[test]
+    fn realnet_accept_read_write() {
+        use std::io::{Read as _, Write as _};
+        let net = RealNet::bind("127.0.0.1:0").expect("bind");
+        let addr = net.local_addr().expect("addr");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+
+        let conn = loop {
+            if let Some(c) = net.poll_accept() {
+                break c;
+            }
+        };
+        client.write_all(b"ping").expect("send");
+        let mut buf = [0u8; 16];
+        let n = loop {
+            match net.read(conn, &mut buf) {
+                IoResult::Ready(n) => break n,
+                IoResult::WouldBlock => continue,
+                IoResult::Closed => panic!("unexpected close"),
+            }
+        };
+        assert_eq!(&buf[..n], b"ping");
+
+        assert!(matches!(net.write(conn, b"pong"), IoResult::Ready(4)));
+        let mut reply = [0u8; 4];
+        client.read_exact(&mut reply).expect("recv");
+        assert_eq!(&reply, b"pong");
+        net.close(conn);
+        assert!(net.clock_ns() > 0);
+    }
+}

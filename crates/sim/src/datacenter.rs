@@ -36,6 +36,9 @@ use crate::scheduler::job::{JobClass, JobId, JobState};
 use crate::scheduler::placement::{FirstFit, PlacementContext, PlacementPolicy};
 use crate::scheduler::Scheduler;
 use crate::workload::{WorkloadConfig, WorkloadGenerator};
+use oda_serve::config::ServingConfig;
+use oda_serve::net::ServerNet;
+use oda_serve::server::Server;
 use oda_telemetry::bus::TelemetryBus;
 use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::reading::{Reading, ReadingBatch, Timestamp};
@@ -75,7 +78,7 @@ pub struct DataCenterConfig {
     /// segment files), or hybrid (hot ring + cold segments). Durable
     /// backends run over a deterministic in-memory filesystem unless an
     /// explicit one is injected via
-    /// [`DataCenter::new_with_storage_fs`].
+    /// [`DataCenterBuilder::storage_fs`].
     pub storage: StorageConfig,
     /// Node model parameters.
     pub node: NodeConfig,
@@ -526,6 +529,8 @@ pub struct DataCenter {
     /// Filesystem the archive backend lives on; held so the archive can be
     /// restarted (recovery drill) over the same durable state.
     archive_fs: Arc<dyn StorageFs>,
+    /// Serving-layer configuration applied by [`DataCenter::serve`].
+    serving: ServingConfig,
     sensors: Sensors,
     // Fault state applied to models each tick.
     leak_extra_gib: Vec<f64>,
@@ -546,30 +551,122 @@ pub struct DataCenter {
     utility_energy_kwh: f64,
 }
 
+/// Staged constructor for [`DataCenter`] — the one way to build a site.
+///
+/// Every knob that used to be a positional constructor argument is a
+/// chained setter with a sensible default, so call sites state only what
+/// they care about:
+///
+/// ```
+/// use oda_sim::prelude::*;
+///
+/// // A default site, deterministic under its seed.
+/// let dc = DataCenter::builder(DataCenterConfig::tiny()).seed(42).build();
+/// assert_eq!(dc.config().workers, DataCenterConfig::tiny().workers);
+/// ```
+///
+/// Defaults: seed `0`, the process-wide [`MetricsRegistry::global`], a
+/// fresh deterministic [`SimFs`] for durable storage, and the
+/// [`ServingConfig`] defaults for [`DataCenter::serve`]. The `workers`,
+/// `rollups` and `storage` setters override the corresponding
+/// [`DataCenterConfig`] fields in place.
+pub struct DataCenterBuilder {
+    config: DataCenterConfig,
+    seed: u64,
+    metrics: Option<MetricsRegistry>,
+    archive_fs: Option<Arc<dyn StorageFs>>,
+    serving: ServingConfig,
+}
+
+impl DataCenterBuilder {
+    /// Starts a builder over `config`.
+    pub fn new(config: DataCenterConfig) -> Self {
+        DataCenterBuilder {
+            config,
+            seed: 0,
+            metrics: None,
+            archive_fs: None,
+            serving: ServingConfig::default(),
+        }
+    }
+
+    /// Seeds every stochastic model (weather, workload, faults). Two sites
+    /// built from the same config and seed evolve identically.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses an explicit metrics registry for the telemetry plane (store
+    /// write path + bus publish path + serving frontend) instead of the
+    /// process-wide [`MetricsRegistry::global`] — isolates self-metrics per
+    /// instance for tests and side-by-side soaks.
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Runs the archive backend over an explicit storage filesystem, so
+    /// recovery tests can reopen a site over pre-existing durable state (or
+    /// a fault-injecting [`SimFs`]). Defaults to a fresh [`SimFs`].
+    pub fn storage_fs(mut self, fs: Arc<dyn StorageFs>) -> Self {
+        self.archive_fs = Some(fs);
+        self
+    }
+
+    /// Overrides `config.workers` — the analytics-plane parallelism hint.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Overrides `config.rollups` — the store's pre-aggregation tiers.
+    pub fn rollups(mut self, rollups: RollupConfig) -> Self {
+        self.config.rollups = rollups;
+        self
+    }
+
+    /// Overrides `config.storage` — the durable archive backend selection.
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.config.storage = storage;
+        self
+    }
+
+    /// Sets the quota/cache/fan-out configuration used by
+    /// [`DataCenter::serve`].
+    pub fn serving(mut self, serving: ServingConfig) -> Self {
+        self.serving = serving;
+        self
+    }
+
+    /// Builds the site.
+    pub fn build(self) -> DataCenter {
+        let DataCenterBuilder {
+            config,
+            seed,
+            metrics,
+            archive_fs,
+            serving,
+        } = self;
+        let metrics = metrics.unwrap_or_else(MetricsRegistry::global);
+        let archive_fs = archive_fs.unwrap_or_else(|| Arc::new(SimFs::new()));
+        DataCenter::build(config, seed, metrics, archive_fs, serving)
+    }
+}
+
 impl DataCenter {
-    /// Builds the site from `config`, seeding all stochastic models from
-    /// `seed`. Telemetry-plane self-metrics go to the process-wide
-    /// [`MetricsRegistry::global`]; use [`DataCenter::new_with_metrics`] to
-    /// isolate them per instance (tests, side-by-side soaks).
-    pub fn new(config: DataCenterConfig, seed: u64) -> Self {
-        Self::new_with_metrics(config, seed, MetricsRegistry::global())
+    /// Starts a [`DataCenterBuilder`] over `config`.
+    pub fn builder(config: DataCenterConfig) -> DataCenterBuilder {
+        DataCenterBuilder::new(config)
     }
 
-    /// Builds the site with an explicit metrics registry for the telemetry
-    /// plane (store write path + bus publish path). Durable storage backends
-    /// run over a fresh deterministic [`SimFs`].
-    pub fn new_with_metrics(config: DataCenterConfig, seed: u64, metrics: MetricsRegistry) -> Self {
-        Self::new_with_storage_fs(config, seed, metrics, Arc::new(SimFs::new()))
-    }
-
-    /// Builds the site with explicit metrics *and* an explicit storage
-    /// filesystem, so recovery tests can reopen a site over pre-existing
-    /// durable state (or a fault-injecting [`SimFs`]).
-    pub fn new_with_storage_fs(
+    /// Constructor body shared by every builder path.
+    fn build(
         config: DataCenterConfig,
         seed: u64,
         metrics: MetricsRegistry,
         archive_fs: Arc<dyn StorageFs>,
+        serving: ServingConfig,
     ) -> Self {
         let mut root_rng = SimRng::new(seed);
         let weather_rng = root_rng.fork();
@@ -631,7 +728,25 @@ impl DataCenter {
             archive_fs,
             sensors,
             config,
+            serving,
         }
+    }
+
+    /// Builds a multi-tenant query/subscription frontend over `net`, wired
+    /// to this site's registry, hot store, telemetry bus and metrics
+    /// registry. Quotas and cache sizing come from
+    /// [`DataCenterBuilder::serving`]. Drive it with
+    /// [`Server::poll`] from the experiment loop (or a
+    /// [`oda_serve::net::RealNet`] listener thread).
+    pub fn serve<N: ServerNet>(&self, net: Arc<N>) -> Server<N> {
+        Server::new(
+            net,
+            self.serving.clone(),
+            self.registry.clone(),
+            Arc::clone(self.store()),
+        )
+        .with_bus(Arc::clone(&self.bus))
+        .with_metrics(self.metrics().clone())
     }
 
     /// Builds the archive backend selected by `config.storage` over `fs`
@@ -1227,7 +1342,9 @@ mod tests {
 
     #[test]
     fn a_quiet_hour_produces_sane_physics() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 1);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(1)
+            .build();
         dc.run_for_hours(1.0);
         let s = dc.snapshot();
         assert!(
@@ -1243,7 +1360,9 @@ mod tests {
 
     #[test]
     fn workload_flows_through_scheduler() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 2);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(2)
+            .build();
         dc.run_for_hours(6.0);
         assert!(dc.arrivals_total() > 50);
         let s = dc.snapshot();
@@ -1262,7 +1381,9 @@ mod tests {
 
     #[test]
     fn telemetry_is_archived() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 3);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(3)
+            .build();
         dc.run_for_hours(0.5);
         let store = dc.store();
         let s = dc.sensors();
@@ -1275,7 +1396,9 @@ mod tests {
     fn archive_maintains_rollup_tiers_online() {
         use oda_telemetry::query::{Aggregation, Query, QueryEngine, TimeRange};
 
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 11);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(11)
+            .build();
         dc.run_for_hours(0.5);
         // The default rollup layout is wired through DataCenterConfig, so the
         // archive reports non-empty tier occupancy after half an hour.
@@ -1311,7 +1434,9 @@ mod tests {
     #[test]
     fn same_seed_same_trajectory() {
         let run = |seed| {
-            let mut dc = DataCenter::new(DataCenterConfig::tiny(), seed);
+            let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+                .seed(seed)
+                .build();
             dc.run_for_hours(2.0);
             let s = dc.snapshot();
             (s.it_power_kw, s.completed, s.pue)
@@ -1322,7 +1447,9 @@ mod tests {
 
     #[test]
     fn fan_failure_fault_heats_the_node() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 4);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(4)
+            .build();
         dc.inject_fault(Fault::new(
             FaultKind::FanFailure { node: NodeId(0) },
             Timestamp::from_mins(10),
@@ -1331,7 +1458,9 @@ mod tests {
         dc.run_for_hours(1.0);
         let victim = dc.node(NodeId(0)).temp_c();
         // Compare against the same node position in a fault-free twin.
-        let mut clean = DataCenter::new(DataCenterConfig::tiny(), 4);
+        let mut clean = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(4)
+            .build();
         clean.run_for_hours(1.0);
         let healthy = clean.node(NodeId(0)).temp_c();
         assert!(
@@ -1343,9 +1472,13 @@ mod tests {
 
     #[test]
     fn dvfs_knob_reduces_it_power() {
-        let mut fast = DataCenter::new(DataCenterConfig::tiny(), 5);
+        let mut fast = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(5)
+            .build();
         fast.run_for_hours(2.0);
-        let mut slow = DataCenter::new(DataCenterConfig::tiny(), 5);
+        let mut slow = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(5)
+            .build();
         slow.set_all_freq(1.5);
         slow.run_for_hours(2.0);
         assert!(
@@ -1358,7 +1491,9 @@ mod tests {
 
     #[test]
     fn cooling_degradation_fault_raises_pue() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 5);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(5)
+            .build();
         dc.inject_fault(Fault::new(
             FaultKind::CoolingDegradation { factor: 3.0 },
             Timestamp::from_mins(30),
@@ -1373,7 +1508,9 @@ mod tests {
 
     #[test]
     fn custom_jobs_and_stress_tests_run() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 12);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(12)
+            .build();
         let ids = dc.submit_stress_test(8, 300.0);
         assert_eq!(ids.len(), 8);
         // Ids are in the reserved range and unique.
@@ -1408,16 +1545,15 @@ mod tests {
         // a thermal fault's absolute temperature deviation much larger
         // than at idle.
         let delta_at = |stress: bool| {
-            let mut dc = DataCenter::new(
-                DataCenterConfig {
-                    workload: WorkloadConfig {
-                        mean_interarrival_s: 1e9, // no background jobs
-                        ..WorkloadConfig::default()
-                    },
-                    ..DataCenterConfig::tiny()
+            let mut dc = DataCenter::builder(DataCenterConfig {
+                workload: WorkloadConfig {
+                    mean_interarrival_s: 1e9, // no background jobs
+                    ..WorkloadConfig::default()
                 },
-                13,
-            );
+                ..DataCenterConfig::tiny()
+            })
+            .seed(13)
+            .build();
             dc.inject_fault(Fault::new(
                 FaultKind::FanFailure { node: NodeId(0) },
                 Timestamp::ZERO,
@@ -1439,7 +1575,9 @@ mod tests {
 
     #[test]
     fn network_hog_congests_the_rack_uplink() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 14);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(14)
+            .build();
         dc.inject_fault(Fault::new(
             FaultKind::NetworkHog {
                 rack: RackId(0),
@@ -1473,16 +1611,15 @@ mod tests {
 
     #[test]
     fn cpu_contention_fault_shows_in_utilization_floor() {
-        let mut dc = DataCenter::new(
-            DataCenterConfig {
-                workload: WorkloadConfig {
-                    mean_interarrival_s: 1e9,
-                    ..WorkloadConfig::default()
-                },
-                ..DataCenterConfig::tiny()
+        let mut dc = DataCenter::builder(DataCenterConfig {
+            workload: WorkloadConfig {
+                mean_interarrival_s: 1e9,
+                ..WorkloadConfig::default()
             },
-            15,
-        );
+            ..DataCenterConfig::tiny()
+        })
+        .seed(15)
+        .build();
         dc.inject_fault(Fault::new(
             FaultKind::CpuContention {
                 node: NodeId(2),
@@ -1499,7 +1636,9 @@ mod tests {
 
     #[test]
     fn memory_leak_grows_system_memory_telemetry() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 16);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(16)
+            .build();
         dc.inject_fault(Fault::new(
             FaultKind::MemoryLeak {
                 node: NodeId(1),
@@ -1548,9 +1687,13 @@ mod tests {
                     Timestamp::from_mins(30),
                 )
         };
-        let mut clean = DataCenter::new(DataCenterConfig::tiny(), 9);
+        let mut clean = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(9)
+            .build();
         clean.run_for_hours(1.0);
-        let mut faulty = DataCenter::new(DataCenterConfig::tiny(), 9);
+        let mut faulty = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(9)
+            .build();
         faulty.set_fault_schedule(sched(9));
         faulty.run_for_hours(1.0);
         // The dropout leaves a hole in the archived series but the physics
@@ -1571,7 +1714,9 @@ mod tests {
                 >= clean.scheduler().stats().completed,
         );
         // Same seed + same schedule replays identically.
-        let mut again = DataCenter::new(DataCenterConfig::tiny(), 9);
+        let mut again = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(9)
+            .build();
         again.set_fault_schedule(sched(9));
         again.run_for_hours(1.0);
         assert_eq!(
@@ -1585,7 +1730,9 @@ mod tests {
 
     #[test]
     fn snapshot_fields_are_consistent() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 9);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(9)
+            .build();
         dc.run_for_hours(1.0);
         let s = dc.snapshot();
         assert!(s.max_node_temp_c >= s.avg_node_temp_c);

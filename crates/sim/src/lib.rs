@@ -37,7 +37,7 @@
 //! ```
 //! use oda_sim::prelude::*;
 //!
-//! let mut dc = DataCenter::new(DataCenterConfig::small(), 42);
+//! let mut dc = DataCenter::builder(DataCenterConfig::small()).seed(42).build();
 //! dc.run_for_hours(1.0);
 //! let snap = dc.snapshot();
 //! assert!(snap.total_power_kw > 0.0);
@@ -57,7 +57,7 @@ pub mod workload;
 
 /// Re-exports of the types most consumers need.
 pub mod prelude {
-    pub use crate::datacenter::{DataCenter, DataCenterConfig, Snapshot};
+    pub use crate::datacenter::{DataCenter, DataCenterBuilder, DataCenterConfig, Snapshot};
     pub use crate::engine::SimClock;
     pub use crate::facility::cooling::CoolingMode;
     pub use crate::faults::{

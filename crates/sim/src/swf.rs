@@ -33,7 +33,7 @@
 //!     "1 30 -1 120 2 -1 -1 2 600 -1 1 7 -1 0 -1 -1 -1 -1\n",
 //! );
 //! assert_eq!(trace.len(), 1);
-//! let mut dc = DataCenter::new(DataCenterConfig::tiny(), 1);
+//! let mut dc = DataCenter::builder(DataCenterConfig::tiny()).seed(1).build();
 //! let submitted = swf::replay(&mut dc, &trace, 0.2);
 //! assert_eq!(submitted, 1);
 //! ```
@@ -216,21 +216,22 @@ mod tests {
     use crate::workload::WorkloadConfig;
 
     fn quiet_site(seed: u64) -> DataCenter {
-        DataCenter::new(
-            DataCenterConfig {
-                workload: WorkloadConfig {
-                    mean_interarrival_s: 1e9, // replay only
-                    ..WorkloadConfig::default()
-                },
-                ..DataCenterConfig::tiny()
+        DataCenter::builder(DataCenterConfig {
+            workload: WorkloadConfig {
+                mean_interarrival_s: 1e9, // replay only
+                ..WorkloadConfig::default()
             },
-            seed,
-        )
+            ..DataCenterConfig::tiny()
+        })
+        .seed(seed)
+        .build()
     }
 
     #[test]
     fn export_then_parse_round_trips_the_essentials() {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 61);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(61)
+            .build();
         dc.run_for_hours(4.0);
         let records = dc.finished_jobs().to_vec();
         assert!(records.len() > 10);

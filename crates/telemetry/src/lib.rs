@@ -79,7 +79,7 @@ pub mod prelude {
     pub use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Timer};
     pub use crate::pattern::SensorPattern;
     pub use crate::query::{
-        Aggregation, Query, QueryEngine, QueryResult, SensorSelector, TimeRange,
+        Aggregation, Query, QueryEngine, QueryParseError, QueryResult, SensorSelector, TimeRange,
     };
     pub use crate::reading::{Reading, Timestamp};
     pub use crate::sensor::{SensorId, SensorKind, SensorMeta, SensorRegistry, Unit};

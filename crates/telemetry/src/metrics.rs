@@ -363,10 +363,22 @@ impl Default for MetricsRegistry {
     }
 }
 
+/// Escapes one label *value* per the Prometheus text exposition format:
+/// backslash first (so later escapes aren't double-escaped), then
+/// double-quote, then newline — the three characters the spec requires
+/// escaping inside a quoted label value. Adversarial sensor names (a
+/// subscriber named `a"b\n{}`) would otherwise break line-oriented
+/// scrapers or inject fake series.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 fn render_labels(labels: &[(&str, &str)]) -> String {
     let mut pairs: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     pairs.sort();
     pairs.join(",")
@@ -747,6 +759,28 @@ mod tests {
             text.contains("lat_ns{quantile=\"0.5\",shard=\"0\"}"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_adversarial_sensor_names() {
+        // Exposition-format spec: label values must escape backslash,
+        // double-quote and newline. An adversarial sensor/subscriber name
+        // containing all three must render as one parseable line.
+        let reg = MetricsRegistry::new();
+        let hostile = "a\"b\\c\nd";
+        reg.counter("bus_shed_total", &[("subscriber", hostile)])
+            .add(1);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("bus_shed_total{subscriber=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            "{text}"
+        );
+        // No raw newline may survive inside any rendered line: every line
+        // must be `name{labels} value` with exactly two unescaped quotes.
+        for line in text.lines() {
+            let unescaped = line.matches('"').count() - line.matches("\\\"").count();
+            assert_eq!(unescaped, 2, "unbalanced quotes in {line:?}");
+        }
     }
 
     #[test]

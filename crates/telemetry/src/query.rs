@@ -53,9 +53,10 @@ use crate::metrics::{Counter, Histogram};
 use crate::pattern::SensorPattern;
 use crate::reading::{Reading, Timestamp};
 use crate::sensor::{SensorId, SensorRegistry};
+use crate::storage::codec::fnv1a64;
 use crate::store::{RollupBucket, TierScanResult, TimeSeriesStore};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Half-open query interval `[start, end)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -322,6 +323,316 @@ impl Query {
     pub fn run(self, engine: &QueryEngine<'_>) -> QueryResult {
         engine.execute(self)
     }
+
+    /// Renders the query as its **canonical wire representation** — the one
+    /// JSON form shared by the HTTP frontend (`oda-serve`) and the
+    /// result-cache key normalization. Every field is emitted, in a fixed
+    /// order, so two semantically identical queries render byte-identically:
+    ///
+    /// ```json
+    /// {"selector":{"ids":[0,3]},
+    ///  "range":{"start_ms":0,"end_ms":18446744073709551615},
+    ///  "rate":false,"raw_scan":false,
+    ///  "shape":{"kind":"scalars","agg":"mean"}}
+    /// ```
+    ///
+    /// Selectors are `{"ids":[u32...]}` or `{"pattern":"/hw/*/power"}`;
+    /// shapes are `{"kind":"readings"}`, `{"kind":"buckets","bucket_ms":w,
+    /// "agg":A}`, `{"kind":"scalars","agg":A}` or `{"kind":"aligned",
+    /// "bucket_ms":w}`; aggregations are lower-snake-case strings
+    /// (`"mean"`, `"time_weighted_mean"`, ...) except `{"quantile":q}`.
+    ///
+    /// [`Query::from_json`] inverts this exactly, and
+    /// `from_json(s)?.to_json()` is the canonical normalization of any
+    /// accepted input `s` (key order, omitted defaults, number formatting).
+    pub fn to_json(&self) -> String {
+        let selector = match &self.selector {
+            SensorSelector::Ids(ids) => Value::Object(vec![(
+                "ids".to_string(),
+                Value::Array(ids.iter().map(|s| Value::U64(s.0 as u64)).collect()),
+            )]),
+            SensorSelector::Pattern(p) => Value::Object(vec![(
+                "pattern".to_string(),
+                Value::Str(p.as_str().to_string()),
+            )]),
+        };
+        let range = Value::Object(vec![
+            ("start_ms".to_string(), Value::U64(self.range.start.0)),
+            ("end_ms".to_string(), Value::U64(self.range.end.0)),
+        ]);
+        let shape = match self.shape {
+            Shape::Readings => Value::Object(vec![kind("readings")]),
+            Shape::Buckets { bucket_ms, agg } => Value::Object(vec![
+                kind("buckets"),
+                ("bucket_ms".to_string(), Value::U64(bucket_ms)),
+                ("agg".to_string(), agg_to_wire(agg)),
+            ]),
+            Shape::Scalars(agg) => {
+                Value::Object(vec![kind("scalars"), ("agg".to_string(), agg_to_wire(agg))])
+            }
+            Shape::Aligned { bucket_ms } => Value::Object(vec![
+                kind("aligned"),
+                ("bucket_ms".to_string(), Value::U64(bucket_ms)),
+            ]),
+        };
+        let doc = Value::Object(vec![
+            ("selector".to_string(), selector),
+            ("range".to_string(), range),
+            ("rate".to_string(), Value::Bool(self.rate)),
+            ("raw_scan".to_string(), Value::Bool(self.raw_only)),
+            ("shape".to_string(), shape),
+        ]);
+        serde_json::to_string(&doc).unwrap_or_default()
+    }
+
+    /// Parses the wire representation produced by [`Query::to_json`].
+    ///
+    /// `selector` is required; `range` defaults to [`TimeRange::all`],
+    /// `rate` and `raw_scan` to `false`, and `shape` to raw readings.
+    /// Unknown top-level or shape keys are rejected (a typo like
+    /// `"agregation"` must not silently fall back to defaults), as are
+    /// out-of-range numbers and a zero `bucket_ms`.
+    pub fn from_json(s: &str) -> Result<Query, QueryParseError> {
+        let doc = serde_json::from_str(s).map_err(|e| QueryParseError(e.to_string()))?;
+        let entries = match &doc {
+            Value::Object(entries) => entries,
+            _ => return Err(QueryParseError("query must be a JSON object".into())),
+        };
+        for (k, _) in entries {
+            if !matches!(
+                k.as_str(),
+                "selector" | "range" | "rate" | "raw_scan" | "shape"
+            ) {
+                return Err(QueryParseError(format!("unknown query field {k:?}")));
+            }
+        }
+        let selector = doc
+            .get("selector")
+            .ok_or_else(|| QueryParseError("missing required field \"selector\"".into()))?;
+        let selector = selector_from_wire(selector)?;
+        let range = match doc.get("range") {
+            Some(r) => range_from_wire(r)?,
+            None => TimeRange::all(),
+        };
+        let rate = match doc.get("rate") {
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err(QueryParseError("\"rate\" must be a boolean".into())),
+            None => false,
+        };
+        let raw_only = match doc.get("raw_scan") {
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err(QueryParseError("\"raw_scan\" must be a boolean".into())),
+            None => false,
+        };
+        let shape = match doc.get("shape") {
+            Some(s) => shape_from_wire(s)?,
+            None => Shape::Readings,
+        };
+        Ok(Query {
+            selector,
+            range,
+            rate,
+            raw_only,
+            shape,
+        })
+    }
+}
+
+/// Error from [`Query::from_json`]: what made the document unacceptable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError(String);
+
+impl std::fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid query: {}", self.0)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn kind(k: &str) -> (String, Value) {
+    ("kind".to_string(), Value::Str(k.to_string()))
+}
+
+fn agg_to_wire(agg: Aggregation) -> Value {
+    let name = match agg {
+        Aggregation::Mean => "mean",
+        Aggregation::Min => "min",
+        Aggregation::Max => "max",
+        Aggregation::Sum => "sum",
+        Aggregation::Count => "count",
+        Aggregation::StdDev => "std_dev",
+        Aggregation::Last => "last",
+        Aggregation::First => "first",
+        Aggregation::TimeWeightedMean => "time_weighted_mean",
+        Aggregation::Quantile(q) => {
+            return Value::Object(vec![("quantile".to_string(), Value::F64(q))])
+        }
+    };
+    Value::Str(name.to_string())
+}
+
+fn agg_from_wire(v: &Value) -> Result<Aggregation, QueryParseError> {
+    match v {
+        Value::Str(s) => match s.as_str() {
+            "mean" => Ok(Aggregation::Mean),
+            "min" => Ok(Aggregation::Min),
+            "max" => Ok(Aggregation::Max),
+            "sum" => Ok(Aggregation::Sum),
+            "count" => Ok(Aggregation::Count),
+            "std_dev" => Ok(Aggregation::StdDev),
+            "last" => Ok(Aggregation::Last),
+            "first" => Ok(Aggregation::First),
+            "time_weighted_mean" => Ok(Aggregation::TimeWeightedMean),
+            other => Err(QueryParseError(format!("unknown aggregation {other:?}"))),
+        },
+        Value::Object(entries) => match entries.as_slice() {
+            [(k, q)] if k == "quantile" => {
+                let q = wire_f64(q)
+                    .ok_or_else(|| QueryParseError("\"quantile\" must be a number".into()))?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(QueryParseError(format!("quantile {q} outside 0..=1")));
+                }
+                Ok(Aggregation::Quantile(q))
+            }
+            _ => Err(QueryParseError(
+                "aggregation object must be exactly {\"quantile\": q}".into(),
+            )),
+        },
+        _ => Err(QueryParseError(
+            "aggregation must be a string or {\"quantile\": q}".into(),
+        )),
+    }
+}
+
+fn selector_from_wire(v: &Value) -> Result<SensorSelector, QueryParseError> {
+    let entries = match v {
+        Value::Object(entries) => entries,
+        _ => return Err(QueryParseError("\"selector\" must be an object".into())),
+    };
+    match entries.as_slice() {
+        [(k, Value::Array(ids))] if k == "ids" => {
+            let ids = ids
+                .iter()
+                .map(|id| match wire_u64(id) {
+                    Some(n) if n <= u32::MAX as u64 => Ok(SensorId(n as u32)),
+                    _ => Err(QueryParseError("sensor ids must be u32 integers".into())),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(SensorSelector::Ids(ids))
+        }
+        [(k, Value::Str(p))] if k == "pattern" => {
+            Ok(SensorSelector::Pattern(SensorPattern::new(p)))
+        }
+        _ => Err(QueryParseError(
+            "selector must be exactly {\"ids\":[...]} or {\"pattern\":\"...\"}".into(),
+        )),
+    }
+}
+
+fn range_from_wire(v: &Value) -> Result<TimeRange, QueryParseError> {
+    let entries = match v {
+        Value::Object(entries) => entries,
+        _ => return Err(QueryParseError("\"range\" must be an object".into())),
+    };
+    for (k, _) in entries {
+        if !matches!(k.as_str(), "start_ms" | "end_ms") {
+            return Err(QueryParseError(format!("unknown range field {k:?}")));
+        }
+    }
+    let field = |name: &str, default: u64| -> Result<u64, QueryParseError> {
+        match v.get(name) {
+            Some(n) => wire_u64(n)
+                .ok_or_else(|| QueryParseError(format!("{name:?} must be a u64 integer"))),
+            None => Ok(default),
+        }
+    };
+    let start = field("start_ms", 0)?;
+    let end = field("end_ms", u64::MAX)?;
+    if start > end {
+        return Err(QueryParseError(format!(
+            "range start {start} exceeds end {end}"
+        )));
+    }
+    Ok(TimeRange::new(Timestamp(start), Timestamp(end)))
+}
+
+fn shape_from_wire(v: &Value) -> Result<Shape, QueryParseError> {
+    let entries = match v {
+        Value::Object(entries) => entries,
+        _ => return Err(QueryParseError("\"shape\" must be an object".into())),
+    };
+    for (k, _) in entries {
+        if !matches!(k.as_str(), "kind" | "bucket_ms" | "agg") {
+            return Err(QueryParseError(format!("unknown shape field {k:?}")));
+        }
+    }
+    let kind = match v.get("kind") {
+        Some(Value::Str(k)) => k.as_str(),
+        _ => return Err(QueryParseError("shape needs a string \"kind\"".into())),
+    };
+    let bucket_ms = || -> Result<u64, QueryParseError> {
+        match v.get("bucket_ms").and_then(wire_u64) {
+            Some(w) if w > 0 => Ok(w),
+            _ => Err(QueryParseError(
+                "shape needs a positive integer \"bucket_ms\"".into(),
+            )),
+        }
+    };
+    let agg = || -> Result<Aggregation, QueryParseError> {
+        match v.get("agg") {
+            Some(a) => agg_from_wire(a),
+            None => Err(QueryParseError("shape needs an \"agg\"".into())),
+        }
+    };
+    let reject = |field: &str| -> Result<(), QueryParseError> {
+        if v.get(field).is_some() {
+            Err(QueryParseError(format!(
+                "shape kind {kind:?} does not take {field:?}"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    match kind {
+        "readings" => {
+            reject("bucket_ms")?;
+            reject("agg")?;
+            Ok(Shape::Readings)
+        }
+        "buckets" => Ok(Shape::Buckets {
+            bucket_ms: bucket_ms()?,
+            agg: agg()?,
+        }),
+        "scalars" => {
+            reject("bucket_ms")?;
+            Ok(Shape::Scalars(agg()?))
+        }
+        "aligned" => {
+            reject("agg")?;
+            Ok(Shape::Aligned {
+                bucket_ms: bucket_ms()?,
+            })
+        }
+        other => Err(QueryParseError(format!("unknown shape kind {other:?}"))),
+    }
+}
+
+fn wire_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn wire_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
 }
 
 /// Materialised result of a [`Query`], in the resolved sensor order.
@@ -449,6 +760,151 @@ impl QueryResult {
             other => panic!("aligned() on a {} result", shape_name(&other)),
         }
     }
+
+    /// Renders the result as its canonical JSON body — the exact bytes the
+    /// HTTP frontend returns and the serving layer's result cache stores,
+    /// so "cache hit" and "fresh execution" are comparable byte-for-byte.
+    /// The shape is tagged like the query's own wire form; `NaN` cells of
+    /// an aligned matrix render as `null` ("no data", see [`Query::align`]).
+    pub fn to_json(&self) -> String {
+        let sensors = Value::Array(
+            self.sensors
+                .iter()
+                .map(|s| Value::U64(s.0 as u64))
+                .collect(),
+        );
+        let reading = |r: &Reading| {
+            Value::Object(vec![
+                ("ts_ms".to_string(), Value::U64(r.ts.0)),
+                ("value".to_string(), Value::F64(r.value)),
+            ])
+        };
+        let bucket = |b: &Bucket| {
+            Value::Object(vec![
+                ("start_ms".to_string(), Value::U64(b.start.0)),
+                ("value".to_string(), Value::F64(b.value)),
+                ("count".to_string(), Value::U64(b.count as u64)),
+            ])
+        };
+        let (kind_name, data_key, data) = match &self.shape {
+            ResultData::Series(series) => (
+                "readings",
+                "series",
+                Value::Array(
+                    series
+                        .iter()
+                        .map(|rs| Value::Array(rs.iter().map(reading).collect()))
+                        .collect(),
+                ),
+            ),
+            ResultData::Buckets(series) => (
+                "buckets",
+                "series",
+                Value::Array(
+                    series
+                        .iter()
+                        .map(|bs| Value::Array(bs.iter().map(bucket).collect()))
+                        .collect(),
+                ),
+            ),
+            ResultData::Scalars(values) => (
+                "scalars",
+                "values",
+                Value::Array(
+                    values
+                        .iter()
+                        .map(|v| match v {
+                            Some(x) => Value::F64(*x),
+                            None => Value::Null,
+                        })
+                        .collect(),
+                ),
+            ),
+            ResultData::Aligned { grid, matrix } => {
+                let grid = Value::Array(grid.iter().map(|t| Value::U64(t.0)).collect());
+                let matrix = Value::Array(
+                    matrix
+                        .iter()
+                        .map(|row| Value::Array(row.iter().map(|x| Value::F64(*x)).collect()))
+                        .collect(),
+                );
+                let doc = Value::Object(vec![
+                    kind("aligned"),
+                    ("sensors".to_string(), sensors),
+                    ("grid_ms".to_string(), grid),
+                    ("matrix".to_string(), matrix),
+                ]);
+                return serde_json::to_string(&doc).unwrap_or_default();
+            }
+        };
+        let doc = Value::Object(vec![
+            kind(kind_name),
+            ("sensors".to_string(), sensors),
+            (data_key.to_string(), data),
+        ]);
+        serde_json::to_string(&doc).unwrap_or_default()
+    }
+
+    /// FNV-1a digest over the result's full bit-level content: shape
+    /// discriminant, resolved sensor ids, and the IEEE-754 bits of every
+    /// value (so `NaN` patterns and signed zeros are distinguished, which
+    /// JSON text is not able to do). Two results digest equal iff they are
+    /// bit-identical — the equality the serving cache's contract is stated
+    /// in, asserted by tests and the serving bench exit gate.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::new();
+        for s in &self.sensors {
+            bytes.extend_from_slice(&s.0.to_le_bytes());
+        }
+        match &self.shape {
+            ResultData::Series(series) => {
+                bytes.push(0);
+                for rs in series {
+                    bytes.extend_from_slice(&(rs.len() as u64).to_le_bytes());
+                    for r in rs {
+                        bytes.extend_from_slice(&r.ts.0.to_le_bytes());
+                        bytes.extend_from_slice(&r.value.to_bits().to_le_bytes());
+                    }
+                }
+            }
+            ResultData::Buckets(series) => {
+                bytes.push(1);
+                for bs in series {
+                    bytes.extend_from_slice(&(bs.len() as u64).to_le_bytes());
+                    for b in bs {
+                        bytes.extend_from_slice(&b.start.0.to_le_bytes());
+                        bytes.extend_from_slice(&b.value.to_bits().to_le_bytes());
+                        bytes.extend_from_slice(&(b.count as u64).to_le_bytes());
+                    }
+                }
+            }
+            ResultData::Scalars(values) => {
+                bytes.push(2);
+                for v in values {
+                    match v {
+                        Some(x) => {
+                            bytes.push(1);
+                            bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+                        }
+                        None => bytes.push(0),
+                    }
+                }
+            }
+            ResultData::Aligned { grid, matrix } => {
+                bytes.push(3);
+                bytes.extend_from_slice(&(grid.len() as u64).to_le_bytes());
+                for t in grid {
+                    bytes.extend_from_slice(&t.0.to_le_bytes());
+                }
+                for row in matrix {
+                    for x in row {
+                        bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+        fnv1a64(&bytes)
+    }
 }
 
 fn shape_name(d: &ResultData) -> &'static str {
@@ -502,6 +958,21 @@ impl<'a> QueryEngine<'a> {
     pub fn with_registry(mut self, registry: SensorRegistry) -> Self {
         self.registry = Some(registry);
         self
+    }
+
+    /// Resolves `query`'s selector to the concrete sensor list
+    /// [`Query::run`] would scan, without executing anything. The serving
+    /// layer snapshots per-sensor store versions
+    /// ([`TimeSeriesStore::sensor_version`]) for this list *before*
+    /// executing a query it intends to cache: if a write lands mid-
+    /// execution the recorded versions are already stale, so the entry can
+    /// only miss — never serve a result computed from different state.
+    ///
+    /// # Panics
+    /// Panics if the selector is a pattern and the engine has no registry
+    /// attached, exactly as [`Query::run`] would.
+    pub fn resolve_sensors(&self, query: &Query) -> Vec<SensorId> {
+        self.resolve(query.selector.clone())
     }
 
     fn resolve(&self, selector: SensorSelector) -> Vec<SensorId> {
@@ -1377,5 +1848,139 @@ mod tests {
             "planner not even consulted"
         );
         assert_eq!(snap.counter("query_readings_scanned_total"), Some(60));
+    }
+
+    // ----- canonical wire representation ----------------------------------
+
+    /// `to_json` → `from_json` → `to_json` must be a fixed point for every
+    /// selector / range / flag / shape combination — one wire form.
+    #[test]
+    fn wire_round_trip_is_canonical() {
+        let queries = vec![
+            Query::sensors(SensorId(3)),
+            Query::sensors(vec![SensorId(1), SensorId(0)])
+                .range(TimeRange::new(
+                    Timestamp::from_millis(500),
+                    Timestamp::from_millis(90_000),
+                ))
+                .rate()
+                .downsample(1_000, Aggregation::Max),
+            Query::sensors("/hw/*/power")
+                .raw_scan()
+                .aggregate(Aggregation::Quantile(0.99)),
+            Query::sensors(SensorId(7)).aggregate(Aggregation::TimeWeightedMean),
+            Query::sensors("/facility/**").align(10_000),
+        ];
+        for q in queries {
+            let wire = q.to_json();
+            let parsed = Query::from_json(&wire).expect("canonical form must parse");
+            assert_eq!(parsed.to_json(), wire, "not a fixed point: {wire}");
+        }
+    }
+
+    /// Sparse input (omitted defaults, reordered keys) normalizes to the
+    /// same canonical string as the builder-constructed query.
+    #[test]
+    fn wire_normalizes_sparse_and_reordered_input() {
+        let canonical = Query::sensors(SensorId(2)).to_json();
+        for input in [
+            r#"{"selector":{"ids":[2]}}"#,
+            r#"{"shape":{"kind":"readings"},"selector":{"ids":[2]},"rate":false}"#,
+            "{\n  \"selector\": { \"ids\": [ 2 ] },\n  \"raw_scan\": false\n}",
+        ] {
+            let parsed = Query::from_json(input).expect("sparse form must parse");
+            assert_eq!(parsed.to_json(), canonical, "input {input}");
+        }
+        // A shaped sparse form too.
+        let canonical = Query::sensors("/hw/*/t")
+            .aggregate(Aggregation::Mean)
+            .to_json();
+        let parsed = Query::from_json(
+            r#"{"shape":{"agg":"mean","kind":"scalars"},"selector":{"pattern":"/hw/*/t"}}"#,
+        )
+        .expect("must parse");
+        assert_eq!(parsed.to_json(), canonical);
+    }
+
+    #[test]
+    fn wire_rejects_malformed_queries() {
+        for (input, why) in [
+            ("{}", "missing selector"),
+            ("[]", "not an object"),
+            ("{\"selector\":{\"ids\":[2]},\"agregation\":1}", "typo field"),
+            (
+                "{\"selector\":{\"ids\":[2],\"pattern\":\"x\"}}",
+                "both selector kinds",
+            ),
+            ("{\"selector\":{\"ids\":[-1]}}", "negative id"),
+            ("{\"selector\":{\"ids\":[4294967296]}}", "id overflows u32"),
+            (
+                "{\"selector\":{\"ids\":[0]},\"range\":{\"start_ms\":5,\"end_ms\":1}}",
+                "inverted range",
+            ),
+            (
+                "{\"selector\":{\"ids\":[0]},\"shape\":{\"kind\":\"buckets\",\"bucket_ms\":0,\"agg\":\"mean\"}}",
+                "zero bucket width",
+            ),
+            (
+                "{\"selector\":{\"ids\":[0]},\"shape\":{\"kind\":\"scalars\",\"agg\":{\"quantile\":1.5}}}",
+                "quantile out of range",
+            ),
+            (
+                "{\"selector\":{\"ids\":[0]},\"shape\":{\"kind\":\"readings\",\"agg\":\"mean\"}}",
+                "agg on readings shape",
+            ),
+            (
+                "{\"selector\":{\"ids\":[0]},\"shape\":{\"kind\":\"scalars\",\"agg\":\"median\"}}",
+                "unknown aggregation",
+            ),
+            ("{\"selector\":{\"ids\":[0]}", "truncated JSON"),
+        ] {
+            assert!(
+                Query::from_json(input).is_err(),
+                "accepted malformed query ({why}): {input}"
+            );
+        }
+    }
+
+    /// The digest distinguishes bit-level differences JSON text collapses
+    /// (NaN payloads aside, the cases that matter: value bits, sensor
+    /// order, shape) and is stable across identical executions.
+    #[test]
+    fn result_digest_and_json_are_stable_across_reruns() {
+        let (store, s) = store_with(&[(0, 1.0), (10, 2.0), (20, 3.0)]);
+        let q = QueryEngine::new(&store);
+        let run = |raw: bool| {
+            let query = Query::sensors(s).aggregate(Aggregation::Mean);
+            let query = if raw { query.raw_scan() } else { query };
+            query.run(&q)
+        };
+        let a = run(false);
+        let b = run(false);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.to_json(), b.to_json());
+        // Planned and raw executions agree bit-for-bit (tier contract).
+        let r = run(true);
+        assert_eq!(a.digest(), r.digest());
+        assert_eq!(a.to_json(), r.to_json());
+        // A different value is a different digest.
+        store.insert(s, Reading::new(Timestamp::from_millis(30), 4.0));
+        assert_ne!(run(false).digest(), a.digest());
+    }
+
+    #[test]
+    fn sensor_versions_advance_only_on_accepted_writes() {
+        let store = TimeSeriesStore::with_capacity(8);
+        let s = SensorId(0);
+        assert_eq!(store.sensor_version(s), 0, "untouched sensor");
+        store.insert(s, Reading::new(Timestamp::from_millis(10), 1.0));
+        assert_eq!(store.sensor_version(s), 1);
+        // Rejected writes (out-of-order, non-finite) must not bump.
+        store.insert(s, Reading::new(Timestamp::from_millis(5), 2.0));
+        store.insert(s, Reading::new(Timestamp::from_millis(20), f64::NAN));
+        assert_eq!(store.sensor_version(s), 1);
+        store.insert(s, Reading::new(Timestamp::from_millis(20), 2.0));
+        assert_eq!(store.sensor_version(s), 2);
+        assert_eq!(store.sensor_version(SensorId(99)), 0);
     }
 }

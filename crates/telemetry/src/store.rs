@@ -417,6 +417,13 @@ impl RollupTier {
 struct SensorSeries {
     raw: RingBuffer,
     tiers: Vec<RollupTier>,
+    /// Monotone write-version, bumped once per *accepted* reading (which is
+    /// also exactly when every rollup tier folds). Read via
+    /// [`TimeSeriesStore::sensor_version`]; result caches compare recorded
+    /// versions against current ones, so any raw append or bucket fold
+    /// since the cached execution invalidates the entry — and an unchanged
+    /// version proves the sensor's visible state is bit-identical.
+    version: u64,
 }
 
 impl SensorSeries {
@@ -424,6 +431,7 @@ impl SensorSeries {
         SensorSeries {
             raw: RingBuffer::new(capacity),
             tiers: rollups.tiers.iter().map(|&s| RollupTier::new(s)).collect(),
+            version: 0,
         }
     }
 
@@ -436,6 +444,7 @@ impl SensorSeries {
         for tier in &mut self.tiers {
             tier.observe(r);
         }
+        self.version += 1;
         true
     }
 }
@@ -807,6 +816,24 @@ impl TimeSeriesStore {
             };
         }
         TierScanResult::Miss
+    }
+
+    /// Monotone write-version of `sensor`'s series: starts at `0` for a
+    /// sensor the store has never accepted a reading for, and increments by
+    /// one for every accepted reading — the same event that folds every
+    /// rollup tier. Two reads of a sensor bracketed by equal versions are
+    /// guaranteed to observe bit-identical raw and tier state, which is the
+    /// invalidation contract the serving layer's query-result cache builds
+    /// on (see `oda-serve`).
+    pub fn sensor_version(&self, sensor: SensorId) -> u64 {
+        let (s, slot) = self.locate(sensor);
+        let shard = self.shards[s].read();
+        shard
+            .series
+            .get(slot)
+            .and_then(|b| b.as_ref())
+            .map(|b| b.version)
+            .unwrap_or(0)
     }
 
     /// The newest reading for `sensor`, if any.

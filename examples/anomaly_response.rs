@@ -24,7 +24,9 @@ use hpc_oda::telemetry::reading::Timestamp;
 use std::sync::Arc;
 
 fn main() {
-    let mut dc = DataCenter::new(DataCenterConfig::small(), 17);
+    let mut dc = DataCenter::builder(DataCenterConfig::small())
+        .seed(17)
+        .build();
     // The plant degrades (fouled heat exchanger) three hours in.
     dc.inject_fault(Fault::new(
         FaultKind::CoolingDegradation { factor: 2.5 },

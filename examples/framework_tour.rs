@@ -63,7 +63,9 @@ fn main() {
 
     // ----- The grid, executable: 16 cells over a live simulation ---------
     println!("RUNNING THE GRID — all sixteen reference capabilities on a simulated site\n");
-    let mut dc = DataCenter::new(DataCenterConfig::small(), 7);
+    let mut dc = DataCenter::builder(DataCenterConfig::small())
+        .seed(7)
+        .build();
     dc.run_for_hours(3.0);
 
     let mut registry = CapabilityRegistry::new();

@@ -17,7 +17,9 @@ fn main() {
     // smoothed to model the aggregate of a large one, plus the periodic
     // operational loads whose patterns the LLNL analysis discovered.
     let days = 6.0;
-    let mut dc = DataCenter::new(DataCenterConfig::small(), 5);
+    let mut dc = DataCenter::builder(DataCenterConfig::small())
+        .seed(5)
+        .build();
     let buckets = (days * 96.0) as usize;
     let ticks_per_bucket = 900_000 / dc.config().tick_ms;
     let mut raw = Vec::with_capacity(buckets);

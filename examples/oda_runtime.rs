@@ -37,7 +37,7 @@ fn main() {
     // A quiet site: the replayed trace is the whole workload.
     let mut cfg = DataCenterConfig::small();
     cfg.workload.mean_interarrival_s = 1e9;
-    let mut dc = DataCenter::new(cfg, 77);
+    let mut dc = DataCenter::builder(cfg).seed(77).build();
 
     let trace = swf::parse_swf(TRACE);
     println!("parsed {} jobs from the SWF trace", trace.len());

@@ -33,7 +33,7 @@ fn replay(policy_name: &'static str, make: PolicyCtor, seed: u64) -> Outcome {
     // choices consequential.
     cfg.max_rack_inlet_offset_c = 6.0;
     cfg.workload.mean_interarrival_s = 60.0;
-    let mut dc = DataCenter::new(cfg, seed);
+    let mut dc = DataCenter::builder(cfg).seed(seed).build();
     dc.set_placement_policy(make());
     let mut max_temp = 0.0f64;
     for _ in 0..8 {

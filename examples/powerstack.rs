@@ -65,8 +65,12 @@ fn main() {
 
     // Controlled site: the pipeline runs hourly and its prescriptions are
     // applied. Uncontrolled twin: same seed, no ODA.
-    let mut controlled = DataCenter::new(DataCenterConfig::small(), 99);
-    let mut twin = DataCenter::new(DataCenterConfig::small(), 99);
+    let mut controlled = DataCenter::builder(DataCenterConfig::small())
+        .seed(99)
+        .build();
+    let mut twin = DataCenter::builder(DataCenterConfig::small())
+        .seed(99)
+        .build();
 
     let mut pipeline = StagedPipeline::new()
         .with_stage(

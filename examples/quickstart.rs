@@ -15,7 +15,9 @@ use std::sync::Arc;
 fn main() {
     // 1. A small simulated data center: 4 racks × 8 nodes, with weather,
     //    cooling plant, scheduler and a synthetic user workload.
-    let mut dc = DataCenter::new(DataCenterConfig::small(), 2024);
+    let mut dc = DataCenter::builder(DataCenterConfig::small())
+        .seed(2024)
+        .build();
 
     // 2. Let it operate for six simulated hours. Telemetry for every
     //    modelled quantity lands in the archive automatically.

@@ -1,8 +1,11 @@
 //! Shim for `serde_json`: renders the shim-serde [`Value`] model as JSON
-//! (compact and pretty), plus a `json!` macro for flat object/array
-//! literals. Output formatting matches real serde_json where the
-//! workspace can observe it: 2-space pretty indentation, floats always
-//! carry a decimal point or exponent, non-finite floats become `null`.
+//! (compact and pretty), parses JSON text back into [`Value`] via
+//! [`from_str`], plus a `json!` macro for flat object/array literals.
+//! Output formatting matches real serde_json where the workspace can
+//! observe it: 2-space pretty indentation, floats always carry a decimal
+//! point or exponent, non-finite floats become `null`. The parser accepts
+//! exactly RFC 8259 JSON (no comments, no trailing commas) and keeps
+//! integers exact (`I64`/`U64`) where they fit, falling back to `F64`.
 
 #![forbid(unsafe_code)]
 
@@ -45,6 +48,288 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
 #[doc(hidden)]
 pub fn __to_value<T: serde::Serialize>(value: &T) -> Value {
     value.to_value()
+}
+
+/// Parses one JSON document from `s` into the [`Value`] model.
+///
+/// Strict RFC 8259: a single top-level value, no trailing garbage, no
+/// comments, no trailing commas. Integers that fit `i64`/`u64` stay exact;
+/// everything else numeric becomes `F64`. Nesting is bounded (128 levels)
+/// so adversarial input cannot overflow the stack.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at byte {} of JSON document",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+const MAX_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(Error(format!(
+            "{msg} at byte {} of JSON document",
+            self.pos
+        )))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            self.err("invalid literal")
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        if self.depth >= MAX_DEPTH {
+            return self.err("JSON nested too deeply");
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.pos += 1; // '['
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                break;
+            }
+            if !self.eat(b',') {
+                return self.err("expected `,` or `]` in array");
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Array(items))
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.pos += 1; // '{'
+        self.depth += 1;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            self.depth -= 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return self.err("expected string key in object");
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return self.err("expected `:` after object key");
+            }
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            if self.eat(b'}') {
+                break;
+            }
+            if !self.eat(b',') {
+                return self.err("expected `,` or `}` in object");
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Object(entries))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the unescaped run in one slice.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                Ok(run) => out.push_str(run),
+                Err(_) => return self.err("invalid UTF-8 in string"),
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return self.err("unpaired UTF-16 surrogate");
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(cp) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                            continue; // hex4 advanced past the escape
+                        }
+                        _ => return self.err("invalid escape sequence"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return self.err("unescaped control character in string"),
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits at the cursor, advancing past them.
+    fn hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a') as u32 + 10,
+                Some(c @ b'A'..=b'F') => (c - b'A') as u32 + 10,
+                _ => return self.err("expected four hex digits"),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let negative = self.eat(b'-');
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return self.err("expected digit in number");
+        }
+        // Leading zero may not be followed by more digits (RFC 8259).
+        if self.eat(b'0') {
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return self.err("leading zero in number");
+            }
+        } else {
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return self.err("expected digit after decimal point");
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return self.err("expected digit in exponent");
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = match std::str::from_utf8(&self.bytes[start..self.pos]) {
+            Ok(t) => t,
+            Err(_) => return self.err("invalid number"),
+        };
+        if !is_float {
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::F64(x)),
+            _ => self.err("number out of range"),
+        }
+    }
 }
 
 /// Builds a [`Value`] from a flat JSON-ish literal. Values are arbitrary
@@ -194,5 +479,68 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parse_round_trips_compact_output() {
+        let v = json!({
+            "name": "node0",
+            "power": 215.5,
+            "count": 3u32,
+            "neg": -7i64,
+            "tags": ["a", "b"],
+            "nested": json!({ "ok": true, "none": Value::Null }),
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        let v = from_str(r#""a\"b\\c\n\t\u0041\ud83d\ude00""#).unwrap();
+        assert_eq!(v, Value::Str("a\"b\\c\n\tA😀".to_string()));
+    }
+
+    #[test]
+    fn parse_numbers_keep_integer_exactness() {
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::U64(u64::MAX)
+        );
+        assert_eq!(
+            from_str("-9223372036854775808").unwrap(),
+            Value::I64(i64::MIN)
+        );
+        assert_eq!(from_str("0.25").unwrap(), Value::F64(0.25));
+        assert_eq!(from_str("1e3").unwrap(), Value::F64(1000.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "01",
+            "1 2",
+            "\"\\q\"",
+            "\"unterminated",
+            "{a:1}",
+            "nan",
+            "--1",
+            "1.e3",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed JSON: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&ok).is_ok());
     }
 }

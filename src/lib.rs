@@ -11,10 +11,13 @@
 //! * [`sim`] ([`oda_sim`]) — simulated HPC data center.
 //! * [`analytics`] ([`oda_analytics`]) — descriptive / diagnostic /
 //!   predictive / prescriptive algorithm library.
+//! * [`serve`] ([`oda_serve`]) — multi-tenant query serving frontend
+//!   (HTTP endpoints, quotas, result cache, subscription fan-out).
 
 #![forbid(unsafe_code)]
 
 pub use oda_analytics as analytics;
 pub use oda_core as core;
+pub use oda_serve as serve;
 pub use oda_sim as sim;
 pub use oda_telemetry as telemetry;

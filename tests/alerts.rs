@@ -10,7 +10,9 @@ use hpc_oda::telemetry::reading::Timestamp;
 
 #[test]
 fn live_bus_subscription_drives_alerts_through_a_fault() {
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 33);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(33)
+        .build();
     // Subscribe to node temperatures *before* anything happens.
     let sub = dc
         .bus()
@@ -75,7 +77,9 @@ fn live_bus_subscription_drives_alerts_through_a_fault() {
 
 #[test]
 fn healthy_run_raises_no_critical_alerts() {
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 34);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(34)
+        .build();
     let sub = dc
         .bus()
         .subscription(SensorPattern::new("/hw/*/temp_c"))

@@ -14,7 +14,9 @@ const TICKS: u64 = 1_800; // 30 simulated minutes at 1 s per tick
 const SAMPLE_EVERY: u64 = 10;
 
 fn run_site(seed: u64, schedule: Option<FaultSchedule>) -> DataCenter {
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), seed);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(seed)
+        .build();
     if let Some(s) = schedule {
         dc.set_fault_schedule(s);
     }
@@ -95,7 +97,9 @@ fn nan_burst_never_reaches_store_or_alerts() {
         mins(5),
         mins(25),
     );
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 9);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(9)
+        .build();
     dc.set_fault_schedule(schedule);
     let power0 = dc.registry().lookup("/hw/node0/power_w").unwrap();
     // A rule any finite power reading violates: if NaN carried alert
@@ -144,7 +148,9 @@ fn spike_raises_false_alerts_that_a_clean_run_does_not() {
         )
     };
     let drive = |schedule: Option<FaultSchedule>| -> u64 {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), 11);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(11)
+            .build();
         if let Some(s) = schedule {
             dc.set_fault_schedule(s);
         }
@@ -258,7 +264,9 @@ fn forecaster_abstains_when_most_of_the_window_is_missing() {
         mins(8),
         mins(30),
     );
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 15);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(15)
+        .build();
     dc.set_fault_schedule(schedule);
     let it = dc.registry().lookup("/facility/power/it_kw").unwrap();
     let mut forecaster = GapTolerant::new(Holt::new(0.4, 0.1), 3, 40);

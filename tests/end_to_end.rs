@@ -22,7 +22,9 @@ fn ctx_for(dc: &DataCenter) -> CapabilityContext {
 
 #[test]
 fn telemetry_agrees_with_simulator_ground_truth() {
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 5);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(5)
+        .build();
     dc.run_for_hours(2.0);
     let snap = dc.snapshot();
     let q = QueryEngine::new(dc.store());
@@ -64,7 +66,9 @@ fn telemetry_agrees_with_simulator_ground_truth() {
 
 #[test]
 fn descriptive_kpis_match_physics() {
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 6);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(6)
+        .build();
     dc.run_for_hours(2.0);
     let out = cells::descriptive::FacilityDashboard::new().execute(&ctx_for(&dc));
     let pue = out.iter().find_map(|a| a.kpi("pue")).unwrap();
@@ -79,7 +83,9 @@ fn descriptive_kpis_match_physics() {
 
 #[test]
 fn full_sixteen_cell_pass_on_a_live_site() {
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 7);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(7)
+        .build();
     dc.run_for_hours(3.0);
     let mut registry = CapabilityRegistry::new();
     for c in cells::all_sixteen() {
@@ -121,7 +127,9 @@ fn full_sixteen_cell_pass_on_a_live_site() {
 fn closed_loop_dvfs_actually_reduces_power() {
     // Run, read telemetry through the framework, apply its prescriptions,
     // verify the physics responded — the full ODA loop.
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 8);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(8)
+        .build();
     dc.run_for_hours(1.0);
     let before: f64 = (0..dc.node_count())
         .map(|i| dc.node(NodeId(i as u32)).freq_ghz())
@@ -149,7 +157,9 @@ fn closed_loop_dvfs_actually_reduces_power() {
 
 #[test]
 fn staged_pipeline_makes_prescriptive_proactive() {
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 9);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(9)
+        .build();
     dc.run_for_hours(2.0);
     // Without the predictive stage: the optimizer reacts to current
     // weather.
@@ -189,7 +199,9 @@ fn staged_pipeline_makes_prescriptive_proactive() {
 #[test]
 fn runs_are_deterministic_across_the_whole_stack() {
     let run = |seed| {
-        let mut dc = DataCenter::new(DataCenterConfig::tiny(), seed);
+        let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+            .seed(seed)
+            .build();
         dc.inject_fault(Fault::new(
             FaultKind::FanFailure { node: NodeId(1) },
             Timestamp::from_mins(20),
@@ -208,7 +220,9 @@ fn runs_are_deterministic_across_the_whole_stack() {
 
 #[test]
 fn job_records_flow_to_application_pillar_cells() {
-    let mut dc = DataCenter::new(DataCenterConfig::tiny(), 10);
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(10)
+        .build();
     dc.run_for_hours(8.0);
     let records = dc.finished_jobs().to_vec();
     assert!(records.len() > 20, "need a populated accounting database");

@@ -14,7 +14,10 @@ use std::sync::Arc;
 /// into a fresh registry. Returns the pass's span names and the snapshot.
 fn run_instrumented_pass(seed: u64) -> (Vec<String>, MetricsSnapshot) {
     let metrics = MetricsRegistry::new();
-    let mut dc = DataCenter::new_with_metrics(DataCenterConfig::tiny(), seed, metrics.clone());
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(seed)
+        .metrics(metrics.clone())
+        .build();
     dc.run_for_hours(0.5);
     let mut runtime = OdaRuntime::new(3_600_000)
         .with_metrics(metrics.clone())
@@ -112,7 +115,10 @@ fn identical_seeded_runs_produce_identical_count_metrics() {
 fn prometheus_exposition_covers_the_whole_trail() {
     let (_, snap) = run_instrumented_pass(13);
     let metrics = MetricsRegistry::new();
-    let mut dc = DataCenter::new_with_metrics(DataCenterConfig::tiny(), 13, metrics.clone());
+    let mut dc = DataCenter::builder(DataCenterConfig::tiny())
+        .seed(13)
+        .metrics(metrics.clone())
+        .build();
     dc.run_for_hours(0.1);
     let text = metrics.render_prometheus();
     for needle in [
