@@ -40,14 +40,26 @@ CHECKS = {
         "latency_higher": ["throughput_rps"],
     },
     "scale": {
-        "ratio_higher": ["speedup_x_2", "speedup_x_4", "speedup_x_8"],
+        "ratio_higher": [
+            "speedup_x_2",
+            "speedup_x_4",
+            "speedup_x_8",
+            "shard_speedup_x_2",
+            "shard_speedup_x_4",
+            "shard_speedup_x_8",
+        ],
         "latency_lower": [
             "pass_p50_ns_1",
             "pass_p50_ns_2",
             "pass_p50_ns_4",
             "pass_p50_ns_8",
         ],
-        "latency_higher": [],
+        "latency_higher": [
+            "shard_rps_1",
+            "shard_rps_2",
+            "shard_rps_4",
+            "shard_rps_8",
+        ],
     },
     "serving": {
         "ratio_higher": ["cache_hit_rate"],
@@ -106,6 +118,16 @@ def structural(bench, cur, fail):
         for point in cur.get("points", []):
             if not point["pass_p50_ns"] > 0:
                 fail("pass_p50_ns must be positive at workers=%d" % point["workers"])
+        if cur.get("shard_digests_equal") is not True:
+            fail("sharded query digests diverged from the single-shard baseline")
+        if cur.get("shard_scaling_x", 0.0) < 1.5:
+            fail(
+                "ingest speedup at 4 shards is %.2fx, below the 1.5x floor"
+                % cur.get("shard_scaling_x", 0.0)
+            )
+        for point in cur.get("shard_points", []):
+            if not point["ingest_rps"] > 0:
+                fail("ingest_rps must be positive at shards=%d" % point["shards"])
     elif bench == "serving":
         if cur["cache_equal"] is not True:
             fail("a cached result was not bit-identical to uncached execution")
@@ -275,12 +297,14 @@ def main():
     else:
         print(
             "check_bench OK [%s]: speedup %.2fx @2 / %.2fx @4 / %.2fx @8 workers, "
-            "outputs bit-identical (host parallelism %d)"
+            "shard ingest %.2fx @4 shards, outputs and shard digests "
+            "bit-identical (host parallelism %d)"
             % (
                 sys.argv[1],
                 cur["speedup_x_2"],
                 cur["speedup_x_4"],
                 cur["speedup_x_8"],
+                cur["shard_scaling_x"],
                 cur["host_parallelism"],
             )
         )

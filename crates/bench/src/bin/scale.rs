@@ -1,15 +1,19 @@
-//! Scale bench — worker-pool scaling of the deterministic scheduler.
+//! Scale bench — worker-pool and collector-shard scaling.
 //!
-//! Sweeps the capability scheduler's worker count over a wide synthetic
-//! registry of collector-bound capabilities, printing ONE JSON object to
-//! stdout (the `BENCH_scale.json` baseline shape). Exits non-zero if any
-//! worker count's output diverges from the serial baseline — the speedup
-//! floor itself is gated downstream by `ci/check_bench.py`.
+//! Sweeps (a) the capability scheduler's worker count over a wide
+//! synthetic registry of collector-bound capabilities and (b) the
+//! collector-shard count of the distributed ingest hierarchy over a
+//! synthetic sensor space, printing ONE JSON object to stdout (the
+//! `BENCH_scale.json` baseline shape). Exits non-zero if any worker
+//! count's output diverges from the serial baseline or any shard count's
+//! query digest diverges from the single-shard baseline — the speedup
+//! floors themselves are gated downstream by `ci/check_bench.py`.
 //!
 //! Usage: `scale [caps] [passes] [wait_us]` — defaults 48 caps, 7 timed
-//! passes, 500 µs simulated collector wait, sweeping workers 1/2/4/8.
+//! passes, 500 µs simulated collector wait, sweeping workers 1/2/4/8 and
+//! shards 1/2/4/8.
 
-use oda_bench::scale::{run_scale, ScaleConfig};
+use oda_bench::scale::{run_scale, run_shard_sweep, ScaleConfig, ShardSweepConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -25,6 +29,7 @@ fn main() {
     }
 
     let report = run_scale(&cfg);
+    let shard_report = run_shard_sweep(&ShardSweepConfig::default());
 
     let mut out = serde_json::json!({
         "bench": "scale",
@@ -34,8 +39,14 @@ fn main() {
         "host_parallelism": report.host_parallelism,
         "outputs_equal": report.outputs_equal,
         "points": report.points,
+        "shard_sensors": shard_report.sensors,
+        "shard_ticks": shard_report.ticks,
+        "shard_io_wait_us": shard_report.io_wait_us,
+        "shard_producers": shard_report.producers,
+        "shard_points": shard_report.points,
+        "shard_digests_equal": shard_report.digests_equal,
     });
-    // Flatten per-worker-count keys for the regression gate's flat lookup.
+    // Flatten per-count keys for the regression gate's flat lookup.
     if let serde_json::Value::Object(entries) = &mut out {
         for p in &report.points {
             entries.push((
@@ -51,6 +62,20 @@ fn main() {
                 serde_json::json!(p.speedup_x),
             ));
         }
+        for p in &shard_report.points {
+            entries.push((
+                format!("shard_rps_{}", p.shards),
+                serde_json::json!(p.ingest_rps),
+            ));
+            entries.push((
+                format!("shard_speedup_x_{}", p.shards),
+                serde_json::json!(p.speedup_x),
+            ));
+        }
+        entries.push((
+            "shard_scaling_x".to_string(),
+            serde_json::json!(shard_report.speedup_at(4).unwrap_or(0.0)),
+        ));
     }
     println!(
         "{}",
@@ -59,6 +84,10 @@ fn main() {
 
     if !report.outputs_equal {
         eprintln!("scale bench FAILED (parallel output diverged from serial baseline)");
+        std::process::exit(1);
+    }
+    if !shard_report.digests_equal {
+        eprintln!("scale bench FAILED (sharded query digest diverged from single-shard baseline)");
         std::process::exit(1);
     }
 }

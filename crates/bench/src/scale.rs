@@ -24,10 +24,11 @@ use oda_core::grid::{GridCell, GridFootprint};
 use oda_core::pillar::Pillar;
 use oda_core::pipeline::StagedPipeline;
 use oda_core::runtime::{CapabilityScheduler, RuntimeConfig};
+use oda_telemetry::cluster::{ClusterConfig, ClusterCoordinator};
 use oda_telemetry::metrics::MetricsRegistry;
-use oda_telemetry::query::TimeRange;
-use oda_telemetry::reading::Timestamp;
-use oda_telemetry::sensor::SensorRegistry;
+use oda_telemetry::query::{Aggregation, Query, TimeRange};
+use oda_telemetry::reading::{Reading, ReadingBatch, Timestamp};
+use oda_telemetry::sensor::{SensorKind, SensorRegistry, Unit};
 use oda_telemetry::store::TimeSeriesStore;
 use serde::Serialize;
 use std::sync::Arc;
@@ -264,6 +265,199 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
     }
 }
 
+// ----- collector-shard sweep ------------------------------------------------
+
+/// Configuration of one collector-shard scaling sweep.
+///
+/// Mirrors the worker sweep's I/O-shaped design: each shard's ingest path
+/// carries a fixed simulated collector round-trip
+/// ([`ClusterConfig::io_wait_us`] — the WAL `fsync` + network hop a real
+/// per-shard collector pays), so sharding the sensor space overlaps those
+/// waits across shard threads and yields near-linear ingest speedup even
+/// on a single-core host.
+#[derive(Debug, Clone)]
+pub struct ShardSweepConfig {
+    /// Sensors registered in the synthetic space (split across shards by
+    /// the consistent-hash placement).
+    pub sensors: usize,
+    /// Readings ingested per sensor (one per simulated tick).
+    pub ticks: usize,
+    /// Simulated collector round-trip per ingest command, microseconds.
+    pub io_wait_us: u64,
+    /// Producer threads driving ingest concurrently; sensors are split
+    /// round-robin so each sensor's stream stays in timestamp order.
+    pub producers: usize,
+    /// Shard counts to sweep; the first entry is the speedup baseline
+    /// (conventionally 1).
+    pub shard_counts: Vec<usize>,
+    /// Seed for the deterministic synthetic readings.
+    pub seed: u64,
+}
+
+impl Default for ShardSweepConfig {
+    fn default() -> Self {
+        ShardSweepConfig {
+            sensors: 64,
+            ticks: 40,
+            io_wait_us: 200,
+            producers: 2,
+            shard_counts: vec![1, 2, 4, 8],
+            seed: 4242,
+        }
+    }
+}
+
+/// Measurements for one shard count.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardPoint {
+    /// Collector shards in the cluster.
+    pub shards: usize,
+    /// Wall time to ingest the whole stream and drain every shard, ns.
+    pub ingest_wall_ns: u64,
+    /// Ingest throughput, readings per second.
+    pub ingest_rps: f64,
+    /// Ingest speedup vs the baseline shard count.
+    pub speedup_x: f64,
+    /// Folded digest of the scatter-gather query battery. **Must match
+    /// across every shard count** — the determinism contract.
+    pub query_digest: u64,
+}
+
+/// Everything one shard sweep measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardSweepReport {
+    /// Sensors in the synthetic space.
+    pub sensors: usize,
+    /// Readings per sensor.
+    pub ticks: usize,
+    /// Simulated collector round-trip per ingest, microseconds.
+    pub io_wait_us: u64,
+    /// Concurrent producer threads.
+    pub producers: usize,
+    /// Per-shard-count measurements, in sweep order.
+    pub points: Vec<ShardPoint>,
+    /// Whether every shard count answered the query battery with a
+    /// bit-identical digest. **Must be true** — gated by
+    /// `ci/check_bench.py` and the bench binary's exit status.
+    pub digests_equal: bool,
+}
+
+impl ShardSweepReport {
+    /// Ingest speedup at a given shard count, if it was part of the sweep.
+    pub fn speedup_at(&self, shards: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.shards == shards)
+            .map(|p| p.speedup_x)
+    }
+}
+
+/// The scatter-gather query battery: every result shape the coordinator
+/// merges, folded into one digest. Identical at any shard count or the
+/// sweep fails.
+fn query_battery_digest(
+    cluster: &ClusterCoordinator,
+    sensor_ids: &[oda_telemetry::sensor::SensorId],
+) -> u64 {
+    let queries = vec![
+        Query::sensors("/bench/*").aggregate(Aggregation::Mean),
+        Query::sensors("/bench/*").aggregate(Aggregation::Max),
+        Query::sensors("/bench/*").downsample(5_000, Aggregation::Mean),
+        Query::sensors("/bench/*").align(10_000),
+        Query::sensors(&sensor_ids[..sensor_ids.len().min(8)]).range(TimeRange::all()),
+        Query::sensors("/bench/*")
+            .rate()
+            .aggregate(Aggregation::Sum),
+    ];
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for q in queries {
+        let d = cluster.query(q).digest();
+        for &b in &d.to_le_bytes() {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    digest
+}
+
+/// Runs the shard sweep: for each shard count a fresh cluster ingests the
+/// same deterministic stream (placement-routed, `producers` threads wide),
+/// then answers the same scatter-gather query battery; per-count digests
+/// must be bit-identical and ingest throughput is measured wall-clock.
+pub fn run_shard_sweep(cfg: &ShardSweepConfig) -> ShardSweepReport {
+    let mut points: Vec<ShardPoint> = Vec::with_capacity(cfg.shard_counts.len());
+    for &shards in &cfg.shard_counts {
+        let registry = SensorRegistry::new();
+        let sensor_ids: Vec<_> = (0..cfg.sensors)
+            .map(|i| registry.register(&format!("/bench/s{i:03}"), SensorKind::Power, Unit::Watts))
+            .collect();
+        let cluster = ClusterCoordinator::new(
+            ClusterConfig {
+                shards,
+                per_sensor_capacity: cfg.ticks.max(64),
+                io_wait_us: cfg.io_wait_us,
+                ..ClusterConfig::default()
+            },
+            registry.clone(),
+        )
+        .expect("bench cluster opens over fresh in-memory filesystems");
+
+        let producers = cfg.producers.max(1);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let cluster = &cluster;
+                let mine: Vec<_> = sensor_ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % producers == p)
+                    .map(|(_, &s)| s)
+                    .collect();
+                let seed = cfg.seed;
+                let ticks = cfg.ticks;
+                scope.spawn(move || {
+                    for t in 0..ticks {
+                        for &sensor in &mine {
+                            let x = splitmix64(seed ^ (sensor.0 as u64) << 32 ^ t as u64);
+                            let value = (x >> 11) as f64 / (1u64 << 53) as f64 * 1_000.0;
+                            let reading = Reading::new(Timestamp::from_secs(t as u64), value);
+                            cluster.ingest(ReadingBatch::single(sensor, reading));
+                        }
+                    }
+                });
+            }
+        });
+        cluster.fence();
+        let ingest_wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+
+        let total = (cfg.sensors * cfg.ticks) as f64;
+        points.push(ShardPoint {
+            shards,
+            ingest_wall_ns,
+            ingest_rps: total / (ingest_wall_ns.max(1) as f64 / 1e9),
+            speedup_x: 0.0,
+            query_digest: query_battery_digest(&cluster, &sensor_ids),
+        });
+    }
+
+    let base_rps = points.first().map(|p| p.ingest_rps).unwrap_or(1.0);
+    for p in &mut points {
+        p.speedup_x = p.ingest_rps / base_rps.max(f64::MIN_POSITIVE);
+    }
+    let digests_equal = points
+        .windows(2)
+        .all(|w| w[0].query_digest == w[1].query_digest);
+
+    ShardSweepReport {
+        sensors: cfg.sensors,
+        ticks: cfg.ticks,
+        io_wait_us: cfg.io_wait_us,
+        producers: cfg.producers,
+        points,
+        digests_equal,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +495,43 @@ mod tests {
         assert!(
             s4 > 1.5,
             "four workers should overlap collector waits (got {s4:.2}x)"
+        );
+    }
+
+    #[test]
+    fn shard_sweep_digests_are_shard_count_invariant() {
+        let cfg = ShardSweepConfig {
+            sensors: 24,
+            ticks: 8,
+            io_wait_us: 0,
+            producers: 2,
+            shard_counts: vec![1, 3],
+            seed: 99,
+        };
+        let report = run_shard_sweep(&cfg);
+        assert!(
+            report.digests_equal,
+            "query digests diverged across shard counts"
+        );
+        assert_eq!(report.points.len(), 2);
+        assert!(report.points.iter().all(|p| p.ingest_rps > 0.0));
+    }
+
+    #[test]
+    fn shard_sweep_overlaps_collector_io_waits() {
+        let cfg = ShardSweepConfig {
+            sensors: 32,
+            ticks: 10,
+            io_wait_us: 300,
+            producers: 2,
+            shard_counts: vec![1, 4],
+            seed: 13,
+        };
+        let report = run_shard_sweep(&cfg);
+        let s4 = report.speedup_at(4).unwrap();
+        assert!(
+            s4 > 1.3,
+            "four shards should overlap collector io waits (got {s4:.2}x)"
         );
     }
 }

@@ -80,6 +80,9 @@ impl Config {
                 "crates/core/src/pipeline.rs",
                 "crates/core/src/runtime.rs",
                 "crates/telemetry/src/bus.rs",
+                "crates/telemetry/src/cluster/coordinator.rs",
+                "crates/telemetry/src/cluster/placement.rs",
+                "crates/telemetry/src/cluster/shard.rs",
                 "crates/telemetry/src/query.rs",
                 "crates/telemetry/src/store.rs",
                 "crates/telemetry/src/storage/mod.rs",

@@ -41,6 +41,7 @@ use crate::http::{error_body, parse_request, response, streaming_head, HttpReque
 use crate::net::{ConnId, IoResult, ServerNet};
 use crate::tenant::{Admission, AdmissionController, TenantCounters};
 use oda_telemetry::bus::TelemetryBus;
+use oda_telemetry::cluster::ClusterCoordinator;
 use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::pattern::SensorPattern;
 use oda_telemetry::query::{Query, QueryEngine, QueryResult};
@@ -109,6 +110,7 @@ pub struct Server<N: ServerNet> {
     registry: SensorRegistry,
     store: Arc<TimeSeriesStore>,
     bus: Option<Arc<TelemetryBus>>,
+    cluster: Option<Arc<ClusterCoordinator>>,
     metrics: Option<MetricsRegistry>,
     admission: AdmissionController,
     cache: QueryCache,
@@ -137,6 +139,7 @@ impl<N: ServerNet> Server<N> {
             registry,
             store,
             bus: None,
+            cluster: None,
             metrics: None,
             admission,
             cache,
@@ -149,6 +152,16 @@ impl<N: ServerNet> Server<N> {
     /// Attaches the telemetry bus, enabling live subscription fan-out.
     pub fn with_bus(mut self, bus: Arc<TelemetryBus>) -> Self {
         self.bus = Some(bus);
+        self
+    }
+
+    /// Attaches a collector cluster: queries fan out over its shards via
+    /// scatter-gather (transparently to clients — responses and digests
+    /// are bit-identical to single-store execution), result-cache
+    /// versioning consults the owning shards, and `/api/v1/stats` gains a
+    /// per-shard occupancy section.
+    pub fn with_cluster(mut self, cluster: Arc<ClusterCoordinator>) -> Self {
+        self.cluster = Some(cluster);
         self
     }
 
@@ -488,14 +501,24 @@ impl<N: ServerNet> Server<N> {
         // One wire form: the canonical rendering is the cache key, so any
         // two spellings of the same query share an entry.
         let key = query.to_json();
-        let engine = QueryEngine::new(&self.store).with_registry(self.registry.clone());
-        let sensors = engine.resolve_sensors(&query);
+        // Clustered serving fans resolution, versioning and execution out
+        // over the shard set; the merge is deterministic, so cache bodies
+        // and digests stay bit-identical to single-store execution.
+        let sensors = match &self.cluster {
+            Some(cluster) => cluster.resolve(&query),
+            None => QueryEngine::new(&self.store)
+                .with_registry(self.registry.clone())
+                .resolve_sensors(&query),
+        };
         // Versions snapshotted BEFORE execution: a concurrent fold can only
         // force a conservative miss later, never a stale hit (cache docs).
-        let versions: Vec<u64> = sensors
-            .iter()
-            .map(|s| self.store.sensor_version(*s))
-            .collect();
+        let versions: Vec<u64> = match &self.cluster {
+            Some(cluster) => cluster.sensor_versions(&sensors),
+            None => sensors
+                .iter()
+                .map(|s| self.store.sensor_version(*s))
+                .collect(),
+        };
         if let Some((body, digest)) = self.cache.lookup(&key, &sensors, &versions) {
             self.count_metric("serving_cache_lookup_total", &[("outcome", "hit")]);
             let headers = vec![
@@ -505,7 +528,10 @@ impl<N: ServerNet> Server<N> {
             return (200, headers, body.to_vec());
         }
         self.count_metric("serving_cache_lookup_total", &[("outcome", "miss")]);
-        let result: QueryResult = query.run(&engine);
+        let result: QueryResult = match &self.cluster {
+            Some(cluster) => cluster.query(query),
+            None => query.run(&QueryEngine::new(&self.store).with_registry(self.registry.clone())),
+        };
         let digest = result.digest();
         let body = Arc::new(result.to_json().into_bytes());
         self.cache
@@ -579,7 +605,7 @@ impl<N: ServerNet> Server<N> {
         let c = self.cache.stats();
         let f = self.fanout.stats();
         let u = |n: u64| Value::U64(n);
-        let doc = Value::Object(vec![
+        let mut sections = vec![
             (
                 "server".to_string(),
                 Value::Object(vec![
@@ -625,7 +651,37 @@ impl<N: ServerNet> Server<N> {
                     ("frames_shed".to_string(), u(f.frames_shed)),
                 ]),
             ),
-        ]);
+        ];
+        if let Some(cluster) = &self.cluster {
+            let shards = Value::Array(
+                cluster
+                    .occupancy()
+                    .iter()
+                    .map(|o| {
+                        Value::Object(vec![
+                            ("shard".to_string(), u(u64::from(o.shard.0))),
+                            ("alive".to_string(), Value::Bool(o.alive)),
+                            ("sensors_owned".to_string(), u(o.sensors_owned)),
+                            ("readings".to_string(), u(o.readings)),
+                            ("evicted".to_string(), u(o.evicted)),
+                            ("durable_len".to_string(), u(o.durable_len)),
+                            ("published".to_string(), u(o.published)),
+                        ])
+                    })
+                    .collect(),
+            );
+            sections.push((
+                "shards".to_string(),
+                Value::Object(vec![
+                    ("count".to_string(), u(cluster.shard_count() as u64)),
+                    ("alive".to_string(), u(cluster.alive_shards().len() as u64)),
+                    ("epoch".to_string(), u(cluster.epoch())),
+                    ("rebalances".to_string(), u(cluster.rebalances())),
+                    ("occupancy".to_string(), shards),
+                ]),
+            ));
+        }
+        let doc = Value::Object(sections);
         let body = serde_json::to_string(&doc).unwrap_or_default().into_bytes();
         self.respond(key, 200, "application/json", &[], &body, false);
     }
@@ -959,6 +1015,114 @@ mod tests {
         w.net.advance(200_000_000);
         let (status, _, _) = request(&mut w, &raw);
         assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn zero_rate_quota_renders_sane_retry_after_header() {
+        // Regression: a zero-rate quota used to produce
+        // retry_after_ms == u64::MAX, rendered via div_ceil(1000) into an
+        // astronomically large retry-after header.
+        let mut w = world(ServingConfig {
+            default_quota: TenantQuota {
+                rate_per_sec: 0.0,
+                burst: 0.0,
+                max_concurrent: 4,
+                max_subscriptions: 4,
+            },
+            ..ServingConfig::default()
+        });
+        let q = format!("{{\"selector\":{{\"ids\":[{}]}}}}", w.sensors[0].0);
+        let raw = format!(
+            "POST /api/v1/query HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+            q.len(),
+            q
+        );
+        let (status, headers, _) = request(&mut w, &raw);
+        assert_eq!(status, 429);
+        let retry_s: u64 = header(&headers, "retry-after")
+            .expect("retry-after header")
+            .parse()
+            .expect("numeric retry-after");
+        assert!(
+            (1..=60).contains(&retry_s),
+            "retry-after must be a sane number of seconds, got {retry_s}"
+        );
+    }
+
+    #[test]
+    fn cluster_backed_queries_match_unsharded_digests_and_stats_report_shards() {
+        use oda_telemetry::cluster::{ClusterConfig, ClusterCoordinator};
+
+        // Unsharded world answers the query; record its digest.
+        let q_for = |id: u32| {
+            format!("{{\"selector\":{{\"ids\":[{id}]}},\"shape\":{{\"kind\":\"scalars\",\"agg\":\"mean\"}}}}")
+        };
+        let mut plain = world(ServingConfig::default());
+        let sensor = plain.sensors[0];
+        let q = q_for(sensor.0);
+        let raw = format!(
+            "POST /api/v1/query HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+            q.len(),
+            q
+        );
+        let (_, headers, body_plain) = request(&mut plain, &raw);
+        let digest_plain = header(&headers, "x-result-digest")
+            .expect("digest")
+            .to_string();
+
+        // Clustered world over 3 shards, fed the identical stream.
+        let registry = SensorRegistry::new();
+        let sensors = vec![
+            registry.register("/hw/n0/power", SensorKind::Power, Unit::Watts),
+            registry.register("/hw/n1/power", SensorKind::Power, Unit::Watts),
+            registry.register("/facility/pue", SensorKind::Count, Unit::Dimensionless),
+        ];
+        let cluster = Arc::new(
+            ClusterCoordinator::new(ClusterConfig::with_shards(3), registry.clone())
+                .expect("cluster"),
+        );
+        for i in 0..10u64 {
+            for &s in &sensors {
+                cluster.ingest(ReadingBatch::single(
+                    s,
+                    Reading::new(Timestamp::from_millis(100 * i), i as f64 + f64::from(s.0)),
+                ));
+            }
+        }
+        cluster.fence();
+        let net = Arc::new(SimNet::new());
+        let store = Arc::new(TimeSeriesStore::with_capacity(16));
+        let mut server = Server::new(Arc::clone(&net), ServingConfig::default(), registry, store)
+            .with_cluster(Arc::clone(&cluster));
+
+        let conn = net.connect();
+        net.client_send(conn, raw.as_bytes());
+        for _ in 0..64 {
+            server.poll();
+        }
+        let (status, headers, body_cluster) = parse_response(&net.client_recv(conn));
+        assert_eq!(status, 200);
+        assert_eq!(
+            header(&headers, "x-result-digest"),
+            Some(digest_plain.as_str()),
+            "scatter-gather digest must be bit-identical to unsharded"
+        );
+        assert_eq!(body_plain, body_cluster);
+        net.client_close(conn);
+        server.poll();
+
+        // Stats gain a per-shard occupancy section.
+        let conn = net.connect();
+        net.client_send(conn, b"GET /api/v1/stats HTTP/1.1\r\n\r\n");
+        for _ in 0..64 {
+            server.poll();
+        }
+        let (status, _, body) = parse_response(&net.client_recv(conn));
+        assert_eq!(status, 200);
+        let text = String::from_utf8_lossy(&body);
+        assert!(text.contains("\"shards\""), "{text}");
+        assert!(text.contains("\"occupancy\""), "{text}");
+        assert!(text.contains("\"count\":3"), "{text}");
     }
 
     #[test]

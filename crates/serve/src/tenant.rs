@@ -71,6 +71,13 @@ struct TenantState {
     counters: TenantCounters,
 }
 
+/// Ceiling on the `Retry-After` hint. A zero-rate quota (tenant fully
+/// blocked) has no meaningful refill time — the uncapped arithmetic used
+/// to yield `u64::MAX` ms, which `server.rs` then rendered as a
+/// 584-million-year `retry-after` header. Clients treat anything at or
+/// above this ceiling as "poll again in a minute".
+pub const RETRY_AFTER_CEILING_MS: u64 = 60_000;
+
 /// Shared admission state for all tenants of one server.
 pub struct AdmissionController {
     config: ServingConfig,
@@ -119,13 +126,16 @@ impl AdmissionController {
             if state.tokens < 1.0 {
                 state.counters.shed_rate_limited += 1;
                 let deficit = 1.0 - state.tokens;
+                // A non-positive rate never refills; any computed hint is
+                // capped so the header stays actionable (see
+                // [`RETRY_AFTER_CEILING_MS`]).
                 let retry_after_ms = if quota.rate_per_sec > 0.0 {
                     (deficit / quota.rate_per_sec * 1000.0).ceil() as u64
                 } else {
-                    u64::MAX
+                    RETRY_AFTER_CEILING_MS
                 };
                 return Admission::RateLimited {
-                    retry_after_ms: retry_after_ms.max(1),
+                    retry_after_ms: retry_after_ms.clamp(1, RETRY_AFTER_CEILING_MS),
                 };
             }
             if state.in_flight >= quota.max_concurrent {
@@ -141,11 +151,21 @@ impl AdmissionController {
 
     /// Completes one admitted query (response fully flushed or connection
     /// torn down). Must be called exactly once per [`Admission::Admitted`].
-    pub fn release(&self, tenant: &str, now_ns: u64) {
-        self.with_tenant(tenant, now_ns, |state, _| {
-            state.in_flight = state.in_flight.saturating_sub(1);
-            state.counters.completed += 1;
-        });
+    ///
+    /// A release for a tenant that was never admitted (unknown name, or
+    /// nothing in flight) is ignored: fabricating state here used to
+    /// mint a `TenantState` with `completed > admitted`, silently
+    /// breaking the ledger invariant the module contract promises.
+    pub fn release(&self, tenant: &str, _now_ns: u64) {
+        let mut tenants = self.tenants.lock();
+        let Some(state) = tenants.get_mut(tenant) else {
+            return;
+        };
+        if state.in_flight == 0 {
+            return;
+        }
+        state.in_flight -= 1;
+        state.counters.completed += 1;
     }
 
     /// Attempts to open one streaming subscription for `tenant`.
@@ -160,11 +180,13 @@ impl AdmissionController {
         })
     }
 
-    /// Closes one streaming subscription for `tenant`.
-    pub fn unsubscribe(&self, tenant: &str, now_ns: u64) {
-        self.with_tenant(tenant, now_ns, |state, _| {
+    /// Closes one streaming subscription for `tenant`. Ignored for a
+    /// tenant that was never seen (no state is fabricated).
+    pub fn unsubscribe(&self, tenant: &str, _now_ns: u64) {
+        let mut tenants = self.tenants.lock();
+        if let Some(state) = tenants.get_mut(tenant) {
             state.subscriptions = state.subscriptions.saturating_sub(1);
-        });
+        }
     }
 
     /// Current counters for `tenant` (zeros if never seen).
@@ -286,6 +308,51 @@ mod tests {
             decisions
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_rate_quota_caps_retry_after() {
+        // Regression: a zero-rate quota used to yield
+        // `retry_after_ms == u64::MAX`, rendered by the HTTP layer into
+        // an absurd retry-after header. The hint is now capped.
+        let ac = controller(0.0, 0.0, 1);
+        let Admission::RateLimited { retry_after_ms } = ac.try_admit("blocked", 0) else {
+            panic!("zero-rate tenant must be rate limited");
+        };
+        assert_eq!(retry_after_ms, RETRY_AFTER_CEILING_MS);
+        // A huge-but-finite deficit clamps to the same ceiling.
+        let ac = controller(1e-9, 1.0, 1);
+        assert_eq!(ac.try_admit("slow", 0), Admission::Admitted);
+        ac.release("slow", 0);
+        let Admission::RateLimited { retry_after_ms } = ac.try_admit("slow", 0) else {
+            panic!("drained tenant must be rate limited");
+        };
+        assert!(retry_after_ms <= RETRY_AFTER_CEILING_MS, "{retry_after_ms}");
+    }
+
+    #[test]
+    fn release_of_never_admitted_tenant_keeps_ledger_intact() {
+        // Regression: releasing an unknown tenant used to fabricate a
+        // TenantState with completed=1, admitted=0, breaking
+        // `completed <= admitted` and polluting all_counters().
+        let ac = controller(10.0, 2.0, 1);
+        ac.release("ghost", 0);
+        assert_eq!(ac.counters("ghost"), TenantCounters::default());
+        assert!(ac.all_counters().is_empty(), "no state may be fabricated");
+
+        // Double-release of a real tenant must not over-count completion.
+        assert_eq!(ac.try_admit("t", 0), Admission::Admitted);
+        ac.release("t", 0);
+        ac.release("t", 0);
+        let c = ac.counters("t");
+        assert!(c.reconciles(), "{c:?}");
+        assert_eq!(c.completed, 1);
+        assert!(c.completed <= c.admitted, "{c:?}");
+        assert_eq!(c.in_flight(), 0);
+
+        // Unsubscribe is equally non-fabricating.
+        ac.unsubscribe("phantom", 0);
+        assert!(ac.all_counters().iter().all(|(t, _)| t != "phantom"));
     }
 
     #[test]

@@ -40,11 +40,12 @@ use oda_serve::config::ServingConfig;
 use oda_serve::net::ServerNet;
 use oda_serve::server::Server;
 use oda_telemetry::bus::TelemetryBus;
+use oda_telemetry::cluster::{ClusterConfig, ClusterCoordinator};
 use oda_telemetry::metrics::MetricsRegistry;
 use oda_telemetry::reading::{Reading, ReadingBatch, Timestamp};
 use oda_telemetry::sensor::{SensorId, SensorKind, SensorRegistry, Unit};
 use oda_telemetry::storage::{
-    open_backend, RecoveryReport, SimFs, StorageBackend, StorageConfig, StorageFs,
+    open_backend, BackendKind, RecoveryReport, SimFs, StorageBackend, StorageConfig, StorageFs,
 };
 use oda_telemetry::store::{RollupConfig, TimeSeriesStore};
 use serde::{Deserialize, Serialize};
@@ -100,6 +101,12 @@ pub struct DataCenterConfig {
     /// the site's analytics parallelism to soaks, benches and examples so
     /// site + runtime are configured in one place. `1` = serial.
     pub workers: usize,
+    /// Collector-shard count for the distributed collector hierarchy.
+    /// `0` (the default) runs unsharded: the site bus alone archives
+    /// telemetry. `n > 0` additionally stands up a
+    /// [`ClusterCoordinator`] with `n` shards that ingests the identical
+    /// stream, so sharded and unsharded query paths answer bit-identically.
+    pub shards: usize,
 }
 
 impl DataCenterConfig {
@@ -128,6 +135,7 @@ impl DataCenterConfig {
             network: NetworkConfig::default(),
             workload: WorkloadConfig::default(),
             workers: 1,
+            shards: 0,
         }
     }
 
@@ -526,6 +534,10 @@ pub struct DataCenter {
     telemetry_faults: Option<TelemetryFaultState>,
     registry: SensorRegistry,
     bus: Arc<TelemetryBus>,
+    /// Sharded collector hierarchy (built when `config.shards > 0`). Fed
+    /// the same post-corruption stream as the site bus, so either plane
+    /// answers any query with the same digest.
+    cluster: Option<Arc<ClusterCoordinator>>,
     /// Filesystem the archive backend lives on; held so the archive can be
     /// restarted (recovery drill) over the same durable state.
     archive_fs: Arc<dyn StorageFs>,
@@ -620,6 +632,14 @@ impl DataCenterBuilder {
         self
     }
 
+    /// Overrides `config.shards` — the collector-shard count. `0` keeps
+    /// the site unsharded; `n > 0` stands up a [`ClusterCoordinator`]
+    /// with `n` message-passing shards alongside the site bus.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// Overrides `config.rollups` — the store's pre-aggregation tiers.
     pub fn rollups(mut self, rollups: RollupConfig) -> Self {
         self.config.rollups = rollups;
@@ -675,6 +695,7 @@ impl DataCenter {
         let registry = SensorRegistry::new();
         let sensors = Sensors::register(&registry, node_count, config.racks);
         let bus = Self::build_bus(&config, registry.clone(), metrics, Arc::clone(&archive_fs));
+        let cluster = Self::build_cluster(&config, &registry);
         let racks = build_racks(
             config.racks,
             config.nodes_per_rack,
@@ -725,11 +746,41 @@ impl DataCenter {
             workload,
             registry,
             bus,
+            cluster,
             archive_fs,
             sensors,
             config,
             serving,
         }
+    }
+
+    /// Stands up the collector-shard hierarchy when `config.shards > 0`.
+    /// The shards archive on durable backends even when the site itself is
+    /// in-memory, so a node-failure rebalance can replay the failed
+    /// shard's slice losslessly.
+    fn build_cluster(
+        config: &DataCenterConfig,
+        registry: &SensorRegistry,
+    ) -> Option<Arc<ClusterCoordinator>> {
+        if config.shards == 0 {
+            return None;
+        }
+        let storage = match config.storage.backend {
+            BackendKind::InMemory => StorageConfig::hybrid(),
+            _ => config.storage.clone(),
+        };
+        let cluster = ClusterCoordinator::new(
+            ClusterConfig {
+                shards: config.shards,
+                per_sensor_capacity: config.store_capacity,
+                rollups: config.rollups.clone(),
+                storage,
+                ..ClusterConfig::default()
+            },
+            registry.clone(),
+        )
+        .expect("cluster shards must open over fresh in-memory filesystems");
+        Some(Arc::new(cluster))
     }
 
     /// Builds a multi-tenant query/subscription frontend over `net`, wired
@@ -739,14 +790,18 @@ impl DataCenter {
     /// [`Server::poll`] from the experiment loop (or a
     /// [`oda_serve::net::RealNet`] listener thread).
     pub fn serve<N: ServerNet>(&self, net: Arc<N>) -> Server<N> {
-        Server::new(
+        let server = Server::new(
             net,
             self.serving.clone(),
             self.registry.clone(),
             Arc::clone(self.store()),
         )
         .with_bus(Arc::clone(&self.bus))
-        .with_metrics(self.metrics().clone())
+        .with_metrics(self.metrics().clone());
+        match &self.cluster {
+            Some(cluster) => server.with_cluster(Arc::clone(cluster)),
+            None => server,
+        }
     }
 
     /// Builds the archive backend selected by `config.storage` over `fs`
@@ -809,6 +864,12 @@ impl DataCenter {
     /// The telemetry bus (subscribe here).
     pub fn bus(&self) -> &Arc<TelemetryBus> {
         &self.bus
+    }
+
+    /// The sharded collector hierarchy, when the site was built with
+    /// [`DataCenterBuilder::shards`] (or `config.shards`) > 0.
+    pub fn cluster(&self) -> Option<&Arc<ClusterCoordinator>> {
+        self.cluster.as_ref()
     }
 
     /// The archive store behind the bus.
@@ -1010,8 +1071,19 @@ impl DataCenter {
                 .map(|tf| tf.step(now))
                 .unwrap_or_default();
             for f in activated {
-                if let TelemetryFaultKind::BurstLoad { jobs, duration_s } = f.kind {
-                    self.submit_stress_test(jobs, duration_s);
+                match f.kind {
+                    TelemetryFaultKind::BurstLoad { jobs, duration_s } => {
+                        self.submit_stress_test(jobs, duration_s);
+                    }
+                    TelemetryFaultKind::NodeFailure { node } => {
+                        // Chaos-harness node failure: fail the collector
+                        // shard hosted on that node and rebalance its slice
+                        // onto the survivors from the durable tier.
+                        if let Some(cluster) = &self.cluster {
+                            cluster.apply_node_failure(node.index());
+                        }
+                    }
+                    _ => {}
                 }
             }
         }
@@ -1332,6 +1404,11 @@ impl DataCenter {
                 None => reading,
             };
             self.bus.publish(ReadingBatch::single(sensor, reading));
+            // The shard hierarchy ingests the identical (post-corruption)
+            // stream, so sharded and unsharded queries answer bit-identically.
+            if let Some(cluster) = &self.cluster {
+                cluster.ingest(ReadingBatch::single(sensor, reading));
+            }
         }
     }
 }

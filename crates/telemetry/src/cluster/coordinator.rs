@@ -1,0 +1,557 @@
+//! The coordinator: ingest routing, scatter-gather queries, and
+//! failure-driven rebalance over a set of collector shards.
+//!
+//! # Determinism argument
+//!
+//! Unsharded query execution is per-sensor for everything except the
+//! final alignment step: [`crate::query`] fetches, buckets and
+//! aggregates each resolved sensor independently, then (for aligned
+//! queries only) merges the per-sensor bucket lists onto a union grid.
+//! The coordinator exploits exactly that structure:
+//!
+//! 1. the selector is resolved once, centrally, into the same ordered
+//!    sensor list the unsharded engine would produce;
+//! 2. each shard executes a sub-query over only the sensors it owns —
+//!    per-sensor work identical to the unsharded scan, including the
+//!    rollup-tier planner (aligned queries are rewritten to per-shard
+//!    mean-bucket queries, the exact per-sensor computation the
+//!    unsharded aligned path runs);
+//! 3. partial results are gathered in ascending-shard-id order and each
+//!    per-sensor partial is slotted back into the sensor's position in
+//!    the resolved order — a deterministic fold whose result does not
+//!    depend on shard count or reply timing;
+//! 4. for aligned queries the coordinator runs the same
+//!    [`align_buckets`] merge the unsharded engine runs, over per-sensor
+//!    inputs that are bit-identical to the unsharded ones.
+//!
+//! Every step is either per-sensor-identical or a deterministic
+//! reassembly, so [`QueryResult::digest`] is bit-identical at any shard
+//! count, including `shards = 1` — the property `tests/cluster.rs` and
+//! the scale bench's exit gate assert.
+//!
+//! # Rebalance protocol
+//!
+//! A node-failure fault against a shard runs fail-stop handoff:
+//! drain-stop the shard (its queue empties and its WAL syncs), remove
+//! its virtual nodes from the placement ring (only its sensors remap),
+//! reopen its durable tier ([`PersistentEngine::open`]) from the
+//! surviving filesystem, and replay each moved sensor's readings into
+//! its new owner in acceptance order. Because shards acknowledge an
+//! ingest only after the WAL sync (see [`super::shard`]), no accepted
+//! reading is lost. The last alive shard cannot be removed; failing it
+//! restarts it in place from its own durable tier instead.
+
+use crate::cluster::placement::{PlacementMap, ShardId};
+use crate::cluster::shard::{EdgeTask, ShardCmd, ShardHandle, ShardHealth};
+use crate::cluster::ClusterConfig;
+use crate::metrics::MetricsRegistry;
+use crate::query::{align_buckets, Bucket, Query, QueryResult, ResultData, SensorSelector, Shape};
+use crate::reading::{Reading, ReadingBatch, Timestamp};
+use crate::sensor::{SensorId, SensorRegistry};
+use crate::storage::engine::PersistentEngine;
+use crate::storage::{FsError, SimFs, StorageFs};
+use crossbeam_channel::bounded;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-shard occupancy snapshot surfaced through `/api/v1/stats`.
+#[derive(Debug, Clone)]
+pub struct ShardOccupancy {
+    /// Which shard.
+    pub shard: ShardId,
+    /// Whether the shard is alive (failed shards report zeros).
+    pub alive: bool,
+    /// Sensors the placement ring currently assigns to this shard.
+    pub sensors_owned: u64,
+    /// Readings resident in the shard's hot store.
+    pub readings: u64,
+    /// Readings evicted from the shard's ring buffers.
+    pub evicted: u64,
+    /// Readings durably stored by the shard's archive tier.
+    pub durable_len: u64,
+    /// Batches the shard has published since spawn.
+    pub published: u64,
+}
+
+struct State {
+    placement: PlacementMap,
+    /// Indexed by shard id; `None` marks a failed (removed) shard.
+    shards: Vec<Option<ShardHandle>>,
+    rebalances: u64,
+}
+
+/// Routes ingest by sensor placement and executes queries via
+/// scatter-gather over the shard set (see the module docs for the
+/// determinism and rebalance contracts).
+///
+/// The lock guards *membership only* (the shard table and placement
+/// ring); the data plane is entirely message-passing — readers of the
+/// lock send commands into shard queues and shards never take the lock,
+/// so there are no shared locks across shards and no lock-ordering
+/// hazards between ingest, query and rebalance.
+pub struct ClusterCoordinator {
+    cfg: ClusterConfig,
+    registry: SensorRegistry,
+    state: RwLock<State>,
+}
+
+impl ClusterCoordinator {
+    /// Spawns `cfg.shards` collector shards, each over its own private
+    /// simulated filesystem, and builds the placement ring.
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards == 0` (a cluster needs at least one shard).
+    pub fn new(cfg: ClusterConfig, registry: SensorRegistry) -> Result<Self, FsError> {
+        let placement = PlacementMap::new(cfg.shards, cfg.vnodes_per_shard);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let fs: Arc<dyn StorageFs> = Arc::new(SimFs::new());
+            shards.push(Some(ShardHandle::spawn(
+                ShardId(s as u32),
+                &cfg,
+                registry.clone(),
+                fs,
+            )?));
+        }
+        Ok(ClusterCoordinator {
+            cfg,
+            registry,
+            state: RwLock::new(State {
+                placement,
+                shards,
+                rebalances: 0,
+            }),
+        })
+    }
+
+    /// Configured shard count (alive or not).
+    pub fn shard_count(&self) -> usize {
+        self.state.read().placement.shard_count()
+    }
+
+    /// Alive shard ids, ascending.
+    pub fn alive_shards(&self) -> Vec<ShardId> {
+        self.state.read().placement.alive()
+    }
+
+    /// Membership epoch (bumps on every failure or restart).
+    pub fn epoch(&self) -> u64 {
+        self.state.read().placement.epoch()
+    }
+
+    /// Rebalances (slice handoffs to surviving shards) performed so far.
+    /// A last-shard restart-in-place moves no data and is *not* counted
+    /// here; it is visible as an [`Self::epoch`] bump instead.
+    pub fn rebalances(&self) -> u64 {
+        self.state.read().rebalances
+    }
+
+    /// The registry shared by every shard's query engine.
+    pub fn registry(&self) -> &SensorRegistry {
+        &self.registry
+    }
+
+    /// The shard currently owning `sensor`.
+    pub fn owner(&self, sensor: SensorId) -> ShardId {
+        self.state.read().placement.owner(sensor)
+    }
+
+    /// Routes one batch to the shard owning its sensor. Returns `false`
+    /// if the owner's queue is disconnected (only possible mid-shutdown).
+    pub fn ingest(&self, batch: ReadingBatch) -> bool {
+        let state = self.state.read();
+        let owner = state.placement.owner(batch.sensor);
+        match state.shards.get(owner.index()) {
+            Some(Some(h)) => h.tx.send(ShardCmd::Ingest(batch)).is_ok(),
+            _ => false,
+        }
+    }
+
+    /// Barrier: returns once every alive shard has drained all commands
+    /// enqueued before the call (each queue is FIFO, so a fence reply
+    /// proves every earlier ingest on that shard is applied and durable).
+    pub fn fence(&self) {
+        let state = self.state.read();
+        fence_alive(&state);
+    }
+
+    /// Resolves `query`'s selector to the concrete ordered sensor list —
+    /// the same list the unsharded engine would scan (explicit ids as
+    /// given; patterns matched against the registry in ascending id
+    /// order).
+    pub fn resolve(&self, query: &Query) -> Vec<SensorId> {
+        self.resolve_selector(&query.selector)
+    }
+
+    fn resolve_selector(&self, selector: &SensorSelector) -> Vec<SensorId> {
+        match selector {
+            SensorSelector::Ids(ids) => ids.clone(),
+            SensorSelector::Pattern(pattern) => {
+                let mut ids = self.registry.matching(pattern);
+                ids.sort_unstable_by_key(|s| s.index());
+                ids
+            }
+        }
+    }
+
+    /// Snapshots per-sensor store versions from the owning shards, in
+    /// the given sensor order — the cluster analogue of
+    /// [`crate::store::TimeSeriesStore::sensor_version`], used by the
+    /// serving layer's result cache.
+    pub fn sensor_versions(&self, sensors: &[SensorId]) -> Vec<u64> {
+        let state = self.state.read();
+        let mut parts: BTreeMap<ShardId, Vec<(usize, SensorId)>> = BTreeMap::new();
+        for (pos, &s) in sensors.iter().enumerate() {
+            parts
+                .entry(state.placement.owner(s))
+                .or_default()
+                .push((pos, s));
+        }
+        let mut out = vec![0u64; sensors.len()];
+        let mut pending = Vec::new();
+        for (shard, slice) in &parts {
+            let Some(Some(h)) = state.shards.get(shard.index()) else {
+                continue;
+            };
+            let (reply, rx) = bounded(1);
+            let sensors: Vec<SensorId> = slice.iter().map(|&(_, s)| s).collect();
+            if h.tx.send(ShardCmd::Versions { sensors, reply }).is_ok() {
+                pending.push((slice, rx));
+            }
+        }
+        for (slice, rx) in pending {
+            if let Ok(versions) = rx.recv() {
+                for (&(pos, _), v) in slice.iter().zip(versions) {
+                    if let Some(slot) = out.get_mut(pos) {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Executes `query` by scatter-gather: resolve centrally, send each
+    /// shard a sub-query over the sensors it owns, gather partials in
+    /// ascending-shard-id order, and slot each per-sensor partial back
+    /// into the sensor's resolved position. Bit-identical to unsharded
+    /// execution at any shard count (see the module docs).
+    pub fn query(&self, query: Query) -> QueryResult {
+        let sensors = self.resolve_selector(&query.selector);
+        let state = self.state.read();
+        let mut parts: BTreeMap<ShardId, Vec<(usize, SensorId)>> = BTreeMap::new();
+        for (pos, &s) in sensors.iter().enumerate() {
+            parts
+                .entry(state.placement.owner(s))
+                .or_default()
+                .push((pos, s));
+        }
+        // Aligned queries cannot be executed per-shard directly (the
+        // union grid spans all sensors), but their per-sensor core —
+        // mean-bucketing at the requested width — is exactly a bucket
+        // query, so scatter that and run the final alignment centrally.
+        let sub_shape = match query.shape {
+            Shape::Aligned { bucket_ms } => Shape::Buckets {
+                bucket_ms,
+                agg: crate::query::Aggregation::Mean,
+            },
+            other => other,
+        };
+        // Scatter in ascending shard-id order (BTreeMap iteration)...
+        let mut pending = Vec::new();
+        for (shard, slice) in &parts {
+            let Some(Some(h)) = state.shards.get(shard.index()) else {
+                continue;
+            };
+            let sub = Query {
+                selector: SensorSelector::Ids(slice.iter().map(|&(_, s)| s).collect()),
+                range: query.range,
+                rate: query.rate,
+                raw_only: query.raw_only,
+                shape: sub_shape,
+            };
+            let (reply, rx) = bounded(1);
+            if h.tx.send(ShardCmd::Query { query: sub, reply }).is_ok() {
+                pending.push((slice, rx));
+            }
+        }
+        // ...and gather in the same order: a shard-id-sorted fold into
+        // position-addressed slots, independent of reply timing.
+        match query.shape {
+            Shape::Readings => {
+                let mut slots: Vec<Vec<Reading>> = vec![Vec::new(); sensors.len()];
+                for (slice, rx) in pending {
+                    if let Ok(partial) = rx.recv() {
+                        if let ResultData::Series(series) = partial.shape {
+                            slot_back(&mut slots, slice, series);
+                        }
+                    }
+                }
+                QueryResult {
+                    sensors,
+                    shape: ResultData::Series(slots),
+                }
+            }
+            Shape::Buckets { .. } => {
+                let mut slots: Vec<Vec<Bucket>> = vec![Vec::new(); sensors.len()];
+                for (slice, rx) in pending {
+                    if let Ok(partial) = rx.recv() {
+                        if let ResultData::Buckets(series) = partial.shape {
+                            slot_back(&mut slots, slice, series);
+                        }
+                    }
+                }
+                QueryResult {
+                    sensors,
+                    shape: ResultData::Buckets(slots),
+                }
+            }
+            Shape::Scalars(_) => {
+                let mut slots: Vec<Option<f64>> = vec![None; sensors.len()];
+                for (slice, rx) in pending {
+                    if let Ok(partial) = rx.recv() {
+                        if let ResultData::Scalars(values) = partial.shape {
+                            slot_back(&mut slots, slice, values);
+                        }
+                    }
+                }
+                QueryResult {
+                    sensors,
+                    shape: ResultData::Scalars(slots),
+                }
+            }
+            Shape::Aligned { .. } => {
+                let mut slots: Vec<Vec<Bucket>> = vec![Vec::new(); sensors.len()];
+                for (slice, rx) in pending {
+                    if let Ok(partial) = rx.recv() {
+                        if let ResultData::Buckets(series) = partial.shape {
+                            slot_back(&mut slots, slice, series);
+                        }
+                    }
+                }
+                let (grid, matrix) = align_buckets(&slots);
+                QueryResult {
+                    sensors,
+                    shape: ResultData::Aligned { grid, matrix },
+                }
+            }
+        }
+    }
+
+    /// Health reports from every alive shard, in ascending shard order.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        let state = self.state.read();
+        let mut pending = Vec::new();
+        for id in state.placement.alive() {
+            let Some(Some(h)) = state.shards.get(id.index()) else {
+                continue;
+            };
+            let (reply, rx) = bounded(1);
+            if h.tx.send(ShardCmd::Health { reply }).is_ok() {
+                pending.push(rx);
+            }
+        }
+        pending
+            .into_iter()
+            .filter_map(|rx| rx.recv().ok())
+            .collect()
+    }
+
+    /// Per-shard occupancy for `/api/v1/stats`: one entry per configured
+    /// shard (failed shards report `alive: false` and zeros).
+    pub fn occupancy(&self) -> Vec<ShardOccupancy> {
+        let health = self.health();
+        let state = self.state.read();
+        let mut owned = vec![0u64; state.placement.shard_count()];
+        for meta in self.registry.all() {
+            let owner = state.placement.owner(meta.id);
+            if let Some(slot) = owned.get_mut(owner.index()) {
+                *slot += 1;
+            }
+        }
+        (0..state.placement.shard_count())
+            .map(|i| {
+                let shard = ShardId(i as u32);
+                let alive = state.placement.is_alive(shard);
+                let h = health.iter().find(|h| h.shard == shard);
+                ShardOccupancy {
+                    shard,
+                    alive,
+                    sensors_owned: if alive {
+                        owned.get(i).copied().unwrap_or(0)
+                    } else {
+                        0
+                    },
+                    readings: h.map(|h| h.report.total_len() as u64).unwrap_or(0),
+                    evicted: h.map(|h| h.report.total_evicted()).unwrap_or(0),
+                    durable_len: h.map(|h| h.durable_len).unwrap_or(0),
+                    published: h.map(|h| h.published).unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs `task` on every alive shard's own thread against its local
+    /// store (edge placement), gathering `(shard, samples)` in ascending
+    /// shard order.
+    pub fn run_edge(&self, task: EdgeTask) -> Vec<(ShardId, Vec<(String, f64)>)> {
+        let state = self.state.read();
+        let mut pending = Vec::new();
+        for id in state.placement.alive() {
+            let Some(Some(h)) = state.shards.get(id.index()) else {
+                continue;
+            };
+            let (reply, rx) = bounded(1);
+            let cmd = ShardCmd::Edge {
+                task: Arc::clone(&task),
+                reply,
+            };
+            if h.tx.send(cmd).is_ok() {
+                pending.push((id, rx));
+            }
+        }
+        pending
+            .into_iter()
+            .filter_map(|(id, rx)| rx.recv().ok().map(|samples| (id, samples)))
+            .collect()
+    }
+
+    /// Fails `shard` and rebalances its slice: drain-stop the shard,
+    /// remove its ring points, reopen its durable tier from the
+    /// surviving filesystem and replay every moved sensor into its new
+    /// owner in acceptance order (no accepted reading is lost — see the
+    /// module docs). Failing the last alive shard restarts it in place
+    /// from its own durable tier instead of removing it.
+    ///
+    /// Returns `false` if `shard` is unknown or already failed.
+    pub fn fail_shard(&self, shard: ShardId) -> bool {
+        let mut state = self.state.write();
+        if !state.placement.is_alive(shard) {
+            return false;
+        }
+        let Some(handle) = state.shards.get_mut(shard.index()).and_then(Option::take) else {
+            return false;
+        };
+        // Drain-stop: the queue empties and the WAL syncs, so the
+        // filesystem below holds every reading the shard ever accepted.
+        let fs = handle.stop();
+        if !state.placement.fail(shard) {
+            // Last alive shard: restart in place. The backend replays the
+            // durable tier into a fresh hot store on open, recovering ring
+            // and rollup state bit-identically.
+            match ShardHandle::spawn(shard, &self.cfg, self.registry.clone(), fs) {
+                Ok(h) => {
+                    if let Some(slot) = state.shards.get_mut(shard.index()) {
+                        *slot = Some(h);
+                    }
+                    // No data moved owners: an epoch bump records the
+                    // membership event, the rebalance counter does not.
+                    state.placement.note_restart();
+                    return true;
+                }
+                Err(_) => return false,
+            }
+        }
+        // Handoff: moved sensors are exactly the failed shard's slice
+        // (consistent hashing moves nothing else). Placement was captured
+        // per-sensor *before* the ring rebuild via ownership of the old
+        // map — recompute from the new map's perspective instead: a
+        // sensor moved iff its new owner differs from `shard`, and the
+        // failed shard's durable tier holds only its own sensors, so
+        // replaying every sensor it stored is precisely the moved set.
+        let report = MetricsRegistry::new();
+        if let Ok((engine, _recovery)) =
+            PersistentEngine::open(Arc::clone(&fs), self.cfg.storage.engine.clone(), &report)
+        {
+            let mut buf: Vec<Reading> = Vec::new();
+            for meta in self.registry.all() {
+                buf.clear();
+                if engine
+                    .range_into(meta.id, Timestamp::ZERO, Timestamp(u64::MAX), &mut buf)
+                    .is_err()
+                    || buf.is_empty()
+                {
+                    continue;
+                }
+                let owner = state.placement.owner(meta.id);
+                if let Some(Some(h)) = state.shards.get(owner.index()) {
+                    let batch = ReadingBatch {
+                        sensor: meta.id,
+                        readings: buf.clone(),
+                    };
+                    let _ = h.tx.send(ShardCmd::Ingest(batch));
+                }
+            }
+        }
+        // Fence the survivors so the handoff is fully applied (and
+        // durable on the new owners) before the failure "completes".
+        fence_alive(&state);
+        state.rebalances += 1;
+        true
+    }
+
+    /// Maps a chaos-harness node failure onto the shard hierarchy: node
+    /// `node_index` is served by collector shard `node_index % shards`;
+    /// if that shard already failed, the fault cascades to the next
+    /// alive shard clockwise. Returns the shard actually failed (or
+    /// restarted in place), or `None` if the cluster has no alive shard
+    /// to fail.
+    pub fn apply_node_failure(&self, node_index: usize) -> Option<ShardId> {
+        let (count, alive) = {
+            let state = self.state.read();
+            (state.placement.shard_count(), state.placement.alive())
+        };
+        if count == 0 || alive.is_empty() {
+            return None;
+        }
+        let start = node_index % count;
+        for off in 0..count {
+            let id = ShardId(((start + off) % count) as u32);
+            if alive.contains(&id) && self.fail_shard(id) {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+impl Drop for ClusterCoordinator {
+    fn drop(&mut self) {
+        let state = self.state.get_mut();
+        for slot in state.shards.iter_mut() {
+            if let Some(h) = slot.take() {
+                let _ = h.stop();
+            }
+        }
+    }
+}
+
+/// Sends a fence to every alive shard and waits for all replies.
+fn fence_alive(state: &State) {
+    let mut pending = Vec::new();
+    for id in state.placement.alive() {
+        let Some(Some(h)) = state.shards.get(id.index()) else {
+            continue;
+        };
+        let (reply, rx) = bounded(1);
+        if h.tx.send(ShardCmd::Fence { reply }).is_ok() {
+            pending.push(rx);
+        }
+    }
+    for rx in pending {
+        let _ = rx.recv();
+    }
+}
+
+/// Writes each per-sensor partial into its sensor's position in the
+/// resolved order. `slice` pairs positions with sensors in the exact
+/// order the sub-query listed them, so `partials[k]` is the result for
+/// `slice[k]`'s sensor.
+fn slot_back<T>(slots: &mut [T], slice: &[(usize, SensorId)], partials: Vec<T>) {
+    for (&(pos, _), partial) in slice.iter().zip(partials) {
+        if let Some(slot) = slots.get_mut(pos) {
+            *slot = partial;
+        }
+    }
+}

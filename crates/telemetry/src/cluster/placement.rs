@@ -1,0 +1,233 @@
+//! Consistent-hash sensor placement for the collector hierarchy.
+//!
+//! Every shard owns `vnodes_per_shard` pseudo-random points on a `u64`
+//! hash ring; a sensor is owned by the shard whose virtual node is the
+//! first at or clockwise-after the sensor's own hash point. Both point
+//! sets come from the same seeded FNV-1a construction, so placement is a
+//! pure function of `(shard count, vnode count, sensor id)` — two
+//! coordinators built from the same [`super::ClusterConfig`] agree on
+//! every owner without exchanging any state.
+//!
+//! Failing a shard removes only that shard's virtual nodes: sensors it
+//! owned remap to the next surviving point clockwise, while every other
+//! sensor keeps its owner — the minimal-movement property that keeps a
+//! rebalance proportional to the failed shard's slice instead of the
+//! whole sensor space.
+
+use crate::sensor::SensorId;
+
+/// Identifier of one collector shard: its index in the coordinator's
+/// shard table, stable across failures (a failed shard's id is never
+/// reused for a different shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The shard's table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// FNV-1a over little-endian `u64`s, then a murmur-style avalanche
+/// finalizer. Deterministic across platforms and independent of any
+/// process-global hasher state.
+///
+/// The finalizer matters: plain FNV-1a is *affine* over small inputs
+/// (the trailing zero bytes of a small `u64` only multiply by a
+/// constant), so without it every ring point for sequential shard,
+/// vnode and sensor indices lands on the same arithmetic lattice and
+/// nearly all sensors resolve to one owner. The xor-shift/multiply
+/// rounds break that linearity and restore the uniform slice sizes
+/// consistent hashing is supposed to give.
+fn fnv64(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// The ownership map: which shard owns which slice of the sensor space.
+///
+/// `epoch` increments on every membership change (failure or
+/// restart-in-place), so consumers can detect that cached owner lookups
+/// are stale.
+#[derive(Debug, Clone)]
+pub struct PlacementMap {
+    /// Ring points, sorted ascending by hash point. Rebuilt on failure.
+    ring: Vec<(u64, ShardId)>,
+    /// Liveness per shard id.
+    alive: Vec<bool>,
+    vnodes_per_shard: usize,
+    epoch: u64,
+}
+
+impl PlacementMap {
+    /// Builds the ring for `shards` shards with `vnodes_per_shard` virtual
+    /// nodes each.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `vnodes_per_shard == 0`.
+    pub fn new(shards: usize, vnodes_per_shard: usize) -> Self {
+        assert!(shards > 0, "placement needs at least one shard");
+        assert!(vnodes_per_shard > 0, "placement needs at least one vnode");
+        let mut map = PlacementMap {
+            ring: Vec::new(),
+            alive: vec![true; shards],
+            vnodes_per_shard,
+            epoch: 0,
+        };
+        map.rebuild_ring();
+        map
+    }
+
+    fn rebuild_ring(&mut self) {
+        self.ring.clear();
+        for (s, alive) in self.alive.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            for v in 0..self.vnodes_per_shard {
+                self.ring
+                    .push((fnv64(&[s as u64 + 1, v as u64 + 1]), ShardId(s as u32)));
+            }
+        }
+        self.ring.sort_unstable();
+    }
+
+    /// The shard currently owning `sensor`.
+    ///
+    /// # Panics
+    /// Panics if every shard has failed (an empty ring has no owners; the
+    /// coordinator restarts the last shard in place instead of removing it).
+    pub fn owner(&self, sensor: SensorId) -> ShardId {
+        let point = fnv64(&[sensor.0 as u64]);
+        let idx = self.ring.partition_point(|&(p, _)| p < point);
+        self.ring
+            .get(idx)
+            .or_else(|| self.ring.first())
+            .map(|&(_, s)| s)
+            // odalint: allow(panic-unwrap) -- fail() refuses to remove the last alive shard, so the ring is never empty
+            .expect("placement ring is empty: every shard has failed")
+    }
+
+    /// Marks `shard` failed and removes its virtual nodes, remapping only
+    /// the sensors it owned. Returns `false` (and changes nothing) if the
+    /// shard is unknown, already failed, or the last one alive.
+    pub fn fail(&mut self, shard: ShardId) -> bool {
+        let alive_count = self.alive.iter().filter(|a| **a).count();
+        let Some(alive) = self.alive.get_mut(shard.index()) else {
+            return false;
+        };
+        if !*alive || alive_count <= 1 {
+            return false;
+        }
+        *alive = false;
+        self.epoch += 1;
+        self.rebuild_ring();
+        true
+    }
+
+    /// Records a restart-in-place (same shard id, recovered from its own
+    /// durable tier): ownership is unchanged but the epoch advances so
+    /// observers see a membership event.
+    pub fn note_restart(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Whether `shard` is alive.
+    pub fn is_alive(&self, shard: ShardId) -> bool {
+        self.alive.get(shard.index()).copied().unwrap_or(false)
+    }
+
+    /// Alive shard ids, ascending.
+    pub fn alive(&self) -> Vec<ShardId> {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .map(|(s, _)| ShardId(s as u32))
+            .collect()
+    }
+
+    /// Configured shard count (alive or not).
+    pub fn shard_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Membership epoch: bumps on every failure or restart.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let a = PlacementMap::new(4, 64);
+        let b = PlacementMap::new(4, 64);
+        for i in 0..500u32 {
+            let s = SensorId(i);
+            assert_eq!(a.owner(s), b.owner(s));
+            assert!(a.owner(s).index() < 4);
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_a_slice() {
+        let map = PlacementMap::new(8, 64);
+        let mut counts = [0usize; 8];
+        for i in 0..2_000u32 {
+            counts[map.owner(SensorId(i)).index()] += 1;
+        }
+        // Fair share is 250; require at least a quarter of it so the
+        // affine-hash clustering regression (one shard owning nearly
+        // everything) can never come back.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 62, "shard {s} owns only {c} of 2000 sensors");
+        }
+    }
+
+    #[test]
+    fn failure_moves_only_the_failed_slice() {
+        let mut map = PlacementMap::new(4, 64);
+        let before: Vec<ShardId> = (0..1_000u32).map(|i| map.owner(SensorId(i))).collect();
+        assert!(map.fail(ShardId(2)));
+        assert_eq!(map.epoch(), 1);
+        for (i, &old) in before.iter().enumerate() {
+            let new = map.owner(SensorId(i as u32));
+            if old == ShardId(2) {
+                assert_ne!(new, ShardId(2), "sensor {i} still on the failed shard");
+            } else {
+                assert_eq!(new, old, "sensor {i} moved although its owner survived");
+            }
+        }
+    }
+
+    #[test]
+    fn last_shard_cannot_be_failed() {
+        let mut map = PlacementMap::new(2, 16);
+        assert!(map.fail(ShardId(0)));
+        assert!(!map.fail(ShardId(1)), "last alive shard must stay");
+        assert!(!map.fail(ShardId(0)), "double-failure is a no-op");
+        assert_eq!(map.alive(), vec![ShardId(1)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! One collector shard: a bus + store + durable tier owned by a single
+//! worker thread, reachable only through a command channel.
+//!
+//! The channel is the shard's entire public surface — no other thread
+//! ever touches the shard's store or archive, so there are no shared
+//! locks across shards and every command (ingest, query, health, edge
+//! task) executes in exactly the order it arrived. That FIFO is what
+//! makes scatter-gather deterministic without global fences: a query
+//! sent after an ingest on the same shard necessarily observes it.
+//!
+//! Durability contract: each ingest command is archived through the
+//! shard's [`StorageBackend`] and the WAL is flushed before the shard
+//! moves to the next command. "Accepted" therefore implies "durable",
+//! which is what lets [`super::ClusterCoordinator::fail_shard`] rebuild
+//! a failed shard's slice from its surviving filesystem without losing
+//! a single accepted reading.
+
+use crate::bus::TelemetryBus;
+use crate::cluster::placement::ShardId;
+use crate::cluster::ClusterConfig;
+use crate::health::HealthReport;
+use crate::metrics::MetricsRegistry;
+use crate::query::{Query, QueryEngine, QueryResult};
+use crate::reading::ReadingBatch;
+use crate::sensor::{SensorId, SensorRegistry};
+use crate::storage::{open_backend, FsError, StorageBackend, StorageFs};
+use crate::store::TimeSeriesStore;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a shard-local (edge-placed) task sees: the shard's own store and
+/// the cluster-wide registry. Edge tasks run *inside* the shard's worker
+/// thread, so they observe a quiesced, ordered view of exactly this
+/// shard's slice — the "edge operator" placement of the DCDB-style
+/// collector hierarchy.
+pub struct EdgeView<'a> {
+    /// The shard executing the task.
+    pub shard: ShardId,
+    /// The shard's hot store (its slice of the sensor space only).
+    pub store: &'a TimeSeriesStore,
+    /// The cluster-wide sensor registry.
+    pub registry: &'a SensorRegistry,
+}
+
+/// A shard-local task: runs on each shard's own thread against its local
+/// store and returns named KPI samples, gathered by the coordinator in
+/// shard-id order.
+pub type EdgeTask = Arc<dyn Fn(&EdgeView<'_>) -> Vec<(String, f64)> + Send + Sync>;
+
+/// Point-in-time health of one shard, as reported by its worker thread.
+#[derive(Debug, Clone)]
+pub struct ShardHealth {
+    /// Which shard.
+    pub shard: ShardId,
+    /// The shard store's health report (its slice only).
+    pub report: HealthReport,
+    /// Readings durably stored by the shard's archive tier.
+    pub durable_len: u64,
+    /// Batches published through the shard's bus since spawn.
+    pub published: u64,
+}
+
+/// Commands a shard worker processes in arrival order.
+pub(crate) enum ShardCmd {
+    /// Archive a batch (fire-and-forget; ack == durable before the next
+    /// command runs).
+    Ingest(ReadingBatch),
+    /// Execute a sub-query against the shard's local store.
+    Query {
+        query: Query,
+        reply: Sender<QueryResult>,
+    },
+    /// Snapshot per-sensor store versions (result-cache validation).
+    Versions {
+        sensors: Vec<SensorId>,
+        reply: Sender<Vec<u64>>,
+    },
+    /// Report shard health.
+    Health { reply: Sender<ShardHealth> },
+    /// Run a shard-local edge task.
+    Edge {
+        task: EdgeTask,
+        reply: Sender<Vec<(String, f64)>>,
+    },
+    /// Barrier: reply once every earlier command has been processed.
+    Fence { reply: Sender<()> },
+    /// Flush and exit the worker loop (graceful fail-stop: the queue
+    /// drains first, modelling delivered-but-unprocessed ingest as
+    /// processed; in-flight *network* loss is out of scope here).
+    Stop { reply: Sender<()> },
+}
+
+/// Handle to a spawned shard: the command sender, the join handle, and
+/// the shard's filesystem (the "disk" that survives a node failure).
+pub(crate) struct ShardHandle {
+    pub(crate) tx: Sender<ShardCmd>,
+    pub(crate) join: Option<JoinHandle<()>>,
+    pub(crate) fs: Arc<dyn StorageFs>,
+}
+
+impl ShardHandle {
+    /// Spawns a shard worker over `fs`. If `fs` already holds durable
+    /// state (a restart-in-place after a failure), the backend replays it
+    /// into the fresh hot store before the first command runs — ring and
+    /// rollup state come back bit-identical to the pre-failure shard.
+    pub(crate) fn spawn(
+        id: ShardId,
+        cfg: &ClusterConfig,
+        registry: SensorRegistry,
+        fs: Arc<dyn StorageFs>,
+    ) -> Result<ShardHandle, FsError> {
+        // Each shard gets its own metrics registry: shard stores reuse the
+        // store's internal lock-shard labels, which would collide across
+        // collector shards on a shared registry.
+        let metrics = MetricsRegistry::new();
+        let store = Arc::new(TimeSeriesStore::with_rollups(
+            cfg.per_sensor_capacity,
+            TimeSeriesStore::DEFAULT_SHARDS,
+            metrics.clone(),
+            cfg.rollups.clone(),
+        ));
+        let archive = open_backend(&cfg.storage, Arc::clone(&fs), store)?;
+        let bus = TelemetryBus::with_archive(registry.clone(), Arc::clone(&archive), metrics);
+        let (tx, rx) = bounded::<ShardCmd>(cfg.queue_depth.max(1));
+        let io_wait = Duration::from_micros(cfg.io_wait_us);
+        let join = std::thread::Builder::new()
+            .name(format!("oda-{id}"))
+            .spawn(move || run(id, &rx, &bus, &archive, &registry, io_wait))
+            .map_err(|e| FsError::Io(format!("spawn {id}: {e}")))?;
+        Ok(ShardHandle {
+            tx,
+            join: Some(join),
+            fs,
+        })
+    }
+
+    /// Drains the queue, flushes the archive and joins the worker thread.
+    /// Returns the shard's filesystem for recovery/handoff.
+    pub(crate) fn stop(mut self) -> Arc<dyn StorageFs> {
+        let (reply, done) = bounded(1);
+        if self.tx.send(ShardCmd::Stop { reply }).is_ok() {
+            let _ = done.recv();
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        Arc::clone(&self.fs)
+    }
+}
+
+/// The worker loop: one command at a time, in arrival order, until Stop
+/// or every sender is gone.
+fn run(
+    id: ShardId,
+    rx: &Receiver<ShardCmd>,
+    bus: &TelemetryBus,
+    archive: &Arc<dyn StorageBackend>,
+    registry: &SensorRegistry,
+    io_wait: Duration,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            ShardCmd::Ingest(batch) => {
+                if !io_wait.is_zero() {
+                    // Simulated collector round-trip (network + media sync)
+                    // for the scale bench; zero in production configs.
+                    std::thread::sleep(io_wait);
+                }
+                bus.publish(batch);
+                // Ack == durable: WAL-sync what this command accepted
+                // before the next command can observe or extend it.
+                let _ = archive.flush();
+            }
+            ShardCmd::Query { query, reply } => {
+                let engine = QueryEngine::new(archive.store()).with_registry(registry.clone());
+                let _ = reply.send(query.run(&engine));
+            }
+            ShardCmd::Versions { sensors, reply } => {
+                let store = archive.store();
+                let versions = sensors.iter().map(|&s| store.sensor_version(s)).collect();
+                let _ = reply.send(versions);
+            }
+            ShardCmd::Health { reply } => {
+                let _ = reply.send(ShardHealth {
+                    shard: id,
+                    report: archive.health_report(),
+                    durable_len: archive.durable_len(),
+                    published: bus.published(),
+                });
+            }
+            ShardCmd::Edge { task, reply } => {
+                let view = EdgeView {
+                    shard: id,
+                    store: archive.store().as_ref(),
+                    registry,
+                };
+                let _ = reply.send(task(&view));
+            }
+            ShardCmd::Fence { reply } => {
+                let _ = reply.send(());
+            }
+            ShardCmd::Stop { reply } => {
+                let _ = archive.flush();
+                let _ = reply.send(());
+                return;
+            }
+        }
+    }
+}

@@ -30,7 +30,13 @@
 //!    over the in-memory store, a WAL + compressed-segment persistent
 //!    engine, and a hybrid of the two, so the archive can survive process
 //!    restarts with bit-identical recovery.
-//! 7. [`metrics`] — the stack's *self*-telemetry: every bus publish, store
+//! 7. [`cluster`] — the distribution layer: N collector shards each own a
+//!    consistent-hash slice of the sensor space behind a message-passing
+//!    boundary, with a [`cluster::ClusterCoordinator`] doing placement-
+//!    routed ingest, deterministic scatter-gather queries (bit-identical
+//!    digests at any shard count) and failure-driven rebalance that
+//!    replays the durable tier so no accepted reading is lost.
+//! 8. [`metrics`] — the stack's *self*-telemetry: every bus publish, store
 //!    write, and query scan records into a [`metrics::MetricsRegistry`]
 //!    (counters, gauges, deterministic log-linear latency histograms) with
 //!    Prometheus-text and JSON exposition, so the ODA system can describe
@@ -61,6 +67,7 @@
 
 pub mod alert;
 pub mod bus;
+pub mod cluster;
 pub mod export;
 pub mod health;
 pub mod metrics;
@@ -75,6 +82,10 @@ pub mod store;
 pub mod prelude {
     pub use crate::alert::{AlertEngine, AlertEvent, AlertRule, AlertSeverity, Condition};
     pub use crate::bus::{Subscription, SubscriptionBuilder, TelemetryBus};
+    pub use crate::cluster::{
+        ClusterConfig, ClusterCoordinator, EdgeTask, EdgeView, PlacementMap, ShardHealth, ShardId,
+        ShardOccupancy,
+    };
     pub use crate::health::{HealthReport, SensorHealth, TierOccupancy};
     pub use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Timer};
     pub use crate::pattern::SensorPattern;

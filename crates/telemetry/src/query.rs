@@ -204,8 +204,12 @@ impl From<&str> for SensorSelector {
 }
 
 /// Output shape a query has been composed into.
+///
+/// Crate-visible so the cluster coordinator can split a query into
+/// per-shard sub-queries of the same shape and reassemble the partials
+/// (see [`crate::cluster`]).
 #[derive(Debug, Clone, Copy)]
-enum Shape {
+pub(crate) enum Shape {
     Readings,
     Buckets { bucket_ms: u64, agg: Aggregation },
     Scalars(Aggregation),
@@ -223,11 +227,11 @@ enum Shape {
 #[derive(Debug, Clone)]
 #[must_use = "a Query does nothing until .run(&engine)"]
 pub struct Query {
-    selector: SensorSelector,
-    range: TimeRange,
-    rate: bool,
-    raw_only: bool,
-    shape: Shape,
+    pub(crate) selector: SensorSelector,
+    pub(crate) range: TimeRange,
+    pub(crate) rate: bool,
+    pub(crate) raw_only: bool,
+    pub(crate) shape: Shape,
 }
 
 impl Query {
@@ -642,12 +646,15 @@ fn wire_f64(v: &Value) -> Option<f64> {
 /// mismatch is a programming error, not a data condition.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
-    sensors: Vec<SensorId>,
-    shape: ResultData,
+    pub(crate) sensors: Vec<SensorId>,
+    pub(crate) shape: ResultData,
 }
 
+/// Crate-visible so the cluster coordinator can reassemble gathered
+/// per-shard partial results into one result bit-identical to unsharded
+/// execution (see [`crate::cluster`]).
 #[derive(Debug, Clone)]
-enum ResultData {
+pub(crate) enum ResultData {
     Series(Vec<Vec<Reading>>),
     Buckets(Vec<Vec<Bucket>>),
     Scalars(Vec<Option<f64>>),
@@ -1303,7 +1310,7 @@ pub fn rate_readings(readings: &[Reading]) -> Vec<Reading> {
 ///
 /// Cells where a sensor has no bucket are `f64::NAN` ("no data", not zero);
 /// see [`Query::align`] for the consumer contract.
-fn align_buckets(per_sensor: &[Vec<Bucket>]) -> (Vec<Timestamp>, Vec<Vec<f64>>) {
+pub(crate) fn align_buckets(per_sensor: &[Vec<Bucket>]) -> (Vec<Timestamp>, Vec<Vec<f64>>) {
     let mut grid: Vec<Timestamp> = per_sensor
         .iter()
         .flat_map(|bs| bs.iter().map(|b| b.start))

@@ -129,9 +129,21 @@ impl RingBuffer {
     /// Returns `false` (and stores nothing) if the reading is non-finite or
     /// older than the newest stored reading — out-of-order data is dropped
     /// rather than silently corrupting the series, mirroring the behaviour
-    /// of production collectors. Equal timestamps are accepted, replacing
-    /// nothing (multiple same-ts readings are legal and preserved in arrival
-    /// order).
+    /// of production collectors.
+    ///
+    /// **Duplicate-timestamp policy: accept-and-order-stable.** A reading
+    /// whose timestamp *equals* the newest stored one is appended, never
+    /// merged, deduplicated or replaced — runs of same-ts readings survive
+    /// in exact arrival order. Real collectors emit such runs routinely
+    /// (two sensors flushed in one batch, a re-sent sample after a
+    /// collector hiccup, sub-resolution bursts), and keeping every one is
+    /// what makes the pipeline deterministic end to end: the buffer stays
+    /// sorted (non-decreasing), so `range_into`'s `partition_point` bounds
+    /// pick up a whole same-ts run on the start edge and exclude it on the
+    /// end edge, and the rollup tiers fold the duplicates into their
+    /// buckets in that same stable order — a tier-served aggregate is
+    /// bit-identical to a raw scan even when every reading in the window
+    /// shares one timestamp.
     pub fn push(&mut self, r: Reading) -> bool {
         if !r.is_finite() {
             self.rejected_non_finite += 1;

@@ -311,6 +311,87 @@ proptest! {
         }
     }
 
+    /// The duplicate-timestamp policy (accept-and-order-stable; see
+    /// `RingBuffer::push`) holds all the way up the query stack: streams
+    /// dense with same-ts runs are kept in exact arrival order, and every
+    /// tier-planned answer is *bit-identical* to the raw scan over them —
+    /// scalar and downsampled, for every decomposable aggregation.
+    /// Timestamp gaps are drawn from `0..3` ticks so roughly a third of
+    /// consecutive readings collide; values are dyadic (multiples of 0.25)
+    /// so `prop_assert_eq!` needs no tolerance.
+    #[test]
+    fn duplicate_timestamps_are_order_stable_and_tier_exact(
+        raw in prop::collection::vec((0u64..3, -4000i32..4000), 1..250),
+        raw_cap in 8usize..64,
+        tier_cap in 2usize..32,
+    ) {
+        use hpc_oda::telemetry::metrics::MetricsRegistry;
+        use hpc_oda::telemetry::store::{RollupConfig, RollupTierSpec};
+
+        let rollups = RollupConfig {
+            tiers: vec![
+                RollupTierSpec { bucket_ms: 1_000, capacity: tier_cap },
+                RollupTierSpec { bucket_ms: 5_000, capacity: tier_cap },
+            ],
+        };
+        let store =
+            TimeSeriesStore::with_rollups(raw_cap, 1, MetricsRegistry::disabled(), rollups);
+        let s = SensorId(0);
+        let mut ts = 0u64;
+        let mut model: Vec<Reading> = Vec::new();
+        for (gap, v) in raw {
+            ts += gap * 250; // gap == 0 → duplicate timestamp
+            let r = Reading::new(Timestamp::from_millis(ts), v as f64 * 0.25);
+            store.insert(s, r);
+            model.push(r);
+            if model.len() > raw_cap {
+                model.remove(0);
+            }
+        }
+        let q = QueryEngine::new(&store);
+        let all = TimeRange::all();
+
+        // Arrival order survives verbatim — same-ts runs are neither merged
+        // nor reordered.
+        let fetched = Query::sensors(s).range(all).run(&q).readings();
+        prop_assert_eq!(fetched, model);
+
+        for agg in [
+            Aggregation::Mean,
+            Aggregation::Min,
+            Aggregation::Max,
+            Aggregation::Sum,
+            Aggregation::Count,
+        ] {
+            let planned =
+                Query::sensors(s).range(all).aggregate(agg).run(&q).scalar();
+            let rescan = Query::sensors(s)
+                .range(all)
+                .aggregate(agg)
+                .raw_scan()
+                .run(&q)
+                .scalar();
+            prop_assert_eq!(planned, rescan, "scalar {:?} diverged on dup-ts", agg);
+            for bucket_ms in [1_000u64, 5_000] {
+                let planned = Query::sensors(s)
+                    .range(all)
+                    .downsample(bucket_ms, agg)
+                    .run(&q)
+                    .buckets();
+                let rescan = Query::sensors(s)
+                    .range(all)
+                    .downsample(bucket_ms, agg)
+                    .raw_scan()
+                    .run(&q)
+                    .buckets();
+                prop_assert_eq!(
+                    &planned, &rescan,
+                    "downsample({}) {:?} diverged on dup-ts", bucket_ms, agg
+                );
+            }
+        }
+    }
+
     /// `aggregate_readings` agrees between the slice helper and the engine.
     #[test]
     fn engine_and_slice_aggregation_agree(series in arb_series(80)) {
