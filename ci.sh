@@ -5,8 +5,23 @@
 # fault injection (replay must be bit-identical at workers=1 and
 # workers=4) and regenerate the BENCH_*.json reports, which are gated
 # against the committed baselines by ci/check_bench.py.
+#
+# `./ci.sh --full` additionally runs the nightly sanitizer lanes (Miri on
+# the oda-telemetry lib tests, ThreadSanitizer on the concurrency-heavy
+# telemetry/serve suites). Each lane is gated on its toolchain component
+# being present and skips loudly when it isn't, so `--full` degrades
+# gracefully on machines without the nightly extras; the hosted
+# `sanitizers` job in ci.yml installs the components and never skips.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+FULL=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) FULL=1 ;;
+    *) echo "unknown argument: $arg (supported: --full)" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -49,5 +64,37 @@ python3 ci/check_bench.py BENCH_storage.json ci/baselines/BENCH_storage.json
 echo "==> serving bench (multi-tenant query traffic + subscription fan-out)"
 cargo run --release -p oda-bench --bin serving > BENCH_serving.json
 python3 ci/check_bench.py BENCH_serving.json ci/baselines/BENCH_serving.json
+
+if [ "$FULL" = 1 ]; then
+  echo "==> miri (undefined-behaviour interpreter; oda-telemetry lib tests)"
+  # Thread-stress and real-fs tests carry #[cfg_attr(miri, ignore)]; what
+  # remains is the curated fast subset (ring buffer, rollup, placement,
+  # codec, WAL-over-SimFs) where Miri can actually find UB.
+  if cargo +nightly miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-strict-provenance" cargo +nightly miri test -q -p oda-telemetry --lib
+  else
+    echo "SKIP: miri lane — 'cargo +nightly miri' unavailable" >&2
+    echo "      (rustup +nightly component add miri; the hosted sanitizers job always runs it)" >&2
+  fi
+
+  echo "==> thread sanitizer (cluster + serving concurrency tests)"
+  # TSan needs the standard library rebuilt with -Zsanitizer=thread, which
+  # requires the nightly rust-src component (-Zbuild-std).
+  if rustup component list --toolchain nightly 2>/dev/null | grep -q '^rust-src.*(installed)'; then
+    TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+    # oda-telemetry carries the thread-stress tests (concurrent store
+    # writers, concurrent metric recording); oda-serve's server tests
+    # stand up a real coordinator with live shard threads.
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -q -Zbuild-std --target "$TSAN_TARGET" \
+      -p oda-telemetry --lib
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -q -Zbuild-std --target "$TSAN_TARGET" \
+      -p oda-serve --lib
+  else
+    echo "SKIP: thread-sanitizer lane — nightly rust-src component unavailable" >&2
+    echo "      (rustup +nightly component add rust-src; the hosted sanitizers job always runs it)" >&2
+  fi
+fi
 
 echo "CI OK"

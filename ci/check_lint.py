@@ -5,25 +5,64 @@ Usage: check_lint.py LINT_report.json
 
 `odalint` already exits nonzero on violations; this script is the second
 half of the CI stage: it proves the report the run produced is the
-well-formed `odalint-report/v1` document downstream tooling consumes, and
+well-formed `odalint-report/v2` document downstream tooling consumes, and
 re-asserts the clean invariant from the report itself (defence in depth if
 the exit code is ever swallowed by a pipeline).
+
+v2 adds the `concurrency` section (lock-order graph + channel inventory)
+produced by the cross-procedural analysis; a v1 report here means the
+concurrency pass silently stopped running, which this gate treats as a
+hard regression.
 """
 
 import json
 import sys
 
-SCHEMA = "odalint-report/v1"
+SCHEMA = "odalint-report/v2"
 
 VIOLATION_KEYS = {"rule", "file", "line", "col", "message"}
 ALLOWED_KEYS = {"rule", "file", "line", "justification"}
 INVENTORY_KEYS = {"file", "line", "col", "safety_comment"}
 SUMMARY_KEYS = {"files_scanned", "violations", "allowed", "unsafe_blocks"}
+EDGE_KEYS = {"from", "to", "file", "line", "via"}
+CHANNEL_KEYS = {"file", "line", "ctor", "bounded", "capacity"}
 
 
 def fail(msg):
     print(f"check_lint: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_concurrency(report):
+    conc = report["concurrency"]
+    if set(conc) != {"lock_order_edges", "channels"}:
+        fail(f"concurrency keys {sorted(conc)} != "
+             "['channels', 'lock_order_edges']")
+
+    edges = conc["lock_order_edges"]
+    for entry in edges:
+        if set(entry) != EDGE_KEYS:
+            fail(f"lock_order_edges entry keys {sorted(entry)} != "
+                 f"{sorted(EDGE_KEYS)}")
+    keys = [(e["from"], e["to"]) for e in edges]
+    if keys != sorted(keys):
+        fail("lock_order_edges are not sorted by (from, to); "
+             "the report is not canonical")
+    if len(keys) != len(set(keys)):
+        fail("duplicate (from, to) pair in lock_order_edges")
+
+    channels = conc["channels"]
+    for entry in channels:
+        if set(entry) != CHANNEL_KEYS:
+            fail(f"channels entry keys {sorted(entry)} != "
+                 f"{sorted(CHANNEL_KEYS)}")
+    # The workspace genuinely creates channels (cluster shard mailboxes,
+    # serving fan-out); an empty inventory means the channel scan broke,
+    # not that the channels went away.
+    if not channels:
+        fail("channel inventory is empty: the channel-topology scan "
+             "found nothing in a workspace known to create channels")
+    return len(edges), len(channels)
 
 
 def main():
@@ -35,10 +74,14 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {sys.argv[1]}: {e}")
 
-    if report.get("schema") != SCHEMA:
-        fail(f"schema is {report.get('schema')!r}, expected {SCHEMA!r}")
+    schema = report.get("schema")
+    if schema == "odalint-report/v1":
+        fail("report regressed to odalint-report/v1: the concurrency "
+             "analysis did not run")
+    if schema != SCHEMA:
+        fail(f"schema is {schema!r}, expected {SCHEMA!r}")
     for key in ("tool", "summary", "rules", "violations", "allowed",
-                "allowlist", "unsafe_inventory"):
+                "allowlist", "unsafe_inventory", "concurrency"):
         if key not in report:
             fail(f"missing top-level key {key!r}")
 
@@ -57,6 +100,7 @@ def main():
         fail("summary.allowed disagrees with the allowed list")
     if not report["rules"]:
         fail("empty rule catalogue")
+    edge_count, channel_count = check_concurrency(report)
 
     if summary["violations"] != 0:
         for v in report["violations"]:
@@ -66,7 +110,9 @@ def main():
 
     print(f"check_lint: OK ({summary['files_scanned']} files, "
           f"{summary['allowed']} allowed, "
-          f"{summary['unsafe_blocks']} unsafe block(s))")
+          f"{summary['unsafe_blocks']} unsafe block(s), "
+          f"{edge_count} lock-order edge(s), "
+          f"{channel_count} channel(s))")
 
 
 if __name__ == "__main__":

@@ -41,8 +41,32 @@ fn main() -> ExitCode {
             "--root" => root = args.next().map(PathBuf::from),
             "--report" => report_path = args.next().map(PathBuf::from),
             "--quiet" | "-q" => quiet = true,
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    eprintln!("odalint: --explain requires a rule id");
+                    return ExitCode::from(2);
+                };
+                let Some(r) = lint::rules::RULES.iter().find(|r| r.id == id) else {
+                    eprintln!("odalint: unknown rule `{id}`; known rules:");
+                    for r in lint::rules::RULES {
+                        eprintln!("  {}", r.id);
+                    }
+                    return ExitCode::from(2);
+                };
+                println!("{}", r.id);
+                println!("  scope: {}", r.scope);
+                println!("  rationale: {}", r.description);
+                println!("  example:");
+                for line in r.example.lines() {
+                    println!("    {line}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
-                eprintln!("usage: odalint [--root <dir>] [--report <path>] [--quiet]");
+                eprintln!(
+                    "usage: odalint [--root <dir>] [--report <path>] [--quiet] \
+                     [--explain <rule>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {

@@ -1,0 +1,317 @@
+//! Channel topology: creation sites, boundedness, and which names alias
+//! each channel's sender/receiver endpoints.
+//!
+//! Creation sites are `channel()` / `sync_channel(n)` (std `mpsc`) and
+//! `bounded(n)` / `unbounded()` (crossbeam-style) calls. Endpoint aliases
+//! start at the `let (tx, rx) = ctor(..)` destructuring and propagate two
+//! ways the workspace actually uses:
+//!
+//! * **struct literals** in the creating function — `ShardHandle { tx, .. }`
+//!   or `ShardCmd::Query { reply, .. }` make `(Type, field)` a global
+//!   alias of the endpoint;
+//! * **call arguments** — `run(id, &rx, ..)` makes the callee's matching
+//!   parameter a local alias inside the callee.
+//!
+//! Lookups fall back to a *unique* bare-field-name match (`h.tx` where
+//! `h`'s type is unknown but exactly one channel has a field alias named
+//! `tx`); an ambiguous bare name resolves to nothing, so an unresolvable
+//! send is never guessed bounded.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::parse::ParsedFile;
+use crate::rules::matching_idx;
+use std::collections::BTreeMap;
+
+/// Which end of a channel an alias names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The sending half.
+    Sender,
+    /// The receiving half.
+    Receiver,
+}
+
+/// An alias resolution: which channel, which end.
+#[derive(Debug, Clone, Copy)]
+pub struct Endpoint {
+    /// Index into [`ChannelMap::sites`].
+    pub chan: usize,
+    /// Which half the alias names.
+    pub role: Role,
+}
+
+/// One channel creation site (the report's channel inventory entry).
+#[derive(Debug, Clone)]
+pub struct ChannelSite {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-indexed line of the constructor call.
+    pub line: u32,
+    /// Constructor name (`channel`, `sync_channel`, `bounded`, `unbounded`).
+    pub ctor: String,
+    /// Whether sends can block (bounded capacity).
+    pub bounded: bool,
+    /// Capacity expression text for bounded channels.
+    pub capacity: Option<String>,
+}
+
+/// The workspace channel topology.
+#[derive(Debug, Default)]
+pub struct ChannelMap {
+    /// Creation sites, in (file, line) order of discovery.
+    pub sites: Vec<ChannelSite>,
+    /// `(file index, fn qual, local name)` → endpoint.
+    local: BTreeMap<(usize, String, String), Endpoint>,
+    /// `(owner type, field name)` → endpoint.
+    global: BTreeMap<(String, String), Endpoint>,
+}
+
+fn txt(toks: &[Tok], i: usize) -> &str {
+    toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+/// Boundedness by constructor name; `None` for non-channel idents.
+fn ctor_kind(name: &str) -> Option<bool> {
+    match name {
+        "bounded" | "sync_channel" => Some(true),
+        "channel" | "unbounded" => Some(false),
+        _ => None,
+    }
+}
+
+impl ChannelMap {
+    /// Registers a local endpoint alias inside `(file, fn_qual)`.
+    pub fn add_local(&mut self, file: usize, fn_qual: &str, name: &str, ep: Endpoint) {
+        self.local
+            .insert((file, fn_qual.to_string(), name.to_string()), ep);
+    }
+
+    /// Registers a `(type, field)` global endpoint alias.
+    pub fn add_global(&mut self, owner: &str, field: &str, ep: Endpoint) {
+        self.global
+            .insert((owner.to_string(), field.to_string()), ep);
+    }
+
+    /// Local alias lookup.
+    pub fn local_of(&self, file: usize, fn_qual: &str, name: &str) -> Option<Endpoint> {
+        self.local
+            .get(&(file, fn_qual.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// Resolves the receiver path of a send/recv site to an endpoint.
+    ///
+    /// `owner_ty` is the resolved base type of the path *minus its last
+    /// segment* (when the lock/type resolver could follow it). Resolution
+    /// order: fn-local alias, `(owner type, field)`, then a bare-name
+    /// fallback that only fires when every field alias with that name
+    /// agrees on the channel.
+    pub fn resolve(
+        &self,
+        file: usize,
+        fn_qual: &str,
+        segs: &[String],
+        owner_ty: Option<&str>,
+    ) -> Option<Endpoint> {
+        let last = segs.last()?;
+        if segs.len() == 1 {
+            if let Some(ep) = self.local_of(file, fn_qual, last) {
+                return Some(ep);
+            }
+        }
+        if let Some(owner) = owner_ty {
+            if let Some(ep) = self.global.get(&(owner.to_string(), last.clone())) {
+                return Some(*ep);
+            }
+        }
+        let mut candidates = self
+            .global
+            .iter()
+            .filter(|((_, f), _)| f == last)
+            .map(|(_, ep)| *ep);
+        let first = candidates.next()?;
+        if candidates.all(|ep| ep.chan == first.chan) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `ep` belongs to a bounded channel.
+    pub fn is_bounded(&self, ep: Endpoint) -> bool {
+        self.sites.get(ep.chan).map(|s| s.bounded).unwrap_or(false)
+    }
+}
+
+/// Scans one function body for channel constructors and `let (a, b) =`
+/// destructurings, then for struct literals that promote local aliases to
+/// `(type, field)` globals.
+fn scan_fn(
+    toks: &[Tok],
+    file_idx: usize,
+    rel: &str,
+    fn_qual: &str,
+    body: (usize, usize),
+    map: &mut ChannelMap,
+) {
+    let (open, close) = body;
+    if open >= close {
+        return;
+    }
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && !txt(toks, i + 1).is_empty() {
+            if let Some(bounded) = ctor_kind(&t.text) {
+                // Not a definition (`fn bounded`) and not a method call on
+                // some unrelated receiver (`x.channel()`).
+                let prev = txt(toks, i.wrapping_sub(1));
+                if prev != "fn" && prev != "." {
+                    // Optional turbofish, then the argument list.
+                    let mut j = i + 1;
+                    if txt(toks, j) == "::" && txt(toks, j + 1) == "<" {
+                        let mut depth = 0i64;
+                        j += 1;
+                        while j < close {
+                            match txt(toks, j) {
+                                "<" => depth += 1,
+                                ">" => depth -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    if txt(toks, j) == "(" {
+                        let args_close = matching_idx(toks, j);
+                        let capacity = if bounded && args_close > j + 1 {
+                            Some(
+                                toks[j + 1..args_close]
+                                    .iter()
+                                    .map(|t| t.text.as_str())
+                                    .collect::<Vec<_>>()
+                                    .join(" "),
+                            )
+                        } else {
+                            None
+                        };
+                        let chan = map.sites.len();
+                        map.sites.push(ChannelSite {
+                            file: rel.to_string(),
+                            line: t.line,
+                            ctor: t.text.clone(),
+                            bounded,
+                            capacity,
+                        });
+                        // `let ( a , b ) = ctor(..)` endpoint binding.
+                        let stmt = crate::locks::statement_start(toks, i, open);
+                        if txt(toks, stmt) == "let"
+                            && txt(toks, stmt + 1) == "("
+                            && toks.get(stmt + 2).map(|t| t.kind) == Some(TokKind::Ident)
+                            && txt(toks, stmt + 3) == ","
+                            && toks.get(stmt + 4).map(|t| t.kind) == Some(TokKind::Ident)
+                            && txt(toks, stmt + 5) == ")"
+                        {
+                            map.add_local(
+                                file_idx,
+                                fn_qual,
+                                &toks[stmt + 2].text.clone(),
+                                Endpoint {
+                                    chan,
+                                    role: Role::Sender,
+                                },
+                            );
+                            map.add_local(
+                                file_idx,
+                                fn_qual,
+                                &toks[stmt + 4].text.clone(),
+                                Endpoint {
+                                    chan,
+                                    role: Role::Receiver,
+                                },
+                            );
+                        }
+                        i = args_close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Struct-literal promotion: `Type { field: alias, shorthand, .. }`
+    // (including `Enum::Variant { .. }`, keyed by the enum name to match
+    // the field tables).
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        let starts_upper = t.kind == TokKind::Ident
+            && t.text
+                .chars()
+                .next()
+                .map(char::is_uppercase)
+                .unwrap_or(false);
+        if starts_upper {
+            let owner = t.text.clone();
+            let mut j = i + 1;
+            // `Enum::Variant` — the owner stays the first segment.
+            while txt(toks, j) == "::" && toks.get(j + 1).map(|t| t.kind) == Some(TokKind::Ident) {
+                j += 2;
+            }
+            if txt(toks, j) == "{" {
+                let body_close = matching_idx(toks, j);
+                let mut k = j + 1;
+                let mut depth = 0i64;
+                while k < body_close {
+                    match txt(toks, k) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        _ => {}
+                    }
+                    if depth == 0 && toks[k].kind == TokKind::Ident {
+                        let (field, value) = if txt(toks, k + 1) == ":"
+                            && toks.get(k + 2).map(|t| t.kind) == Some(TokKind::Ident)
+                            && matches!(txt(toks, k + 3), "," | "}")
+                        {
+                            (toks[k].text.clone(), toks[k + 2].text.clone())
+                        } else if matches!(txt(toks, k + 1), "," | "}")
+                            && matches!(txt(toks, k.wrapping_sub(1)), "{" | ",")
+                        {
+                            (toks[k].text.clone(), toks[k].text.clone())
+                        } else {
+                            k += 1;
+                            continue;
+                        };
+                        if let Some(ep) = map.local_of(file_idx, fn_qual, &value) {
+                            map.add_global(&owner, &field, ep);
+                        }
+                    }
+                    k += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Builds the channel map over every analyzed file: constructor scan,
+/// destructuring bindings, and struct-literal alias promotion. Call-arg
+/// propagation needs the function index and is layered on by the driver
+/// (see [`crate::callgraph`]).
+pub fn build(files: &[(usize, &str, &Lexed, &ParsedFile)]) -> ChannelMap {
+    let mut map = ChannelMap::default();
+    for &(file_idx, rel, lexed, parsed) in files {
+        for item in &parsed.fns {
+            if item.in_test {
+                continue;
+            }
+            scan_fn(&lexed.toks, file_idx, rel, &item.qual, item.body, &mut map);
+        }
+    }
+    map
+}

@@ -31,7 +31,11 @@
 //! one real finding — stale allows are themselves violations
 //! (`allow-hygiene`), so the allowlist can only shrink or stay honest.
 
+pub mod callgraph;
+pub mod channels;
 pub mod lexer;
+pub mod locks;
+pub mod parse;
 pub mod report;
 pub mod rules;
 
@@ -170,6 +174,17 @@ pub struct InventoryEntry {
     pub safety_comment: bool,
 }
 
+/// The cross-procedural analysis artifacts exported in the v2 report's
+/// `concurrency` section.
+#[derive(Debug, Default)]
+pub struct ConcurrencySummary {
+    /// The full lock-acquisition-order edge list (cycles are violations;
+    /// the acyclic remainder documents the workspace's lock hierarchy).
+    pub lock_order_edges: Vec<callgraph::LockOrderEdge>,
+    /// Every channel creation site with boundedness.
+    pub channels: Vec<channels::ChannelSite>,
+}
+
 /// Result of linting a whole workspace (or one file via [`lint_source`]).
 #[derive(Debug, Default)]
 pub struct Outcome {
@@ -185,6 +200,8 @@ pub struct Outcome {
     pub allowlist_used: Vec<(AllowEntry, bool)>,
     /// [`ALLOWLIST_FILE`] line numbers of entries that fired.
     pub allowlist_hits: Vec<u32>,
+    /// Lock-order edges and channel inventory from the concurrency pass.
+    pub concurrency: ConcurrencySummary,
 }
 
 impl Outcome {
@@ -261,44 +278,97 @@ fn parse_inline_allows(lexed: &lexer::Lexed) -> Vec<InlineAllow> {
 
 /// Lints one in-memory source file. Inline allows are honoured; the
 /// file-scoped allowlist in `cfg` is honoured too. This is the unit the
-/// fixture tests drive directly.
+/// fixture tests drive directly. The concurrency rules run over the
+/// single file (a one-file workspace).
 pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Outcome {
-    let lexed = lexer::lex(src);
-    let class = cfg.classify(rel);
-    let (findings, unsafe_sites) = rules::scan(&lexed, class);
-    let mut allows = parse_inline_allows(&lexed);
+    lint_sources(&[(rel, src)], cfg)
+}
+
+/// Lints a set of in-memory source files as one workspace: per-file
+/// pattern rules, then the cross-procedural concurrency analysis over
+/// every non-shim, non-test file, then allow application over the merged
+/// findings (so an inline allow can suppress an interprocedural finding
+/// landing on its line).
+pub fn lint_sources(files: &[(&str, &str)], cfg: &Config) -> Outcome {
     let mut out = Outcome {
-        files_scanned: 1,
+        files_scanned: files.len(),
         ..Outcome::default()
     };
-    let hits = apply_allows(rel, findings, &mut allows, cfg, &mut out);
-    out.allowlist_hits.extend(hits);
-    for a in &allows {
-        if let Some(why) = a.malformed {
-            out.violations.push(Violation {
-                rule: "allow-hygiene".into(),
-                file: rel.into(),
-                line: a.line,
-                col: 1,
-                message: format!("malformed odalint allow: {why}"),
-            });
-        } else if !a.used {
-            out.violations.push(Violation {
-                rule: "allow-hygiene".into(),
-                file: rel.into(),
-                line: a.line,
-                col: 1,
-                message: format!("allow({}) suppresses nothing — remove it", a.rule),
+
+    // Pass 1: lex, classify, pattern-scan, parse.
+    let mut lexed_files = Vec::with_capacity(files.len());
+    for (rel, src) in files {
+        let lexed = lexer::lex(src);
+        let class = cfg.classify(rel);
+        lexed_files.push((*rel, lexed, class));
+    }
+    let mut findings_per_file: Vec<Vec<Finding>> = Vec::with_capacity(files.len());
+    let mut unsafe_per_file = Vec::with_capacity(files.len());
+    for (_, lexed, class) in &lexed_files {
+        let (findings, unsafe_sites) = rules::scan(lexed, *class);
+        findings_per_file.push(findings);
+        unsafe_per_file.push(unsafe_sites);
+    }
+
+    // Pass 2: concurrency analysis over the eligible files.
+    let parsed: Vec<Option<parse::ParsedFile>> = lexed_files
+        .iter()
+        .map(|(_, lexed, class)| {
+            if class.shim || class.test_file {
+                None
+            } else {
+                Some(parse::parse(lexed))
+            }
+        })
+        .collect();
+    let inputs: Vec<(usize, &str, &lexer::Lexed, &parse::ParsedFile)> = lexed_files
+        .iter()
+        .zip(parsed.iter())
+        .enumerate()
+        .filter_map(|(i, ((rel, lexed, _), p))| p.as_ref().map(|p| (i, *rel, lexed, p)))
+        .collect();
+    let analysis = callgraph::analyze(&inputs);
+    for (file_id, f) in analysis.findings {
+        findings_per_file[file_id].push(f);
+    }
+    out.concurrency = ConcurrencySummary {
+        lock_order_edges: analysis.edges,
+        channels: analysis.channels,
+    };
+
+    // Pass 3: allow application and allow hygiene, per file.
+    for (i, (rel, lexed, _)) in lexed_files.iter().enumerate() {
+        let mut allows = parse_inline_allows(lexed);
+        let findings = std::mem::take(&mut findings_per_file[i]);
+        let hits = apply_allows(rel, findings, &mut allows, cfg, &mut out);
+        out.allowlist_hits.extend(hits);
+        for a in &allows {
+            if let Some(why) = a.malformed {
+                out.violations.push(Violation {
+                    rule: "allow-hygiene".into(),
+                    file: (*rel).into(),
+                    line: a.line,
+                    col: 1,
+                    message: format!("malformed odalint allow: {why}"),
+                });
+            } else if !a.used {
+                out.violations.push(Violation {
+                    rule: "allow-hygiene".into(),
+                    file: (*rel).into(),
+                    line: a.line,
+                    col: 1,
+                    message: format!("allow({}) suppresses nothing — remove it", a.rule),
+                });
+            }
+        }
+        for u in std::mem::take(&mut unsafe_per_file[i]) {
+            out.unsafe_inventory.push(InventoryEntry {
+                file: (*rel).into(),
+                line: u.line,
+                col: u.col,
+                safety_comment: u.safety_comment,
             });
         }
-    }
-    for u in unsafe_sites {
-        out.unsafe_inventory.push(InventoryEntry {
-            file: rel.into(),
-            line: u.line,
-            col: u.col,
-            safety_comment: u.safety_comment,
-        });
     }
     out.sort();
     out
@@ -467,15 +537,23 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Outcome> {
         allowlist_hits.insert(e.line, false);
     }
 
+    // Read everything up front: the concurrency pass needs the whole
+    // workspace at once (call edges and channel aliases cross files).
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for (rel, path) in &files {
-        let src = fs::read_to_string(path)?;
-        let one = lint_source(rel, &src, cfg);
-        out.files_scanned += 1;
-        for line in &one.allowlist_hits {
-            allowlist_hits.insert(*line, true);
-        }
+        sources.push((rel.clone(), fs::read_to_string(path)?));
+    }
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(rel, src)| (rel.as_str(), src.as_str()))
+        .collect();
+    let mut all = lint_sources(&refs, cfg);
+    for line in &all.allowlist_hits {
+        allowlist_hits.insert(*line, true);
+    }
+    for (rel, src) in &sources {
         let crate_dir = crate_of(rel, &crate_dirs).to_string();
-        let has_unsafe = !one.unsafe_inventory.is_empty();
+        let has_unsafe = all.unsafe_inventory.iter().any(|u| &u.file == rel);
         *crate_unsafe.entry(crate_dir.clone()).or_insert(false) |= has_unsafe;
         let lib_rel = if crate_dir.is_empty() {
             "src/lib.rs".to_string()
@@ -483,12 +561,14 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Outcome> {
             format!("{crate_dir}/src/lib.rs")
         };
         if *rel == lib_rel {
-            crate_root_toks.insert(crate_dir, lexer::lex(&src));
+            crate_root_toks.insert(crate_dir, lexer::lex(src));
         }
-        out.violations.extend(one.violations);
-        out.allowed.extend(one.allowed);
-        out.unsafe_inventory.extend(one.unsafe_inventory);
     }
+    out.files_scanned = all.files_scanned;
+    out.violations.append(&mut all.violations);
+    out.allowed.append(&mut all.allowed);
+    out.unsafe_inventory.append(&mut all.unsafe_inventory);
+    out.concurrency = all.concurrency;
 
     // forbid-unsafe: crate-level policy check on each crate root.
     for (crate_dir, lexed) in &crate_root_toks {

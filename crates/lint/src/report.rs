@@ -30,7 +30,7 @@ fn esc(s: &str, out: &mut String) {
 pub fn render(outcome: &Outcome) -> String {
     let mut s = String::with_capacity(4096);
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"odalint-report/v1\",\n");
+    s.push_str("  \"schema\": \"odalint-report/v2\",\n");
     s.push_str(&format!(
         "  \"tool\": {{\"name\": \"odalint\", \"version\": \"{VERSION}\"}},\n"
     ));
@@ -123,7 +123,50 @@ pub fn render(outcome: &Outcome) -> String {
         }
         s.push('\n');
     }
-    s.push_str("  ]\n");
+    s.push_str("  ],\n");
+
+    // v2: the concurrency section — the interprocedural lock-order edge
+    // list (the workspace's observed lock hierarchy) and the channel
+    // inventory. Both are pre-sorted by the analysis for byte-stability.
+    s.push_str("  \"concurrency\": {\n");
+    s.push_str("    \"lock_order_edges\": [\n");
+    let edges = &outcome.concurrency.lock_order_edges;
+    for (i, e) in edges.iter().enumerate() {
+        s.push_str("      {\"from\": ");
+        esc(&e.from, &mut s);
+        s.push_str(", \"to\": ");
+        esc(&e.to, &mut s);
+        s.push_str(", \"file\": ");
+        esc(&e.file, &mut s);
+        s.push_str(&format!(", \"line\": {}, \"via\": ", e.line));
+        esc(&e.via, &mut s);
+        s.push('}');
+        if i + 1 < edges.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("    ],\n");
+    s.push_str("    \"channels\": [\n");
+    let chans = &outcome.concurrency.channels;
+    for (i, c) in chans.iter().enumerate() {
+        s.push_str("      {\"file\": ");
+        esc(&c.file, &mut s);
+        s.push_str(&format!(", \"line\": {}, \"ctor\": ", c.line));
+        esc(&c.ctor, &mut s);
+        s.push_str(&format!(", \"bounded\": {}, \"capacity\": ", c.bounded));
+        match &c.capacity {
+            Some(cap) => esc(cap, &mut s),
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        if i + 1 < chans.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("    ]\n");
+    s.push_str("  }\n");
     s.push_str("}\n");
     s
 }

@@ -49,7 +49,8 @@ pub struct UnsafeSite {
     pub safety_comment: bool,
 }
 
-/// Static description of a rule, surfaced in `LINT_report.json`.
+/// Static description of a rule, surfaced in `LINT_report.json` and by
+/// `odalint --explain <rule>`.
 pub struct RuleMeta {
     /// Stable rule id, used in allows and the report.
     pub id: &'static str,
@@ -57,6 +58,8 @@ pub struct RuleMeta {
     pub description: &'static str,
     /// Which files the rule applies to.
     pub scope: &'static str,
+    /// A minimal flagged snippet, printed by `--explain`.
+    pub example: &'static str,
 }
 
 /// The full catalogue, in report order.
@@ -67,18 +70,21 @@ pub const RULES: &[RuleMeta] = &[
                       ambient time breaks bit-identical replay — thread time through \
                       CapabilityContext / the simulated clock",
         scope: "digest crates (core, analytics, telemetry), non-test code",
+        example: "let t = Instant::now();   // ambient clock feeds a digest",
     },
     RuleMeta {
         id: "ambient-env",
         description: "no env!()/option_env!()/std::env::var-style ambient inputs in \
                       digest-bearing crates",
         scope: "digest crates, non-test code",
+        example: "let path = std::env::var(\"ODA_DIR\");   // ambient input",
     },
     RuleMeta {
         id: "unseeded-rng",
         description: "no thread_rng()/from_entropy()/OsRng/rand::random() — all \
                       randomness must come from an explicit seed",
         scope: "digest crates, non-test code",
+        example: "let jitter: f64 = rand::random();   // entropy outside the seed chain",
     },
     RuleMeta {
         id: "hash-iter",
@@ -86,36 +92,42 @@ pub const RULES: &[RuleMeta] = &[
                       nondeterministic and silently feeds ordered output — use \
                       BTreeMap/BTreeSet, or justify pure-membership use with an allow",
         scope: "digest crates, non-test code",
+        example: "let mut by_name: HashMap<String, u64> = HashMap::new();",
     },
     RuleMeta {
         id: "panic-unwrap",
         description: "no .unwrap()/.expect() on the capability-execution / bus / store \
                       hot paths — convert to typed errors or justify the invariant",
         scope: "hot-path files, non-test code",
+        example: "let v = series.last().unwrap();   // panics on an empty series",
     },
     RuleMeta {
         id: "panic-index",
         description: "no direct slice/array indexing on hot paths — use get()/get_mut() \
                       or justify the bound (e.g. index is modulo-capacity)",
         scope: "hot-path files, non-test code",
+        example: "let r = readings[i];   // panics when i is out of bounds",
     },
     RuleMeta {
         id: "float-eq",
         description: "no ==/!= against float literals — exact float equality is almost \
                       always a bug; use an epsilon or justify the exact-zero guard",
         scope: "workspace (non-shim), non-test code",
+        example: "if mean == 0.5 { .. }   // exact float equality",
     },
     RuleMeta {
         id: "float-ord",
         description: "no partial_cmp().unwrap()/.expect() — panics on NaN, and NaN \
                       bursts are a first-class fault here; use f64::total_cmp",
         scope: "workspace (non-shim), non-test code",
+        example: "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());   // panics on NaN",
     },
     RuleMeta {
         id: "unsafe-block",
         description: "every `unsafe` requires a `// SAFETY:` comment on or within three \
                       lines above it",
         scope: "workspace including shims and tests",
+        example: "unsafe { ptr.read() }   // no // SAFETY: comment above",
     },
     RuleMeta {
         id: "forbid-unsafe",
@@ -123,6 +135,7 @@ pub const RULES: &[RuleMeta] = &[
                       #![forbid(unsafe_code)] in its lib.rs; a crate with audited \
                       unsafe must declare #![deny(unsafe_code)]",
         scope: "every workspace crate root (including shims)",
+        example: "// lib.rs without #![forbid(unsafe_code)] in an unsafe-free crate",
     },
     RuleMeta {
         id: "deprecated-api",
@@ -130,12 +143,57 @@ pub const RULES: &[RuleMeta] = &[
                       TelemetryBus::subscribe) are removed — no #[deprecated] shims, \
                       no #[allow(deprecated)], no calls to the removed names",
         scope: "workspace (non-shim)",
+        example: "bus.subscribe(pattern, 64);   // removed positional API",
+    },
+    RuleMeta {
+        id: "lock-order",
+        description: "cycle in the interprocedural lock-acquisition-order graph: two \
+                      paths acquire the same locks in opposite orders, a classic \
+                      deadlock. Both witness acquisition paths are printed; break the \
+                      cycle by scoping one guard or imposing a global order",
+        scope: "workspace (non-shim), non-test code",
+        example: "fn a(&self) { let g = self.x.lock(); self.take_y(); }\n\
+                  fn b(&self) { let g = self.y.lock(); self.take_x(); }",
+    },
+    RuleMeta {
+        id: "guard-across-blocking",
+        description: "a lock guard is live across a blocking operation (send on a \
+                      bounded channel, recv, join, flush/sync_all, or Server::poll), \
+                      directly or through a call chain — the collector-holding-a-lock-\
+                      while-its-consumer-needs-it deadlock shape. Drop or scope the \
+                      guard before blocking, or justify why the blocked-on party can \
+                      never need the lock",
+        scope: "workspace (non-shim), non-test code",
+        example: "let state = self.state.read();\n\
+                  tx.send(cmd);   // bounded: blocks while holding `state`",
+    },
+    RuleMeta {
+        id: "guard-across-await-point",
+        description: "a lock guard is live across an .await point — the future can be \
+                      parked indefinitely (or moved threads) with the lock held. \
+                      Reserved: the workspace is currently sync-only, but the rule is \
+                      fully evaluated so the first async code inherits it",
+        scope: "workspace (non-shim), non-test code",
+        example: "let g = self.state.lock();\n\
+                  socket.read_frame().await;   // parked with the lock held",
+    },
+    RuleMeta {
+        id: "channel-cycle",
+        description: "a send on a bounded channel is reachable (via the call graph) \
+                      from that channel's own consumer: when the channel fills, the \
+                      consumer blocks on its own queue and can never drain it — the \
+                      push/pull hierarchy feedback deadlock",
+        scope: "workspace (non-shim), non-test code",
+        example: "fn consume(rx: &Receiver<Job>, tx: &Sender<Job>) {\n\
+                      while let Ok(j) = rx.recv() { tx.send(retry(j)); }\n\
+                  }",
     },
     RuleMeta {
         id: "allow-hygiene",
         description: "every odalint allow must carry a justification and suppress at \
                       least one real finding; stale or malformed allows are violations",
         scope: "workspace",
+        example: "// odalint: allow(wall-clock) -- (on a line that no longer fires)",
     },
 ];
 
@@ -148,6 +206,13 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 
 fn t(toks: &[Tok], i: usize) -> &str {
     toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+/// Index of the matching close for the open delimiter at `open` (which
+/// must be `(`, `[` or `{`); `toks.len()` when unbalanced. Shared with
+/// the item parser and the concurrency analysis.
+pub fn matching_idx(toks: &[Tok], open: usize) -> usize {
+    matching(toks, open)
 }
 
 /// Index of the matching close for the open delimiter at `open` (which

@@ -127,6 +127,118 @@ fn allow_hygiene_fires_on_malformed_and_stale() {
 }
 
 #[test]
+fn lock_order_fires_with_both_witness_paths() {
+    let out = lint_source(DIGEST, include_str!("fixtures/bad_lock_order.rs"), &cfg());
+    assert_eq!(
+        out.violations
+            .iter()
+            .map(|v| (v.rule.clone(), v.line))
+            .collect::<Vec<_>>(),
+        vec![("lock-order".to_string(), 13)]
+    );
+    // The report must name BOTH witness acquisition paths.
+    let msg = &out.violations[0].message;
+    assert!(msg.contains("Pair.a -> Pair.b"), "{msg}");
+    assert!(msg.contains("Pair.b -> Pair.a"), "{msg}");
+    assert!(msg.contains("Pair::forward -> Pair::reverse"), "{msg}");
+    // Both directed edges land in the concurrency section.
+    let dirs: Vec<(String, String)> = out
+        .concurrency
+        .lock_order_edges
+        .iter()
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+    assert!(dirs.contains(&("Pair.a".to_string(), "Pair.b".to_string())));
+    assert!(dirs.contains(&("Pair.b".to_string(), "Pair.a".to_string())));
+}
+
+#[test]
+fn lock_order_near_miss_consistent_hierarchy_is_clean() {
+    let out = lint_source(DIGEST, include_str!("fixtures/clean_lock_order.rs"), &cfg());
+    assert_eq!(out.violations.len(), 0, "{:?}", out.violations);
+    // The acyclic hierarchy is still documented as edges.
+    assert!(!out.concurrency.lock_order_edges.is_empty());
+}
+
+#[test]
+fn guard_across_blocking_fires_on_bounded_send() {
+    let got = spans(DIGEST, include_str!("fixtures/bad_guard_blocking.rs"));
+    assert_eq!(got, vec![("guard-across-blocking".to_string(), 14)]);
+}
+
+#[test]
+fn guard_across_blocking_near_miss_dropped_guard_is_clean() {
+    let got = spans(DIGEST, include_str!("fixtures/clean_guard_blocking.rs"));
+    assert_eq!(got, Vec::<(String, u32)>::new());
+}
+
+#[test]
+fn guard_across_await_point_fires() {
+    let got = spans(DIGEST, include_str!("fixtures/bad_guard_await.rs"));
+    assert_eq!(got, vec![("guard-across-await-point".to_string(), 12)]);
+}
+
+#[test]
+fn guard_across_await_near_miss_scoped_guard_is_clean() {
+    let got = spans(DIGEST, include_str!("fixtures/clean_guard_await.rs"));
+    assert_eq!(got, Vec::<(String, u32)>::new());
+}
+
+#[test]
+fn channel_cycle_fires_on_bounded_feedback() {
+    let out = lint_source(
+        DIGEST,
+        include_str!("fixtures/bad_channel_cycle.rs"),
+        &cfg(),
+    );
+    assert_eq!(
+        out.violations
+            .iter()
+            .map(|v| (v.rule.clone(), v.line))
+            .collect::<Vec<_>>(),
+        vec![("channel-cycle".to_string(), 12)]
+    );
+    // The channel inventory records the bounded ctor.
+    assert_eq!(out.concurrency.channels.len(), 1);
+    assert!(out.concurrency.channels[0].bounded);
+    assert_eq!(out.concurrency.channels[0].capacity.as_deref(), Some("4"));
+}
+
+#[test]
+fn channel_cycle_near_miss_unbounded_is_clean() {
+    let out = lint_source(
+        DIGEST,
+        include_str!("fixtures/clean_channel_cycle.rs"),
+        &cfg(),
+    );
+    assert_eq!(out.violations.len(), 0, "{:?}", out.violations);
+    assert_eq!(out.concurrency.channels.len(), 1);
+    assert!(!out.concurrency.channels[0].bounded);
+}
+
+#[test]
+fn inline_allow_suppresses_concurrency_finding() {
+    let src = include_str!("fixtures/bad_guard_blocking.rs").replace(
+        "tx.send(*g).ok();",
+        "tx.send(*g).ok(); // odalint: allow(guard-across-blocking) -- fixture exercises the escape hatch",
+    );
+    let out = lint_source(DIGEST, &src, &cfg());
+    assert_eq!(out.violations.len(), 0, "{:?}", out.violations);
+    assert_eq!(out.allowed.len(), 1);
+    assert_eq!(out.allowed[0].rule, "guard-across-blocking");
+}
+
+/// Regression: a well-formed allow of a *new* (v2) rule that suppresses
+/// nothing must be flagged stale, exactly like the v1 rules.
+#[test]
+fn stale_allow_of_concurrency_rule_is_flagged() {
+    let src =
+        "//! doc\n// odalint: allow(lock-order) -- left over after a refactor\npub fn ok() {}\n";
+    let got = spans(DIGEST, src);
+    assert_eq!(got, vec![("allow-hygiene".to_string(), 2)]);
+}
+
+#[test]
 fn forbid_unsafe_fires_per_crate_in_fixture_tree() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
     let mut cfg = cfg();
@@ -182,6 +294,10 @@ fn every_rule_has_a_firing_fixture() {
         (DIGEST, include_str!("fixtures/bad_unsafe.rs")),
         (DIGEST, include_str!("fixtures/bad_deprecated_api.rs")),
         (DIGEST, include_str!("fixtures/bad_allow_hygiene.rs")),
+        (DIGEST, include_str!("fixtures/bad_lock_order.rs")),
+        (DIGEST, include_str!("fixtures/bad_guard_blocking.rs")),
+        (DIGEST, include_str!("fixtures/bad_guard_await.rs")),
+        (DIGEST, include_str!("fixtures/bad_channel_cycle.rs")),
     ] {
         for v in lint_source(rel, src, &cfg()).violations {
             if !fired.contains(&v.rule) {
@@ -205,8 +321,31 @@ fn report_is_byte_stable() {
     let a = report::render(&lint_source(DIGEST, src, &cfg()));
     let b = report::render(&lint_source(DIGEST, src, &cfg()));
     assert_eq!(a, b, "same input must render identical bytes");
-    assert!(a.contains("\"schema\": \"odalint-report/v1\""));
+    assert!(a.contains("\"schema\": \"odalint-report/v2\""));
+    assert!(a.contains("\"concurrency\""));
     assert!(a.ends_with('\n'));
+}
+
+/// The v2 concurrency section itself must be byte-stable: render a
+/// fixture that populates both edges and channels, twice.
+#[test]
+fn v2_concurrency_section_is_byte_stable() {
+    let files = [
+        (
+            "crates/core/src/a.rs",
+            include_str!("fixtures/bad_lock_order.rs"),
+        ),
+        (
+            "crates/core/src/b.rs",
+            include_str!("fixtures/bad_channel_cycle.rs"),
+        ),
+    ];
+    let a = report::render(&lint::lint_sources(&files, &cfg()));
+    let b = report::render(&lint::lint_sources(&files, &cfg()));
+    assert_eq!(a, b);
+    assert!(a.contains("\"lock_order_edges\""));
+    assert!(a.contains("\"channels\""));
+    assert!(a.contains("\"bounded\": true"));
 }
 
 /// Smoke check for the CI gate: appending a single new violating line to
@@ -246,4 +385,19 @@ fn workspace_lints_clean() {
         .map(|v| format!("{}:{}:{}: {}: {}", v.file, v.line, v.col, v.rule, v.message))
         .collect();
     assert_eq!(rendered, Vec::<String>::new(), "workspace must lint clean");
+    // The v2 concurrency section must be *populated* on the real tree:
+    // the coordinator's failover path creates a real lock-order edge and
+    // the shard command queue is a real bounded channel.
+    assert!(
+        !out.concurrency.lock_order_edges.is_empty(),
+        "expected at least one lock-order edge"
+    );
+    assert!(
+        out.concurrency
+            .channels
+            .iter()
+            .any(|c| c.bounded && c.file.starts_with("crates/telemetry/src/cluster/")),
+        "expected a bounded channel from cluster/: {:?}",
+        out.concurrency.channels
+    );
 }

@@ -1,0 +1,14 @@
+//! Fixture: a consumer loop that sends on its own bounded queue — once
+//! the queue fills, the consumer blocks on itself and never drains.
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+pub fn feedback() {
+    let (tx, rx) = bounded(4);
+    pump(tx, rx);
+}
+
+fn pump(tx: Sender<u64>, rx: Receiver<u64>) {
+    while let Ok(v) = rx.recv() {
+        tx.send(v + 1).ok();
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a lock guard live across an `.await` point — the task can
+//! be parked holding the lock.
+use std::sync::Mutex;
+
+pub struct S {
+    state: Mutex<u64>,
+}
+
+impl S {
+    pub async fn tick(&self, fut: impl std::future::Future<Output = u64>) -> u64 {
+        let g = self.state.lock().unwrap();
+        let v = fut.await;
+        *g + v
+    }
+}

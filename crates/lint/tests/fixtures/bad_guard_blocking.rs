@@ -1,0 +1,22 @@
+//! Fixture: a lock guard held live across a blocking send on a bounded
+//! channel — the consumer may be blocked on this very lock.
+use crossbeam_channel::{bounded, Receiver};
+use std::sync::Mutex;
+
+pub struct Queue {
+    state: Mutex<u64>,
+}
+
+impl Queue {
+    pub fn pump(&self) {
+        let (tx, rx) = bounded(1);
+        let g = self.state.lock().unwrap();
+        tx.send(*g).ok();
+        drop(g);
+        drain(rx);
+    }
+}
+
+fn drain(rx: Receiver<u64>) {
+    let _ = rx.recv();
+}

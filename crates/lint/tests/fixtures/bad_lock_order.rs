@@ -1,0 +1,23 @@
+//! Fixture: two functions take the same two mutexes in opposite order,
+//! connected by a call edge — the classic ABBA deadlock.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let g = self.a.lock().unwrap();
+        let x = self.reverse();
+        drop(g);
+        x
+    }
+
+    pub fn reverse(&self) -> u64 {
+        let g = self.b.lock().unwrap();
+        let h = self.a.lock().unwrap();
+        *g + *h
+    }
+}

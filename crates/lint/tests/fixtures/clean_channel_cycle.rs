@@ -1,0 +1,14 @@
+//! Near-miss: the same feedback shape over an *unbounded* channel —
+//! sends never block, so the loop cannot wedge on its own queue.
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+pub fn feedback() {
+    let (tx, rx) = unbounded();
+    pump(tx, rx);
+}
+
+fn pump(tx: Sender<u64>, rx: Receiver<u64>) {
+    while let Ok(v) = rx.recv() {
+        tx.send(v + 1).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! Near-miss: the guard lives only inside an inner block that ends
+//! before the `.await`, so nothing is held across the suspension.
+use std::sync::Mutex;
+
+pub struct S {
+    state: Mutex<u64>,
+}
+
+impl S {
+    pub async fn tick(&self, fut: impl std::future::Future<Output = u64>) -> u64 {
+        let v = {
+            let g = self.state.lock().unwrap();
+            *g
+        };
+        fut.await + v
+    }
+}

@@ -1,0 +1,23 @@
+//! Near-miss: the guard is dropped via `drop()` *before* the bounded
+//! send, so nothing blocks while the lock is held.
+use crossbeam_channel::{bounded, Receiver};
+use std::sync::Mutex;
+
+pub struct Queue {
+    state: Mutex<u64>,
+}
+
+impl Queue {
+    pub fn pump(&self) {
+        let (tx, rx) = bounded(1);
+        let g = self.state.lock().unwrap();
+        let v = *g;
+        drop(g);
+        tx.send(v).ok();
+        drain(rx);
+    }
+}
+
+fn drain(rx: Receiver<u64>) {
+    let _ = rx.recv();
+}

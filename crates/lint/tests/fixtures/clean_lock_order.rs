@@ -1,0 +1,23 @@
+//! Near-miss: the same two mutexes, but both paths take them in the
+//! same order — a consistent hierarchy, not a cycle.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let g = self.a.lock().unwrap();
+        let x = self.nested();
+        drop(g);
+        x
+    }
+
+    pub fn nested(&self) -> u64 {
+        let g = self.a.lock().unwrap();
+        let h = self.b.lock().unwrap();
+        *g + *h
+    }
+}

@@ -173,6 +173,11 @@ impl ClusterCoordinator {
     /// proves every earlier ingest on that shard is applied and durable).
     pub fn fence(&self) {
         let state = self.state.read();
+        // The guard *must* span the barrier: a concurrent `fail_shard`
+        // between scatter and gather could stop a fenced shard and leave
+        // its reply forever pending. Shards never take this lock, so the
+        // wait cannot deadlock (see the struct docs).
+        // odalint: allow(guard-across-blocking) -- fence is a barrier by design; shards never take state, so no deadlock
         fence_alive(&state);
     }
 
@@ -220,6 +225,10 @@ impl ClusterCoordinator {
                 pending.push((slice, rx));
             }
         }
+        // Gather outside the lock: a slow shard must not stall placement
+        // writers. Replies are routed by `reply` channel, not identity,
+        // so a concurrent failover cannot misdirect them.
+        drop(state);
         for (slice, rx) in pending {
             if let Ok(versions) = rx.recv() {
                 for (&(pos, _), v) in slice.iter().zip(versions) {
@@ -277,7 +286,10 @@ impl ClusterCoordinator {
             }
         }
         // ...and gather in the same order: a shard-id-sorted fold into
-        // position-addressed slots, independent of reply timing.
+        // position-addressed slots, independent of reply timing. The
+        // guard drops first — shard-local query execution must not block
+        // placement writers.
+        drop(state);
         match query.shape {
             Shape::Readings => {
                 let mut slots: Vec<Vec<Reading>> = vec![Vec::new(); sensors.len()];
@@ -352,6 +364,8 @@ impl ClusterCoordinator {
                 pending.push(rx);
             }
         }
+        // Gather with the lock released; see `query`.
+        drop(state);
         pending
             .into_iter()
             .filter_map(|rx| rx.recv().ok())
@@ -411,6 +425,8 @@ impl ClusterCoordinator {
                 pending.push((id, rx));
             }
         }
+        // Gather with the lock released; see `query`.
+        drop(state);
         pending
             .into_iter()
             .filter_map(|(id, rx)| rx.recv().ok().map(|samples| (id, samples)))
@@ -435,6 +451,10 @@ impl ClusterCoordinator {
         };
         // Drain-stop: the queue empties and the WAL syncs, so the
         // filesystem below holds every reading the shard ever accepted.
+        // The write guard intentionally spans the whole failover — no
+        // ingest/query may observe a half-failed cluster. The stopped
+        // shard drains independently of this lock (shards never take it).
+        // odalint: allow(guard-across-blocking) -- failover is exclusive by design; the drained shard never takes state
         let fs = handle.stop();
         if !state.placement.fail(shard) {
             // Last alive shard: restart in place. The backend replays the
@@ -486,6 +506,7 @@ impl ClusterCoordinator {
         }
         // Fence the survivors so the handoff is fully applied (and
         // durable on the new owners) before the failure "completes".
+        // odalint: allow(guard-across-blocking) -- failover barrier by design; survivors never take state, so no deadlock
         fence_alive(&state);
         state.rebalances += 1;
         true

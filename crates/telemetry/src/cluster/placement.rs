@@ -62,6 +62,15 @@ fn fnv64(words: &[u64]) -> u64 {
     h ^ (h >> 33)
 }
 
+/// Ring point for `(shard, vnode)`. Both inputs pass through `u32` —
+/// the wire width of [`ShardId`] — and widen losslessly with
+/// `u64::from`, so `usize` never reaches the hash and the digest is
+/// bit-identical on 32-bit edge collectors and 64-bit CI. (The `+ 1`
+/// happens *after* widening: `u32::MAX + 1` must not wrap.)
+fn ring_point(shard: u32, vnode: u32) -> u64 {
+    fnv64(&[u64::from(shard) + 1, u64::from(vnode) + 1])
+}
+
 /// The ownership map: which shard owns which slice of the sensor space.
 ///
 /// `epoch` increments on every membership change (failure or
@@ -82,10 +91,17 @@ impl PlacementMap {
     /// nodes each.
     ///
     /// # Panics
-    /// Panics if `shards == 0` or `vnodes_per_shard == 0`.
+    /// Panics if `shards == 0`, `vnodes_per_shard == 0`, or either
+    /// exceeds `u32::MAX` (shard ids and vnode indexes are `u32` on the
+    /// ring so placement digests are identical across `usize` widths).
     pub fn new(shards: usize, vnodes_per_shard: usize) -> Self {
         assert!(shards > 0, "placement needs at least one shard");
         assert!(vnodes_per_shard > 0, "placement needs at least one vnode");
+        assert!(shards <= u32::MAX as usize, "shard count exceeds u32");
+        assert!(
+            vnodes_per_shard <= u32::MAX as usize,
+            "vnode count exceeds u32"
+        );
         let mut map = PlacementMap {
             ring: Vec::new(),
             alive: vec![true; shards],
@@ -102,9 +118,11 @@ impl PlacementMap {
             if !alive {
                 continue;
             }
+            // `as u32` is lossless here: `new()` rejects counts above
+            // `u32::MAX`, and `s`/`v` index those counts.
             for v in 0..self.vnodes_per_shard {
                 self.ring
-                    .push((fnv64(&[s as u64 + 1, v as u64 + 1]), ShardId(s as u32)));
+                    .push((ring_point(s as u32, v as u32), ShardId(s as u32)));
             }
         }
         self.ring.sort_unstable();
@@ -116,7 +134,7 @@ impl PlacementMap {
     /// Panics if every shard has failed (an empty ring has no owners; the
     /// coordinator restarts the last shard in place instead of removing it).
     pub fn owner(&self, sensor: SensorId) -> ShardId {
-        let point = fnv64(&[sensor.0 as u64]);
+        let point = fnv64(&[u64::from(sensor.0)]);
         let idx = self.ring.partition_point(|&(p, _)| p < point);
         self.ring
             .get(idx)
@@ -220,6 +238,30 @@ mod tests {
                 assert_eq!(new, old, "sensor {i} moved although its owner survived");
             }
         }
+    }
+
+    /// 32-bit portability pin: every value feeding the ring hash is a
+    /// `u32` widened losslessly, so these digests must be identical on
+    /// every platform — a 32-bit edge collector has to agree with 64-bit
+    /// CI on every owner. The constants were computed once on x86-64;
+    /// the `u32::MAX` inputs sit exactly on the boundary where a stray
+    /// `usize`-width cast or a pre-widening `+ 1` would wrap on 32-bit
+    /// and change the digest.
+    #[test]
+    fn hash_points_are_width_independent_at_u32_boundaries() {
+        assert_eq!(ring_point(0, 0), 0xd6fb_bdd4_a170_35e7);
+        assert_eq!(ring_point(1, 1), 0xb0cf_5f45_7c66_a13e);
+        assert_eq!(ring_point(u32::MAX, 1), 0x0f28_93c9_d666_2b8b);
+        assert_eq!(ring_point(1, u32::MAX), 0xb8ad_325a_c8e1_0b8b);
+        assert_eq!(ring_point(u32::MAX, u32::MAX), 0x61e2_a99f_4f2a_6395);
+        assert_eq!(fnv64(&[u64::from(u32::MAX)]), 0x1073_d272_73ad_8deb);
+        // And a derived whole-map digest: the owner sequence of a real
+        // placement, folded through the same hash.
+        let map = PlacementMap::new(3, 8);
+        let owners: Vec<u64> = (0..100u32)
+            .map(|i| u64::from(map.owner(SensorId(i)).0))
+            .collect();
+        assert_eq!(fnv64(&owners), 0x645a_3b84_caac_196e);
     }
 
     #[test]
